@@ -1,0 +1,49 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark prints the same rows/series its paper table or figure
+reports (run with ``pytest benchmarks/ --benchmark-only -s`` to see
+them), asserts the qualitative shape, and times a representative kernel
+through pytest-benchmark.
+
+Two result flavours appear side by side (see DESIGN.md):
+
+* ``model:<machine>`` — the calibrated hwsim execution-time model at the
+  paper's exact configurations; the apples-to-apples reproduction.
+* ``live:host`` — wall-clock measurements of the real NumPy kernels on
+  this host at scaled-down sizes; they validate *directions*, not
+  magnitudes.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+import pytest
+
+from repro.hwsim import MACHINES, BsplinePerfModel
+from repro.miniqmc import live_kernel_config, random_coefficients
+
+
+def emit(text: str) -> None:
+    """Print a result table so it survives pytest's capture (shown with -s
+    and in captured-output sections)."""
+    print("\n" + text, file=sys.stderr)
+
+
+@pytest.fixture(scope="session")
+def models():
+    """One calibrated performance model per paper machine."""
+    return {name: BsplinePerfModel(m) for name, m in MACHINES.items()}
+
+
+@pytest.fixture(scope="session")
+def live_cfg():
+    """Host-sized kernel configuration shared across live benches."""
+    return live_kernel_config(n_splines=128, grid=(16, 16, 16), n_samples=8)
+
+
+@pytest.fixture(scope="session")
+def live_table(live_cfg):
+    """Shared random coefficient table for live benches."""
+    return random_coefficients(live_cfg)

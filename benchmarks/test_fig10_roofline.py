@@ -1,0 +1,51 @@
+"""Paper Fig. 10 — cache-aware roofline analysis of VGH at N=2048.
+
+Paper observations reproduced:
+
+* main-memory traffic at steady state is 64N reads + 10N writes for the
+  optimized versions;
+* AoS sits at lower AI *and* lower GFLOPS; SoA raises both;
+* AoSoA raises achieved GFLOPS at (near-)ideal traffic;
+* on KNL, running the best version from DDR instead of MCDRAM caps it at
+  ~150 GFLOPS (the paper's X marker) — bandwidth, not compute, rules.
+"""
+
+from benchmarks.conftest import emit
+from repro.hwsim import kernel_counts
+from repro.perf import format_table
+from repro.roofline import Roofline, roofline_points
+
+
+def test_fig10_roofline_points(models, benchmark):
+    for name in ("BDW", "KNL"):
+        machine = models[name].machine
+        roof = Roofline.for_machine(machine)
+        pts = roofline_points(machine)
+        rows = [
+            [p.step, p.ai, p.gflops, p.attainable_gflops, p.efficiency]
+            for p in pts
+        ]
+        emit(
+            format_table(
+                ["step", "AI(F/B)", "GFLOP/s", "roof", "efficiency"],
+                rows,
+                title=f"Fig 10 — VGH roofline at N=2048 [model:{name}] "
+                f"(peak {machine.peak_sp_gflops:.0f} GF)",
+            )
+        )
+
+    knl_pts = {p.step.split("(")[0]: p for p in roofline_points(models["KNL"].machine)}
+    # The paper's qualitative sequence.
+    assert knl_pts["AoS"].ai < knl_pts["SoA"].ai
+    assert knl_pts["AoS"].gflops < knl_pts["SoA"].gflops < knl_pts["AoSoA"].gflops
+    # DDR X-marker: an order ~150 GFLOPS, far below the MCDRAM point.
+    ddr = knl_pts["AoSoA-DDR"]
+    assert 100 < ddr.gflops < 600
+    assert ddr.gflops < 0.5 * knl_pts["AoSoA"].gflops
+
+    # Ideal steady-state AI from the counters: 64N reads + 10N writes.
+    counts = kernel_counts("vgh", "soa", 2048)
+    assert counts.read_values == 64 * 2048
+    assert counts.write_values == 10 * 2048
+
+    benchmark(lambda: roofline_points(models["KNL"].machine))

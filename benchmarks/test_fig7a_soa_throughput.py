@@ -1,0 +1,65 @@
+"""Paper Fig. 7(a) — VGH throughput before/after the AoS-to-SoA transform.
+
+Paper shape: 2-4x speedups for small-to-medium N on the Intel machines;
+the gain fades as N grows past 512 ("Almost no speedup is obtained on
+KNC and KNL at N=2048 and 4096") because the untiled output working set
+falls out of cache either way.
+
+Model series: T(N) for AoS and SoA on all four machines at the paper's
+walker counts.  Live series: wall-clock AoS vs SoA on this host at small
+N, which must show SoA ahead.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.miniqmc import live_kernel_config, random_coefficients, run_kernel_driver
+from repro.perf import format_series, format_table
+
+SWEEP = (128, 256, 512, 1024, 2048, 4096)
+
+
+def test_fig7a_model_series(models, benchmark):
+    for name in ("BDW", "KNC", "KNL", "BGQ"):
+        model = models[name]
+        aos = [model.evaluate("vgh", "aos", n).throughput for n in SWEEP]
+        soa = [model.evaluate("vgh", "soa", n).throughput for n in SWEEP]
+        emit(
+            format_series(
+                "N",
+                list(SWEEP),
+                {"T(AoS)": aos, "T(SoA)": soa, "speedup": list(np.array(soa) / aos)},
+                title=f"Fig 7a — VGH throughput, AoS vs SoA [model:{name}]",
+            )
+        )
+        ratio = np.array(soa) / np.array(aos)
+        # SoA never loses, and the gain at the small end beats the gain
+        # at N=4096 on the cacheless many-core machines.
+        assert (ratio >= 1.0).all()
+        if name in ("KNC", "KNL"):
+            assert ratio[1] > ratio[-1]
+
+    benchmark(lambda: models["KNL"].evaluate("vgh", "soa", 2048).throughput)
+
+
+def test_fig7a_live_soa_beats_aos(live_cfg, live_table, benchmark):
+    res_aos = run_kernel_driver(live_cfg, "aos", kernels=("vgh",), coefficients=live_table)
+    res_soa = run_kernel_driver(live_cfg, "soa", kernels=("vgh",), coefficients=live_table)
+    t_aos, t_soa = res_aos.throughputs["vgh"], res_soa.throughputs["vgh"]
+    emit(
+        format_table(
+            ["engine", "T(vgh) ops/s", "speedup vs AoS"],
+            [["aos", t_aos, 1.0], ["soa", t_soa, t_soa / t_aos]],
+            title=f"Fig 7a [live:host] N={live_cfg.n_splines}",
+        )
+    )
+    # Strided AoS stores genuinely cost more in NumPy too.
+    assert t_soa > t_aos
+
+    eng_cfg = live_kernel_config(n_splines=64, grid=(12, 12, 12), n_samples=4)
+    table = random_coefficients(eng_cfg)
+    benchmark(
+        lambda: run_kernel_driver(
+            eng_cfg, "soa", kernels=("vgh",), coefficients=table
+        )
+    )

@@ -1,0 +1,56 @@
+"""Paper Fig. 7(b) — VGH throughput before/after AoSoA tiling.
+
+Paper shape: "significant improvement for N=2048 and 4096" and "sustained
+throughput across the problem sizes on all the cache-based architectures"
+— i.e. the tiled T(N) curve is nearly flat while the untiled SoA curve
+collapses at large N.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.perf import format_series
+
+SWEEP = (128, 256, 512, 1024, 2048, 4096)
+
+# Paper optimal tile sizes (Sec. VI-B).
+PAPER_NB = {"BDW": 64, "KNC": 512, "KNL": 512, "BGQ": 64}
+
+
+def test_fig7b_model_series(models, benchmark):
+    for name in ("BDW", "KNC", "KNL", "BGQ"):
+        model = models[name]
+        nb = PAPER_NB[name]
+        soa = [model.evaluate("vgh", "soa", n).throughput for n in SWEEP]
+        tiled = [
+            model.evaluate("vgh", "aosoa", n, min(nb, n)).throughput for n in SWEEP
+        ]
+        emit(
+            format_series(
+                "N",
+                list(SWEEP),
+                {
+                    "T(SoA)": soa,
+                    f"T(AoSoA Nb={nb})": tiled,
+                    "speedup": list(np.array(tiled) / soa),
+                },
+                title=f"Fig 7b — VGH throughput, SoA vs AoSoA [model:{name}]",
+            )
+        )
+        tiled = np.asarray(tiled)
+        soa = np.asarray(soa)
+        # Tiling helps most at the large end...
+        assert tiled[-1] / soa[-1] > tiled[0] / soa[0] * 0.95
+        assert tiled[-1] > soa[-1]
+        # ...and sustains throughput across sizes: the tiled curve's
+        # worst point stays within 2.2x of its best (the untiled curve
+        # collapses much harder on the many-core machines).
+        assert tiled.max() / tiled.min() < 2.2
+
+    # Untiled collapse for contrast (KNL): the SoA curve loses >= 40% of
+    # its small-N throughput by N=4096, while the tiled curve (asserted
+    # above) stays nearly flat.
+    soa_knl = [models["KNL"].evaluate("vgh", "soa", n).throughput for n in SWEEP]
+    assert max(soa_knl) / min(soa_knl) > 1.5
+
+    benchmark(lambda: models["KNL"].evaluate("vgh", "aosoa", 4096, 512).throughput)

@@ -1,0 +1,73 @@
+"""Paper Fig. 7(c) — VGH throughput vs tile size Nb at N=2048.
+
+Paper shape: "A striking feature for BDW is the peak at Nb = 64" (the
+28 MB working set fits the 45 MB L3; 56 MB at Nb=128 does not); BG/Q
+peaks at 64 via its 32 MB shared L2; "For KNC and KNL, a performance
+peak is obtained at Nb = 512" (outputs fit in cache for the reduction,
+prefactor cost amortized).
+
+The live section runs the FFTW-wisdom-style auto-tuner on this host —
+its optimum is a *host* property (here dominated by Python per-tile
+dispatch, so large Nb wins), reported for honesty, not asserted against
+the paper.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.core import Grid3D, autotune_tile_size
+from repro.miniqmc import live_kernel_config, random_coefficients
+from repro.perf import format_series, format_table
+
+PAPER_PEAK = {"BDW": 64, "KNC": 512, "KNL": 512, "BGQ": 64}
+
+
+def test_fig7c_model_tile_sweep(models, benchmark):
+    for name in ("BDW", "KNC", "KNL", "BGQ"):
+        best, sweep = models[name].best_tile_size("vgh", 2048)
+        nbs = sorted(sweep)
+        emit(
+            format_series(
+                "Nb",
+                nbs,
+                {"T(VGH)": [sweep[nb] for nb in nbs]},
+                title=f"Fig 7c — VGH throughput vs Nb, N=2048 [model:{name}] "
+                f"(model peak {best}, paper peak {PAPER_PEAK[name]})",
+            )
+        )
+        # The model peak is at (or adjacent to) the paper's peak.
+        paper_nb = PAPER_PEAK[name]
+        assert sweep[paper_nb] > 0.9 * max(sweep.values())
+    # The decisive cliffs: BDW loses the LLC at 128; KNL declines past 512.
+    _, bdw = models["BDW"].best_tile_size("vgh", 2048)
+    assert bdw[64] > 1.3 * bdw[128]
+    _, knl = models["KNL"].best_tile_size("vgh", 2048)
+    assert knl[512] > knl[2048]
+
+    benchmark(lambda: models["BDW"].best_tile_size("vgh", 2048))
+
+
+def test_fig7c_live_autotuner(benchmark):
+    cfg = live_kernel_config(n_splines=64, grid=(10, 10, 10))
+    table = random_coefficients(cfg)
+    grid = Grid3D(*cfg.grid_shape)
+    best, timings = autotune_tile_size(
+        grid, table, "vgh", candidates=[16, 32, 64], n_samples=4, repeats=2
+    )
+    rows = [[nb, t * 1e3] for nb, t in sorted(timings.items())]
+    emit(
+        format_table(
+            ["Nb", "ms/batch"],
+            rows,
+            title=f"Fig 7c [live:host] auto-tuned Nb={best} at N=64 "
+            "(host optimum reflects Python dispatch costs)",
+        )
+    )
+    assert best in timings
+    assert min(timings.values()) > 0
+
+    benchmark(
+        lambda: autotune_tile_size(
+            grid, table, "v", candidates=[32, 64], n_samples=2, repeats=1
+        )
+    )

@@ -1,0 +1,58 @@
+"""Paper Fig. 8 — normalized KNL speedups of V/VGL/VGH vs the AoS baseline.
+
+Paper headline: "Our optimizations boost the throughput by 1.85x(V),
+6.4x(VGL) and 2.5x(VGH) on a node at N = 4096", with the AoS public
+QMCPACK implementation as the reference and the AoSoA version (optimal
+Nb, plus the VGL basic optimizations) as the measurement.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.perf import format_series, format_table
+
+SWEEP = (128, 256, 512, 1024, 2048, 4096)
+PAPER_AT_4096 = {"v": 1.85, "vgl": 6.4, "vgh": 2.5}
+
+
+def test_fig8_knl_normalized_speedup(models, benchmark):
+    model = models["KNL"]
+    series = {}
+    for kern in ("v", "vgl", "vgh"):
+        vals = []
+        for n in SWEEP:
+            base = model.evaluate(kern, "aos", n)
+            nb, _ = model.best_tile_size(kern, n)
+            opt = model.evaluate(kern, "aosoa", n, nb)
+            vals.append(opt.evals_per_sec / base.evals_per_sec)
+        series[kern.upper()] = vals
+    emit(
+        format_series(
+            "N",
+            list(SWEEP),
+            series,
+            title="Fig 8 — KNL speedup vs AoS baseline (AoSoA, optimal Nb) [model:KNL]",
+        )
+    )
+
+    at4096 = {k.lower(): v[-1] for k, v in series.items()}
+    emit(
+        format_table(
+            ["kernel", "paper", "model", "ratio"],
+            [
+                [k, PAPER_AT_4096[k], at4096[k], at4096[k] / PAPER_AT_4096[k]]
+                for k in ("v", "vgl", "vgh")
+            ],
+            title="Fig 8 at N=4096 — paper vs model",
+        )
+    )
+
+    # Shape: the paper's ordering VGL > VGH > V at every N >= 512, and
+    # each headline number within ~1.5x.
+    for i, n in enumerate(SWEEP):
+        if n >= 512:
+            assert series["VGL"][i] > series["VGH"][i] > series["V"][i]
+    for k, paper in PAPER_AT_4096.items():
+        assert 1 / 1.55 < at4096[k] / paper < 1.55
+
+    benchmark(lambda: model.speedups("vgh", 4096, 1))

@@ -1,0 +1,51 @@
+"""Paper Sec. I headline — ">14x reduction in time-to-solution on 16 KNL nodes".
+
+The multi-node recipe (Sec. V-C): fixed total walker population spread
+over n nodes, nth = n threads per walker, perfect MPI efficiency (the
+paper's own assumption, justified by ref [12]).  Modelled through
+``repro.hwsim.cluster.strong_scaling_curve``.
+"""
+
+from benchmarks.conftest import emit
+from repro.hwsim import KNL, MACHINES, strong_scaling_curve
+from repro.perf import format_table
+
+
+def test_multinode_time_to_solution(benchmark):
+    pts = strong_scaling_curve(KNL, "vgh", 2048)
+    rows = [
+        [p.n_nodes, p.nth, p.tile_size, p.time_reduction, p.parallel_efficiency]
+        for p in pts
+    ]
+    emit(
+        format_table(
+            ["nodes", "nth", "Nb", "time reduction", "efficiency"],
+            rows,
+            title="Multi-node strong scaling [model:KNL, VGH, N=2048] "
+            "(paper: >14x on 16 nodes)",
+        )
+    )
+    final = pts[-1]
+    assert final.n_nodes == 16
+    assert final.time_reduction > 13.0  # paper >14x; model ~13.5x
+    assert final.parallel_efficiency > 0.80
+
+    # Contrast: the LLC-limited machines cannot play this game (Sec. VI-C).
+    rows = []
+    for name in ("BDW", "BGQ"):
+        p4 = strong_scaling_curve(MACHINES[name], "vgh", 2048, node_counts=(4,))[0]
+        rows.append([name, 4, p4.time_reduction, p4.parallel_efficiency])
+    p4_knl = strong_scaling_curve(KNL, "vgh", 2048, node_counts=(4,))[0]
+    rows.append(["KNL", 4, p4_knl.time_reduction, p4_knl.parallel_efficiency])
+    emit(
+        format_table(
+            ["machine", "nodes", "time reduction", "efficiency"],
+            rows,
+            title="4-node comparison — shared-LLC machines scale worse (Sec. VI-C)",
+        )
+    )
+    for name in ("BDW", "BGQ"):
+        p4 = strong_scaling_curve(MACHINES[name], "vgh", 2048, node_counts=(4,))[0]
+        assert p4.parallel_efficiency < p4_knl.parallel_efficiency
+
+    benchmark(lambda: strong_scaling_curve(KNL, "vgh", 2048))

@@ -1,0 +1,54 @@
+"""Paper Table I — system configurations.
+
+Regenerates the configuration table from the machine specs and checks
+the derived quantities the rest of the reproduction depends on.
+"""
+
+from benchmarks.conftest import emit
+from repro.hwsim import MACHINES
+from repro.perf import format_table
+
+
+def test_table1_system_configurations(benchmark):
+    rows = []
+    for name in ("BDW", "KNC", "KNL", "BGQ"):
+        m = MACHINES[name]
+        rows.append(
+            [
+                name,
+                m.cores,
+                m.smt,
+                m.simd_bits,
+                m.freq_ghz,
+                m.l1d_bytes // 1024,
+                m.l2_bytes // 1024,
+                m.llc_bytes // (1024 * 1024),
+                m.stream_bw / 1e9,
+                round(m.peak_sp_gflops),
+            ]
+        )
+    table = format_table(
+        [
+            "machine",
+            "cores",
+            "smt",
+            "simd(b)",
+            "GHz",
+            "L1(KB)",
+            "L2(KB)",
+            "LLC(MB)",
+            "BW(GB/s)",
+            "peakSP(GF)",
+        ],
+        rows,
+        title="Table I — system configurations (paper values + derived SP peak)",
+    )
+    emit(table)
+
+    # Shape assertions straight from the paper's intro: a KNL node is
+    # more than 10x a BG/Q node in peak; KNL has the highest bandwidth.
+    knl, bgq = MACHINES["KNL"], MACHINES["BGQ"]
+    assert knl.peak_sp_gflops > 10 * bgq.peak_sp_gflops
+    assert knl.stream_bw == max(m.stream_bw for m in MACHINES.values())
+
+    benchmark(lambda: [MACHINES[n].peak_sp_gflops for n in MACHINES])

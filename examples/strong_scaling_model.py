@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Strong scaling within a walker — the paper's Opt C, on modelled hardware.
+
+Reproduces the two headline parallelization results:
+
+* Fig. 9 — speedup of V/VGL/VGH on KNL at N=2048 as nth threads
+  cooperate on each walker (walkers per node reduced by the same nth);
+* the "more than 14x reduction in the time-to-solution on 16 KNL nodes"
+  claim — nth=16 at ~90% efficiency means a walker finishes ~14x sooner.
+
+Also prints the nested-threading rows of Table IV for all four machines.
+
+Run:  python examples/strong_scaling_model.py
+"""
+
+from repro.hwsim import MACHINES, BsplinePerfModel
+
+
+def fig9() -> None:
+    print("== Fig 9: KNL nested-threading speedup at N=2048 (model) ==")
+    model = BsplinePerfModel(MACHINES["KNL"])
+    print(f"  {'nth':>4s} {'V':>7s} {'VGL':>7s} {'VGH':>7s} {'VGH eff':>8s} {'Nb':>5s}")
+    for nth in (1, 2, 4, 8, 16):
+        row = []
+        nb = None
+        for kern in ("v", "vgl", "vgh"):
+            ref = model.speedups(kern, 2048, 1)
+            s = model.speedups(kern, 2048, nth)
+            row.append(s["C"] / ref["B"])
+            nb = s["nb_nested"]
+        eff = row[2] / nth
+        print(
+            f"  {nth:4d} {row[0]:7.2f} {row[1]:7.2f} {row[2]:7.2f} "
+            f"{eff:8.1%} {nb:5d}"
+        )
+    s16 = model.speedups("vgh", 2048, 16)
+    ref = model.speedups("vgh", 2048, 1)
+    print(
+        f"\n  VGH at nth=16: {s16['C'] / ref['B']:.1f}x per-walker speedup "
+        "(paper: >14x across 16 nodes at ~90% efficiency)\n"
+    )
+
+
+def table4_row_c() -> None:
+    print("== Table IV row C: nested speedups vs AoS baseline (model) ==")
+    nth = {"BDW": 2, "KNC": 8, "KNL": 16, "BGQ": 2}
+    paper = {
+        ("v", "BDW"): 3.4, ("v", "KNC"): 5.9, ("v", "KNL"): 18.7, ("v", "BGQ"): 2.0,
+        ("vgl", "BDW"): 17.2, ("vgl", "KNC"): 42.1, ("vgl", "KNL"): 80.6,
+        ("vgl", "BGQ"): 15.8,
+        ("vgh", "BDW"): 6.4, ("vgh", "KNC"): 35.2, ("vgh", "KNL"): 33.1,
+        ("vgh", "BGQ"): 5.2,
+    }
+    print(f"  {'kernel':>6s} {'machine':>8s} {'nth':>4s} {'model':>7s} {'paper':>7s}")
+    for kern in ("v", "vgl", "vgh"):
+        for name in ("BDW", "KNC", "KNL", "BGQ"):
+            model = BsplinePerfModel(MACHINES[name])
+            s = model.speedups(kern, 2048, nth[name])
+            print(
+                f"  {kern.upper():>6s} {name:>8s} {nth[name]:4d} "
+                f"{s['C']:7.1f} {paper[(kern, name)]:7.1f}"
+            )
+
+
+if __name__ == "__main__":
+    fig9()
+    table4_row_c()

@@ -1,0 +1,18 @@
+"""Legacy setup shim for offline editable installs.
+
+The execution environment ships setuptools 65.5 without ``wheel``, which
+breaks PEP 660 editable installs; ``pip install -e .`` then falls back to
+``setup.py develop``, which this file provides.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+)

@@ -1,0 +1,48 @@
+"""repro — reproduction of "Optimization and parallelization of B-spline based
+orbital evaluations in QMC on multi/many-core shared memory processors"
+(Mathuriya, Luo, Benali, Shulenburger, Kim — IPDPS 2017, arXiv:1611.02665).
+
+The package is organised as one subpackage per subsystem:
+
+``repro.core``
+    The paper's primary contribution: tricubic B-spline single-particle
+    orbital (SPO) evaluation kernels ``V``/``VGL``/``VGH`` in three data
+    layouts — AoS (baseline), SoA (Opt A) and AoSoA/tiled (Opt B) — plus
+    nested threading over tiles (Opt C).
+``repro.lattice``
+    Crystal cells, periodic boundary conditions, the AB-graphite CORAL
+    benchmark geometry, and synthetic periodic orbitals.
+``repro.qmc``
+    The miniQMC substrate: Slater determinants with Sherman-Morrison
+    updates, Jastrow factors, distance tables, drift-diffusion moves and
+    DMC/VMC drivers.
+``repro.hwsim``
+    Hardware substitution layer: machine specs for the paper's four
+    processors, a trace-driven cache simulator, the analytical working-set
+    model, and the execution-time model that reproduces the paper's
+    figures on hardware this host does not have.
+``repro.roofline``
+    Cache-aware roofline model (paper Fig 10).
+``repro.perf``
+    Timing, throughput (T = Nw*N/t), profiling and sweep harnesses.
+``repro.miniqmc``
+    The miniQMC drivers of paper Figs 3 and 6 and the full miniapp used
+    for the profile tables.
+
+Quickstart::
+
+    import numpy as np
+    from repro.core import Grid3D, solve_coefficients_3d, BsplineSoA
+
+    grid = Grid3D(24, 24, 24, (1.0, 1.0, 1.0))
+    samples = np.random.default_rng(7).standard_normal((24, 24, 24, 8))
+    P = solve_coefficients_3d(samples)
+    spo = BsplineSoA(grid, P)
+    out = spo.new_output("vgh")
+    spo.vgh(0.3, 0.1, 0.9, out)
+    print(out.v[:4])
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

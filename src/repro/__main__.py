@@ -1,0 +1,45 @@
+"""Command-line entry point: ``python -m repro <target>``.
+
+Targets are the paper's tables and figures (see ``python -m repro list``);
+``all`` prints everything.  Live measurements and shape assertions live in
+the pytest benchmark suite; this CLI is the quick model-only view.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.reproduce import ALL_TARGETS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the tables/figures of Mathuriya et al. "
+        "(IPDPS 2017) from the calibrated hardware model.",
+    )
+    parser.add_argument(
+        "target",
+        help="one of: " + ", ".join(ALL_TARGETS) + ", all, list",
+    )
+    args = parser.parse_args(argv)
+
+    if args.target == "list":
+        for name, (_, desc) in ALL_TARGETS.items():
+            print(f"  {name:10s} {desc}")
+        return 0
+    if args.target == "all":
+        for name, (func, _) in ALL_TARGETS.items():
+            print(func())
+            print()
+        return 0
+    if args.target not in ALL_TARGETS:
+        print(f"unknown target {args.target!r}; try 'list'", file=sys.stderr)
+        return 2
+    print(ALL_TARGETS[args.target][0]())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,92 @@
+"""repro.core — B-spline orbital evaluation kernels, the paper's contribution.
+
+Public surface:
+
+* Grids and tables: :class:`Grid3D`, :func:`solve_coefficients_3d`,
+  :func:`solve_coefficients_1d`, :func:`pad_spline_count`.
+* Engines (one per data layout):
+
+  ========================  =========================================
+  :class:`BsplineAoS`       baseline, interleaved outputs (paper Fig 4a)
+  :class:`BsplineSoA`       Opt A, contiguous streams (paper Fig 4b)
+  :class:`BsplineAoSoA`     Opt B, tiled / cache-blocked (paper Fig 6)
+  :class:`BsplineFused`     tensor-contraction schedule (Python-fast path)
+  ========================  =========================================
+
+* Output buffers: :class:`WalkerAoS`, :class:`WalkerSoA`,
+  :class:`WalkerTiled`.
+* Nested threading (Opt C): :class:`NestedEvaluator`,
+  :func:`partition_tiles`.
+* Tiling arithmetic and auto-tuning: :mod:`repro.core.tiling`.
+* Reference oracle: :mod:`repro.core.refimpl`.
+"""
+
+from repro.core.alloc import aligned_empty, aligned_zeros, is_aligned
+from repro.core.batched import BatchedOutput, BsplineBatched
+from repro.core.basis import (
+    bspline_all_weights,
+    bspline_d2weights,
+    bspline_dweights,
+    bspline_weights,
+    bspline_weights_batch,
+)
+from repro.core.coeffs import (
+    pad_spline_count,
+    solve_coefficients_1d,
+    solve_coefficients_3d,
+)
+from repro.core.containers import VectorSoA3D
+from repro.core.grid import Grid3D
+from repro.core.layout_aos import BsplineAoS
+from repro.core.layout_aosoa import BsplineAoSoA
+from repro.core.layout_fused import BsplineFused
+from repro.core.layout_soa import BsplineSoA
+from repro.core.nested import NestedEvaluator, partition_tiles
+from repro.core.spline1d import CubicBspline1D
+from repro.core.tiling import (
+    autotune_tile_size,
+    candidate_tile_sizes,
+    input_working_set_bytes,
+    output_working_set_bytes,
+    split_table,
+    Wisdom,
+)
+from repro.core.verify import EngineCheck, VerifyReport, verify_engines
+from repro.core.walker import WalkerAoS, WalkerSoA, WalkerTiled
+
+__all__ = [
+    "Grid3D",
+    "solve_coefficients_1d",
+    "solve_coefficients_3d",
+    "pad_spline_count",
+    "BsplineAoS",
+    "BsplineSoA",
+    "BsplineAoSoA",
+    "BsplineFused",
+    "BsplineBatched",
+    "BatchedOutput",
+    "WalkerAoS",
+    "WalkerSoA",
+    "WalkerTiled",
+    "NestedEvaluator",
+    "partition_tiles",
+    "VectorSoA3D",
+    "CubicBspline1D",
+    "aligned_empty",
+    "aligned_zeros",
+    "is_aligned",
+    "bspline_weights",
+    "bspline_dweights",
+    "bspline_d2weights",
+    "bspline_all_weights",
+    "bspline_weights_batch",
+    "split_table",
+    "candidate_tile_sizes",
+    "autotune_tile_size",
+    "input_working_set_bytes",
+    "output_working_set_bytes",
+    "Wisdom",
+    "verify_engines",
+    "VerifyReport",
+    "EngineCheck",
+]

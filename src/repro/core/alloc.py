@@ -1,0 +1,62 @@
+"""Cache-line-aligned NumPy allocation.
+
+The paper allocates the coefficient table "as 1D array and uses an aligned
+allocator and includes padding to ensure the alignment of P[i][j][k] to a
+512-bit cache-line boundary" (Sec. IV).  NumPy gives no alignment
+guarantee beyond 16 bytes, so we over-allocate a byte buffer and slice at
+the first aligned offset — the standard trick, kept here so every kernel
+container can request properly aligned storage and the address-trace
+generator in :mod:`repro.hwsim.trace` can assume line-aligned rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CACHE_LINE_BYTES", "aligned_empty", "aligned_zeros", "is_aligned"]
+
+#: 512 bits — the cache-line size of every machine in paper Table I.
+CACHE_LINE_BYTES = 64
+
+
+def aligned_empty(
+    shape: int | tuple[int, ...],
+    dtype: np.dtype | type = np.float32,
+    alignment: int = CACHE_LINE_BYTES,
+) -> np.ndarray:
+    """Uninitialized C-contiguous array whose first byte is aligned.
+
+    Parameters
+    ----------
+    shape:
+        Array shape.
+    dtype:
+        Element dtype.
+    alignment:
+        Required byte alignment; must be a power of two.
+    """
+    if alignment <= 0 or (alignment & (alignment - 1)) != 0:
+        raise ValueError(f"alignment must be a positive power of two, got {alignment}")
+    dtype = np.dtype(dtype)
+    size = int(np.prod(shape)) if not np.isscalar(shape) else int(shape)
+    nbytes = size * dtype.itemsize
+    buf = np.empty(nbytes + alignment, dtype=np.uint8)
+    offset = (-buf.ctypes.data) % alignment
+    view = buf[offset : offset + nbytes].view(dtype)
+    return view.reshape(shape)
+
+
+def aligned_zeros(
+    shape: int | tuple[int, ...],
+    dtype: np.dtype | type = np.float32,
+    alignment: int = CACHE_LINE_BYTES,
+) -> np.ndarray:
+    """Zero-initialized aligned array; see :func:`aligned_empty`."""
+    out = aligned_empty(shape, dtype, alignment)
+    out.fill(0)
+    return out
+
+
+def is_aligned(arr: np.ndarray, alignment: int = CACHE_LINE_BYTES) -> bool:
+    """True if the array's data pointer is aligned to ``alignment`` bytes."""
+    return arr.ctypes.data % alignment == 0

@@ -1,0 +1,169 @@
+"""1D cubic B-spline basis functions and their derivatives.
+
+This is paper Eq. (5) and Fig. 2(a): at any point ``x`` inside a uniform
+grid of spacing ``delta`` exactly four piecewise-cubic basis functions are
+non-zero.  Writing ``i = floor(x / delta)`` and ``t = x/delta - i`` (the
+fractional coordinate, ``0 <= t < 1``), the interpolated value is
+
+    f(x) = a0(t) * p[i-1] + a1(t) * p[i] + a2(t) * p[i+1] + a3(t) * p[i+2]
+
+with the uniform cubic B-spline weights
+
+    a0(t) = (1 - t)^3 / 6
+    a1(t) = (3 t^3 - 6 t^2 + 4) / 6
+    a2(t) = (-3 t^3 + 3 t^2 + 3 t + 1) / 6
+    a3(t) = t^3 / 6
+
+The same four-tap structure applies per dimension in 3D, giving the
+64-point tensor-product stencil of paper Eq. (6).
+
+The weights are expressed through the einspline-style coefficient matrix
+``A`` such that ``a_m(t) = A[m] @ [t^3, t^2, t, 1]``; ``dA`` and ``d2A``
+hold the monomial coefficients of the first and second ``t``-derivatives.
+Derivatives with respect to the *physical* coordinate ``x`` carry factors
+of ``1/delta`` and ``1/delta^2`` (chain rule), which the callers in
+:mod:`repro.core.layout_soa` and friends apply.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "BSPLINE_A",
+    "BSPLINE_DA",
+    "BSPLINE_D2A",
+    "bspline_weights",
+    "bspline_dweights",
+    "bspline_d2weights",
+    "bspline_all_weights",
+    "bspline_weights_batch",
+]
+
+#: Monomial coefficients of the four cubic B-spline basis functions.
+#: ``BSPLINE_A[m] @ [t**3, t**2, t, 1] == a_m(t)``.
+BSPLINE_A = np.array(
+    [
+        [-1.0, 3.0, -3.0, 1.0],
+        [3.0, -6.0, 0.0, 4.0],
+        [-3.0, 3.0, 3.0, 1.0],
+        [1.0, 0.0, 0.0, 0.0],
+    ]
+) / 6.0
+
+#: Monomial coefficients of d a_m / d t (cubic -> quadratic; the constant
+#: column keeps the same [t^3,t^2,t,1] monomial vector with a zero cubic
+#: coefficient so a single ``@`` evaluates everything).
+BSPLINE_DA = np.array(
+    [
+        [0.0, -3.0, 6.0, -3.0],
+        [0.0, 9.0, -12.0, 0.0],
+        [0.0, -9.0, 6.0, 3.0],
+        [0.0, 3.0, 0.0, 0.0],
+    ]
+) / 6.0
+
+#: Monomial coefficients of d^2 a_m / d t^2.
+BSPLINE_D2A = np.array(
+    [
+        [0.0, 0.0, -6.0, 6.0],
+        [0.0, 0.0, 18.0, -12.0],
+        [0.0, 0.0, -18.0, 6.0],
+        [0.0, 0.0, 6.0, 0.0],
+    ]
+) / 6.0
+
+
+def _monomials(t: float | np.ndarray) -> np.ndarray:
+    """Return the monomial vector(s) ``[t^3, t^2, t, 1]``.
+
+    For scalar ``t`` the result has shape ``(4,)``; for an array of shape
+    ``(...,)`` the result has shape ``(..., 4)``.
+    """
+    t = np.asarray(t, dtype=np.float64)
+    out = np.empty(t.shape + (4,), dtype=np.float64)
+    out[..., 3] = 1.0
+    out[..., 2] = t
+    out[..., 1] = t * t
+    out[..., 0] = out[..., 1] * t
+    return out
+
+
+def bspline_weights(t: float | np.ndarray) -> np.ndarray:
+    """Four basis-function values ``a_m(t)`` at fractional coordinate ``t``.
+
+    Parameters
+    ----------
+    t:
+        Fractional coordinate(s) in ``[0, 1)``.  Scalar or array.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(4,)`` for scalar input, ``(..., 4)`` for array input.
+        The four weights always sum to 1 (partition of unity).
+    """
+    return _monomials(t) @ BSPLINE_A.T
+
+
+def bspline_dweights(t: float | np.ndarray) -> np.ndarray:
+    """First ``t``-derivatives ``a_m'(t)`` of the four basis functions.
+
+    Note the result is a derivative with respect to the *fractional*
+    coordinate; divide by the grid spacing to get d/dx.  The four
+    derivative weights always sum to 0.
+    """
+    return _monomials(t) @ BSPLINE_DA.T
+
+
+def bspline_d2weights(t: float | np.ndarray) -> np.ndarray:
+    """Second ``t``-derivatives ``a_m''(t)`` of the four basis functions.
+
+    Divide by the grid spacing squared to get d^2/dx^2.  The four weights
+    sum to 0.
+    """
+    return _monomials(t) @ BSPLINE_D2A.T
+
+
+def bspline_all_weights(t: float) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Values, first and second derivative weights in one call.
+
+    This is the per-dimension "prefactor" computation the paper amortizes
+    over the N splines (Sec. IV: "The cost of computing {b} at (x,y,z) in
+    Eq. 6 is amortized for N").
+
+    Returns
+    -------
+    (a, da, d2a):
+        Three ``(4,)`` arrays: ``a_m(t)``, ``a_m'(t)``, ``a_m''(t)``.
+    """
+    m = _monomials(float(t))
+    return m @ BSPLINE_A.T, m @ BSPLINE_DA.T, m @ BSPLINE_D2A.T
+
+
+def bspline_weights_batch(
+    t: np.ndarray, order: int = 0
+) -> np.ndarray:
+    """Weights for a batch of fractional coordinates.
+
+    Parameters
+    ----------
+    t:
+        Array of fractional coordinates, any shape.
+    order:
+        0 for values, 1 for first derivatives, 2 for second derivatives.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``t.shape + (4,)``.
+    """
+    if order == 0:
+        mat = BSPLINE_A
+    elif order == 1:
+        mat = BSPLINE_DA
+    elif order == 2:
+        mat = BSPLINE_D2A
+    else:
+        raise ValueError(f"order must be 0, 1 or 2, got {order!r}")
+    return _monomials(np.asarray(t)) @ mat.T

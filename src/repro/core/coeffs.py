@@ -1,0 +1,139 @@
+"""Construction of the 4D B-spline coefficient table ``P[nx][ny][nz][N]``.
+
+The interpolation tables {p} of paper Eq. (6) are computed once per
+simulation and stay read-only afterwards ("The coefficients {p} are the
+interpolation tables for each orbital and remain constant throughout the
+simulations", Sec. III).  QMCPACK reads them from a DFT calculation; this
+reproduction generates samples from synthetic orbitals
+(:mod:`repro.lattice.orbitals`) and solves the periodic interpolation
+problem exactly.
+
+For a periodic uniform cubic B-spline that *interpolates* samples ``f_j``
+at the grid points, the coefficients solve the cyclic tridiagonal system
+
+    (p[j-1] + 4 p[j] + p[j+1]) / 6 = f[j]        (indices mod n)
+
+per dimension, because at a grid point the basis weights are exactly
+(1/6, 4/6, 1/6).  The system matrix is circulant, so we solve it by FFT:
+its eigenvalues are ``lambda_k = (4 + 2 cos(2 pi k / n)) / 6`` and the
+solve is a pointwise division in Fourier space — exact to rounding, O(n
+log n), and trivially applied dimension by dimension for the 3D tensor
+product.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "solve_coefficients_1d",
+    "solve_coefficients_3d",
+    "interpolation_matrix_eigenvalues",
+    "pad_spline_count",
+]
+
+
+def interpolation_matrix_eigenvalues(n: int) -> np.ndarray:
+    """Eigenvalues of the periodic cubic-B-spline interpolation matrix.
+
+    The circulant matrix with first row ``[4/6, 1/6, 0, ..., 0, 1/6]`` has
+    eigenvalues ``(4 + 2 cos(2 pi k / n)) / 6`` for ``k = 0..n-1``.  All are
+    >= 1/3 > 0, so the periodic interpolation problem is always well posed.
+
+    Parameters
+    ----------
+    n:
+        Number of periodic grid points (>= 4).
+    """
+    if n < 4:
+        raise ValueError(f"need >= 4 periodic points, got {n}")
+    k = np.arange(n)
+    return (4.0 + 2.0 * np.cos(2.0 * np.pi * k / n)) / 6.0
+
+
+def solve_coefficients_1d(samples: np.ndarray, axis: int = 0) -> np.ndarray:
+    """Solve the periodic interpolation problem along one axis.
+
+    Parameters
+    ----------
+    samples:
+        Real array of function values at the grid points.  Any shape; the
+        solve runs along ``axis`` and broadcasts over the rest.
+    axis:
+        Axis holding the periodic grid dimension.
+
+    Returns
+    -------
+    numpy.ndarray
+        Coefficient array of the same shape and float64 dtype such that
+        the cubic B-spline through these coefficients reproduces
+        ``samples`` at every grid point.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    n = samples.shape[axis]
+    lam = interpolation_matrix_eigenvalues(n)
+    # rfft keeps everything real-typed; eigenvalues are symmetric so the
+    # first n//2+1 of them match the rfft bins exactly.
+    spec = np.fft.rfft(samples, axis=axis)
+    shape = [1] * samples.ndim
+    shape[axis] = spec.shape[axis]
+    spec /= lam[: spec.shape[axis]].reshape(shape)
+    return np.fft.irfft(spec, n=n, axis=axis)
+
+
+def solve_coefficients_3d(
+    samples: np.ndarray, dtype: np.dtype | type = np.float32
+) -> np.ndarray:
+    """Build the 4D coefficient table from orbital samples on the grid.
+
+    Parameters
+    ----------
+    samples:
+        ``(nx, ny, nz, N)`` array of orbital values: ``samples[i, j, k, n]``
+        is orbital ``n`` evaluated at grid point ``(i, j, k)``.  A 3D array
+        is accepted for a single orbital and is reshaped to ``N = 1``.
+    dtype:
+        Storage dtype of the returned table.  The paper computes in single
+        precision ("All the computations in miniQMC are performed in
+        single precision", Sec. IV); the solve itself always runs in
+        float64 and only the final table is narrowed.
+
+    Returns
+    -------
+    numpy.ndarray
+        C-contiguous ``(nx, ny, nz, N)`` coefficient table ``P`` with the
+        spline index innermost — the layout both the paper's einspline
+        baseline and every kernel in :mod:`repro.core` assume (Fig. 5).
+    """
+    samples = np.asarray(samples)
+    if samples.ndim == 3:
+        samples = samples[..., np.newaxis]
+    if samples.ndim != 4:
+        raise ValueError(
+            f"expected (nx, ny, nz, N) samples, got shape {samples.shape}"
+        )
+    coeffs = solve_coefficients_1d(samples, axis=0)
+    coeffs = solve_coefficients_1d(coeffs, axis=1)
+    coeffs = solve_coefficients_1d(coeffs, axis=2)
+    return np.ascontiguousarray(coeffs, dtype=dtype)
+
+
+def pad_spline_count(n_splines: int, lanes: int = 16) -> int:
+    """Round the spline count up to a SIMD-friendly multiple.
+
+    The paper pads the innermost dimension of ``P`` so every
+    ``P[i][j][k]`` row starts on a 512-bit cache-line boundary (Sec. IV).
+    With 4-byte floats a 512-bit line holds 16 values, hence the default.
+
+    Parameters
+    ----------
+    n_splines:
+        Requested number of orbitals N.
+    lanes:
+        SIMD lane count to pad to (16 for AVX-512 single precision).
+    """
+    if n_splines <= 0:
+        raise ValueError(f"spline count must be positive, got {n_splines}")
+    if lanes <= 0:
+        raise ValueError(f"lane count must be positive, got {lanes}")
+    return ((n_splines + lanes - 1) // lanes) * lanes

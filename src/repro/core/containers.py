@@ -1,0 +1,114 @@
+"""SoA particle containers with AoS-style element access.
+
+Paper Sec. V-A (last paragraph): "we only modify the code in performance
+critical regions to explicitly use the SoA containers representing
+abstractions for particle positions, and overload their square bracket
+operators to return the particle positions at an index, in the current
+AoS format.  This lets us keep the internal data layout in SoA format and
+allows the use in both AoS and SoA formats."
+
+:class:`VectorSoA3D` is the Python rendition: positions are stored as
+three contiguous component arrays (the performance-critical kernels slice
+``.x``/``.y``/``.z`` directly), while ``container[i]`` still hands
+application-level code an ``(x, y, z)`` triple, so non-critical call
+sites need no changes at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["VectorSoA3D"]
+
+
+class VectorSoA3D:
+    """N three-vectors stored component-contiguously (SoA).
+
+    Parameters
+    ----------
+    size:
+        Number of vectors.
+    dtype:
+        Component dtype (float64 default: particle positions need full
+        precision even when spline tables are float32).
+
+    Notes
+    -----
+    Internal storage is a single ``(3, size)`` C-contiguous array, so each
+    Cartesian component is one contiguous stream — the layout distance
+    tables and Jastrow kernels vectorize over.
+    """
+
+    def __init__(self, size: int, dtype: np.dtype | type = np.float64):
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        self._data = np.zeros((3, size), dtype=dtype)
+
+    # -- SoA access (performance-critical paths) --------------------------
+
+    @property
+    def data(self) -> np.ndarray:
+        """The raw ``(3, size)`` component-major array (view)."""
+        return self._data
+
+    @property
+    def x(self) -> np.ndarray:
+        """Contiguous x components (view)."""
+        return self._data[0]
+
+    @property
+    def y(self) -> np.ndarray:
+        """Contiguous y components (view)."""
+        return self._data[1]
+
+    @property
+    def z(self) -> np.ndarray:
+        """Contiguous z components (view)."""
+        return self._data[2]
+
+    # -- AoS-style access (application-level code) -------------------------
+
+    def __len__(self) -> int:
+        return self._data.shape[1]
+
+    def __getitem__(self, i: int) -> np.ndarray:
+        """Position ``i`` as an ``(x, y, z)`` triple — the AoS facade.
+
+        Returns a fresh ``(3,)`` array (a gather, not a view: the three
+        components are not adjacent in memory, which is exactly the
+        trade the SoA layout makes).
+        """
+        return self._data[:, i].copy()
+
+    def __setitem__(self, i: int, value) -> None:
+        """Assign position ``i`` from any length-3 sequence."""
+        self._data[:, i] = value
+
+    def __iter__(self):
+        for i in range(len(self)):
+            yield self[i]
+
+    # -- conversions -------------------------------------------------------
+
+    @classmethod
+    def from_aos(cls, positions: np.ndarray, dtype=np.float64) -> "VectorSoA3D":
+        """Build from an ``(n, 3)`` AoS array (the conventional R[N][3])."""
+        positions = np.asarray(positions)
+        if positions.ndim != 2 or positions.shape[1] != 3:
+            raise ValueError(f"expected (n, 3), got {positions.shape}")
+        out = cls(positions.shape[0], dtype)
+        out._data[...] = positions.T
+        return out
+
+    def to_aos(self) -> np.ndarray:
+        """Copy out as an ``(n, 3)`` AoS array."""
+        return np.ascontiguousarray(self._data.T)
+
+    def copy(self) -> "VectorSoA3D":
+        """Deep copy."""
+        out = VectorSoA3D(len(self), self._data.dtype)
+        out._data[...] = self._data
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"VectorSoA3D(size={len(self)}, dtype={self._data.dtype})"

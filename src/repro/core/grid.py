@@ -1,0 +1,158 @@
+"""Uniform periodic 3D grids for tricubic B-spline interpolation.
+
+A :class:`Grid3D` carries the grid dimensions ``(nx, ny, nz)`` (paper's
+``Ng``), the physical box lengths, and the index arithmetic every kernel
+needs at each random position: the lower-bound grid index
+``i = floor(x / delta)`` and the fractional remainder ``t = x/delta - i``
+(paper Sec. III, below Eq. 5).
+
+The paper keeps the grid fixed at 48x48x48 (or 48x48x60 for the CORAL
+benchmark) while scaling the number of splines N; :class:`Grid3D` is
+deliberately independent of N so one grid can serve coefficient tables of
+any width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Grid3D"]
+
+
+@dataclass(frozen=True)
+class Grid3D:
+    """Uniform periodic grid over an orthorhombic box.
+
+    Parameters
+    ----------
+    nx, ny, nz:
+        Number of grid intervals in each Cartesian direction (paper's
+        ``Ng = (nx, ny, nz)``).  Periodic: grid point ``nx`` coincides
+        with point 0.
+    lengths:
+        Physical box edge lengths ``(Lx, Ly, Lz)``.  Defaults to the unit
+        box; the kernels only ever see fractional coordinates so the
+        physical scale matters only for derivative prefactors.
+    """
+
+    nx: int
+    ny: int
+    nz: int
+    lengths: tuple[float, float, float] = (1.0, 1.0, 1.0)
+    #: Grid spacings (Lx/nx, Ly/ny, Lz/nz); derived, do not pass.
+    deltas: tuple[float, float, float] = field(init=False)
+    #: Inverse spacings, the ``delta^-1`` of the paper.
+    inv_deltas: tuple[float, float, float] = field(init=False)
+
+    def __post_init__(self) -> None:
+        for name, n in (("nx", self.nx), ("ny", self.ny), ("nz", self.nz)):
+            if n < 4:
+                raise ValueError(
+                    f"{name}={n}: tricubic interpolation needs >= 4 points "
+                    "per periodic dimension"
+                )
+        lx, ly, lz = self.lengths
+        if min(lx, ly, lz) <= 0.0:
+            raise ValueError(f"box lengths must be positive, got {self.lengths}")
+        object.__setattr__(
+            self, "deltas", (lx / self.nx, ly / self.ny, lz / self.nz)
+        )
+        object.__setattr__(
+            self, "inv_deltas", (self.nx / lx, self.ny / ly, self.nz / lz)
+        )
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """Grid dimensions as a tuple ``(nx, ny, nz)``."""
+        return (self.nx, self.ny, self.nz)
+
+    @property
+    def npoints(self) -> int:
+        """Total number of grid points ``nx*ny*nz`` (paper's ``Ng`` as a count)."""
+        return self.nx * self.ny * self.nz
+
+    def locate(self, x: float, y: float, z: float) -> tuple[int, int, int, float, float, float]:
+        """Lower-bound indices and fractional parts for one position.
+
+        Positions are wrapped periodically into the box first, so any real
+        coordinate is valid input (QMC walkers drift outside the cell all
+        the time).
+
+        Returns
+        -------
+        (i0, j0, k0, tx, ty, tz):
+            Integer lower-bound indices in ``[0, n)`` and fractional
+            coordinates in ``[0, 1)`` per dimension.
+        """
+        ux = x * self.inv_deltas[0] % self.nx
+        uy = y * self.inv_deltas[1] % self.ny
+        uz = z * self.inv_deltas[2] % self.nz
+        # Python's % can round a tiny negative operand up to exactly n
+        # (e.g. -1e-16 % 5 == 5.0); snap that back to the origin so both
+        # the index and the fraction stay in range.
+        if ux >= self.nx:
+            ux = 0.0
+        if uy >= self.ny:
+            uy = 0.0
+        if uz >= self.nz:
+            uz = 0.0
+        i0 = int(ux)
+        j0 = int(uy)
+        k0 = int(uz)
+        return i0, j0, k0, ux - i0, uy - j0, uz - k0
+
+    def locate_batch(self, pos: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`locate` for an ``(n, 3)`` array of positions.
+
+        Returns
+        -------
+        (idx, frac):
+            ``idx`` is ``(n, 3)`` int64 lower-bound indices, ``frac`` is
+            ``(n, 3)`` float64 fractional coordinates.
+        """
+        pos = np.asarray(pos, dtype=np.float64)
+        if pos.ndim != 2 or pos.shape[1] != 3:
+            raise ValueError(f"expected (n, 3) positions, got shape {pos.shape}")
+        inv = np.asarray(self.inv_deltas)
+        n = np.asarray(self.shape, dtype=np.float64)
+        u = (pos * inv) % n
+        # Same rounding guard as the scalar path, vectorized: % can land
+        # exactly on n for tiny negative inputs.
+        u[u >= n] = 0.0
+        idx = u.astype(np.int64)
+        return idx, u - idx
+
+    def stencil_indices(self, i0: int, axis: int) -> np.ndarray:
+        """The four periodic grid indices of the interpolation stencil.
+
+        Paper Eq. 5 sums ``i' = i-1 .. i+2``; with ``i0`` the lower bound
+        returned by :meth:`locate` the stencil touches
+        ``(i0-1, i0, i0+1, i0+2) mod n``.
+
+        Parameters
+        ----------
+        i0:
+            Lower-bound index from :meth:`locate`.
+        axis:
+            0, 1 or 2 selecting nx/ny/nz for the periodic wrap.
+        """
+        n = self.shape[axis]
+        return (np.arange(i0 - 1, i0 + 3)) % n
+
+    def random_positions(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Uniform random positions in the box, shape ``(count, 3)``.
+
+        Mirrors miniQMC's ``generateRandomPos`` (paper Fig 3, L18-19): the
+        kernels are exercised at uncorrelated random points to mimic QMC's
+        random particle moves.
+        """
+        lengths = np.asarray(self.lengths)
+        return rng.random((count, 3)) * lengths
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Grid3D({self.nx}x{self.ny}x{self.nz}, "
+            f"lengths={self.lengths})"
+        )

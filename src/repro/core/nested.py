@@ -1,0 +1,139 @@
+"""Nested threading over AoSoA tiles — Opt C of the paper (Sec. V-C).
+
+The common QMC parallelization gives each OpenMP thread one walker; Opt C
+instead assigns ``nth`` threads *per walker* and distributes the M tiles
+of the AoSoA engine among them.  miniQMC uses "an explicit data partition
+scheme ... distributing M objects among nth threads.  This avoids any
+potential overhead from OpenMP nested run time environment" — we mirror
+that exactly: a static contiguous partition computed once, then each
+thread runs its tile range for every sample with no locks, no shared
+mutable state, and no synchronization until the final join.
+
+Python-specific note: NumPy array arithmetic releases the GIL, so tile
+work genuinely overlaps on multi-core hosts.  On a single-core host the
+code path is identical but wall-clock speedup is impossible; the
+hardware-model results for paper Fig. 9 come from
+:mod:`repro.hwsim.perfmodel`, with this module providing the functional
+(correctness) side of Opt C.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.core.layout_aosoa import BsplineAoSoA
+from repro.core.walker import WalkerTiled
+
+__all__ = ["partition_tiles", "NestedEvaluator"]
+
+
+def partition_tiles(n_tiles: int, n_threads: int) -> list[range]:
+    """Static contiguous partition of M tiles among nth threads.
+
+    Extra tiles (when ``n_tiles % n_threads != 0``) go to the first
+    ``n_tiles % n_threads`` threads, keeping the imbalance at one tile.
+
+    Parameters
+    ----------
+    n_tiles:
+        M, the number of AoSoA tiles.
+    n_threads:
+        nth; threads beyond M receive empty ranges (they would idle, as
+        the paper notes scaling is limited to ``nth <= N/Nb``).
+    """
+    if n_tiles <= 0:
+        raise ValueError(f"n_tiles must be positive, got {n_tiles}")
+    if n_threads <= 0:
+        raise ValueError(f"n_threads must be positive, got {n_threads}")
+    base, extra = divmod(n_tiles, n_threads)
+    ranges = []
+    start = 0
+    for t in range(n_threads):
+        count = base + (1 if t < extra else 0)
+        ranges.append(range(start, start + count))
+        start += count
+    return ranges
+
+
+class NestedEvaluator:
+    """Evaluate one walker's B-spline kernels with ``nth`` worker threads.
+
+    Parameters
+    ----------
+    engine:
+        A tiled :class:`~repro.core.layout_aosoa.BsplineAoSoA` engine.
+    n_threads:
+        Threads cooperating on each walker (the paper's nth).  The pool
+        is created once and reused across evaluations, matching the
+        persistent OpenMP team of the C++ implementation.
+
+    Notes
+    -----
+    The partition is computed in the constructor; each ``evaluate_*``
+    call submits one task per worker covering that worker's tile range
+    for *all* positions, then joins.  Tiles never migrate between
+    threads, so each thread's input slab and output blocks stay in that
+    thread's (modelled) cache — the locality property Sec. V-C relies on.
+    """
+
+    def __init__(self, engine: BsplineAoSoA, n_threads: int):
+        if n_threads <= 0:
+            raise ValueError(f"n_threads must be positive, got {n_threads}")
+        self.engine = engine
+        self.n_threads = int(n_threads)
+        self.partition = partition_tiles(engine.n_tiles, n_threads)
+        self._pool = ThreadPoolExecutor(
+            max_workers=n_threads, thread_name_prefix="walker-nested"
+        )
+
+    def close(self) -> None:
+        """Shut the worker pool down; the evaluator is unusable afterwards."""
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "NestedEvaluator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def evaluate(
+        self, kind: str, positions: np.ndarray, out: WalkerTiled
+    ) -> None:
+        """Run kernel ``kind`` at every position, tiles split across threads.
+
+        Parameters
+        ----------
+        kind:
+            ``"v"``, ``"vgl"`` or ``"vgh"``.
+        positions:
+            ``(ns, 3)`` batch of evaluation positions (one walker's random
+            sample set, paper Fig. 3 L18).
+        out:
+            The walker's tiled output buffer; after return it holds the
+            results *of the last position* in every tile, matching the
+            sequential driver's semantics.
+        """
+        if kind not in ("v", "vgl", "vgh"):
+            raise ValueError(f"unknown kernel kind {kind!r}")
+        positions = np.asarray(positions, dtype=np.float64)
+        futures = [
+            self._pool.submit(self.engine.eval_tiles, kind, rng, positions, out)
+            for rng in self.partition
+            if len(rng)
+        ]
+        for fut in futures:
+            fut.result()  # re-raises worker exceptions
+
+    def evaluate_v(self, positions: np.ndarray, out: WalkerTiled) -> None:
+        """Convenience wrapper for :meth:`evaluate` with ``kind="v"``."""
+        self.evaluate("v", positions, out)
+
+    def evaluate_vgl(self, positions: np.ndarray, out: WalkerTiled) -> None:
+        """Convenience wrapper for :meth:`evaluate` with ``kind="vgl"``."""
+        self.evaluate("vgl", positions, out)
+
+    def evaluate_vgh(self, positions: np.ndarray, out: WalkerTiled) -> None:
+        """Convenience wrapper for :meth:`evaluate` with ``kind="vgh"``."""
+        self.evaluate("vgh", positions, out)

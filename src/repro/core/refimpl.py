@@ -1,0 +1,123 @@
+"""Slow, obviously-correct reference evaluation of paper Eq. (6).
+
+Every optimized kernel in :mod:`repro.core` is validated against this
+module.  The reference evaluates the tensor-product sum
+
+    phi_n(x,y,z) = sum_{i'} bx_{i'}(x) sum_{j'} by_{j'}(y)
+                   sum_{k'} bz_{k'}(z) P[i', j', k', n]
+
+by explicit Python loops over the 4x4x4 stencil, computing derivatives
+from the analytic basis-function derivatives.  It is O(64 N) per call like
+the production kernels but makes no layout or vectorization choices at
+all, so it cannot share a bug with them.
+
+Everything here runs in float64 regardless of the table dtype, giving the
+tests a higher-precision oracle than the single-precision kernels under
+test (mirroring how the paper's SP results are validated against DP).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.basis import bspline_all_weights
+from repro.core.grid import Grid3D
+
+__all__ = ["reference_v", "reference_vgl", "reference_vgh"]
+
+
+def _stencil(grid: Grid3D, x: float, y: float, z: float):
+    """Shared setup: periodic stencil indices and per-axis weight triples."""
+    i0, j0, k0, tx, ty, tz = grid.locate(x, y, z)
+    ix = grid.stencil_indices(i0, 0)
+    jy = grid.stencil_indices(j0, 1)
+    kz = grid.stencil_indices(k0, 2)
+    wx = bspline_all_weights(tx)
+    wy = bspline_all_weights(ty)
+    wz = bspline_all_weights(tz)
+    return ix, jy, kz, wx, wy, wz
+
+
+def reference_v(
+    grid: Grid3D, P: np.ndarray, x: float, y: float, z: float
+) -> np.ndarray:
+    """Orbital values ``phi_n(x, y, z)`` for all N splines, float64.
+
+    Parameters
+    ----------
+    grid:
+        The interpolation grid.
+    P:
+        ``(nx, ny, nz, N)`` coefficient table.
+    x, y, z:
+        Evaluation position (wrapped periodically).
+    """
+    ix, jy, kz, (ax, _, _), (ay, _, _), (az, _, _) = _stencil(grid, x, y, z)
+    v = np.zeros(P.shape[3], dtype=np.float64)
+    for a in range(4):
+        for b in range(4):
+            for c in range(4):
+                w = ax[a] * ay[b] * az[c]
+                v += w * P[ix[a], jy[b], kz[c]].astype(np.float64)
+    return v
+
+
+def reference_vgl(
+    grid: Grid3D, P: np.ndarray, x: float, y: float, z: float
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Values, gradients and Laplacians; the oracle for the VGL kernel.
+
+    Returns
+    -------
+    (v, g, lap):
+        ``v`` is ``(N,)``, ``g`` is ``(3, N)`` with Cartesian component
+        first, ``lap`` is ``(N,)`` — all float64.
+    """
+    v, g, h = reference_vgh(grid, P, x, y, z)
+    lap = h[0, 0] + h[1, 1] + h[2, 2]
+    return v, g, lap
+
+
+def reference_vgh(
+    grid: Grid3D, P: np.ndarray, x: float, y: float, z: float
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Values, gradients and full 3x3 Hessians; the oracle for VGH.
+
+    Returns
+    -------
+    (v, g, h):
+        ``v`` is ``(N,)``, ``g`` is ``(3, N)``, ``h`` is ``(3, 3, N)``
+        (symmetric in the first two axes) — all float64.
+
+    Notes
+    -----
+    Derivatives are taken with respect to the physical coordinates, i.e.
+    the fractional-coordinate derivatives are scaled by ``1/delta`` per
+    differentiation order (chain rule through ``t = x/delta - i``).
+    """
+    ix, jy, kz, (ax, dax, d2ax), (ay, day, d2ay), (az, daz, d2az) = _stencil(
+        grid, x, y, z
+    )
+    inv_dx, inv_dy, inv_dz = grid.inv_deltas
+    n_spl = P.shape[3]
+    v = np.zeros(n_spl, dtype=np.float64)
+    g = np.zeros((3, n_spl), dtype=np.float64)
+    h = np.zeros((3, 3, n_spl), dtype=np.float64)
+    for a in range(4):
+        for b in range(4):
+            for c in range(4):
+                p = P[ix[a], jy[b], kz[c]].astype(np.float64)
+                v += ax[a] * ay[b] * az[c] * p
+                g[0] += dax[a] * ay[b] * az[c] * inv_dx * p
+                g[1] += ax[a] * day[b] * az[c] * inv_dy * p
+                g[2] += ax[a] * ay[b] * daz[c] * inv_dz * p
+                h[0, 0] += d2ax[a] * ay[b] * az[c] * inv_dx * inv_dx * p
+                h[1, 1] += ax[a] * d2ay[b] * az[c] * inv_dy * inv_dy * p
+                h[2, 2] += ax[a] * ay[b] * d2az[c] * inv_dz * inv_dz * p
+                h[0, 1] += dax[a] * day[b] * az[c] * inv_dx * inv_dy * p
+                h[0, 2] += dax[a] * ay[b] * daz[c] * inv_dx * inv_dz * p
+                h[1, 2] += ax[a] * day[b] * daz[c] * inv_dy * inv_dz * p
+    h[1, 0] = h[0, 1]
+    h[2, 0] = h[0, 2]
+    h[2, 1] = h[1, 2]
+    return v, g, h

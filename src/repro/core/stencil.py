@@ -1,0 +1,95 @@
+"""Shared stencil machinery for the B-spline evaluation engines.
+
+Every kernel, whatever its output layout, starts an evaluation the same
+way (paper Fig. 4, first two comment lines):
+
+1. locate the lower-bound grid indices ``(i0, j0, k0)`` and fractional
+   coordinates of the position,
+2. compute the per-axis basis "prefactors" (values and derivatives of the
+   four 1D basis functions), and
+3. read the 4x4x4 neighbourhood of the coefficient table ``P``.
+
+Step 3 is the part with the memory personality the paper studies: 64
+stride-one streams of N values each, starting at a random grid point.
+:func:`gather_block` returns a zero-copy *view* whenever the stencil does
+not wrap around the periodic boundary (the overwhelmingly common case for
+production grid sizes) and a fancy-indexed copy otherwise — "use views,
+and not copies" is both the NumPy guideline and what einspline's pointer
+arithmetic does in C.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.basis import bspline_all_weights
+from repro.core.grid import Grid3D
+
+__all__ = ["EvalPoint", "locate_and_weights", "gather_block"]
+
+
+class EvalPoint:
+    """Everything an engine needs about one evaluation position.
+
+    Attributes
+    ----------
+    i0, j0, k0:
+        Lower-bound grid indices.
+    wx, wy, wz:
+        Per-axis ``(a, da, d2a)`` weight triples, each a ``(4,)`` float64
+        array.  Derivative weights are *already scaled* to physical
+        coordinates (multiplied by ``1/delta`` per derivative order), so
+        engines combine them with plain products.
+    """
+
+    __slots__ = ("i0", "j0", "k0", "wx", "wy", "wz")
+
+    def __init__(self, i0, j0, k0, wx, wy, wz):
+        self.i0 = i0
+        self.j0 = j0
+        self.k0 = k0
+        self.wx = wx
+        self.wy = wy
+        self.wz = wz
+
+
+def locate_and_weights(grid: Grid3D, x: float, y: float, z: float) -> EvalPoint:
+    """Compute stencil location and physically-scaled weight triples.
+
+    This is the per-evaluation prefactor work whose cost is amortized
+    over the N splines (paper Sec. IV).
+    """
+    i0, j0, k0, tx, ty, tz = grid.locate(x, y, z)
+    inv_dx, inv_dy, inv_dz = grid.inv_deltas
+    ax, dax, d2ax = bspline_all_weights(tx)
+    ay, day, d2ay = bspline_all_weights(ty)
+    az, daz, d2az = bspline_all_weights(tz)
+    return EvalPoint(
+        i0,
+        j0,
+        k0,
+        (ax, dax * inv_dx, d2ax * (inv_dx * inv_dx)),
+        (ay, day * inv_dy, d2ay * (inv_dy * inv_dy)),
+        (az, daz * inv_dz, d2az * (inv_dz * inv_dz)),
+    )
+
+
+def gather_block(grid: Grid3D, P: np.ndarray, pt: EvalPoint) -> np.ndarray:
+    """The ``(4, 4, 4, N)`` coefficient neighbourhood of an eval point.
+
+    Returns a view into ``P`` when the stencil ``[i0-1, i0+3)`` lies
+    inside the array in all three dimensions, otherwise a periodic
+    fancy-indexed copy.  Callers must treat the result as read-only.
+    """
+    i0, j0, k0 = pt.i0, pt.j0, pt.k0
+    nx, ny, nz = grid.shape
+    if (
+        1 <= i0 <= nx - 3
+        and 1 <= j0 <= ny - 3
+        and 1 <= k0 <= nz - 3
+    ):
+        return P[i0 - 1 : i0 + 3, j0 - 1 : j0 + 3, k0 - 1 : k0 + 3]
+    ix = grid.stencil_indices(i0, 0)
+    jy = grid.stencil_indices(j0, 1)
+    kz = grid.stencil_indices(k0, 2)
+    return P[np.ix_(ix, jy, kz)]

@@ -1,0 +1,247 @@
+"""Per-walker output buffers in AoS, SoA and tiled layouts.
+
+Each QMC walker owns private output arrays that the B-spline kernels fill
+at every random position (paper Fig. 3 L14-16: "Contains private copy of
+outputs").  The three classes here mirror the paper exactly:
+
+* :class:`WalkerAoS` — paper Fig. 3 L6: ``{T v[N], g[3*N], l[N], h[9*N]}``.
+  Gradients are interleaved ``[x y z | x y z | ...]`` and Hessians are the
+  full row-major 3x3 per spline; the 3- and 9-strided accumulations into
+  these arrays are what Opt A removes.
+* :class:`WalkerSoA` — paper Fig. 6 L2: ``{T v[Nb], g[3*Nb], l[Nb],
+  h[6*Nb]}``.  Each derivative component is a separate contiguous stream;
+  the Hessian keeps only the 6 independent components (symmetric tensor),
+  reducing the output streams from 13 to 10 for VGH (Sec. V-A).
+* :class:`WalkerTiled` — an array of ``WalkerSoA`` blocks of width ``Nb``
+  matching a tiled coefficient table (Opt B); tiles are independent so
+  nested threads can fill them without synchronization (Opt C).
+
+All buffers use cache-line-aligned storage (:mod:`repro.core.alloc`) so
+each component stream starts on a 64-byte boundary, as the paper requires
+for aligned vector loads/stores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.alloc import aligned_zeros
+
+__all__ = ["WalkerAoS", "WalkerSoA", "WalkerTiled", "HESS_COMPONENTS"]
+
+#: Order of the 6 independent Hessian components in SoA storage.
+HESS_COMPONENTS = ("xx", "xy", "xz", "yy", "yz", "zz")
+
+
+class WalkerAoS:
+    """AoS output buffers: interleaved gradients and full 3x3 Hessians.
+
+    Attributes
+    ----------
+    v:
+        ``(N,)`` orbital values.
+    g:
+        ``(3N,)`` gradients interleaved as ``[gx0, gy0, gz0, gx1, ...]``.
+    l:
+        ``(N,)`` Laplacians.
+    h:
+        ``(9N,)`` Hessians interleaved as the row-major 3x3 tensor per
+        spline: ``[hxx0, hxy0, hxz0, hyx0, ..., hzz0, hxx1, ...]``.
+    """
+
+    layout = "aos"
+
+    def __init__(self, n_splines: int, dtype: np.dtype | type = np.float32):
+        if n_splines <= 0:
+            raise ValueError(f"n_splines must be positive, got {n_splines}")
+        self.n_splines = int(n_splines)
+        self.dtype = np.dtype(dtype)
+        self.v = aligned_zeros(n_splines, dtype)
+        self.g = aligned_zeros(3 * n_splines, dtype)
+        self.l = aligned_zeros(n_splines, dtype)
+        self.h = aligned_zeros(9 * n_splines, dtype)
+
+    def zero(self) -> None:
+        """Reset all output streams in place (no reallocation)."""
+        self.v.fill(0)
+        self.g.fill(0)
+        self.l.fill(0)
+        self.h.fill(0)
+
+    def gradient_view(self) -> np.ndarray:
+        """Gradients as an ``(N, 3)`` view (no copy) for inspection."""
+        return self.g.reshape(self.n_splines, 3)
+
+    def hessian_view(self) -> np.ndarray:
+        """Hessians as an ``(N, 3, 3)`` view (no copy) for inspection."""
+        return self.h.reshape(self.n_splines, 3, 3)
+
+    def as_canonical(self) -> dict[str, np.ndarray]:
+        """Layout-independent copies for cross-layout comparison in tests.
+
+        Returns ``{"v": (N,), "g": (3, N), "l": (N,), "h": (3, 3, N)}``
+        in float64.
+        """
+        return {
+            "v": self.v.astype(np.float64),
+            "g": self.gradient_view().T.astype(np.float64),
+            "l": self.l.astype(np.float64),
+            "h": self.hessian_view().transpose(1, 2, 0).astype(np.float64),
+        }
+
+    @property
+    def output_bytes(self) -> dict[str, int]:
+        """Bytes of output state touched per kernel, for working-set math."""
+        itm = self.dtype.itemsize
+        n = self.n_splines
+        return {
+            "v": n * itm,
+            "vgl": 5 * n * itm,
+            "vgh": 13 * n * itm,
+        }
+
+
+class WalkerSoA:
+    """SoA output buffers: one contiguous stream per derivative component.
+
+    Attributes
+    ----------
+    v:
+        ``(N,)`` orbital values.
+    g:
+        ``(3, N)`` gradients; rows ``gx``/``gy``/``gz`` are each contiguous.
+    l:
+        ``(N,)`` Laplacians.
+    h:
+        ``(6, N)`` independent Hessian components in the order of
+        :data:`HESS_COMPONENTS`; each row contiguous.
+    """
+
+    layout = "soa"
+
+    def __init__(self, n_splines: int, dtype: np.dtype | type = np.float32):
+        if n_splines <= 0:
+            raise ValueError(f"n_splines must be positive, got {n_splines}")
+        self.n_splines = int(n_splines)
+        self.dtype = np.dtype(dtype)
+        self.v = aligned_zeros(n_splines, dtype)
+        self.g = aligned_zeros((3, n_splines), dtype)
+        self.l = aligned_zeros(n_splines, dtype)
+        self.h = aligned_zeros((6, n_splines), dtype)
+
+    def zero(self) -> None:
+        """Reset all output streams in place (no reallocation)."""
+        self.v.fill(0)
+        self.g.fill(0)
+        self.l.fill(0)
+        self.h.fill(0)
+
+    @property
+    def gx(self) -> np.ndarray:
+        """Contiguous x-gradient stream (view)."""
+        return self.g[0]
+
+    @property
+    def gy(self) -> np.ndarray:
+        """Contiguous y-gradient stream (view)."""
+        return self.g[1]
+
+    @property
+    def gz(self) -> np.ndarray:
+        """Contiguous z-gradient stream (view)."""
+        return self.g[2]
+
+    def hess(self, name: str) -> np.ndarray:
+        """Contiguous Hessian component stream by name, e.g. ``"xy"``."""
+        return self.h[HESS_COMPONENTS.index(name)]
+
+    def as_canonical(self) -> dict[str, np.ndarray]:
+        """Layout-independent copies; see :meth:`WalkerAoS.as_canonical`."""
+        hfull = np.empty((3, 3, self.n_splines), dtype=np.float64)
+        hxx, hxy, hxz, hyy, hyz, hzz = (self.h[i].astype(np.float64) for i in range(6))
+        hfull[0, 0] = hxx
+        hfull[0, 1] = hfull[1, 0] = hxy
+        hfull[0, 2] = hfull[2, 0] = hxz
+        hfull[1, 1] = hyy
+        hfull[1, 2] = hfull[2, 1] = hyz
+        hfull[2, 2] = hzz
+        return {
+            "v": self.v.astype(np.float64),
+            "g": self.g.astype(np.float64),
+            "l": self.l.astype(np.float64),
+            "h": hfull,
+        }
+
+    @property
+    def output_bytes(self) -> dict[str, int]:
+        """Bytes of output state touched per kernel, for working-set math."""
+        itm = self.dtype.itemsize
+        n = self.n_splines
+        return {
+            "v": n * itm,
+            "vgl": 5 * n * itm,
+            "vgh": 10 * n * itm,
+        }
+
+
+class WalkerTiled:
+    """Tiled (AoSoA) output buffers: M independent ``WalkerSoA`` blocks.
+
+    Paper Fig. 6 L8: ``WalkerSoA w[M](Nb)``.  Tile ``t`` covers splines
+    ``[t*Nb, (t+1)*Nb)``; tiles share nothing, which is exactly the
+    property nested threading exploits.
+
+    Parameters
+    ----------
+    n_splines:
+        Total spline count N; must be divisible by ``tile_size``.
+    tile_size:
+        Width Nb of each tile.
+    """
+
+    layout = "aosoa"
+
+    def __init__(
+        self,
+        n_splines: int,
+        tile_size: int,
+        dtype: np.dtype | type = np.float32,
+    ):
+        if n_splines <= 0:
+            raise ValueError(f"n_splines must be positive, got {n_splines}")
+        if tile_size <= 0 or n_splines % tile_size != 0:
+            raise ValueError(
+                f"tile_size must divide n_splines: N={n_splines}, Nb={tile_size}"
+            )
+        self.n_splines = int(n_splines)
+        self.tile_size = int(tile_size)
+        self.n_tiles = self.n_splines // self.tile_size
+        self.dtype = np.dtype(dtype)
+        self.tiles = [WalkerSoA(tile_size, dtype) for _ in range(self.n_tiles)]
+
+    def __len__(self) -> int:
+        return self.n_tiles
+
+    def __getitem__(self, t: int) -> WalkerSoA:
+        return self.tiles[t]
+
+    def zero(self) -> None:
+        """Reset every tile's output streams in place."""
+        for tile in self.tiles:
+            tile.zero()
+
+    def as_canonical(self) -> dict[str, np.ndarray]:
+        """Concatenate tile outputs back into full-N canonical arrays."""
+        parts = [tile.as_canonical() for tile in self.tiles]
+        return {
+            "v": np.concatenate([p["v"] for p in parts]),
+            "g": np.concatenate([p["g"] for p in parts], axis=1),
+            "l": np.concatenate([p["l"] for p in parts]),
+            "h": np.concatenate([p["h"] for p in parts], axis=2),
+        }
+
+    @property
+    def output_bytes(self) -> dict[str, int]:
+        """Bytes touched per kernel across all tiles (same totals as SoA)."""
+        per = self.tiles[0].output_bytes
+        return {k: val * self.n_tiles for k, val in per.items()}

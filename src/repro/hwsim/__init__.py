@@ -1,0 +1,91 @@
+"""repro.hwsim — hardware substitution layer (see DESIGN.md).
+
+The paper's results live on four processors this reproduction cannot run
+on; this package replaces them with:
+
+* :mod:`repro.hwsim.machine` — the Table-I machine descriptions;
+* :mod:`repro.hwsim.counters` — exact FLOP/byte counts per kernel;
+* :mod:`repro.hwsim.perfmodel` — the calibrated execution-time model
+  that regenerates Figs. 7-9 and Table IV;
+* :mod:`repro.hwsim.cache` + :mod:`repro.hwsim.trace` — a trace-driven
+  set-associative cache simulator validating the working-set arithmetic;
+* :mod:`repro.hwsim.wsmodel` — the paper's cache-fit predicates.
+"""
+
+from repro.hwsim.appmodel import AppWorkload, MiniQmcProfileModel
+from repro.hwsim.cache import CacheStats, SetAssociativeCache
+from repro.hwsim.cluster import StrongScalingPoint, strong_scaling_curve
+from repro.hwsim.hierarchy import CacheHierarchy, LevelStats
+from repro.hwsim.hostcal import (
+    HostProfile,
+    predict_fused_vgh_seconds,
+    profile_host,
+)
+from repro.hwsim.counters import STENCIL_POINTS, KernelCounts, kernel_counts
+from repro.hwsim.machine import (
+    BDW,
+    BGQ,
+    KNC,
+    KNL,
+    MACHINES,
+    PAPER_CORES_USED,
+    PAPER_WALKERS,
+    MachineSpec,
+)
+from repro.hwsim.perfmodel import (
+    DEFAULT_CONFIG,
+    BsplinePerfModel,
+    ModelConfig,
+    ModelResult,
+)
+from repro.hwsim.trace import TraceBuilder
+from repro.hwsim.validate import (
+    ValidationCase,
+    validate_all,
+    validate_slab_residency,
+    validate_tiling_benefit,
+)
+from repro.hwsim.wsmodel import (
+    WorkingSetReport,
+    max_accum_fitting_tile,
+    max_llc_fitting_tile,
+    working_set_report,
+)
+
+__all__ = [
+    "MachineSpec",
+    "BDW",
+    "KNC",
+    "KNL",
+    "BGQ",
+    "MACHINES",
+    "PAPER_WALKERS",
+    "PAPER_CORES_USED",
+    "KernelCounts",
+    "kernel_counts",
+    "STENCIL_POINTS",
+    "BsplinePerfModel",
+    "ModelConfig",
+    "ModelResult",
+    "DEFAULT_CONFIG",
+    "SetAssociativeCache",
+    "AppWorkload",
+    "MiniQmcProfileModel",
+    "CacheStats",
+    "CacheHierarchy",
+    "LevelStats",
+    "StrongScalingPoint",
+    "strong_scaling_curve",
+    "TraceBuilder",
+    "ValidationCase",
+    "validate_all",
+    "validate_slab_residency",
+    "validate_tiling_benefit",
+    "HostProfile",
+    "profile_host",
+    "predict_fused_vgh_seconds",
+    "WorkingSetReport",
+    "working_set_report",
+    "max_llc_fitting_tile",
+    "max_accum_fitting_tile",
+]

@@ -1,0 +1,143 @@
+"""Application-level cost model: the Table II/III profiles on paper hardware.
+
+The kernel model (:mod:`repro.hwsim.perfmodel`) covers B-splines; the QMC
+profile also contains distance tables, Jastrow evaluation and the "rest"
+(determinant updates, SPO assembly — paper Sec. IV).  This module adds
+per-move cost models for those groups so the *profiles* of Tables II/III
+can be produced for the paper's machines, not just measured on this host.
+
+Per particle move the application executes:
+
+* one B-spline VGH evaluation over the N orbitals (modelled exactly by
+  :class:`BsplinePerfModel`);
+* two distance-table row updates (e-e over Nel entries, e-ion over Nion)
+  — vectorizable arithmetic whose AoS form suffers the same strided-
+  access penalty as the kernels;
+* Jastrow ratio/gradient work over the same rows (1D spline evaluations);
+* a Sherman-Morrison rank-1 update of the (N x N) inverse on acceptance
+  plus ratio assembly — the "rest".
+
+Cycle/byte constants per table entry were calibrated once against Table
+II's BDW/KNL columns and frozen; Table III then follows with *no further
+freedom* by switching the DT/Jastrow layouts to SoA and renormalizing
+over the three miniQMC groups (miniQMC drops most of the "rest").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hwsim.machine import MachineSpec, PAPER_WALKERS
+from repro.hwsim.perfmodel import BsplinePerfModel
+
+__all__ = ["AppWorkload", "MiniQmcProfileModel"]
+
+
+@dataclass(frozen=True)
+class AppWorkload:
+    """Problem sizes of the profiled application (CORAL 4x4x1 defaults)."""
+
+    n_orbitals: int = 128
+    n_electrons: int = 256
+    n_ions: int = 64
+    n_grid_points: int = 48 * 48 * 60
+
+    @property
+    def entries_per_move(self) -> int:
+        """Distance-table entries touched per particle move."""
+        return self.n_electrons + self.n_ions
+
+
+#: Calibrated *effective* cycles per distance-table entry (vectorization
+#: and strided-access penalties already folded in per layout).
+DT_CYCLES = {"aos": 240.0, "soa": 47.0}
+#: Effective cycles per Jastrow entry (1D spline eval + reduction).
+J_CYCLES = {"aos": 125.0, "soa": 19.0}
+#: Bytes moved per table entry (positions in, displacement+distance out).
+DT_BYTES = {"aos": 40.0, "soa": 24.0}
+J_BYTES = {"aos": 16.0, "soa": 8.0}
+#: Sherman-Morrison + assembly cost per move, per N^2 element: the rank-1
+#: inverse update streams the whole (N x N) inverse through memory.
+REST_CYCLES_PER_N2 = 1.0
+REST_BYTES_PER_N2 = 8.0
+
+
+class MiniQmcProfileModel:
+    """Per-move component times and profile shares for one machine.
+
+    Parameters
+    ----------
+    machine:
+        Target machine.
+    workload:
+        Application sizes (defaults to CORAL 4x4x1).
+    """
+
+    def __init__(self, machine: MachineSpec, workload: AppWorkload | None = None):
+        self.machine = machine
+        self.workload = workload or AppWorkload()
+        self.kernel_model = BsplinePerfModel(
+            machine, n_grid_points=self.workload.n_grid_points
+        )
+
+    def _vector_time(self, cycles: float, bytes_: float) -> float:
+        """Node-serialized seconds for a vectorizable per-move chunk."""
+        m = self.machine
+        walkers = PAPER_WALKERS.get(m.name, m.hw_threads)
+        tpc = max(1, math.ceil(walkers / m.cores))
+        t_cpu = cycles / self.kernel_model.node_cycle_capacity(tpc)
+        t_mem = bytes_ / (m.stream_bw * 0.8)
+        return t_cpu + t_mem
+
+    def component_times(
+        self, bspline_layout: str = "aos", other_layout: str = "aos"
+    ) -> dict[str, float]:
+        """Node-serialized seconds per particle move, by component group.
+
+        Parameters
+        ----------
+        bspline_layout:
+            ``"aos"`` (public-QMCPACK baseline), ``"soa"`` or ``"aosoa"``.
+        other_layout:
+            Layout of distance tables + Jastrow (``"aos"`` or ``"soa"``).
+        """
+        w = self.workload
+        m = self.machine
+        lanes = m.sp_lanes
+        if bspline_layout == "aosoa":
+            nb, _ = self.kernel_model.best_tile_size("vgh", w.n_orbitals)
+            bs = self.kernel_model.evaluate("vgh", "aosoa", w.n_orbitals, nb)
+        else:
+            bs = self.kernel_model.evaluate("vgh", bspline_layout, w.n_orbitals)
+        entries = w.entries_per_move
+        t_dt = self._vector_time(
+            DT_CYCLES[other_layout] * entries, DT_BYTES[other_layout] * entries
+        )
+        t_j = self._vector_time(
+            J_CYCLES[other_layout] * entries, J_BYTES[other_layout] * entries
+        )
+        n2 = float(w.n_orbitals) ** 2
+        t_rest = self._vector_time(
+            REST_CYCLES_PER_N2 * n2 / lanes, REST_BYTES_PER_N2 * n2
+        )
+        return {
+            "bspline": bs.t_eval,
+            "distance_tables": t_dt,
+            "jastrow": t_j,
+            "rest": t_rest,
+        }
+
+    def table2_profile(self) -> dict[str, float]:
+        """Table II: percentage shares with everything AoS, rest included."""
+        t = self.component_times("aos", "aos")
+        total = sum(t.values())
+        return {k: 100.0 * v / total for k, v in t.items()}
+
+    def table3_profile(self) -> dict[str, float]:
+        """Table III: SoA DT/Jastrow, AoS B-spline, shares over the three
+        miniQMC groups (the miniapp has no full determinant machinery)."""
+        t = self.component_times("aos", "soa")
+        groups = {k: t[k] for k in ("bspline", "distance_tables", "jastrow")}
+        total = sum(groups.values())
+        return {k: 100.0 * v / total for k, v in groups.items()}

@@ -1,0 +1,103 @@
+"""Host calibration: measure THIS machine and validate the model on it.
+
+The execution-time model is calibrated against the paper's published
+numbers — which leaves the question of whether its *mechanisms* predict
+real hardware.  This module closes that loop on the only hardware we do
+have: the host.  It measures
+
+* sustained memory bandwidth (a STREAM-triad analogue on NumPy arrays),
+* NumPy dispatch overhead (the host's analogue of instruction issue —
+  in interpreted kernels the per-call cost is a first-class term),
+
+and predicts the fused VGH kernel's per-evaluation time from first
+principles (traffic of the contraction chain / bandwidth + per-call
+dispatch), to be compared against live measurements by the validation
+bench.  No fitting against the kernel being predicted.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "HostProfile",
+    "measure_stream_bandwidth",
+    "measure_dispatch_overhead",
+    "profile_host",
+    "predict_fused_vgh_seconds",
+]
+
+#: NumPy calls the fused VGH path makes per evaluation: locate/weights
+#: (~6 small ops), 3 tensordots, 6 (4,N) contractions, 10 output matmuls
+#: + assignments.  Counted from repro.core.layout_fused.
+FUSED_VGH_CALLS = 28
+
+#: Bytes moved per spline per evaluation by the fused chain, counted from
+#: the contraction tree: 3 tensordots each stream the (4,4,4,N) block in
+#: and a (4,4,N) result out (tensordot's internal copy doubles the
+#: input); 6 contractions of (4,4,N) -> (4,N); 10 final (4,N) -> (N)
+#: products + stores.  In float32 units of 4 bytes:
+#: 3*(2*256 + 16) + 6*(16 + 4) + 10*(4 + 1) = 1754 values/spline.
+FUSED_VGH_VALUES_PER_SPLINE = 1754
+
+
+@dataclass(frozen=True)
+class HostProfile:
+    """Measured characteristics of the host."""
+
+    stream_bw: float  # bytes/second
+    dispatch_overhead: float  # seconds per NumPy call
+
+
+def measure_stream_bandwidth(size_mb: int = 32, repeats: int = 5) -> float:
+    """Sustained triad bandwidth ``a = b + s*c`` in bytes/second.
+
+    Counts 3 array touches (two reads, one write) per element, the
+    STREAM convention.
+    """
+    n = size_mb * 1024 * 1024 // 8
+    b = np.random.default_rng(0).random(n)
+    c = np.random.default_rng(1).random(n)
+    a = np.empty_like(b)
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        np.multiply(c, 3.0, out=a)
+        a += b
+        best = min(best, time.perf_counter() - t0)
+    # NumPy cannot fuse the triad, so the two passes touch five arrays'
+    # worth of memory: read c, write a, then read a, read b, write a.
+    return 5.0 * n * 8 / best
+
+
+def measure_dispatch_overhead(repeats: int = 20000) -> float:
+    """Per-call cost of a tiny NumPy operation (seconds)."""
+    x = np.zeros(8)
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        x += 1.0
+    return (time.perf_counter() - t0) / repeats
+
+
+def profile_host() -> HostProfile:
+    """Measure the host once; ~0.5 s."""
+    return HostProfile(
+        stream_bw=measure_stream_bandwidth(),
+        dispatch_overhead=measure_dispatch_overhead(),
+    )
+
+
+def predict_fused_vgh_seconds(
+    n_splines: int, host: HostProfile, itemsize: int = 4
+) -> float:
+    """First-principles prediction of one fused-VGH evaluation's time.
+
+    ``t = calls * dispatch + traffic / bandwidth`` — the host analogue of
+    the paper machines' compute + memory decomposition, with interpreter
+    dispatch playing the role of instruction issue.
+    """
+    traffic = FUSED_VGH_VALUES_PER_SPLINE * n_splines * itemsize
+    return FUSED_VGH_CALLS * host.dispatch_overhead + traffic / host.stream_bw

@@ -1,0 +1,226 @@
+"""Machine descriptions for the paper's four processors (Table I).
+
+Each :class:`MachineSpec` carries the published Table-I parameters
+(cores, SMT, SIMD width, frequency, cache sizes, STREAM bandwidth) plus a
+small set of modelling parameters that Table I does not list but the
+paper's analysis relies on (LLC bandwidth, gather/scatter penalty,
+single-precision lane counts, KNL's DDR-vs-MCDRAM distinction).  The
+extra parameters are *architectural* constants taken from vendor
+documentation, not per-experiment fudge factors; the execution-time model
+(:mod:`repro.hwsim.perfmodel`) consumes them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MachineSpec", "BDW", "KNC", "KNL", "BGQ", "MACHINES"]
+
+KB = 1024
+MB = 1024 * 1024
+GB = 1.0e9  # bandwidth GB/s are decimal
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One shared-memory node of a paper Table-I system.
+
+    Attributes
+    ----------
+    name:
+        Short identifier used throughout the benches ("BDW", "KNL", ...).
+    cores:
+        Physical cores used for compute (paper Table II row "# cores used"
+        can be smaller; the model takes the cores actually used per run).
+    smt:
+        Hardware threads per core.
+    simd_bits:
+        Vector register width.
+    freq_ghz:
+        Nominal clock.
+    l1d_bytes:
+        Per-core L1 data cache.
+    l2_bytes:
+        L2 capacity per L2 domain (per core on BDW/KNC, per 2-core tile
+        on KNL, the single shared 32 MB on BG/Q).
+    l2_cores_per_domain:
+        How many cores share one L2 domain.
+    llc_bytes:
+        Shared last-level cache (0 when absent: KNC/KNL; on BG/Q the big
+        L2 *is* the shared LLC and is listed in both roles).
+    stream_bw:
+        Measured STREAM bandwidth in bytes/s (paper Table I).
+    llc_bw:
+        Aggregate shared-LLC bandwidth in bytes/s (0 when no shared LLC).
+    ddr_bw:
+        Secondary (DDR) bandwidth for KNL's flat-mode comparison; equals
+        ``stream_bw`` elsewhere.
+    fma_per_cycle:
+        FMA issue ports per core (2 on BDW/KNL, 1 on KNC/BG/Q).
+    gather_penalty:
+        Model cost multiplier for strided/gathered vector memory ops
+        relative to contiguous ones (large on in-order KNC and on BG/Q,
+        whose QPX has no gather at all).
+    smt_efficiency:
+        Fraction of linear SMT scaling realized by the memory-latency-
+        bound B-spline kernels (hyperthreading helps but sublinearly).
+    accum_budget_bytes:
+        Cache budget per hardware thread inside which in-cache output
+        accumulation over the 64-point stencil stays fast; beyond it the
+        64 read-modify-write passes start spilling a level down.
+    nested_overhead:
+        Per-extra-thread efficiency tax of nested threading (fork/join,
+        tile handoff, reduced memory-level parallelism per walker);
+        applied as ``1 + nested_overhead * (nth - 1)`` on walker time.
+    """
+
+    name: str
+    cores: int
+    smt: int
+    simd_bits: int
+    freq_ghz: float
+    l1d_bytes: int
+    l2_bytes: int
+    l2_cores_per_domain: int
+    llc_bytes: int
+    stream_bw: float
+    llc_bw: float
+    ddr_bw: float
+    fma_per_cycle: int
+    gather_penalty: float
+    smt_efficiency: float
+    accum_budget_bytes: int
+    nested_overhead: float
+
+    @property
+    def sp_lanes(self) -> int:
+        """Single-precision SIMD lanes (BG/Q's QPX stays 4-wide in SP)."""
+        if self.name == "BGQ":
+            return 4
+        return self.simd_bits // 32
+
+    @property
+    def dp_lanes(self) -> int:
+        """Double-precision SIMD lanes."""
+        return self.simd_bits // 64
+
+    @property
+    def hw_threads(self) -> int:
+        """Total hardware threads on the node."""
+        return self.cores * self.smt
+
+    @property
+    def peak_sp_gflops(self) -> float:
+        """Peak single-precision GFLOP/s of the node (FMA counted as 2)."""
+        return self.cores * self.freq_ghz * self.sp_lanes * 2.0 * self.fma_per_cycle
+
+    @property
+    def l2_total_bytes(self) -> int:
+        """Aggregate L2 capacity across the node."""
+        domains = max(self.cores // self.l2_cores_per_domain, 1)
+        return self.l2_bytes * domains
+
+    @property
+    def has_shared_llc(self) -> bool:
+        """True for BDW (L3) and BG/Q (shared L2), false for KNC/KNL."""
+        return self.llc_bytes > 0
+
+    def cache_per_thread(self) -> int:
+        """Private cache budget per hardware thread (L1 + L2 share)."""
+        l2_share = self.l2_bytes // (self.l2_cores_per_domain * self.smt)
+        return self.l1d_bytes // self.smt + l2_share
+
+
+#: 18-core Intel Xeon E5-2697v4 (Broadwell), paper Table I column 1.
+BDW = MachineSpec(
+    name="BDW",
+    cores=18,
+    smt=2,
+    simd_bits=256,
+    freq_ghz=2.3,
+    l1d_bytes=32 * KB,
+    l2_bytes=256 * KB,
+    l2_cores_per_domain=1,
+    llc_bytes=45 * MB,
+    stream_bw=64 * GB,
+    llc_bw=150 * GB,  # effective L3 bandwidth for the random stencil streams
+    ddr_bw=64 * GB,
+    fma_per_cycle=2,
+    gather_penalty=3.0,
+    smt_efficiency=0.65,
+    accum_budget_bytes=40 * KB,
+    nested_overhead=0.16,
+)
+
+#: 61-core Intel Xeon Phi 7120P (Knights Corner), column 2.
+KNC = MachineSpec(
+    name="KNC",
+    cores=61,
+    smt=4,
+    simd_bits=512,
+    freq_ghz=1.238,
+    l1d_bytes=32 * KB,
+    l2_bytes=512 * KB,
+    l2_cores_per_domain=1,
+    llc_bytes=0,
+    stream_bw=177 * GB,
+    llc_bw=0.0,
+    ddr_bw=177 * GB,
+    fma_per_cycle=1,
+    gather_penalty=24.0,  # no HW scatter: strided stores serialize ~per lane
+    smt_efficiency=0.55,
+    accum_budget_bytes=24 * KB,
+    nested_overhead=0.035,
+)
+
+#: 68-core Intel Xeon Phi 7250P (Knights Landing), column 3.
+KNL = MachineSpec(
+    name="KNL",
+    cores=68,
+    smt=4,
+    simd_bits=512,
+    freq_ghz=1.4,
+    l1d_bytes=32 * KB,
+    l2_bytes=1 * MB,
+    l2_cores_per_domain=2,
+    llc_bytes=0,
+    stream_bw=490 * GB,  # MCDRAM flat mode, the paper's configuration
+    llc_bw=0.0,
+    ddr_bw=90 * GB,  # the DDR comparison point of Fig. 10
+    fma_per_cycle=2,
+    gather_penalty=3.5,
+    smt_efficiency=0.60,
+    accum_budget_bytes=24 * KB,
+    nested_overhead=0.010,
+)
+
+#: 16+1-core IBM Blue Gene/Q (PowerPC A2), column 4.
+BGQ = MachineSpec(
+    name="BGQ",
+    cores=16,
+    smt=4,
+    simd_bits=256,
+    freq_ghz=1.6,
+    l1d_bytes=16 * KB,
+    l2_bytes=32 * MB,
+    l2_cores_per_domain=16,
+    llc_bytes=32 * MB,  # the shared L2 plays the LLC role
+    stream_bw=28 * GB,
+    llc_bw=30 * GB,  # high-latency shared L2: little random-read headroom
+    ddr_bw=28 * GB,
+    fma_per_cycle=1,
+    gather_penalty=8.0,  # QPX has no gather; strided access goes scalar
+    smt_efficiency=0.70,
+    accum_budget_bytes=8 * KB,  # 16 KB L1 shared by 4 threads
+    nested_overhead=0.16,
+)
+
+#: All four paper machines, keyed by name.
+MACHINES = {m.name: m for m in (BDW, KNC, KNL, BGQ)}
+
+#: Walkers per node used throughout the paper's experiments (Sec. VI):
+#: one per hardware thread actually used.
+PAPER_WALKERS = {"BDW": 36, "KNC": 240, "KNL": 256, "BGQ": 64}
+
+#: Cores actually used in the paper's runs (Table II footer).
+PAPER_CORES_USED = {"BDW": 18, "KNC": 60, "KNL": 64, "BGQ": 16}

@@ -1,0 +1,484 @@
+"""Execution-time model for B-spline kernels on the paper's machines.
+
+This is the substitution layer for hardware we do not have (DESIGN.md):
+an additive compute + memory time model whose terms implement exactly the
+mechanisms the paper describes, evaluated per kernel/layout/tile-size:
+
+Compute term (cycles):
+    * per-tile prefactor setup (amortized over Nb — the paper's reason
+      small tiles lose: "the amortized cost of redundant computations of
+      the prefactors", Sec. VI-B);
+    * 64 stencil points x Nb/lanes vector groups x per-stream cost: one
+      FMA for contiguous streams, a gather/scatter penalty for strided
+      (AoS) streams — the Opt-A mechanism;
+    * the baseline VGL multi-pass/temporary-array overhead that Opt A's
+      "basic optimizations" remove (paper Sec. V-A);
+    * node capacity = cores x freq x SMT boost (hyperthreading hides
+      latency sublinearly).
+
+Memory term (bytes / bandwidth):
+    * 64 Nb reads per tile per eval, from DRAM — or from the shared LLC
+      when the paper's working-set test ``4 Ng Nb nth + outputs <= LLC``
+      passes (BDW L3 / BG/Q L2), with a DRAM refetch of the slab
+      amortized over the samples processed per tile visit;
+    * ``streams x Nb`` ideal writes, multiplied by a spill factor when
+      the per-thread output working set exceeds the accumulation budget
+      (the large-N collapse of Fig. 7a and its cure in Fig. 7b);
+    * random access reaches a fraction of STREAM bandwidth; tiling
+      shortens strides and recovers most of it (Sec. V-B "shortens the
+      stride for outer dimensions").
+
+Nested threading (Opt C) adds tile-partition imbalance, a per-eval join
+cost, and the nth-scaled input working set that shrinks the optimal tile
+on shared-LLC machines (Sec. V-C) — while the walker count drops by nth,
+keeping the output set constant.
+
+Calibration: the architectural constants live in
+:class:`~repro.hwsim.machine.MachineSpec`; the model-shape constants live
+in :class:`ModelConfig` with a single default instance used everywhere.
+EXPERIMENTS.md records model-vs-paper for every figure this model feeds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.tiling import (
+    OUTPUT_STREAMS,
+    candidate_tile_sizes,
+    input_working_set_bytes,
+)
+from repro.hwsim.counters import STENCIL_POINTS, kernel_counts
+from repro.hwsim.machine import MachineSpec, PAPER_WALKERS
+
+__all__ = ["ModelConfig", "ModelResult", "BsplinePerfModel", "DEFAULT_CONFIG"]
+
+#: Default grid for the paper's sweep (48^3, Sec. VI).
+DEFAULT_NG = 48 * 48 * 48
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Shape constants of the execution-time model (machine-independent).
+
+    Attributes
+    ----------
+    setup_cycles:
+        Prefactor + loop-entry cost per tile per evaluation.
+    load_cost:
+        Vector-load issue cost per Nb/lanes group per stencil point.
+    spill_k:
+        Strength of the write-spill multiplier once the output working
+        set exceeds the accumulation budget (calibrated so the untiled
+        N=4096 write-traffic blowup matches the paper's VTune ratio of
+        ~4x, Sec. VI-B).
+    random_read_eff:
+        Fraction of STREAM bandwidth achieved by the untiled random
+        64-stream access pattern.
+    tiled_read_eff:
+        Same with tiling (shorter strides, better pages/TLB).
+    samples_per_tile_visit:
+        Evaluations a walker performs against one tile before moving on
+        (miniQMC's ns; amortizes the slab refetch on LLC machines).
+    vgl_baseline_passes:
+        How many sweeps over the coefficients the *baseline* (pre-Opt-A)
+        VGL makes (einspline's non-unrolled z loop), per machine — the
+        distributions shipped different VGL code paths per platform, so
+        the baseline's badness is platform-specific (paper Sec. V-A
+        "basic optimizations ... provide greater overall speedup").
+    vgl_baseline_temp_factor:
+        Extra traffic factor for the baseline VGL's in-loop temporaries,
+        in units of one 64*Nb read stream.
+    sync_cycles:
+        Per-thread join cost per evaluation under nested threading.
+    """
+
+    setup_cycles: float = 600.0
+    load_cost: float = 0.5
+    spill_k: float = 6.0
+    random_read_eff: float = 0.75
+    tiled_read_eff: float = 0.95
+    samples_per_tile_visit: int = 512
+    vgl_baseline_passes: tuple = (("BDW", 2.6), ("KNC", 1.7), ("KNL", 3.3), ("BGQ", 5.5))
+    vgl_baseline_temp_factor: float = 2.0
+    sync_cycles: float = 400.0
+
+
+DEFAULT_CONFIG = ModelConfig()
+
+
+@dataclass(frozen=True)
+class ModelResult:
+    """Modelled performance of one configuration.
+
+    Attributes
+    ----------
+    evals_per_sec:
+        Node-level kernel evaluations per second (all walkers).
+    throughput:
+        The paper's T = evals/sec x N, in spline-values per second.
+    t_eval:
+        Node-serialized seconds per evaluation (1 / evals_per_sec).
+    t_compute, t_read, t_write:
+        Additive components of ``t_eval``.
+    bound:
+        ``"compute"`` or ``"memory"`` — the larger component.
+    dram_bytes, llc_bytes:
+        Per-evaluation traffic by source.
+    flops:
+        Per-evaluation FLOPs (for roofline points).
+    """
+
+    machine: str
+    kernel: str
+    layout: str
+    n_splines: int
+    tile_size: int
+    n_threads: int
+    evals_per_sec: float
+    throughput: float
+    t_eval: float
+    t_compute: float
+    t_read: float
+    t_write: float
+    dram_bytes: float
+    llc_bytes: float
+    flops: float
+
+    @property
+    def bound(self) -> str:
+        return "compute" if self.t_compute >= self.t_read + self.t_write else "memory"
+
+
+class BsplinePerfModel:
+    """The additive compute+memory model for one machine.
+
+    Parameters
+    ----------
+    machine:
+        The target :class:`~repro.hwsim.machine.MachineSpec`.
+    config:
+        Model-shape constants; the defaults are used for every result in
+        EXPERIMENTS.md.
+    n_grid_points:
+        Ng of the coefficient grid (48^3 default, the paper's sweep).
+    """
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        config: ModelConfig = DEFAULT_CONFIG,
+        n_grid_points: int = DEFAULT_NG,
+    ):
+        self.machine = machine
+        self.config = config
+        self.ng = int(n_grid_points)
+
+    # -- elementary terms ----------------------------------------------------
+
+    def node_cycle_capacity(self, threads_per_core: int | None = None) -> float:
+        """Aggregate cycles/second with SMT latency hiding.
+
+        ``1 + smt_eff * (t - 1)`` of linear scaling for t threads/core.
+        """
+        m = self.machine
+        t = threads_per_core if threads_per_core is not None else m.smt
+        t = max(1, min(t, m.smt))
+        boost = 1.0 + m.smt_efficiency * (t - 1)
+        return m.cores * m.freq_ghz * 1e9 * boost
+
+    def tile_cycles(self, kernel: str, layout: str, tile_size: int) -> float:
+        """Compute cycles for one evaluation of one tile."""
+        m, cfg = self.machine, self.config
+        streams = OUTPUT_STREAMS[(kernel, layout)]
+        lanes = m.sp_lanes
+        groups = max(tile_size / lanes, 1.0)
+        if layout == "aos":
+            strided = {"v": 0, "vgl": 3, "vgh": 12}[kernel]
+        else:
+            strided = 0
+        contiguous = streams - min(strided, streams)
+        per_group = (
+            cfg.load_cost
+            + contiguous / m.fma_per_cycle
+            + strided * m.gather_penalty
+        )
+        cycles = cfg.setup_cycles + STENCIL_POINTS * groups * per_group
+        if kernel == "vgl" and layout == "aos":
+            # The pre-Opt-A einspline VGL sweeps the stencil multiple
+            # times (no z unrolling) — scale the loop body accordingly.
+            cycles = cfg.setup_cycles + (cycles - cfg.setup_cycles) * (
+                self.vgl_passes
+            )
+        return cycles
+
+    @property
+    def vgl_passes(self) -> float:
+        """Baseline-VGL sweep count for this machine."""
+        return dict(self.config.vgl_baseline_passes).get(self.machine.name, 3.0)
+
+    def write_spill_multiplier(self, kernel: str, layout: str, tile_size: int) -> float:
+        """Traffic inflation when per-thread outputs exceed the accum budget."""
+        m, cfg = self.machine, self.config
+        streams = OUTPUT_STREAMS[(kernel, layout)]
+        ws = streams * 4 * tile_size
+        budget = m.accum_budget_bytes
+        if ws <= budget:
+            return 1.0
+        return 1.0 + cfg.spill_k * (1.0 - budget / ws)
+
+    def slab_fits_llc(self, tile_size: int, n_walkers: int, kernel: str, layout: str, nth: int) -> bool:
+        """The paper's working-set test: active slab(s) + outputs <= LLC."""
+        m = self.machine
+        if not m.has_shared_llc:
+            return False
+        input_ws = input_working_set_bytes(self.ng, tile_size, 4, nth)
+        streams = OUTPUT_STREAMS[(kernel, layout)]
+        output_ws = streams * 4 * n_walkers * tile_size * nth
+        return input_ws + output_ws <= m.llc_bytes
+
+    # -- the model ----------------------------------------------------------------
+
+    def evaluate(
+        self,
+        kernel: str,
+        layout: str,
+        n_splines: int,
+        tile_size: int | None = None,
+        n_walkers: int | None = None,
+        nth: int = 1,
+    ) -> ModelResult:
+        """Model one configuration; see :class:`ModelResult`.
+
+        Parameters
+        ----------
+        kernel:
+            ``"v"``, ``"vgl"`` or ``"vgh"``.
+        layout:
+            ``"aos"``, ``"soa"`` or ``"aosoa"`` (aosoa = SoA + tiling).
+        n_splines:
+            Total N.
+        tile_size:
+            Nb; None means untiled (Nb = N).  Required != N only for
+            ``layout="aosoa"``.
+        n_walkers:
+            Defaults to the paper's per-machine walker count, divided by
+            ``nth`` (the strong-scaling rule of Sec. V-C).
+        nth:
+            Threads per walker (Opt C); 1 reproduces Opts A/B.
+        """
+        m, cfg = self.machine, self.config
+        if layout == "aosoa":
+            counts_layout = "soa"
+            tiled = True
+        elif layout in ("aos", "soa"):
+            counts_layout = layout
+            tiled = tile_size is not None and tile_size < n_splines
+        else:
+            raise ValueError(f"unknown layout {layout!r}")
+        nb = int(tile_size) if tile_size else int(n_splines)
+        if n_splines % nb:
+            raise ValueError(f"tile size {nb} must divide N={n_splines}")
+        n_tiles = n_splines // nb
+        nth = max(1, min(nth, n_tiles))
+        base_walkers = n_walkers if n_walkers is not None else PAPER_WALKERS.get(
+            m.name, m.hw_threads
+        )
+        walkers = max(1, base_walkers // nth) if n_walkers is None else base_walkers
+
+        # ---- compute time (node-serialized seconds per evaluation) ----
+        per_tile = self.tile_cycles(kernel, counts_layout, nb)
+        tiles_per_thread = math.ceil(n_tiles / nth)
+        imbalance = tiles_per_thread * nth / n_tiles  # >= 1
+        cycles_eval = per_tile * n_tiles * imbalance
+        if nth > 1:
+            cycles_eval += cfg.sync_cycles * nth
+        threads_used = walkers * nth
+        tpc = max(1, math.ceil(threads_used / m.cores))
+        t_compute = cycles_eval / self.node_cycle_capacity(tpc)
+
+        # ---- memory traffic per evaluation (all tiles) ----
+        counts = kernel_counts(kernel, counts_layout, nb)
+        read_bytes = counts.read_bytes(4) * n_tiles
+        write_bytes = (
+            counts.write_bytes(4)
+            * self.write_spill_multiplier(kernel, counts_layout, nb)
+            * n_tiles
+        )
+        if kernel == "vgl" and counts_layout == "aos":
+            # Baseline VGL: multiple coefficient sweeps + temp traffic.
+            read_bytes *= self.vgl_passes
+            read_bytes += cfg.vgl_baseline_temp_factor * counts.read_bytes(4) * n_tiles
+
+        if tiled:
+            read_eff = cfg.tiled_read_eff
+        else:
+            # Untiled reads degrade further as the coefficient rows grow
+            # past ~2 pages (N > 2048 in SP): the 64 streams touch 64
+            # distant row starts per eval and TLB reach runs out — the
+            # reason V (pure reads) still gains 1.85x from tiling at
+            # N=4096 (paper Fig. 8) while gaining only 1.3x at N=2048.
+            row_bytes = 4.0 * n_splines
+            degrade = min(1.0, 8192.0 / row_bytes) ** 0.35
+            read_eff = cfg.random_read_eff * degrade
+        llc_bytes = 0.0
+        dram_read = read_bytes
+        refetch_bytes = 0.0
+        if tiled and self.slab_fits_llc(nb, walkers, kernel, counts_layout, nth):
+            # Reads come from the shared LLC; the slab itself streams in
+            # from DRAM once per tile visit, amortized over the samples a
+            # walker runs against the tile *and* over the co-phased
+            # walkers sharing the resident slab (the paper counts one
+            # slab for the whole node, Sec. VI-B).
+            llc_bytes = read_bytes
+            dram_read = 0.0
+            # One pass over the whole table per ns samples per walker
+            # group: the nth concurrently-active slabs are *different*
+            # tiles, so the per-generation DRAM traffic is the full table
+            # once (4*Ng*N), independent of nth.
+            table_bytes = input_working_set_bytes(self.ng, nb, 4, 1) * n_tiles
+            refetch_bytes = table_bytes / (
+                cfg.samples_per_tile_visit * max(walkers, 1)
+            )
+        t_read = (
+            dram_read / (m.stream_bw * read_eff)
+            + (llc_bytes / (m.llc_bw * read_eff) if llc_bytes else 0.0)
+            + refetch_bytes / m.stream_bw
+        )
+        t_write = write_bytes / m.stream_bw
+
+        # Bandwidth is a node resource; with fewer active threads than the
+        # node has, a single walker cannot saturate it — but the paper's
+        # configurations always fill the node, so no undersubscription
+        # correction is applied.  Nested threading pays a per-extra-thread
+        # efficiency tax (fork/join, tile handoff, reduced per-walker MLP).
+        t_eval = t_compute + t_read + t_write
+        if nth > 1:
+            t_eval *= 1.0 + m.nested_overhead * (nth - 1)
+        evals = 1.0 / t_eval
+        return ModelResult(
+            machine=m.name,
+            kernel=kernel,
+            layout=layout,
+            n_splines=n_splines,
+            tile_size=nb,
+            n_threads=nth,
+            evals_per_sec=evals,
+            throughput=evals * n_splines,
+            t_eval=t_eval,
+            t_compute=t_compute,
+            t_read=t_read,
+            t_write=t_write,
+            dram_bytes=dram_read + refetch_bytes + write_bytes,
+            llc_bytes=llc_bytes,
+            flops=counts.flops * n_tiles,
+        )
+
+    # -- derived sweeps -------------------------------------------------------------
+
+    def best_tile_size(
+        self,
+        kernel: str,
+        n_splines: int,
+        nth: int = 1,
+        minimum: int = 16,
+    ) -> tuple[int, dict[int, float]]:
+        """Model-optimal Nb (argmax throughput) over the Fig. 7c candidates."""
+        sweep: dict[int, float] = {}
+        for nb in candidate_tile_sizes(n_splines, minimum):
+            if nth > 1 and n_splines // nb < nth:
+                continue  # every thread needs at least one tile
+            res = self.evaluate(kernel, "aosoa", n_splines, nb, nth=nth)
+            sweep[nb] = res.throughput
+        if not sweep:
+            raise ValueError(
+                f"no admissible tile size for N={n_splines}, nth={nth}"
+            )
+        return max(sweep, key=sweep.get), sweep
+
+    def speedups(self, kernel: str, n_splines: int, nth: int) -> dict[str, float]:
+        """Opt A/B/C time speedups vs the AoS baseline (paper Table IV).
+
+        The C entry includes the strong-scaling factor nth: with nth
+        threads per walker and Nw/nth walkers, each walker's time drops
+        by ~nth on top of the single-walker AoSoA gain.
+        """
+        base = self.evaluate(kernel, "aos", n_splines)
+        soa = self.evaluate(kernel, "soa", n_splines)
+        nb_opt, _ = self.best_tile_size(kernel, n_splines)
+        aosoa = self.evaluate(kernel, "aosoa", n_splines, nb_opt)
+        nb_nested, _ = self.best_tile_size(kernel, n_splines, nth=nth)
+        nested = self.evaluate(kernel, "aosoa", n_splines, nb_nested, nth=nth)
+        # Per-walker rate: node evals/sec divided by walkers on the node.
+        walkers_base = PAPER_WALKERS.get(self.machine.name, self.machine.hw_threads)
+        per_walker_base = base.evals_per_sec / walkers_base
+        per_walker_nested = nested.evals_per_sec / max(1, walkers_base // nth)
+        return {
+            "A": soa.evals_per_sec / base.evals_per_sec,
+            "B": aosoa.evals_per_sec / base.evals_per_sec,
+            "C": per_walker_nested / per_walker_base,
+            "nb_opt": nb_opt,
+            "nb_nested": nb_nested,
+        }
+
+    def evaluate_threaded_over_n(
+        self, kernel: str, n_splines: int, nth: int
+    ) -> ModelResult:
+        """The rejected alternative of Sec. V-C: threads split the inner N
+        loop *without* re-blocking the table.
+
+        Differences vs the tiled nested path, per the paper's reasoning
+        ("does not reap the benefits of smaller working sets"):
+
+        * reads keep the untiled random-access efficiency — each thread
+          strides through a slice of every full-width row, so no page/TLB
+          or LLC-residency benefit appears;
+        * the per-thread output slice does shrink (that part is free),
+          but the shared input set never fits anywhere;
+        * the same sync and nested-overhead costs apply.
+        """
+        m, cfg = self.machine, self.config
+        nth = max(1, nth)
+        res = self.evaluate(kernel, "soa", n_splines)
+        # Remove the single-walker serialization: same node-level compute
+        # and traffic, but per-walker time drops ~nth with the nested tax.
+        slice_n = max(n_splines // nth, 1)
+        spill = self.write_spill_multiplier(kernel, "soa", slice_n)
+        counts = kernel_counts(kernel, "soa", n_splines)
+        write_bytes = counts.write_bytes(4) * spill
+        row_bytes = 4.0 * n_splines
+        degrade = min(1.0, 8192.0 / row_bytes) ** 0.35
+        t_read = counts.read_bytes(4) / (m.stream_bw * cfg.random_read_eff * degrade)
+        t_write = write_bytes / m.stream_bw
+        cycles = self.tile_cycles(kernel, "soa", n_splines) + cfg.sync_cycles * nth
+        walkers = max(1, PAPER_WALKERS.get(m.name, m.hw_threads) // nth)
+        tpc = max(1, math.ceil(walkers * nth / m.cores))
+        t_compute = cycles / self.node_cycle_capacity(tpc)
+        t_eval = (t_compute + t_read + t_write) * (
+            1.0 + m.nested_overhead * (nth - 1)
+        )
+        evals = 1.0 / t_eval
+        return ModelResult(
+            machine=m.name,
+            kernel=kernel,
+            layout="threaded-over-N",
+            n_splines=n_splines,
+            tile_size=n_splines,
+            n_threads=nth,
+            evals_per_sec=evals,
+            throughput=evals * n_splines,
+            t_eval=t_eval,
+            t_compute=t_compute,
+            t_read=t_read,
+            t_write=t_write,
+            dram_bytes=counts.read_bytes(4) + write_bytes,
+            llc_bytes=0.0,
+            flops=counts.flops,
+        )
+
+    def nested_efficiency(self, kernel: str, n_splines: int, nth: int) -> float:
+        """Parallel efficiency of Opt C vs the nth=1 AoSoA optimum (Fig. 9)."""
+        s = self.speedups(kernel, n_splines, nth)
+        b = self.speedups(kernel, n_splines, 1)
+        return (s["C"] / b["B"]) / nth

@@ -1,0 +1,169 @@
+"""Cache-line address traces for B-spline kernel evaluations.
+
+Generates the exact line-touch sequence one walker produces against a
+(possibly tiled) coefficient table: per evaluation, 64 stride-one read
+streams through ``P[i][j][k][0..Nb)`` plus the output-accumulator
+read-modify-write traffic (paper Sec. IV).  Feeding these traces through
+:mod:`repro.hwsim.cache` validates the working-set arithmetic the
+performance model relies on — e.g. the Fig. 7c claim that a Nb=64 slab is
+LLC-resident on BDW while Nb=128 is not shows up directly as a hit-rate
+cliff.
+
+Address space layout (line granularity, 64-byte lines):
+
+* the coefficient table starts at 0; tile ``t`` occupies its own
+  contiguous region (AoSoA re-blocking is physical);
+* output buffers live far above the table (no false conflicts).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.tiling import OUTPUT_STREAMS
+
+__all__ = ["TraceBuilder"]
+
+LINE = 64
+
+
+class TraceBuilder:
+    """Builds per-walker line traces for a tiled B-spline table.
+
+    Parameters
+    ----------
+    grid_shape:
+        ``(nx, ny, nz)`` of the coefficient grid.
+    n_splines:
+        Total N.
+    tile_size:
+        Nb (= N for untiled).
+    itemsize:
+        4 for the paper's single precision.
+    """
+
+    def __init__(
+        self,
+        grid_shape: tuple[int, int, int],
+        n_splines: int,
+        tile_size: int | None = None,
+        itemsize: int = 4,
+    ):
+        self.nx, self.ny, self.nz = grid_shape
+        self.n_splines = int(n_splines)
+        self.tile_size = int(tile_size or n_splines)
+        if self.n_splines % self.tile_size:
+            raise ValueError(
+                f"tile size {self.tile_size} must divide N={self.n_splines}"
+            )
+        self.n_tiles = self.n_splines // self.tile_size
+        self.itemsize = itemsize
+        self.row_bytes = self.tile_size * itemsize
+        self.tile_bytes = self.nx * self.ny * self.nz * self.row_bytes
+        # Output region starts on a fresh 1 GiB boundary above the table.
+        self.output_base = ((self.tile_bytes * self.n_tiles) // 2**30 + 1) * 2**30
+
+    def _row_lines(self, tile: int, i: int, j: int, k: int) -> np.ndarray:
+        """Line ids of one stride-one read stream P[i][j][k][:Nb]."""
+        base = tile * self.tile_bytes + (
+            (i * self.ny + j) * self.nz + k
+        ) * self.row_bytes
+        first = base // LINE
+        last = (base + self.row_bytes - 1) // LINE
+        return np.arange(first, last + 1, dtype=np.int64)
+
+    def read_lines_for_eval(
+        self, tile: int, i0: int, j0: int, k0: int
+    ) -> np.ndarray:
+        """All 64 input streams of one evaluation against one tile."""
+        chunks = []
+        for di in range(4):
+            for dj in range(4):
+                for dk in range(4):
+                    chunks.append(
+                        self._row_lines(
+                            tile,
+                            (i0 - 1 + di) % self.nx,
+                            (j0 - 1 + dj) % self.ny,
+                            (k0 - 1 + dk) % self.nz,
+                        )
+                    )
+        return np.concatenate(chunks)
+
+    def output_lines(self, tile: int, kernel: str, layout: str) -> np.ndarray:
+        """Line ids of the output accumulators for one tile.
+
+        SoA streams are contiguous per component; AoS interleaving spans
+        the same lines (strides < line size), so at line granularity both
+        cover ``streams * Nb * itemsize`` bytes — the layout difference is
+        an instruction-level effect, which is exactly why the *cache*
+        simulator validates working sets while the SIMD penalty lives in
+        the execution-time model instead.
+        """
+        streams = OUTPUT_STREAMS[(kernel, layout)]
+        nbytes = streams * self.tile_size * self.itemsize
+        base = self.output_base + tile * (nbytes + LINE)
+        return np.arange(base // LINE, (base + nbytes - 1) // LINE + 1, dtype=np.int64)
+
+    def eval_trace(
+        self,
+        tile: int,
+        i0: int,
+        j0: int,
+        k0: int,
+        kernel: str = "vgh",
+        layout: str = "soa",
+        accumulate_passes: int = 4,
+    ) -> np.ndarray:
+        """Full line trace of one evaluation: reads interleaved with
+        accumulator traffic.
+
+        ``accumulate_passes`` controls how often the output lines are
+        re-touched across the 64-point loop (the real kernel touches them
+        64 times; 4 interleaved passes reproduce the same residency
+        behaviour at a fraction of the trace length).
+        """
+        reads = self.read_lines_for_eval(tile, i0, j0, k0)
+        outs = self.output_lines(tile, kernel, layout)
+        pieces = []
+        read_chunks = np.array_split(reads, accumulate_passes)
+        for chunk in read_chunks:
+            pieces.append(chunk)
+            pieces.append(outs)
+        return np.concatenate(pieces)
+
+    def walker_trace(
+        self,
+        positions_idx: np.ndarray,
+        kernel: str = "vgh",
+        layout: str = "soa",
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Trace of a walker running all tiles for a batch of evaluations.
+
+        Parameters
+        ----------
+        positions_idx:
+            ``(ns, 3)`` integer grid indices (i0, j0, k0) of the random
+            positions, e.g. from ``rng.integers``.
+        """
+        pieces = []
+        for tile in range(self.n_tiles):
+            for i0, j0, k0 in np.asarray(positions_idx):
+                pieces.append(
+                    self.eval_trace(tile, int(i0), int(j0), int(k0), kernel, layout)
+                )
+        return np.concatenate(pieces)
+
+    def random_position_indices(
+        self, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Uniform random grid indices, shape ``(count, 3)``."""
+        return np.stack(
+            [
+                rng.integers(0, self.nx, count),
+                rng.integers(0, self.ny, count),
+                rng.integers(0, self.nz, count),
+            ],
+            axis=1,
+        )

@@ -1,0 +1,125 @@
+"""Working-set arithmetic bound to machine descriptions.
+
+The paper's Secs. V-B, VI-B and VII reason about performance exclusively
+through working-set sizes vs cache capacities; this module packages that
+arithmetic against :class:`~repro.hwsim.machine.MachineSpec` so the
+benches (and the tests that cross-check the trace-driven cache simulator)
+can ask the paper's own questions directly:
+
+* does the Nb-slab (+ outputs) fit the shared LLC? (BDW Fig. 7c peak)
+* does the per-thread output set fit the accumulation budget?
+  (KNC/KNL Fig. 7c peak)
+* what is the largest Nb passing each test?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.tiling import (
+    OUTPUT_STREAMS,
+    candidate_tile_sizes,
+    input_working_set_bytes,
+    output_working_set_bytes,
+)
+from repro.hwsim.machine import MachineSpec, PAPER_WALKERS
+
+__all__ = ["WorkingSetReport", "working_set_report", "max_llc_fitting_tile", "max_accum_fitting_tile"]
+
+
+@dataclass(frozen=True)
+class WorkingSetReport:
+    """All working-set numbers for one configuration (bytes)."""
+
+    machine: str
+    kernel: str
+    n_splines: int
+    tile_size: int
+    n_walkers: int
+    nth: int
+    input_ws: int
+    output_ws_node: int
+    output_ws_thread: int
+    fits_llc: bool
+    fits_accum: bool
+
+
+def working_set_report(
+    machine: MachineSpec,
+    kernel: str,
+    n_splines: int,
+    tile_size: int,
+    n_walkers: int | None = None,
+    nth: int = 1,
+    layout: str = "soa",
+    itemsize: int = 4,
+) -> WorkingSetReport:
+    """Evaluate the paper's two cache-fit predicates for one configuration."""
+    walkers = n_walkers if n_walkers is not None else PAPER_WALKERS.get(
+        machine.name, machine.hw_threads
+    )
+    input_ws = input_working_set_bytes(
+        48 * 48 * 48, tile_size, itemsize, nth
+    )
+    output_node = output_working_set_bytes(
+        kernel, layout, walkers, tile_size, itemsize, nth
+    )
+    streams = OUTPUT_STREAMS[(kernel, layout)]
+    output_thread = streams * itemsize * tile_size
+    return WorkingSetReport(
+        machine=machine.name,
+        kernel=kernel,
+        n_splines=n_splines,
+        tile_size=tile_size,
+        n_walkers=walkers,
+        nth=nth,
+        input_ws=input_ws,
+        output_ws_node=output_node,
+        output_ws_thread=output_thread,
+        fits_llc=machine.has_shared_llc
+        and input_ws + output_node <= machine.llc_bytes,
+        fits_accum=output_thread <= machine.accum_budget_bytes,
+    )
+
+
+def max_llc_fitting_tile(
+    machine: MachineSpec,
+    kernel: str,
+    n_splines: int,
+    nth: int = 1,
+    n_grid_points: int = 48 * 48 * 48,
+    itemsize: int = 4,
+) -> int | None:
+    """Largest candidate Nb whose slab + outputs fit the shared LLC.
+
+    Returns None on machines without a shared LLC (KNC/KNL) — where the
+    paper's optimal tile is set by the accumulation budget instead.
+    """
+    if not machine.has_shared_llc:
+        return None
+    walkers = PAPER_WALKERS.get(machine.name, machine.hw_threads) // nth
+    best = None
+    for nb in candidate_tile_sizes(n_splines):
+        input_ws = input_working_set_bytes(n_grid_points, nb, itemsize, nth)
+        output_ws = output_working_set_bytes(
+            kernel, "soa", max(walkers, 1), nb, itemsize, nth
+        )
+        if input_ws + output_ws <= machine.llc_bytes:
+            best = nb
+    return best
+
+
+def max_accum_fitting_tile(
+    machine: MachineSpec,
+    kernel: str,
+    n_splines: int,
+    layout: str = "soa",
+    itemsize: int = 4,
+) -> int | None:
+    """Largest candidate Nb whose per-thread outputs fit the accum budget."""
+    streams = OUTPUT_STREAMS[(kernel, layout)]
+    best = None
+    for nb in candidate_tile_sizes(n_splines):
+        if streams * itemsize * nb <= machine.accum_budget_bytes:
+            best = nb
+    return best

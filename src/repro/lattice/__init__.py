@@ -1,0 +1,44 @@
+"""repro.lattice — simulation cells, PBC, graphite geometry, synthetic SPOs.
+
+* :class:`Cell` — triclinic periodic cells with fractional/Cartesian
+  conversion and supercell tiling.
+* :func:`minimal_image_displacements` / :func:`minimal_image_distances` —
+  PBC pair geometry (orthorhombic fast path + triclinic image search).
+* :func:`graphite_unit_cell`, :func:`coral_4x4x1`, :func:`sweep_system` —
+  the paper's benchmark geometries.
+* :class:`PlaneWaveOrbitalSet` — analytic periodic orbitals substituting
+  for DFT data (see DESIGN.md substitution table).
+"""
+
+from repro.lattice.cell import Cell
+from repro.lattice.graphite import (
+    BenchmarkSystem,
+    coral_4x4x1,
+    graphite_basis_frac,
+    graphite_unit_cell,
+    sweep_system,
+    GRAPHITE_A_BOHR,
+    GRAPHITE_C_BOHR,
+)
+from repro.lattice.orbitals import PlaneWaveOrbitalSet, enumerate_gvectors
+from repro.lattice.pbc import (
+    minimal_image_displacements,
+    minimal_image_distances,
+    wigner_seitz_radius,
+)
+
+__all__ = [
+    "Cell",
+    "BenchmarkSystem",
+    "coral_4x4x1",
+    "sweep_system",
+    "graphite_unit_cell",
+    "graphite_basis_frac",
+    "GRAPHITE_A_BOHR",
+    "GRAPHITE_C_BOHR",
+    "PlaneWaveOrbitalSet",
+    "enumerate_gvectors",
+    "minimal_image_displacements",
+    "minimal_image_distances",
+    "wigner_seitz_radius",
+]

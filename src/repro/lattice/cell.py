@@ -1,0 +1,121 @@
+"""Simulation cells: lattice vectors, coordinate conversions, supercells.
+
+QMC solids calculations run in a periodic simulation cell built by tiling
+a primitive unit cell (paper Fig. 1b: the 4-carbon graphite cell in blue,
+tiled 4x4x1 for the CORAL benchmark).  :class:`Cell` handles the general
+triclinic case; the B-spline grid itself lives in *fractional*
+coordinates, which is how a non-orthorhombic cell maps onto the
+rectangular ``(nx, ny, nz)`` coefficient grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Cell"]
+
+
+class Cell:
+    """A periodic simulation cell defined by three lattice vectors.
+
+    Parameters
+    ----------
+    lattice:
+        ``(3, 3)`` array with lattice vectors as *rows*: ``lattice[0]`` is
+        the a-vector, etc.  Must be right-handed and non-singular.
+
+    Attributes
+    ----------
+    lattice:
+        The row-vector lattice matrix.
+    reciprocal:
+        ``(3, 3)`` matrix with reciprocal-lattice vectors as rows,
+        satisfying ``lattice @ reciprocal.T == 2*pi*I``.
+    volume:
+        Cell volume (always positive).
+    """
+
+    def __init__(self, lattice: np.ndarray):
+        lattice = np.asarray(lattice, dtype=np.float64)
+        if lattice.shape != (3, 3):
+            raise ValueError(f"lattice must be (3, 3), got {lattice.shape}")
+        det = np.linalg.det(lattice)
+        if abs(det) < 1e-12:
+            raise ValueError("lattice vectors are singular")
+        if det < 0:
+            raise ValueError("lattice must be right-handed (positive determinant)")
+        self.lattice = lattice
+        self.volume = det
+        self.reciprocal = 2.0 * np.pi * np.linalg.inv(lattice).T
+        self._inv_lattice = np.linalg.inv(lattice)
+
+    # -- coordinate conversions -------------------------------------------
+
+    def frac_to_cart(self, frac: np.ndarray) -> np.ndarray:
+        """Fractional ``(..., 3)`` coordinates to Cartesian."""
+        return np.asarray(frac, dtype=np.float64) @ self.lattice
+
+    def cart_to_frac(self, cart: np.ndarray) -> np.ndarray:
+        """Cartesian ``(..., 3)`` coordinates to fractional."""
+        return np.asarray(cart, dtype=np.float64) @ self._inv_lattice
+
+    def wrap_frac(self, frac: np.ndarray) -> np.ndarray:
+        """Wrap fractional coordinates into ``[0, 1)`` per component."""
+        return np.asarray(frac, dtype=np.float64) % 1.0
+
+    def wrap_cart(self, cart: np.ndarray) -> np.ndarray:
+        """Wrap Cartesian positions back into the home cell."""
+        return self.frac_to_cart(self.wrap_frac(self.cart_to_frac(cart)))
+
+    # -- geometry helpers ---------------------------------------------------
+
+    @property
+    def is_orthorhombic(self) -> bool:
+        """True when the lattice matrix is diagonal (fast-path PBC applies)."""
+        off = self.lattice - np.diag(np.diag(self.lattice))
+        return bool(np.all(np.abs(off) < 1e-12))
+
+    @property
+    def edge_lengths(self) -> np.ndarray:
+        """Lengths of the three lattice vectors."""
+        return np.linalg.norm(self.lattice, axis=1)
+
+    def supercell(self, tiling: tuple[int, int, int]) -> "Cell":
+        """A new cell tiled ``(ta, tb, tc)`` times along each lattice vector."""
+        ta, tb, tc = tiling
+        if min(ta, tb, tc) < 1:
+            raise ValueError(f"tiling factors must be >= 1, got {tiling}")
+        return Cell(self.lattice * np.asarray([[ta], [tb], [tc]], dtype=np.float64))
+
+    def tile_positions(
+        self, frac_positions: np.ndarray, tiling: tuple[int, int, int]
+    ) -> np.ndarray:
+        """Replicate fractional positions into a supercell.
+
+        Returns fractional coordinates *of the supercell* with shape
+        ``(n * ta * tb * tc, 3)``, ordered image-major (all atoms of image
+        (0,0,0), then image (0,0,1), ...).
+        """
+        frac_positions = np.atleast_2d(np.asarray(frac_positions, dtype=np.float64))
+        ta, tb, tc = tiling
+        shifts = np.array(
+            [(i, j, k) for i in range(ta) for j in range(tb) for k in range(tc)],
+            dtype=np.float64,
+        )
+        tiled = shifts[:, np.newaxis, :] + frac_positions[np.newaxis, :, :]
+        tiled /= np.asarray([ta, tb, tc], dtype=np.float64)
+        return tiled.reshape(-1, 3)
+
+    @classmethod
+    def orthorhombic(cls, lx: float, ly: float, lz: float) -> "Cell":
+        """Convenience constructor for a rectangular box."""
+        return cls(np.diag([lx, ly, lz]))
+
+    @classmethod
+    def cubic(cls, a: float) -> "Cell":
+        """Convenience constructor for a cubic box of edge ``a``."""
+        return cls.orthorhombic(a, a, a)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        e = ", ".join(f"{v:.3f}" for v in self.edge_lengths)
+        return f"Cell(edges=[{e}], volume={self.volume:.3f})"

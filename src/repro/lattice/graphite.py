@@ -1,0 +1,167 @@
+"""AB-stacked graphite geometry and the CORAL 4x4x1 benchmark setup.
+
+The paper's baseline workload is "the CORAL benchmark 4x4x1 problem ...
+256 electrons of 64-atom AB-stacked graphite system consisting of 4 by 4
+periodic images of the 4-atom unit cell ... grid sizes Nx=Ny=48 and Nz=60
+of N=128 orbitals" (Sec. IV).  The performance sweep instead keeps the
+grid at 48x48x48 and scales N from 128 to 4096 "from current day problems
+to large problems planned as the grand-challenge on pre-exascale systems"
+(Sec. VI).
+
+This module provides both geometries plus the benchmark descriptors the
+drivers and benches consume.  Lengths are in Bohr radii (atomic units,
+the QMC convention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lattice.cell import Cell
+
+__all__ = [
+    "GRAPHITE_A_BOHR",
+    "GRAPHITE_C_BOHR",
+    "graphite_unit_cell",
+    "graphite_basis_frac",
+    "BenchmarkSystem",
+    "coral_4x4x1",
+    "sweep_system",
+]
+
+#: In-plane lattice constant of graphite, 2.462 Angstrom in Bohr.
+GRAPHITE_A_BOHR = 4.6527
+#: Out-of-plane (c-axis) lattice constant, 6.707 Angstrom in Bohr.
+GRAPHITE_C_BOHR = 12.6749
+#: Valence electrons per carbon atom with the usual C pseudopotential.
+VALENCE_PER_CARBON = 4
+
+
+def graphite_unit_cell() -> Cell:
+    """The hexagonal 4-atom AB graphite primitive cell (paper Fig. 1b, blue).
+
+    Lattice vectors: a1 = a(1,0,0), a2 = a(-1/2, sqrt(3)/2, 0), a3 = (0,0,c).
+    """
+    a, c = GRAPHITE_A_BOHR, GRAPHITE_C_BOHR
+    return Cell(
+        np.array(
+            [
+                [a, 0.0, 0.0],
+                [-0.5 * a, 0.5 * np.sqrt(3.0) * a, 0.0],
+                [0.0, 0.0, c],
+            ]
+        )
+    )
+
+
+def graphite_basis_frac() -> np.ndarray:
+    """Fractional positions of the 4 carbon atoms (AB stacking).
+
+    Layer A at z=0: atoms at (0,0,0) and (2/3,1/3,0);
+    layer B at z=1/2: atoms at (0,0,1/2) and (1/3,2/3,1/2).
+    """
+    return np.array(
+        [
+            [0.0, 0.0, 0.0],
+            [2.0 / 3.0, 1.0 / 3.0, 0.0],
+            [0.0, 0.0, 0.5],
+            [1.0 / 3.0, 2.0 / 3.0, 0.5],
+        ]
+    )
+
+
+@dataclass(frozen=True)
+class BenchmarkSystem:
+    """Everything a driver needs to set up one benchmark problem.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier.
+    cell:
+        The periodic *simulation* cell (supercell for CORAL).
+    ion_positions:
+        ``(n_ions, 3)`` Cartesian ion positions.
+    n_electrons:
+        Total electron count (both spins).
+    n_orbitals:
+        Splines per determinant, the paper's N (``n_electrons / 2``
+        for the physical systems; free-standing for the sweep).
+    grid_shape:
+        B-spline grid ``(nx, ny, nz)``.
+    """
+
+    name: str
+    cell: Cell
+    ion_positions: np.ndarray
+    n_electrons: int
+    n_orbitals: int
+    grid_shape: tuple[int, int, int]
+
+    @property
+    def n_ions(self) -> int:
+        """Number of ions in the simulation cell."""
+        return self.ion_positions.shape[0]
+
+    @property
+    def n_grid_points(self) -> int:
+        """Ng = nx*ny*nz."""
+        nx, ny, nz = self.grid_shape
+        return nx * ny * nz
+
+
+def coral_4x4x1() -> BenchmarkSystem:
+    """The CORAL 4x4x1 benchmark (paper Sec. IV).
+
+    4x4x1 tiling of the 4-atom cell: 64 carbons, 256 valence electrons,
+    N = 128 orbitals per spin determinant, spline grid 48x48x60.
+    """
+    unit = graphite_unit_cell()
+    tiling = (4, 4, 1)
+    cell = unit.supercell(tiling)
+    frac = unit.tile_positions(graphite_basis_frac(), tiling)
+    ions = cell.frac_to_cart(frac)
+    n_atoms = ions.shape[0]
+    n_el = n_atoms * VALENCE_PER_CARBON
+    return BenchmarkSystem(
+        name="coral-4x4x1",
+        cell=cell,
+        ion_positions=ions,
+        n_electrons=n_el,
+        n_orbitals=n_el // 2,
+        grid_shape=(48, 48, 60),
+    )
+
+
+def sweep_system(
+    n_splines: int, grid: tuple[int, int, int] = (48, 48, 48)
+) -> BenchmarkSystem:
+    """A problem from the paper's N-scaling sweep (Sec. VI).
+
+    The grid stays fixed (default 48^3, "simulating periodic images of
+    the primitive unit cell") while N scales; the carbon count scales
+    with N to keep the physical correspondence of Sec. VI's
+    "64-carbon (128 SPOs) to 2048-carbon (4096 SPOs)" systems.
+
+    Parameters
+    ----------
+    n_splines:
+        N, the number of orbitals; the paper uses {128, 256, ..., 4096}.
+    grid:
+        Spline grid shape; the paper fixes 48x48x48 for the sweep.
+    """
+    if n_splines <= 0:
+        raise ValueError(f"n_splines must be positive, got {n_splines}")
+    unit = graphite_unit_cell()
+    n_atoms = n_splines // 2
+    n_el = 2 * n_splines
+    return BenchmarkSystem(
+        name=f"sweep-N{n_splines}",
+        cell=unit,
+        ion_positions=unit.frac_to_cart(graphite_basis_frac()),
+        n_electrons=n_el,
+        n_orbitals=n_splines,
+        grid_shape=grid,
+    )

@@ -1,0 +1,185 @@
+"""Synthetic periodic orbitals used to fill the B-spline tables.
+
+The paper's coefficient tables come from DFT calculations of graphite —
+data we do not have.  The kernels never look at coefficient *values*
+(only shapes and layout matter for performance), but correctness tests
+and the QMC substrate need real functions, so we substitute plane-wave
+superpositions: smooth, exactly periodic with the simulation cell, and
+with closed-form gradients/Laplacians that make the spline accuracy
+testable analytically (see DESIGN.md, substitution table).
+
+Orbitals are ordered by increasing |G| exactly like the low bands of a
+free-electron solid: orbital ``2m`` is ``cos(G_m . r)`` and ``2m+1`` is
+``sin(G_m . r)`` over the sorted nonzero half-space of reciprocal lattice
+vectors (plus the constant orbital as number 0).  They are mutually
+orthogonal over the cell, so Slater matrices built from them are well
+conditioned.
+
+Because ``G . r`` is linear in the *fractional* coordinates, evaluation
+on the B-spline grid is separable per axis and costs O(Ng * N) with tiny
+constants — important when building tables with thousands of orbitals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lattice.cell import Cell
+
+__all__ = ["enumerate_gvectors", "PlaneWaveOrbitalSet"]
+
+
+def enumerate_gvectors(cell: Cell, count: int, max_index: int = 12) -> np.ndarray:
+    """The ``count`` shortest nonzero half-space reciprocal vectors.
+
+    Integer triples ``(h, k, l)`` are sorted by the length of
+    ``h b1 + k b2 + l b3``; only one of each ``+/-G`` pair is kept (the
+    lexicographically positive one) since cos/sin of ``-G`` duplicate
+    those of ``+G``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(count, 3)`` int64 Miller-index triples.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    rng_idx = np.arange(-max_index, max_index + 1)
+    h, k, l = np.meshgrid(rng_idx, rng_idx, rng_idx, indexing="ij")
+    triples = np.stack([h.ravel(), k.ravel(), l.ravel()], axis=1)
+    # Half space: first nonzero component positive.
+    keep = (
+        (triples[:, 0] > 0)
+        | ((triples[:, 0] == 0) & (triples[:, 1] > 0))
+        | ((triples[:, 0] == 0) & (triples[:, 1] == 0) & (triples[:, 2] > 0))
+    )
+    triples = triples[keep]
+    gcart = triples @ cell.reciprocal
+    order = np.argsort(np.einsum("ij,ij->i", gcart, gcart), kind="stable")
+    triples = triples[order]
+    if len(triples) < count:
+        raise ValueError(
+            f"max_index={max_index} yields only {len(triples)} G-vectors, "
+            f"need {count}; raise max_index"
+        )
+    return triples[:count].astype(np.int64)
+
+
+class PlaneWaveOrbitalSet:
+    """N analytic periodic orbitals on a cell, with exact derivatives.
+
+    Parameters
+    ----------
+    cell:
+        The periodic simulation cell the orbitals live on.
+    n_orbitals:
+        Number of orbitals N.
+    amplitude:
+        Overall scale applied to every orbital (cosmetic).
+    """
+
+    def __init__(self, cell: Cell, n_orbitals: int, amplitude: float = 1.0):
+        if n_orbitals <= 0:
+            raise ValueError(f"n_orbitals must be positive, got {n_orbitals}")
+        self.cell = cell
+        self.n_orbitals = int(n_orbitals)
+        self.amplitude = float(amplitude)
+        # Orbital 0 is the constant; orbitals 2m+1 / 2m+2 are cos/sin of G_m.
+        n_g = (n_orbitals + 1) // 2
+        self._triples = enumerate_gvectors(cell, max(n_g, 1))
+        self._gcart = self._triples @ cell.reciprocal
+
+    def _orbital_plan(self) -> list[tuple[str, int]]:
+        """Per-orbital recipe: ("const", -1), ("cos", m) or ("sin", m)."""
+        plan: list[tuple[str, int]] = [("const", -1)]
+        m = 0
+        while len(plan) < self.n_orbitals:
+            plan.append(("cos", m))
+            if len(plan) < self.n_orbitals:
+                plan.append(("sin", m))
+            m += 1
+        return plan
+
+    def values_on_grid(
+        self, nx: int, ny: int, nz: int, dtype: np.dtype | type = np.float64
+    ) -> np.ndarray:
+        """Sample every orbital on the fractional-coordinate grid.
+
+        Grid point ``(i, j, k)`` sits at fractional coordinate
+        ``(i/nx, j/ny, k/nz)``; the result feeds straight into
+        :func:`repro.core.coeffs.solve_coefficients_3d`.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(nx, ny, nz, N)`` samples in the requested dtype.
+
+        Notes
+        -----
+        ``G . r = 2 pi (h i/nx + k j/ny + l k/nz)`` is separable, so each
+        orbital is assembled from three axis phase vectors via complex
+        outer products — O(Ng) per orbital with no trig on the full grid.
+        """
+        out = np.empty((nx, ny, nz, self.n_orbitals), dtype=dtype)
+        fx = np.arange(nx) / nx
+        fy = np.arange(ny) / ny
+        fz = np.arange(nz) / nz
+        plan = self._orbital_plan()
+        for n, (kind, m) in enumerate(plan):
+            if kind == "const":
+                out[..., n] = self.amplitude
+                continue
+            h, k, l = self._triples[m]
+            ph = (
+                np.exp(2j * np.pi * h * fx)[:, None, None]
+                * np.exp(2j * np.pi * k * fy)[None, :, None]
+                * np.exp(2j * np.pi * l * fz)[None, None, :]
+            )
+            comp = ph.real if kind == "cos" else ph.imag
+            out[..., n] = self.amplitude * comp
+        return out
+
+    def evaluate(self, positions: np.ndarray) -> np.ndarray:
+        """Orbital values at Cartesian positions; shape ``(npos, N)``."""
+        v, _, _ = self.evaluate_vgl(positions)
+        return v
+
+    def evaluate_vgl(
+        self, positions: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Values, Cartesian gradients and Laplacians — all analytic.
+
+        Parameters
+        ----------
+        positions:
+            ``(npos, 3)`` Cartesian positions (any image; periodicity is
+            automatic).
+
+        Returns
+        -------
+        (v, g, lap):
+            ``v`` is ``(npos, N)``, ``g`` is ``(npos, 3, N)``,
+            ``lap`` is ``(npos, N)``.
+        """
+        positions = np.atleast_2d(np.asarray(positions, dtype=np.float64))
+        npos = positions.shape[0]
+        theta = positions @ self._gcart.T  # (npos, n_g)
+        cos_t, sin_t = np.cos(theta), np.sin(theta)
+        g2 = np.einsum("ij,ij->i", self._gcart, self._gcart)
+        v = np.empty((npos, self.n_orbitals))
+        g = np.zeros((npos, 3, self.n_orbitals))
+        lap = np.zeros((npos, self.n_orbitals))
+        for n, (kind, m) in enumerate(self._orbital_plan()):
+            if kind == "const":
+                v[:, n] = self.amplitude
+                continue
+            gv = self._gcart[m]
+            if kind == "cos":
+                v[:, n] = self.amplitude * cos_t[:, m]
+                g[:, :, n] = -self.amplitude * sin_t[:, m : m + 1] * gv
+                lap[:, n] = -self.amplitude * g2[m] * cos_t[:, m]
+            else:
+                v[:, n] = self.amplitude * sin_t[:, m]
+                g[:, :, n] = self.amplitude * cos_t[:, m : m + 1] * gv
+                lap[:, n] = -self.amplitude * g2[m] * sin_t[:, m]
+        return v, g, lap

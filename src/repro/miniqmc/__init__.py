@@ -1,0 +1,44 @@
+"""repro.miniqmc — the miniQMC drivers (paper Figs. 3/6) and the full app.
+
+* :mod:`repro.miniqmc.config` — paper-scale and host-scale configurations;
+* :mod:`repro.miniqmc.driver` — kernel-only drivers for layout studies;
+* :mod:`repro.miniqmc.app` — the profiled full application (Tables II/III
+  and the miniQMC speedup headline).
+"""
+
+from repro.miniqmc.app import (
+    AppInstance,
+    TimedProxy,
+    build_app,
+    profile_shares,
+    run_profiled,
+)
+from repro.miniqmc.config import (
+    MiniQmcConfig,
+    live_app_config,
+    live_kernel_config,
+    paper_coral,
+    paper_sweep_sizes,
+    random_coefficients,
+)
+from repro.miniqmc.driver import DriverResult, run_kernel_driver, run_tiled_driver
+from repro.miniqmc.ensemble import EnsembleResult, WalkerEnsemble
+
+__all__ = [
+    "MiniQmcConfig",
+    "paper_coral",
+    "paper_sweep_sizes",
+    "live_kernel_config",
+    "live_app_config",
+    "random_coefficients",
+    "DriverResult",
+    "run_kernel_driver",
+    "run_tiled_driver",
+    "WalkerEnsemble",
+    "EnsembleResult",
+    "AppInstance",
+    "TimedProxy",
+    "build_app",
+    "run_profiled",
+    "profile_shares",
+]

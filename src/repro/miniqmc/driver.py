@@ -1,0 +1,157 @@
+"""miniQMC kernel drivers — the Python port of paper Figs. 3 and 6.
+
+``run_kernel_driver`` is Fig. 3: per walker, generate ns random positions
+and push them through V, VGL and VGH against a shared read-only table.
+``run_tiled_driver`` is Fig. 6: the same samples against an AoSoA engine,
+optionally with nested threads per walker (Opt C).
+
+On this host walkers execute sequentially (one core); since walkers share
+nothing but the read-only table, per-eval cost — and therefore every
+layout *comparison* — is unaffected.  The returned
+:class:`DriverResult` carries the paper's throughput metric per kernel.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.grid import Grid3D
+from repro.core.layout_aos import BsplineAoS
+from repro.core.layout_aosoa import BsplineAoSoA
+from repro.core.layout_fused import BsplineFused
+from repro.core.layout_soa import BsplineSoA
+from repro.core.nested import NestedEvaluator
+from repro.miniqmc.config import MiniQmcConfig, random_coefficients
+from repro.perf.throughput import throughput
+
+__all__ = ["DriverResult", "run_kernel_driver", "run_tiled_driver"]
+
+_ENGINES = {"aos": BsplineAoS, "soa": BsplineSoA, "fused": BsplineFused}
+
+
+@dataclass
+class DriverResult:
+    """Timings and throughputs of one driver run.
+
+    Attributes
+    ----------
+    seconds:
+        Wall time per kernel ("v"/"vgl"/"vgh"), summed over walkers and
+        iterations.
+    throughputs:
+        The paper's T = Nw*N*evals/t per kernel.
+    evals:
+        Kernel calls per kernel name.
+    """
+
+    config: MiniQmcConfig
+    engine: str
+    seconds: dict[str, float] = field(default_factory=dict)
+    throughputs: dict[str, float] = field(default_factory=dict)
+    evals: dict[str, int] = field(default_factory=dict)
+
+
+def _finalize(result: DriverResult) -> DriverResult:
+    cfg = result.config
+    for kern, secs in result.seconds.items():
+        n_evals = result.evals[kern]
+        if secs > 0:
+            result.throughputs[kern] = throughput(
+                1, cfg.n_splines, secs, n_evals
+            )
+    return result
+
+
+def run_kernel_driver(
+    config: MiniQmcConfig,
+    engine: str = "soa",
+    kernels: tuple[str, ...] = ("v", "vgl", "vgh"),
+    coefficients: np.ndarray | None = None,
+) -> DriverResult:
+    """Paper Fig. 3: the flat (untiled) miniQMC kernel loop.
+
+    Parameters
+    ----------
+    config:
+        Problem and batch sizes.
+    engine:
+        ``"aos"``, ``"soa"`` or ``"fused"``.
+    kernels:
+        Which kernels to time.
+    coefficients:
+        Reuse a prebuilt table (avoids rebuilding across engine
+        comparisons); defaults to a fresh random table.
+    """
+    if engine not in _ENGINES:
+        raise ValueError(f"unknown engine {engine!r}")
+    nx, ny, nz = config.grid_shape
+    grid = Grid3D(nx, ny, nz)
+    P = coefficients if coefficients is not None else random_coefficients(config)
+    eng = _ENGINES[engine](grid, P)
+    result = DriverResult(config=config, engine=engine)
+    rng = np.random.default_rng(config.seed + 1)
+    for kern in kernels:
+        out = eng.new_output(kern)
+        kern_fn = getattr(eng, kern)
+        total = 0.0
+        count = 0
+        for _walker in range(config.n_walkers):
+            positions = grid.random_positions(config.n_samples, rng)
+            t0 = time.perf_counter()
+            for _ in range(config.n_iters):
+                for x, y, z in positions:
+                    kern_fn(x, y, z, out)
+            total += time.perf_counter() - t0
+            count += config.n_iters * config.n_samples
+        result.seconds[kern] = total
+        result.evals[kern] = count
+    return _finalize(result)
+
+
+def run_tiled_driver(
+    config: MiniQmcConfig,
+    n_threads: int = 1,
+    kernels: tuple[str, ...] = ("v", "vgl", "vgh"),
+    coefficients: np.ndarray | None = None,
+) -> DriverResult:
+    """Paper Fig. 6: the AoSoA driver, optionally nested (Opt C).
+
+    Requires ``config.tile_size``; with ``n_threads > 1`` the tiles of
+    each walker are distributed over a thread pool exactly as Sec. V-C
+    describes.
+    """
+    if not config.tile_size:
+        raise ValueError("run_tiled_driver requires config.tile_size")
+    nx, ny, nz = config.grid_shape
+    grid = Grid3D(nx, ny, nz)
+    P = coefficients if coefficients is not None else random_coefficients(config)
+    eng = BsplineAoSoA(grid, P, config.tile_size)
+    result = DriverResult(config=config, engine=f"aosoa{config.tile_size}")
+    rng = np.random.default_rng(config.seed + 1)
+    nested = NestedEvaluator(eng, n_threads) if n_threads > 1 else None
+    try:
+        for kern in kernels:
+            out = eng.new_output(kern)
+            total = 0.0
+            count = 0
+            for _walker in range(config.n_walkers):
+                positions = grid.random_positions(config.n_samples, rng)
+                t0 = time.perf_counter()
+                for _ in range(config.n_iters):
+                    if nested is not None:
+                        nested.evaluate(kern, positions, out)
+                    else:
+                        kern_fn = getattr(eng, kern)
+                        for x, y, z in positions:
+                            kern_fn(x, y, z, out)
+                total += time.perf_counter() - t0
+                count += config.n_iters * config.n_samples
+            result.seconds[kern] = total
+            result.evals[kern] = count
+    finally:
+        if nested is not None:
+            nested.close()
+    return _finalize(result)

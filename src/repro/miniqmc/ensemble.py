@@ -1,0 +1,133 @@
+"""Walker-ensemble driver — the paper's outer parallelism level.
+
+Paper Fig. 3, L12-13: independent walkers are created in an
+``omp parallel`` region, each with private outputs, sharing only the
+read-only coefficient table.  This module is that outer level: it owns
+``Nw`` walkers, runs their sample batches (optionally on a thread pool —
+walker-level threading is the *conventional* QMC parallelization the
+paper contrasts with Opt C), and accounts the memory the paper worries
+about: "the overall memory usage on a node increase[s] as O(Nw N^2)".
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.grid import Grid3D
+from repro.core.layout_fused import BsplineFused
+from repro.core.layout_soa import BsplineSoA
+from repro.core.layout_aos import BsplineAoS
+from repro.perf.throughput import throughput
+
+__all__ = ["EnsembleResult", "WalkerEnsemble"]
+
+_ENGINES = {"aos": BsplineAoS, "soa": BsplineSoA, "fused": BsplineFused}
+
+
+@dataclass
+class EnsembleResult:
+    """Outcome of one ensemble batch run."""
+
+    n_walkers: int
+    n_samples: int
+    kernel: str
+    seconds: float
+    throughput: float
+    output_bytes_per_walker: int
+    table_bytes: int
+
+    @property
+    def total_output_bytes(self) -> int:
+        """The O(Nw * N) walker-private output footprint."""
+        return self.n_walkers * self.output_bytes_per_walker
+
+
+class WalkerEnsemble:
+    """Nw independent walkers over one shared read-only table.
+
+    Parameters
+    ----------
+    grid:
+        The interpolation grid.
+    coefficients:
+        The shared table (never copied; sharing it is the point —
+        "all the threads share the read only coefficient table", Sec. III).
+    n_walkers:
+        Ensemble size.
+    engine:
+        ``"aos"``, ``"soa"`` or ``"fused"``.
+    seed:
+        Master seed; each walker draws its own position stream.
+    """
+
+    def __init__(
+        self,
+        grid: Grid3D,
+        coefficients: np.ndarray,
+        n_walkers: int,
+        engine: str = "soa",
+        seed: int = 2017,
+    ):
+        if n_walkers <= 0:
+            raise ValueError(f"n_walkers must be positive, got {n_walkers}")
+        if engine not in _ENGINES:
+            raise ValueError(f"unknown engine {engine!r}")
+        self.grid = grid
+        self.engine_kind = engine
+        self.n_walkers = int(n_walkers)
+        # ONE engine object: the table is shared; outputs are per walker.
+        self.engine = _ENGINES[engine](grid, coefficients)
+        self.outputs = [self.engine.new_output("vgh") for _ in range(n_walkers)]
+        seqs = np.random.SeedSequence(seed).spawn(n_walkers)
+        self.rngs = [np.random.default_rng(s) for s in seqs]
+        self.table_bytes = coefficients.nbytes
+
+    def run_batch(
+        self,
+        kernel: str = "vgh",
+        n_samples: int = 8,
+        walker_threads: int = 1,
+    ) -> EnsembleResult:
+        """Every walker evaluates ``kernel`` at ``n_samples`` fresh points.
+
+        Parameters
+        ----------
+        walker_threads:
+            Size of the walker-level thread pool (the conventional QMC
+            parallelization; 1 = sequential walkers).
+        """
+        if kernel not in ("v", "vgl", "vgh"):
+            raise ValueError(f"unknown kernel {kernel!r}")
+        kern = getattr(self.engine, kernel)
+
+        def one_walker(w: int) -> None:
+            positions = self.grid.random_positions(n_samples, self.rngs[w])
+            out = self.outputs[w]
+            for x, y, z in positions:
+                kern(x, y, z, out)
+
+        t0 = time.perf_counter()
+        if walker_threads > 1:
+            with ThreadPoolExecutor(max_workers=walker_threads) as pool:
+                list(pool.map(one_walker, range(self.n_walkers)))
+        else:
+            for w in range(self.n_walkers):
+                one_walker(w)
+        secs = time.perf_counter() - t0
+
+        per_walker = self.outputs[0].output_bytes[kernel]
+        return EnsembleResult(
+            n_walkers=self.n_walkers,
+            n_samples=n_samples,
+            kernel=kernel,
+            seconds=secs,
+            throughput=throughput(
+                self.n_walkers, self.engine.n_splines, secs, n_samples
+            ),
+            output_bytes_per_walker=per_walker,
+            table_bytes=self.table_bytes,
+        )

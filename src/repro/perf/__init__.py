@@ -1,0 +1,19 @@
+"""repro.perf — timing, the paper's throughput metric, sweeps, reporting."""
+
+from repro.perf.report import format_bars, format_series, format_table, paper_vs_model_row
+from repro.perf.sweep import sweep
+from repro.perf.throughput import parallel_efficiency, speedup, throughput
+from repro.perf.timer import SectionTimers, best_of
+
+__all__ = [
+    "best_of",
+    "SectionTimers",
+    "throughput",
+    "speedup",
+    "parallel_efficiency",
+    "sweep",
+    "format_table",
+    "format_series",
+    "format_bars",
+    "paper_vs_model_row",
+]

@@ -1,0 +1,93 @@
+"""ASCII tables and series rendering for the benchmark harness.
+
+Every bench prints the same rows/series the paper reports; this module
+keeps the formatting in one place so `pytest benchmarks/ -s` output reads
+like the paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_series", "format_bars", "paper_vs_model_row"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str | None = None,
+    floatfmt: str = "{:.2f}",
+) -> str:
+    """Render a fixed-width ASCII table.
+
+    Floats are formatted with ``floatfmt``; everything else with str().
+    """
+    def cell(v) -> str:
+        if isinstance(v, float):
+            return floatfmt.format(v)
+        return str(v)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in str_rows)) if str_rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for r in str_rows:
+        lines.append(" | ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence,
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+) -> str:
+    """Render named series against an x-axis as a table (figure-as-text)."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x] + [s[i] for s in series.values()])
+    return format_table(headers, rows, title=title, floatfmt="{:.3g}")
+
+
+def paper_vs_model_row(
+    label: str, paper_value: float, model_value: float
+) -> list:
+    """A standard comparison row: label, paper, model, ratio."""
+    ratio = model_value / paper_value if paper_value else float("nan")
+    return [label, paper_value, model_value, ratio]
+
+
+def format_bars(
+    labels: Sequence,
+    values: Sequence[float],
+    title: str | None = None,
+    width: int = 48,
+) -> str:
+    """Render a horizontal ASCII bar chart (figures as text).
+
+    Bars are scaled to the maximum value; each row shows label, value and
+    bar.  Used by the CLI to give the *figure* targets a visual shape on
+    top of the numeric series.
+    """
+    values = [float(v) for v in values]
+    if not values:
+        raise ValueError("need at least one value")
+    peak = max(values)
+    if peak <= 0:
+        raise ValueError("values must contain something positive")
+    lines = []
+    if title:
+        lines.append(title)
+    label_w = max(len(str(l)) for l in labels)
+    for label, v in zip(labels, values):
+        bar = "#" * max(int(round(width * v / peak)), 0)
+        lines.append(f"{str(label).rjust(label_w)} | {v:10.3g} | {bar}")
+    return "\n".join(lines)

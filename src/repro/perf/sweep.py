@@ -1,0 +1,50 @@
+"""Parameter-sweep harness for benches and tuning runs.
+
+A tiny, explicit alternative to ad-hoc nested loops: declare the axes,
+get every combination with labels attached, collect rows ready for
+:func:`repro.perf.report.format_table`.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Callable, Sequence
+
+__all__ = ["sweep"]
+
+
+def sweep(
+    func: Callable[..., dict | float],
+    axes: dict[str, Sequence],
+    fixed: dict | None = None,
+) -> list[dict]:
+    """Run ``func`` over the cartesian product of ``axes``.
+
+    Parameters
+    ----------
+    func:
+        Called as ``func(**point, **fixed)``; may return a scalar (stored
+        under ``"value"``) or a dict of result fields.
+    axes:
+        Ordered mapping of parameter name -> values to sweep.
+    fixed:
+        Extra keyword arguments passed unchanged to every call.
+
+    Returns
+    -------
+    list of dict
+        One record per point: the axis values plus the result fields.
+    """
+    fixed = fixed or {}
+    names = list(axes)
+    records = []
+    for combo in product(*(axes[n] for n in names)):
+        point = dict(zip(names, combo))
+        result = func(**point, **fixed)
+        record = dict(point)
+        if isinstance(result, dict):
+            record.update(result)
+        else:
+            record["value"] = result
+        records.append(record)
+    return records

@@ -1,0 +1,51 @@
+"""The paper's throughput metric and derived quantities.
+
+Paper Sec. VI: "We use T for the throughput per node, a QMC specific
+metric (operations/sec) ... computed as T_X = Nw*N/t_X, where t_X is the
+total time for X = V, VGL or VGH ... For the ideal performance, T should
+be independent of N and the grid sizes."  Speedup is the ratio of T
+before and after an optimization at equal node counts; parallel
+efficiency is speedup over the resource factor.
+"""
+
+from __future__ import annotations
+
+__all__ = ["throughput", "speedup", "parallel_efficiency"]
+
+
+def throughput(n_walkers: int, n_splines: int, total_seconds: float, n_evals: int = 1) -> float:
+    """T = Nw * N * evals / t — spline-values produced per second.
+
+    Parameters
+    ----------
+    n_walkers:
+        Walkers that ran concurrently.
+    n_splines:
+        Splines evaluated per kernel call.
+    total_seconds:
+        Wall time for the whole batch.
+    n_evals:
+        Kernel calls per walker in the batch (the paper's ns * niters).
+    """
+    if total_seconds <= 0:
+        raise ValueError(f"total_seconds must be positive, got {total_seconds}")
+    if n_walkers <= 0 or n_splines <= 0 or n_evals <= 0:
+        raise ValueError("walker, spline and eval counts must be positive")
+    return n_walkers * n_splines * n_evals / total_seconds
+
+
+def speedup(t_optimized: float, t_baseline: float) -> float:
+    """Throughput ratio optimized/baseline (same node count).
+
+    Accepts throughputs (higher = better).  For *times*, swap arguments.
+    """
+    if t_baseline <= 0:
+        raise ValueError(f"baseline throughput must be positive, got {t_baseline}")
+    return t_optimized / t_baseline
+
+
+def parallel_efficiency(speedup_value: float, resource_factor: int) -> float:
+    """Speedup divided by the resource multiplier (threads, nodes)."""
+    if resource_factor <= 0:
+        raise ValueError(f"resource_factor must be positive, got {resource_factor}")
+    return speedup_value / resource_factor

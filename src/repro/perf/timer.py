@@ -1,0 +1,81 @@
+"""Timing utilities: repeat-min measurement and section timers.
+
+Follows the measurement discipline of the optimization guides: no
+optimization without measuring, best-of-repeats for microbenchmarks (the
+minimum is the least-noise estimator of the true cost on an otherwise
+idle machine), and named section accumulation for profile breakdowns.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["best_of", "SectionTimers"]
+
+
+def best_of(func, repeats: int = 3, *args, **kwargs) -> float:
+    """Best-of-``repeats`` wall-clock seconds for ``func(*args, **kwargs)``.
+
+    Returns the minimum across repeats; the callable's return value is
+    discarded (measure side-effect-free closures).
+    """
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        func(*args, **kwargs)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+class SectionTimers:
+    """Named accumulating timers for run-time profile breakdowns.
+
+    The tool behind the Table II/III reproductions: drivers wrap each
+    kernel group (``bspline``, ``distance_tables``, ``jastrow``, ...) in
+    :meth:`section` and read percentage shares at the end.
+    """
+
+    def __init__(self):
+        self._elapsed: dict[str, float] = {}
+        self._counts: dict[str, int] = {}
+
+    @contextmanager
+    def section(self, name: str):
+        """Context manager accumulating wall time under ``name``."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            dt = time.perf_counter() - t0
+            self._elapsed[name] = self._elapsed.get(name, 0.0) + dt
+            self._counts[name] = self._counts.get(name, 0) + 1
+
+    def add(self, name: str, seconds: float) -> None:
+        """Manually accumulate time under ``name``."""
+        self._elapsed[name] = self._elapsed.get(name, 0.0) + seconds
+        self._counts[name] = self._counts.get(name, 0) + 1
+
+    @property
+    def elapsed(self) -> dict[str, float]:
+        """Accumulated seconds per section (copy)."""
+        return dict(self._elapsed)
+
+    @property
+    def total(self) -> float:
+        """Sum over all sections."""
+        return sum(self._elapsed.values())
+
+    def shares(self) -> dict[str, float]:
+        """Per-section percentage of the total (the Table II/III format)."""
+        tot = self.total
+        if tot == 0.0:
+            return {k: 0.0 for k in self._elapsed}
+        return {k: 100.0 * v / tot for k, v in self._elapsed.items()}
+
+    def reset(self) -> None:
+        """Zero all accumulators."""
+        self._elapsed.clear()
+        self._counts.clear()

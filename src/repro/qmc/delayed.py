@@ -1,0 +1,173 @@
+"""Delayed (rank-k) determinant updates — the follow-up to Sherman-Morrison.
+
+The paper's Eq.-3 machinery applies a rank-1 Sherman-Morrison update per
+accepted move: an O(N^2) *write* of the whole inverse every time.  The
+QMCPACK line of work this paper belongs to later replaced it with
+*delayed updates* (McDaniel et al.): accumulate up to ``k`` accepted rows
+and apply them in one rank-k Woodbury step, turning k full-matrix writes
+into one GEMM — the same trade (restructure for memory behaviour, keep
+the math identical) the paper makes for the B-spline kernels.
+
+Math: after j accepted row replacements ``A' = A0 + sum_i e_{r_i} d_i^T``
+with ``d_i = u_i - A0[r_i, :]``, Woodbury gives
+
+    Ainv' = Ainv0 - X S^{-1} W,
+    X = Ainv0[:, r_1..r_j]            (a column gather, free),
+    W rows  w_i = u_i @ Ainv0 - e_{r_i}^T   (one matvec per accept),
+    S = I_j + W[:, r_1..r_j].
+
+A trial ratio against the *effective* inverse then costs O(N j + j^2)
+instead of O(N): ``Ainv'[:, e] = Ainv0[:, e] - X S^{-1} W[:, e]``.
+
+The class mirrors :class:`~repro.qmc.determinant.DiracDeterminant`'s
+protocol (``ratio`` / ``accept_move`` / ``reject_move``) and is validated
+against it move for move.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DelayedDeterminant"]
+
+
+class DelayedDeterminant:
+    """Square Slater matrix with rank-k delayed inverse updates.
+
+    Parameters
+    ----------
+    phi_matrix:
+        Initial ``(n, n)`` Slater matrix (non-singular, finite).
+    delay:
+        Maximum accepted moves accumulated before the Woodbury flush
+        (``k``); ``delay=1`` degenerates to per-move updates.
+    """
+
+    def __init__(self, phi_matrix: np.ndarray, delay: int = 8):
+        A = np.array(phi_matrix, dtype=np.float64)
+        if A.ndim != 2 or A.shape[0] != A.shape[1]:
+            raise ValueError(f"Slater matrix must be square, got {A.shape}")
+        if not np.isfinite(A).all():
+            raise ValueError("Slater matrix contains non-finite entries")
+        if delay < 1:
+            raise ValueError(f"delay must be >= 1, got {delay}")
+        self.n = A.shape[0]
+        self.delay = int(delay)
+        self.A = A
+        sign, logdet = np.linalg.slogdet(A)
+        if sign == 0:
+            raise ValueError("Slater matrix is singular")
+        self.sign = float(sign)
+        self.log_det = float(logdet)
+        self.Ainv = np.linalg.inv(A)  # the *base* inverse (stale during delay)
+        # Delay-window state.
+        self._rows: list[int] = []
+        self._W: list[np.ndarray] = []  # w_i = u_i @ Ainv0 - e_{r_i}
+        self._staged: tuple[int, np.ndarray, float] | None = None
+        self.n_flushes = 0
+
+    # -- effective-inverse algebra ------------------------------------------
+
+    def _s_matrix(self) -> np.ndarray:
+        j = len(self._rows)
+        W_cols = np.array([[w[r] for r in self._rows] for w in self._W])
+        return np.eye(j) + W_cols
+
+    def _effective_column(self, e: int) -> np.ndarray:
+        """``Ainv_eff[:, e]`` including the pending delayed updates."""
+        col = self.Ainv[:, e].copy()
+        if not self._rows:
+            return col
+        X = self.Ainv[:, self._rows]  # (n, j)
+        W_e = np.array([w[e] for w in self._W])  # (j,)
+        S = self._s_matrix()
+        col -= X @ np.linalg.solve(S, W_e)
+        return col
+
+    def effective_inverse(self) -> np.ndarray:
+        """The full effective inverse (O(N^2 j); for tests/diagnostics)."""
+        if not self._rows:
+            return self.Ainv.copy()
+        X = self.Ainv[:, self._rows]
+        W = np.array(self._W)
+        S = self._s_matrix()
+        return self.Ainv - X @ np.linalg.solve(S, W)
+
+    # -- move protocol ---------------------------------------------------------
+
+    def ratio(self, e: int, phi_row: np.ndarray) -> float:
+        """Eq.-3 ratio against the effective (delayed) inverse."""
+        phi_row = np.asarray(phi_row, dtype=np.float64)
+        if phi_row.shape != (self.n,):
+            raise ValueError(f"expected ({self.n},) orbital row, got {phi_row.shape}")
+        r = float(phi_row @ self._effective_column(e))
+        self._staged = (e, phi_row, r)
+        return r
+
+    def accept_move(self, e: int) -> None:
+        """Append the staged row to the delay window; flush when full."""
+        if self._staged is None or self._staged[0] != e:
+            raise RuntimeError(f"no staged ratio for electron {e}")
+        _, u, r = self._staged
+        if r == 0.0:
+            raise ZeroDivisionError("cannot accept a move with zero det ratio")
+        # w encodes d^T Ainv0 where d is the row change relative to the
+        # row's *current* contents.  For a row already updated inside this
+        # delay window, "current" is the sum of A0's row and the earlier
+        # deltas, so their w's must be subtracted out.
+        w = u @ self.Ainv
+        w[e] -= 1.0
+        for i, prev_row in enumerate(self._rows):
+            if prev_row == e:
+                w -= self._W[i]
+        self._rows.append(e)
+        self._W.append(w)
+        self.A[e, :] = u
+        self.log_det += float(np.log(abs(r)))
+        if r < 0.0:
+            self.sign = -self.sign
+        self._staged = None
+        if len(self._rows) >= self.delay:
+            self.flush()
+
+    def reject_move(self, e: int) -> None:
+        """Drop the staged row."""
+        if self._staged is None or self._staged[0] != e:
+            raise RuntimeError(f"no staged ratio for electron {e}")
+        self._staged = None
+
+    def flush(self) -> None:
+        """Apply the pending rank-k Woodbury update to the base inverse."""
+        if not self._rows:
+            return
+        X = self.Ainv[:, self._rows].copy()  # gather BEFORE mutating Ainv
+        W = np.array(self._W)
+        S = self._s_matrix()
+        self.Ainv -= X @ np.linalg.solve(S, W)  # the one GEMM
+        self._rows.clear()
+        self._W.clear()
+        self.n_flushes += 1
+
+    @property
+    def pending(self) -> int:
+        """Accepted moves waiting in the delay window."""
+        return len(self._rows)
+
+    @property
+    def update_error(self) -> float:
+        """Max-abs deviation of ``A @ Ainv_eff`` from identity."""
+        return float(
+            np.abs(self.A @ self.effective_inverse() - np.eye(self.n)).max()
+        )
+
+    def recompute(self) -> None:
+        """Discard delayed state; rebuild the inverse from the matrix."""
+        self._rows.clear()
+        self._W.clear()
+        self._staged = None
+        sign, logdet = np.linalg.slogdet(self.A)
+        if sign == 0:
+            raise ValueError("Slater matrix is singular")
+        self.sign = float(sign)
+        self.log_det = float(logdet)
+        self.Ainv = np.linalg.inv(self.A)

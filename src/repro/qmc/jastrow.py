@@ -1,0 +1,234 @@
+"""One- and two-body Jastrow factors on B-spline radial functions.
+
+The Jastrow factor is the third major profile component (paper Table II:
+13-21%).  Its radial functions u(r) are short-ranged 1D cubic B-splines
+(:class:`repro.core.spline1d.CubicBspline1D`), evaluated over distance-
+table rows — contiguous streams in the SoA layout, strided in AoS, which
+is exactly where the paper's container transformation pays off.
+
+Conventions
+-----------
+log Psi contributions (so *larger* J means larger amplitude):
+
+* two-body:  J2 = - sum_{i<j} u2(r_ij)
+* one-body:  J1 = - sum_{i,I} u1(r_iI)
+
+Per-electron derivatives (for drift and kinetic energy):
+
+* grad_i J  = - sum_j u'(r_ij) * (r_i - r_j) / r_ij
+* lap_i J   = - sum_j [ u''(r_ij) + 2 u'(r_ij) / r_ij ]
+
+Both factors implement the same staged-move protocol as the distance
+tables: ``ratio(i)`` evaluates against the table's *temp* row, and
+``accept_move(i)`` commits cached per-particle state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.spline1d import CubicBspline1D
+from repro.qmc.distance_tables import DistanceTableAA, DistanceTableAB
+
+__all__ = ["make_polynomial_radial", "TwoBodyJastrow", "OneBodyJastrow"]
+
+
+def make_polynomial_radial(
+    strength: float, rcut: float, n_knots: int = 12, power: int = 3
+) -> CubicBspline1D:
+    """A smooth short-ranged radial function u(r) = a (1 - r/rc)^p.
+
+    Vanishes with zero slope at the cutoff (for p >= 2), the smoothness
+    condition QMC Jastrows need so energies are continuous as particles
+    cross the cutoff sphere.
+
+    Parameters
+    ----------
+    strength:
+        Prefactor ``a``; positive values make same-charge particles avoid
+        each other (since J contributes ``-u``).
+    rcut:
+        Cutoff radius; must not exceed the cell's Wigner-Seitz radius
+        (callers check).
+    n_knots:
+        Spline resolution.
+    power:
+        Polynomial power ``p``.
+    """
+    if rcut <= 0:
+        raise ValueError(f"rcut must be positive, got {rcut}")
+    return CubicBspline1D.fit_function(
+        lambda r: strength * (1.0 - r / rcut) ** power,
+        rcut,
+        n_knots=n_knots,
+        bc="clamped",
+        deriv0=-strength * power / rcut,
+        deriv1=0.0,
+    )
+
+
+class _JastrowBase:
+    """Shared math for summing u over a distance-table row."""
+
+    def __init__(self, ufunc: CubicBspline1D, layout: str):
+        self.u = ufunc
+        self.layout = layout
+
+    def _row_terms(
+        self, dist_row: np.ndarray, exclude: int | None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """u, u', u'' over one distance row plus the valid-pair mask.
+
+        ``exclude`` masks the self entry of AA rows; zero-distance entries
+        are masked as well (they can only be the self entry anyway).
+        """
+        mask = dist_row > 0.0
+        if exclude is not None:
+            mask = mask.copy()
+            mask[exclude] = False
+        v, dv, d2v = self.u.evaluate_vgl(dist_row)
+        v = np.where(mask, v, 0.0)
+        dv = np.where(mask, dv, 0.0)
+        d2v = np.where(mask, d2v, 0.0)
+        return v, dv, d2v, mask
+
+    def _grad_lap_from_row(
+        self,
+        dist_row: np.ndarray,
+        disp_row: np.ndarray,
+        exclude: int | None,
+    ) -> tuple[np.ndarray, float]:
+        """(grad_i J, lap_i J) from one row; handles both layouts."""
+        _, dv, d2v, mask = self._row_terms(dist_row, exclude)
+        safe_r = np.where(mask, dist_row, 1.0)
+        w = dv / safe_r  # u'(r)/r per pair, zero where masked
+        if self.layout == "aos":
+            grad = -(w[:, np.newaxis] * disp_row).sum(axis=0)
+        else:
+            grad = -np.array(
+                [np.dot(w, disp_row[0]), np.dot(w, disp_row[1]), np.dot(w, disp_row[2])]
+            )
+        lap = -float(np.sum(d2v + 2.0 * w))
+        return grad, lap
+
+
+class TwoBodyJastrow(_JastrowBase):
+    """Electron-electron Jastrow J2 = -sum_{i<j} u(r_ij).
+
+    Parameters
+    ----------
+    table:
+        The electron-electron :class:`DistanceTableAA`; the Jastrow reads
+        rows from it and inherits its layout.
+    ufunc:
+        The radial function.
+    """
+
+    def __init__(self, table: DistanceTableAA, ufunc: CubicBspline1D):
+        super().__init__(ufunc, table.layout)
+        self.table = table
+        self.n = len(table.pset)
+        # Per-particle sums U[i] = sum_{j != i} u(r_ij); J2 = -sum(U)/2.
+        self._usum = np.zeros(self.n)
+        self._usum_temp = 0.0
+        self._urow_temp = np.zeros(self.n)
+        self._urow_old = np.zeros(self.n)
+        self.recompute()
+
+    def recompute(self) -> None:
+        """Rebuild per-particle u-sums from the committed table."""
+        for i in range(self.n):
+            v, _, _, _ = self._row_terms(self.table.row(i), i)
+            self._usum[i] = v.sum()
+
+    def log_value(self) -> float:
+        """J2 contribution to log Psi."""
+        return -0.5 * float(self._usum.sum())
+
+    def ratio(self, i: int) -> float:
+        """exp(J2_new - J2_old) for the staged move of particle ``i``.
+
+        Requires ``table.propose_row(i, ...)`` to have been called.
+        """
+        v_new, _, _, _ = self._row_terms(self.table.temp_dist, i)
+        v_old, _, _, _ = self._row_terms(self.table.row(i), i)
+        self._urow_temp[...] = v_new
+        self._urow_old[...] = v_old
+        self._usum_temp = float(v_new.sum())
+        return float(np.exp(-(self._usum_temp - self._usum[i])))
+
+    def accept_move(self, i: int) -> None:
+        """Commit the staged move's cached u-sums (table committed separately)."""
+        delta = self._urow_temp - self._urow_old
+        self._usum += delta
+        self._usum[i] = self._usum_temp
+
+    def grad(self, i: int) -> np.ndarray:
+        """grad_i J2 from the committed table."""
+        g, _ = self._grad_lap_from_row(self.table.row(i), self.table.disp_row(i), i)
+        return g
+
+    def grad_temp(self, i: int) -> np.ndarray:
+        """grad_i J2 at the staged position (for drift in proposals)."""
+        g, _ = self._grad_lap_from_row(self.table.temp_dist, self.table.temp_disp, i)
+        return g
+
+    def grad_lap(self, i: int) -> tuple[np.ndarray, float]:
+        """(grad_i J2, lap_i J2) from the committed table."""
+        return self._grad_lap_from_row(self.table.row(i), self.table.disp_row(i), i)
+
+
+class OneBodyJastrow(_JastrowBase):
+    """Electron-ion Jastrow J1 = -sum_{i,I} u(r_iI).
+
+    Parameters
+    ----------
+    table:
+        The ion->electron :class:`DistanceTableAB` (row per electron).
+    ufunc:
+        The radial function.
+    """
+
+    def __init__(self, table: DistanceTableAB, ufunc: CubicBspline1D):
+        super().__init__(ufunc, table.layout)
+        self.table = table
+        self.n = len(table.targets)
+        self._usum = np.zeros(self.n)
+        self._usum_temp = 0.0
+        self.recompute()
+
+    def recompute(self) -> None:
+        """Rebuild per-electron u-sums from the committed table."""
+        for i in range(self.n):
+            v, _, _, _ = self._row_terms(self.table.row(i), None)
+            self._usum[i] = v.sum()
+
+    def log_value(self) -> float:
+        """J1 contribution to log Psi."""
+        return -float(self._usum.sum())
+
+    def ratio(self, i: int) -> float:
+        """exp(J1_new - J1_old) for the staged move of electron ``i``."""
+        v_new, _, _, _ = self._row_terms(self.table.temp_dist, None)
+        self._usum_temp = float(v_new.sum())
+        return float(np.exp(-(self._usum_temp - self._usum[i])))
+
+    def accept_move(self, i: int) -> None:
+        """Commit the staged move's cached u-sum."""
+        self._usum[i] = self._usum_temp
+
+    def grad(self, i: int) -> np.ndarray:
+        """grad_i J1 from the committed table."""
+        g, _ = self._grad_lap_from_row(self.table.row(i), self.table.disp_row(i), None)
+        return g
+
+    def grad_temp(self, i: int) -> np.ndarray:
+        """grad_i J1 at the staged position."""
+        g, _ = self._grad_lap_from_row(
+            self.table.temp_dist, self.table.temp_disp, None
+        )
+        return g
+
+    def grad_lap(self, i: int) -> tuple[np.ndarray, float]:
+        """(grad_i J1, lap_i J1) from the committed table."""
+        return self._grad_lap_from_row(self.table.row(i), self.table.disp_row(i), None)

@@ -1,0 +1,130 @@
+"""Structural observables: pair correlation and static structure factor.
+
+Beyond the local energy, production QMC accumulates structural
+observables every measurement stage (paper Sec. III: "the physical
+quantities (observables) ... are computed for each walker").  The two
+implemented here are the standard pair — both driven entirely by the
+distance-table/particle machinery this reproduction builds:
+
+* g(r) — the radial pair-correlation histogram of the electron gas;
+* S(k) — the static structure factor on the reciprocal lattice.
+
+Both are *accumulators*: feed them one configuration per measurement and
+read the normalized estimate at the end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lattice.cell import Cell
+from repro.lattice.orbitals import enumerate_gvectors
+from repro.qmc.distance_tables import DistanceTableAA
+
+__all__ = ["PairCorrelation", "StructureFactor"]
+
+
+class PairCorrelation:
+    """Accumulates the electron-electron pair correlation g(r).
+
+    Parameters
+    ----------
+    cell:
+        The periodic cell (fixes the normalization volume).
+    n_particles:
+        Number of electrons.
+    r_max:
+        Histogram range; defaults to (and is capped by) the largest
+        radius where the minimal-image sphere is complete.
+    n_bins:
+        Histogram resolution.
+    """
+
+    def __init__(
+        self,
+        cell: Cell,
+        n_particles: int,
+        r_max: float | None = None,
+        n_bins: int = 50,
+    ):
+        from repro.lattice.pbc import wigner_seitz_radius
+
+        if n_particles < 2:
+            raise ValueError("pair correlation needs at least two particles")
+        rws = wigner_seitz_radius(cell)
+        self.r_max = min(r_max, rws) if r_max else rws
+        if self.r_max <= 0:
+            raise ValueError("r_max must be positive")
+        self.n_bins = int(n_bins)
+        self.cell = cell
+        self.n_particles = int(n_particles)
+        self.edges = np.linspace(0.0, self.r_max, n_bins + 1)
+        self.counts = np.zeros(n_bins)
+        self.n_samples = 0
+
+    def accumulate(self, table: DistanceTableAA) -> None:
+        """Add one configuration (its committed distance table)."""
+        d = table.distances
+        iu = np.triu_indices(d.shape[0], k=1)
+        r = d[iu]
+        hist, _ = np.histogram(r[r < self.r_max], bins=self.edges)
+        self.counts += hist
+        self.n_samples += 1
+
+    def estimate(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return (bin centers, g(r)).
+
+        Normalized against the ideal-gas expectation
+        ``n_pairs * 4 pi r^2 dr / V`` so that an uncorrelated system
+        gives g(r) = 1 for r inside the cell.
+        """
+        if self.n_samples == 0:
+            raise RuntimeError("no configurations accumulated")
+        centers = 0.5 * (self.edges[:-1] + self.edges[1:])
+        shell = 4.0 * np.pi * centers**2 * np.diff(self.edges)
+        n_pairs = self.n_particles * (self.n_particles - 1) / 2.0
+        ideal = n_pairs * shell / self.cell.volume
+        with np.errstate(invalid="ignore", divide="ignore"):
+            g = self.counts / (self.n_samples * ideal)
+        return centers, np.nan_to_num(g)
+
+
+class StructureFactor:
+    """Accumulates the static structure factor S(k) = <|rho_k|^2>/N.
+
+    Parameters
+    ----------
+    cell:
+        The periodic cell (fixes the commensurate k vectors).
+    n_kvectors:
+        How many of the shortest reciprocal vectors to track.
+    """
+
+    def __init__(self, cell: Cell, n_kvectors: int = 16):
+        self.cell = cell
+        self.triples = enumerate_gvectors(cell, n_kvectors)
+        self.kvectors = self.triples @ cell.reciprocal
+        self.k_norms = np.linalg.norm(self.kvectors, axis=1)
+        self._acc = np.zeros(n_kvectors)
+        self.n_samples = 0
+        self._n_particles: int | None = None
+
+    def accumulate(self, positions: np.ndarray) -> None:
+        """Add one configuration's Cartesian positions ``(n, 3)``."""
+        positions = np.asarray(positions, dtype=np.float64)
+        if self._n_particles is None:
+            self._n_particles = positions.shape[0]
+        elif positions.shape[0] != self._n_particles:
+            raise ValueError("particle count changed between accumulations")
+        phases = positions @ self.kvectors.T  # (n, nk)
+        rho = np.exp(1j * phases).sum(axis=0)
+        self._acc += np.abs(rho) ** 2 / self._n_particles
+        self.n_samples += 1
+
+    def estimate(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return (|k| values, S(k)) sorted by |k|."""
+        if self.n_samples == 0:
+            raise RuntimeError("no configurations accumulated")
+        s = self._acc / self.n_samples
+        order = np.argsort(self.k_norms)
+        return self.k_norms[order], s[order]

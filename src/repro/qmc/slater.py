@@ -1,0 +1,333 @@
+"""Spline-backed orbital sets and the spin-factorized Slater determinant.
+
+:class:`SplineOrbitalSet` is the bridge between the B-spline kernels of
+:mod:`repro.core` (which live in the grid's fractional coordinate frame)
+and the QMC layer (which works in Cartesian coordinates): it wraps any
+engine layout, converts positions to fractional coordinates, and applies
+the lattice chain rule to gradients and Laplacians.  For non-orthorhombic
+cells the Cartesian Laplacian mixes all six Hessian components, so the
+adapter always drives the ``VGH`` kernel — matching the paper's note that
+"for the graphite systems, VGH is used during the drift-diffusion phase"
+(Sec. IV).
+
+:class:`SlaterDet` stacks the two spin determinants D(up), D(down) of the
+Slater-Jastrow form (paper Eq. 1) over one shared orbital set, assuming
+the paper's convention ``Nel = 2N`` with equal spin populations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.coeffs import solve_coefficients_3d
+from repro.core.grid import Grid3D
+from repro.core.layout_fused import BsplineFused
+from repro.core.layout_soa import BsplineSoA
+from repro.core.layout_aos import BsplineAoS
+from repro.lattice.cell import Cell
+from repro.qmc.determinant import DiracDeterminant
+from repro.qmc.particleset import ParticleSet
+
+__all__ = ["SplineOrbitalSet", "SlaterDet"]
+
+_ENGINES = {
+    "aos": BsplineAoS,
+    "soa": BsplineSoA,
+    "fused": BsplineFused,
+}
+
+
+class SplineOrbitalSet:
+    """N B-spline orbitals evaluated at Cartesian positions.
+
+    Parameters
+    ----------
+    cell:
+        The periodic cell the orbitals are defined on.
+    grid:
+        Fractional-coordinate grid (its ``lengths`` must be the unit box).
+    engine:
+        Any object exposing the ``vgh(x, y, z, out)`` / ``new_output``
+        kernel API from :mod:`repro.core`.
+
+    Notes
+    -----
+    Chain rule used throughout, with ``B = inv(lattice)`` (so that
+    ``frac = cart @ B``):
+
+    * ``grad_cart = B @ grad_frac``
+    * ``H_cart = B @ H_frac @ B.T``
+    * ``lap_cart = sum_{fg} M[f,g] H_frac[f,g]`` with ``M = B.T? `` —
+      concretely ``M = B @ B.T`` contracted against the symmetric
+      fractional Hessian (see :meth:`vgl`).
+    """
+
+    def __init__(self, cell: Cell, grid: Grid3D, engine):
+        if tuple(grid.lengths) != (1.0, 1.0, 1.0):
+            raise ValueError(
+                "SplineOrbitalSet grids live in fractional coordinates; "
+                f"grid lengths must be (1,1,1), got {grid.lengths}"
+            )
+        self.cell = cell
+        self.grid = grid
+        self.engine = engine
+        self.n_orbitals = engine.n_splines
+        self._B = np.linalg.inv(cell.lattice)  # cart -> frac Jacobian (rows a)
+        self._M = self._B @ self._B.T  # Laplacian metric
+        self._out = engine.new_output("vgh")
+        self._vout = engine.new_output("v")
+
+    @classmethod
+    def from_orbital_functions(
+        cls,
+        cell: Cell,
+        orbitals,
+        grid_shape: tuple[int, int, int],
+        engine: str = "fused",
+        dtype: np.dtype | type = np.float32,
+        tile_size: int | None = None,
+    ) -> "SplineOrbitalSet":
+        """Sample analytic orbitals on the grid, solve, and wrap an engine.
+
+        Parameters
+        ----------
+        cell:
+            The periodic cell.
+        orbitals:
+            An object with ``values_on_grid(nx, ny, nz)`` and
+            ``n_orbitals`` (e.g. :class:`repro.lattice.PlaneWaveOrbitalSet`).
+        grid_shape:
+            Spline grid dimensions.
+        engine:
+            ``"aos"``, ``"soa"``, ``"fused"`` or ``"aosoa"``.
+        dtype:
+            Coefficient-table dtype (paper default: single precision).
+        tile_size:
+            Nb for the ``"aosoa"`` engine (ignored otherwise).
+        """
+        if engine == "aosoa":
+            raise ValueError(
+                "the QMC adapter needs single-block outputs; tiled (aosoa) "
+                "engines are exercised by the miniQMC drivers instead — "
+                "use engine='soa' or 'fused' here"
+            )
+        nx, ny, nz = grid_shape
+        samples = orbitals.values_on_grid(nx, ny, nz)
+        P = solve_coefficients_3d(samples, dtype=dtype)
+        grid = Grid3D(nx, ny, nz, (1.0, 1.0, 1.0))
+        try:
+            eng = _ENGINES[engine](grid, P)
+        except KeyError:
+            raise ValueError(f"unknown engine {engine!r}") from None
+        return cls(cell, grid, eng)
+
+    def _frac(self, cart_pos: np.ndarray) -> np.ndarray:
+        return self.cell.wrap_frac(self.cell.cart_to_frac(cart_pos))
+
+    def values(self, cart_pos: np.ndarray) -> np.ndarray:
+        """Orbital values at one Cartesian position; ``(N,)`` float64."""
+        f = self._frac(np.asarray(cart_pos, dtype=np.float64))
+        self.engine.v(f[0], f[1], f[2], self._vout)
+        return self._vout.v.astype(np.float64)
+
+    def values_batch(self, cart_positions: np.ndarray) -> np.ndarray:
+        """Orbital values at many positions at once; ``(ns, N)`` float64.
+
+        Uses the batched engine (:mod:`repro.core.batched`) built lazily
+        over the same coefficient table — the evaluation path behind the
+        pseudopotential quadrature, where one electron needs orbital
+        values at 6-12 sphere points simultaneously.
+        """
+        from repro.core.batched import BsplineBatched
+
+        if not hasattr(self, "_batched"):
+            self._batched = BsplineBatched(self.grid, self.engine.P)
+        cart_positions = np.atleast_2d(np.asarray(cart_positions, dtype=np.float64))
+        frac = self.cell.wrap_frac(self.cell.cart_to_frac(cart_positions))
+        out = self._batched.new_output(len(frac))
+        self._batched.v_batch(frac, out)
+        return out.v.astype(np.float64)
+
+    def vgl_batch(
+        self, cart_positions: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched :meth:`vgl`: many positions in one engine call.
+
+        Returns ``(v (ns, N), g (ns, 3, N), lap (ns, N))`` — float64,
+        Cartesian derivatives via the same lattice chain rule.  This is
+        the evaluation path of the crowd driver
+        (:mod:`repro.qmc.crowd`), which advances many walkers' same-index
+        electrons through one batched kernel call.
+        """
+        from repro.core.batched import BsplineBatched
+
+        if not hasattr(self, "_batched"):
+            self._batched = BsplineBatched(self.grid, self.engine.P)
+        cart_positions = np.atleast_2d(np.asarray(cart_positions, dtype=np.float64))
+        frac = self.cell.wrap_frac(self.cell.cart_to_frac(cart_positions))
+        out = self._batched.new_output(len(frac))
+        self._batched.vgh_batch(frac, out)
+        v = out.v.astype(np.float64)
+        g_cart = np.einsum("af,sfn->san", self._B, out.g.astype(np.float64))
+        h = out.h.astype(np.float64)  # (ns, 6, N): xx, xy, xz, yy, yz, zz
+        M = self._M
+        lap = (
+            M[0, 0] * h[:, 0]
+            + M[1, 1] * h[:, 3]
+            + M[2, 2] * h[:, 5]
+            + 2.0 * (M[0, 1] * h[:, 1] + M[0, 2] * h[:, 2] + M[1, 2] * h[:, 4])
+        )
+        return v, g_cart, lap
+
+    def vgl(
+        self, cart_pos: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Values, Cartesian gradients and Laplacians at one position.
+
+        Returns
+        -------
+        (v, g, lap):
+            ``v`` ``(N,)``, ``g`` ``(3, N)``, ``lap`` ``(N,)`` — float64.
+        """
+        f = self._frac(np.asarray(cart_pos, dtype=np.float64))
+        self.engine.vgh(f[0], f[1], f[2], self._out)
+        c = self._out.as_canonical()
+        g_cart = self._B @ c["g"]
+        hf = c["h"]  # (3, 3, N) fractional Hessian
+        M = self._M
+        lap = (
+            M[0, 0] * hf[0, 0]
+            + M[1, 1] * hf[1, 1]
+            + M[2, 2] * hf[2, 2]
+            + 2.0 * (M[0, 1] * hf[0, 1] + M[0, 2] * hf[0, 2] + M[1, 2] * hf[1, 2])
+        )
+        return c["v"], g_cart, lap
+
+    def vgh(
+        self, cart_pos: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Values, Cartesian gradients and full Cartesian Hessians.
+
+        Returns ``(v (N,), g (3, N), h (3, 3, N))``.
+        """
+        f = self._frac(np.asarray(cart_pos, dtype=np.float64))
+        self.engine.vgh(f[0], f[1], f[2], self._out)
+        c = self._out.as_canonical()
+        g_cart = self._B @ c["g"]
+        h_cart = np.einsum("af,fgn,bg->abn", self._B, c["h"], self._B)
+        return c["v"], g_cart, h_cart
+
+
+class SlaterDet:
+    """Product of two spin determinants sharing one orbital set.
+
+    Electrons ``0 .. N-1`` are spin-up, ``N .. 2N-1`` spin-down, with
+    ``N = spos.n_orbitals`` (paper convention below Eq. 1).
+
+    Parameters
+    ----------
+    spos:
+        The shared orbital set.
+    electrons:
+        The electron :class:`~repro.qmc.particleset.ParticleSet`; its
+        size must be exactly ``2 * spos.n_orbitals``.
+    """
+
+    def __init__(self, spos: SplineOrbitalSet, electrons: ParticleSet):
+        n = spos.n_orbitals
+        if len(electrons) != 2 * n:
+            raise ValueError(
+                f"need 2N = {2 * n} electrons for N = {n} orbitals, "
+                f"got {len(electrons)}"
+            )
+        self.spos = spos
+        self.electrons = electrons
+        self.n_orbitals = n
+        self.dets = [
+            DiracDeterminant(self._build_matrix(0)),
+            DiracDeterminant(self._build_matrix(1)),
+        ]
+        self._staged_vgl: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._staged_for: int | None = None
+
+    def _build_matrix(self, spin: int) -> np.ndarray:
+        n = self.n_orbitals
+        offset = spin * n
+        A = np.empty((n, n))
+        for e in range(n):
+            A[e, :] = self.spos.values(self.electrons[offset + e])
+        return A
+
+    def _locate(self, e: int) -> tuple[DiracDeterminant, int]:
+        """The determinant owning electron ``e`` and its local row index."""
+        n = self.n_orbitals
+        if not 0 <= e < 2 * n:
+            raise IndexError(f"electron {e} out of range [0, {2 * n})")
+        return (self.dets[0], e) if e < n else (self.dets[1], e - n)
+
+    @property
+    def log_value(self) -> float:
+        """log |D(up) * D(down)|."""
+        return self.dets[0].log_det + self.dets[1].log_det
+
+    @property
+    def sign(self) -> float:
+        """Sign of the determinant product."""
+        return self.dets[0].sign * self.dets[1].sign
+
+    def ratio(self, e: int, new_pos: np.ndarray) -> float:
+        """Eq.-3 ratio for moving electron ``e`` to ``new_pos``.
+
+        Evaluates the B-spline VGH kernel once and caches the full VGL so
+        :meth:`ratio_grad` / :meth:`accept_move` reuse it.
+        """
+        r, _ = self.ratio_grad(e, new_pos)
+        return r
+
+    def ratio_grad(self, e: int, new_pos: np.ndarray) -> tuple[float, np.ndarray]:
+        """(ratio, grad log D at the trial position) — Eqs. 3-4."""
+        v, g, lap = self.spos.vgl(new_pos)
+        return self.ratio_grad_from_vgl(e, v, g, lap)
+
+    def ratio_grad_from_vgl(
+        self, e: int, v: np.ndarray, g: np.ndarray, lap: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        """Like :meth:`ratio_grad` but with precomputed orbital VGL.
+
+        The entry point for batched drivers (:mod:`repro.qmc.crowd`):
+        orbitals for many walkers are evaluated in one kernel call, then
+        each walker stages its own slice here.
+        """
+        det, row = self._locate(e)
+        self._staged_vgl = (v, g, lap)
+        self._staged_for = e
+        return det.ratio_grad(row, v, g)
+
+    def accept_move(self, e: int) -> None:
+        """Sherman-Morrison update for the staged move of ``e``."""
+        det, row = self._locate(e)
+        if self._staged_for != e:
+            raise RuntimeError(f"no staged evaluation for electron {e}")
+        det.accept_move(row)
+        self._staged_for = None
+        self._staged_vgl = None
+
+    def reject_move(self, e: int) -> None:
+        """Drop the staged move of ``e``."""
+        det, row = self._locate(e)
+        if self._staged_for != e:
+            raise RuntimeError(f"no staged evaluation for electron {e}")
+        det.reject_move(row)
+        self._staged_for = None
+        self._staged_vgl = None
+
+    def grad_lap(self, e: int) -> tuple[np.ndarray, float]:
+        """(grad D / D, lap D / D) at electron ``e``'s committed position."""
+        det, row = self._locate(e)
+        v, g, lap = self.spos.vgl(self.electrons[e])
+        return det.grad_lap(row, g, lap)
+
+    def recompute(self) -> None:
+        """Rebuild both Slater matrices and inverses from scratch."""
+        for spin in (0, 1):
+            self.dets[spin].recompute(self._build_matrix(spin))

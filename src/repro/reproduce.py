@@ -1,0 +1,220 @@
+"""One-call reproduction of each paper table/figure as formatted text.
+
+The benchmark suite (``benchmarks/``) asserts shapes and measures; this
+module is the *presentation* layer behind the command-line interface:
+
+    python -m repro table4
+    python -m repro fig9
+    python -m repro all
+
+Each ``repro_*`` function returns the printable table(s) for one paper
+artifact, generated from the same models the benches use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hwsim import KNL, MACHINES, BsplinePerfModel, strong_scaling_curve
+from repro.perf import format_bars, format_series, format_table
+from repro.roofline import roofline_points
+
+__all__ = [
+    "repro_table1",
+    "repro_table4",
+    "repro_fig7a",
+    "repro_fig7b",
+    "repro_fig7c",
+    "repro_fig8",
+    "repro_fig9",
+    "repro_fig10",
+    "repro_multinode",
+    "ALL_TARGETS",
+]
+
+SWEEP = (128, 256, 512, 1024, 2048, 4096)
+NTH = {"BDW": 2, "KNC": 8, "KNL": 16, "BGQ": 2}
+PAPER_NB = {"BDW": 64, "KNC": 512, "KNL": 512, "BGQ": 64}
+
+
+def _models() -> dict[str, BsplinePerfModel]:
+    return {name: BsplinePerfModel(m) for name, m in MACHINES.items()}
+
+
+def repro_table1() -> str:
+    """Table I — system configurations."""
+    rows = []
+    for name in ("BDW", "KNC", "KNL", "BGQ"):
+        m = MACHINES[name]
+        rows.append(
+            [name, m.cores, m.smt, m.simd_bits, m.freq_ghz,
+             m.l1d_bytes // 1024, m.l2_bytes // 1024,
+             m.llc_bytes // (1024 * 1024), m.stream_bw / 1e9,
+             round(m.peak_sp_gflops)]
+        )
+    return format_table(
+        ["machine", "cores", "smt", "simd(b)", "GHz", "L1KB", "L2KB",
+         "LLCMB", "BW GB/s", "peakSP GF"],
+        rows,
+        title="Table I — system configurations",
+    )
+
+
+def repro_table4() -> str:
+    """Table IV — A/B/C speedup matrix at N=2048 (model)."""
+    models = _models()
+    rows = []
+    for kern in ("v", "vgl", "vgh"):
+        for name in ("BDW", "KNC", "KNL", "BGQ"):
+            s = models[name].speedups(kern, 2048, NTH[name])
+            rows.append(
+                [kern.upper(), name, round(s["A"], 2), round(s["B"], 2),
+                 round(s["C"], 2), f"{NTH[name]}({s['nb_nested']})"]
+            )
+    return format_table(
+        ["kernel", "machine", "A", "B", "C", "nth(Nb)"],
+        rows,
+        title="Table IV — modelled speedups vs AoS baseline, N=2048",
+    )
+
+
+def repro_fig7a() -> str:
+    """Fig. 7(a) — AoS vs SoA VGH throughput over the N sweep."""
+    models = _models()
+    parts = []
+    for name in ("BDW", "KNC", "KNL", "BGQ"):
+        model = models[name]
+        aos = [model.evaluate("vgh", "aos", n).throughput for n in SWEEP]
+        soa = [model.evaluate("vgh", "soa", n).throughput for n in SWEEP]
+        parts.append(
+            format_series(
+                "N", list(SWEEP),
+                {"T(AoS)": aos, "T(SoA)": soa,
+                 "speedup": list(np.asarray(soa) / aos)},
+                title=f"Fig 7a [model:{name}]",
+            )
+        )
+    return "\n\n".join(parts)
+
+
+def repro_fig7b() -> str:
+    """Fig. 7(b) — SoA vs AoSoA VGH throughput over the N sweep."""
+    models = _models()
+    parts = []
+    for name in ("BDW", "KNC", "KNL", "BGQ"):
+        model = models[name]
+        nb = PAPER_NB[name]
+        soa = [model.evaluate("vgh", "soa", n).throughput for n in SWEEP]
+        til = [model.evaluate("vgh", "aosoa", n, min(nb, n)).throughput for n in SWEEP]
+        parts.append(
+            format_series(
+                "N", list(SWEEP),
+                {"T(SoA)": soa, f"T(AoSoA {nb})": til,
+                 "speedup": list(np.asarray(til) / soa)},
+                title=f"Fig 7b [model:{name}]",
+            )
+        )
+    return "\n\n".join(parts)
+
+
+def repro_fig7c() -> str:
+    """Fig. 7(c) — VGH throughput vs tile size at N=2048."""
+    models = _models()
+    parts = []
+    for name in ("BDW", "KNC", "KNL", "BGQ"):
+        best, sweep = models[name].best_tile_size("vgh", 2048)
+        nbs = sorted(sweep)
+        parts.append(
+            format_bars(
+                [f"Nb={nb}" for nb in nbs],
+                [sweep[nb] for nb in nbs],
+                title=f"Fig 7c [model:{name}] T(VGH) vs Nb — peak {best} "
+                f"(paper {PAPER_NB[name]})",
+            )
+        )
+    return "\n\n".join(parts)
+
+
+def repro_fig8() -> str:
+    """Fig. 8 — KNL normalized speedups over the N sweep."""
+    model = _models()["KNL"]
+    series = {}
+    for kern in ("v", "vgl", "vgh"):
+        vals = []
+        for n in SWEEP:
+            base = model.evaluate(kern, "aos", n)
+            nb, _ = model.best_tile_size(kern, n)
+            vals.append(
+                model.evaluate(kern, "aosoa", n, nb).evals_per_sec
+                / base.evals_per_sec
+            )
+        series[kern.upper()] = vals
+    return format_series(
+        "N", list(SWEEP), series,
+        title="Fig 8 — KNL speedups vs AoS baseline [model]",
+    )
+
+
+def repro_fig9() -> str:
+    """Fig. 9 — nested-threading scaling on KNL at N=2048."""
+    model = _models()["KNL"]
+    rows = []
+    ref = model.speedups("vgh", 2048, 1)
+    speedups = []
+    for nth in (1, 2, 4, 8, 16):
+        s = model.speedups("vgh", 2048, nth)
+        spd = s["C"] / ref["B"]
+        speedups.append(spd)
+        rows.append([nth, round(spd, 2), round(spd / nth, 3), s["nb_nested"]])
+    table = format_table(
+        ["nth", "speedup", "efficiency", "Nb"],
+        rows,
+        title="Fig 9 — KNL VGH nested-threading scaling [model]",
+    )
+    bars = format_bars(
+        [f"nth={n}" for n in (1, 2, 4, 8, 16)], speedups
+    )
+    return table + "\n" + bars
+
+
+def repro_fig10() -> str:
+    """Fig. 10 — roofline points for BDW and KNL."""
+    parts = []
+    for name in ("BDW", "KNL"):
+        pts = roofline_points(MACHINES[name])
+        rows = [[p.step, p.ai, p.gflops, p.attainable_gflops, p.efficiency]
+                for p in pts]
+        parts.append(
+            format_table(
+                ["step", "AI", "GFLOP/s", "roof", "eff"],
+                rows,
+                title=f"Fig 10 — VGH roofline, N=2048 [model:{name}]",
+            )
+        )
+    return "\n\n".join(parts)
+
+
+def repro_multinode() -> str:
+    """Sec. I headline — 16-node KNL time-to-solution."""
+    pts = strong_scaling_curve(KNL, "vgh", 2048)
+    rows = [[p.n_nodes, p.nth, p.tile_size, round(p.time_reduction, 2),
+             round(p.parallel_efficiency, 3)] for p in pts]
+    return format_table(
+        ["nodes", "nth", "Nb", "time reduction", "efficiency"],
+        rows,
+        title="Multi-node strong scaling [model:KNL] (paper: >14x on 16 nodes)",
+    )
+
+
+#: CLI target registry: name -> (function, description).
+ALL_TARGETS = {
+    "table1": (repro_table1, "system configurations"),
+    "table4": (repro_table4, "A/B/C speedup matrix at N=2048"),
+    "fig7a": (repro_fig7a, "AoS vs SoA throughput sweep"),
+    "fig7b": (repro_fig7b, "SoA vs AoSoA throughput sweep"),
+    "fig7c": (repro_fig7c, "tile-size sweep at N=2048"),
+    "fig8": (repro_fig8, "KNL normalized speedups"),
+    "fig9": (repro_fig9, "nested-threading scaling"),
+    "fig10": (repro_fig10, "roofline analysis"),
+    "multinode": (repro_multinode, "16-node time-to-solution"),
+}

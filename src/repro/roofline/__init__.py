@@ -1,0 +1,6 @@
+"""repro.roofline — cache-aware roofline analysis (paper Fig. 10)."""
+
+from repro.roofline.analysis import RooflinePoint, roofline_points
+from repro.roofline.model import Roofline
+
+__all__ = ["Roofline", "RooflinePoint", "roofline_points"]

@@ -1,0 +1,99 @@
+"""Roofline points per optimization step (paper Fig. 10).
+
+For VGH at N=2048 the paper plots, per machine, the (cache-aware AI,
+GFLOP/s) point of each optimization step.  Its key observations, which
+these computations reproduce:
+
+* "In all cases, the bytes transferred from the main memory are the same,
+  64N reads and 10N writes, and the difference in AI reflects the SIMD
+  efficiency and cache reuse" — AoS moves more bytes (13 streams + write
+  spill), so its cache-aware AI is lower;
+* "The AoS-to-SoA transformation increases the AI as well as GFLOPS";
+* "The AoSoA transformation does not affect the AIs but increases the
+  performance" — with outputs cache-resident both SoA variants transfer
+  the ideal byte count, and tiling only moves the achieved point upward;
+* KNL on DDR instead of MCDRAM caps the best version at ~150 GFLOP/s
+  (the X marker).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hwsim.machine import MachineSpec
+from repro.hwsim.perfmodel import BsplinePerfModel
+from repro.roofline.model import Roofline
+
+__all__ = ["RooflinePoint", "roofline_points"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One optimization step on the roofline plot."""
+
+    step: str
+    ai: float
+    gflops: float
+    attainable_gflops: float
+
+    @property
+    def efficiency(self) -> float:
+        """Fraction of the attainable roof achieved."""
+        return self.gflops / self.attainable_gflops if self.attainable_gflops else 0.0
+
+
+def roofline_points(
+    machine: MachineSpec,
+    kernel: str = "vgh",
+    n_splines: int = 2048,
+    include_ddr: bool | None = None,
+) -> list[RooflinePoint]:
+    """The Fig.-10 point set for one machine.
+
+    Steps: AoS baseline, SoA (Opt A), AoSoA at the model-optimal tile
+    (Opt B), and — on KNL by default — AoSoA re-evaluated with the DDR
+    bandwidth in place of MCDRAM (the paper's X marker).
+
+    AI is cache-aware: FLOPs divided by modelled *main-memory* bytes
+    (including spill traffic), exactly what Intel Advisor measures.
+    """
+    model = BsplinePerfModel(machine)
+    roof = Roofline.for_machine(machine)
+    points: list[RooflinePoint] = []
+
+    def add(step: str, res, bw_ceiling: str | None = None) -> None:
+        ai = res.flops / res.dram_bytes if res.dram_bytes else float("inf")
+        gflops = res.flops * res.evals_per_sec / 1e9
+        points.append(
+            RooflinePoint(
+                step=step,
+                ai=ai,
+                gflops=gflops,
+                attainable_gflops=roof.attainable(ai, bw_ceiling),
+            )
+        )
+
+    add("AoS", model.evaluate(kernel, "aos", n_splines))
+    add("SoA", model.evaluate(kernel, "soa", n_splines))
+    nb_opt, _ = model.best_tile_size(kernel, n_splines)
+    add(f"AoSoA(Nb={nb_opt})", model.evaluate(kernel, "aosoa", n_splines, nb_opt))
+
+    if include_ddr is None:
+        include_ddr = machine.name == "KNL"
+    if include_ddr and machine.ddr_bw != machine.stream_bw:
+        from dataclasses import replace
+
+        ddr_machine = replace(machine, stream_bw=machine.ddr_bw)
+        ddr_model = BsplinePerfModel(ddr_machine)
+        res = ddr_model.evaluate(kernel, "aosoa", n_splines, nb_opt)
+        ai = res.flops / res.dram_bytes if res.dram_bytes else float("inf")
+        gflops = res.flops * res.evals_per_sec / 1e9
+        points.append(
+            RooflinePoint(
+                step=f"AoSoA-DDR(Nb={nb_opt})",
+                ai=ai,
+                gflops=gflops,
+                attainable_gflops=roof.attainable(ai, "DDR"),
+            )
+        )
+    return points

@@ -1,0 +1,89 @@
+"""The roofline performance model (paper Fig. 10, refs [29][30]).
+
+A roofline bounds attainable GFLOP/s by ``min(peak, AI * BW)`` for each
+bandwidth ceiling; the paper plots the cache-aware variant where the
+arithmetic intensity uses bytes actually transferred from main memory.
+This module provides the curves; :mod:`repro.roofline.analysis` computes
+where each optimization step lands on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hwsim.machine import MachineSpec
+
+__all__ = ["Roofline"]
+
+
+@dataclass
+class Roofline:
+    """Roofline curves for one machine.
+
+    Parameters
+    ----------
+    peak_gflops:
+        Compute ceiling.
+    ceilings:
+        Named bandwidth ceilings in GB/s, e.g.
+        ``{"MCDRAM": 490.0, "DDR": 90.0}``.
+    """
+
+    peak_gflops: float
+    ceilings: dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def for_machine(cls, machine: MachineSpec) -> "Roofline":
+        """Build the standard rooflines for a paper machine.
+
+        KNL gets both MCDRAM and DDR ceilings (the Fig. 10 comparison);
+        machines with a shared LLC get an LLC ceiling on top of DRAM.
+        """
+        ceilings = {"DRAM": machine.stream_bw / 1e9}
+        if machine.name == "KNL":
+            ceilings = {"MCDRAM": machine.stream_bw / 1e9, "DDR": machine.ddr_bw / 1e9}
+        elif machine.has_shared_llc:
+            ceilings["LLC"] = machine.llc_bw / 1e9
+        return cls(peak_gflops=machine.peak_sp_gflops, ceilings=ceilings)
+
+    def attainable(self, ai: float, ceiling: str | None = None) -> float:
+        """Attainable GFLOP/s at arithmetic intensity ``ai`` (FLOP/byte).
+
+        Parameters
+        ----------
+        ceiling:
+            Which bandwidth ceiling to use; default is the fastest one.
+        """
+        if ai < 0:
+            raise ValueError(f"arithmetic intensity must be >= 0, got {ai}")
+        if ceiling is None:
+            bw = max(self.ceilings.values())
+        else:
+            bw = self.ceilings[ceiling]
+        return min(self.peak_gflops, ai * bw)
+
+    def ridge_point(self, ceiling: str | None = None) -> float:
+        """AI where the bandwidth roof meets the compute roof."""
+        if ceiling is None:
+            bw = max(self.ceilings.values())
+        else:
+            bw = self.ceilings[ceiling]
+        return self.peak_gflops / bw
+
+    def curve(
+        self, ai_range: np.ndarray, ceiling: str | None = None
+    ) -> np.ndarray:
+        """Vectorized attainable GFLOP/s over an AI array (for plotting)."""
+        ai_range = np.asarray(ai_range, dtype=np.float64)
+        if ceiling is None:
+            bw = max(self.ceilings.values())
+        else:
+            bw = self.ceilings[ceiling]
+        return np.minimum(self.peak_gflops, ai_range * bw)
+
+    def efficiency(self, ai: float, gflops: float, ceiling: str | None = None) -> float:
+        """Achieved fraction of the attainable performance at this AI."""
+        att = self.attainable(ai, ceiling)
+        return gflops / att if att > 0 else 0.0

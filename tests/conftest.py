@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite.
+
+Sizes are deliberately small (grids ~10-16 per side, tens of splines):
+every algorithm here is O(1) in problem size per assertion, and small
+sizes exercise the same code paths — including periodic wrap-around,
+which *large* grids make rare.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Grid3D, solve_coefficients_3d
+
+
+@pytest.fixture
+def rng():
+    """Deterministic generator; tests that need different streams spawn."""
+    return np.random.default_rng(20170101)
+
+
+@pytest.fixture
+def small_grid():
+    """An anisotropic periodic grid (catches x/y/z transposition bugs)."""
+    return Grid3D(12, 10, 14, (2.0, 1.5, 2.5))
+
+
+@pytest.fixture
+def small_table(small_grid, rng):
+    """Float64 coefficient table with 24 splines on ``small_grid``."""
+    samples = rng.standard_normal((*small_grid.shape, 24))
+    return solve_coefficients_3d(samples, dtype=np.float64)
+
+
+@pytest.fixture
+def small_table_f32(small_grid, rng):
+    """Single-precision variant (the paper's production dtype)."""
+    samples = rng.standard_normal((*small_grid.shape, 24))
+    return solve_coefficients_3d(samples, dtype=np.float32)

@@ -1,0 +1,45 @@
+"""Unit tests for cache-line-aligned allocation."""
+
+import numpy as np
+import pytest
+
+from repro.core import aligned_empty, aligned_zeros, is_aligned
+from repro.core.alloc import CACHE_LINE_BYTES
+
+
+class TestAlignment:
+    @pytest.mark.parametrize("alignment", [16, 64, 128, 4096])
+    def test_aligned_empty_is_aligned(self, alignment):
+        for _ in range(8):  # allocation addresses vary; try several
+            a = aligned_empty(100, np.float32, alignment)
+            assert a.ctypes.data % alignment == 0
+
+    def test_default_alignment_is_cache_line(self):
+        a = aligned_empty(10)
+        assert is_aligned(a, CACHE_LINE_BYTES)
+
+    def test_shape_and_dtype(self):
+        a = aligned_empty((3, 5), np.float64)
+        assert a.shape == (3, 5)
+        assert a.dtype == np.float64
+        assert a.flags["C_CONTIGUOUS"]
+
+    def test_zeros_are_zero(self):
+        assert not aligned_zeros((7, 11)).any()
+
+    def test_writable(self):
+        a = aligned_zeros(16)
+        a += 1.0
+        assert (a == 1.0).all()
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            aligned_empty(8, np.float32, 48)
+
+    def test_rejects_zero_alignment(self):
+        with pytest.raises(ValueError):
+            aligned_empty(8, np.float32, 0)
+
+    def test_is_aligned_false_for_offset_view(self):
+        a = aligned_zeros(32, np.float32, 64)
+        assert not is_aligned(a[1:], 64)

@@ -1,0 +1,93 @@
+"""Tests for the batched multi-position engine."""
+
+import numpy as np
+import pytest
+
+from repro.core import BsplineBatched, BsplineFused, Grid3D
+
+
+@pytest.fixture
+def batched(small_grid, small_table):
+    return BsplineBatched(small_grid, small_table)
+
+
+@pytest.fixture
+def fused(small_grid, small_table):
+    return BsplineFused(small_grid, small_table)
+
+
+@pytest.fixture
+def positions(small_grid, rng):
+    # Include wrap-prone points alongside random ones.
+    pos = small_grid.random_positions(6, rng)
+    pos[0] = (0.01, 0.01, 0.01)
+    pos[1] = (1.99, 1.49, 2.49)
+    return pos
+
+
+class TestAgreementWithPerPosition:
+    def test_v(self, batched, fused, positions):
+        out = batched.new_output(len(positions))
+        batched.v_batch(positions, out)
+        single = fused.new_output("v")
+        for s, (x, y, z) in enumerate(positions):
+            fused.v(x, y, z, single)
+            np.testing.assert_allclose(out.v[s], single.v, atol=1e-10)
+
+    def test_vgl(self, batched, fused, positions):
+        out = batched.new_output(len(positions))
+        batched.vgl_batch(positions, out)
+        single = fused.new_output("vgl")
+        for s, (x, y, z) in enumerate(positions):
+            fused.vgl(x, y, z, single)
+            np.testing.assert_allclose(out.v[s], single.v, atol=1e-10)
+            np.testing.assert_allclose(out.g[s], single.g, atol=1e-10)
+            np.testing.assert_allclose(out.l[s], single.l, atol=1e-9)
+
+    def test_vgh(self, batched, fused, positions):
+        out = batched.new_output(len(positions))
+        batched.vgh_batch(positions, out)
+        single = fused.new_output("vgh")
+        for s, (x, y, z) in enumerate(positions):
+            fused.vgh(x, y, z, single)
+            np.testing.assert_allclose(out.h[s], single.h, atol=1e-9)
+
+    def test_vgh_fills_laplacian(self, batched, positions):
+        out = batched.new_output(len(positions))
+        batched.vgh_batch(positions, out)
+        np.testing.assert_allclose(
+            out.l, out.h[:, 0] + out.h[:, 3] + out.h[:, 5], atol=1e-9
+        )
+
+
+class TestValidation:
+    def test_output_shapes(self, batched):
+        out = batched.new_output(5)
+        assert out.v.shape == (5, 24)
+        assert out.g.shape == (5, 3, 24)
+        assert out.h.shape == (5, 6, 24)
+
+    def test_rejects_bad_positions(self, batched):
+        out = batched.new_output(2)
+        with pytest.raises(ValueError, match=r"\(ns, 3\)"):
+            batched.v_batch(np.zeros((2, 2)), out)
+
+    def test_rejects_zero_batch(self, batched):
+        with pytest.raises(ValueError):
+            batched.new_output(0)
+
+    def test_rejects_mismatched_grid(self, small_table):
+        with pytest.raises(ValueError, match="does not match"):
+            BsplineBatched(Grid3D(8, 8, 8), small_table)
+
+    def test_f32_dtype_propagates(self, small_grid, small_table_f32):
+        b = BsplineBatched(small_grid, small_table_f32)
+        out = b.new_output(3)
+        assert out.v.dtype == np.float32
+
+    def test_batch_of_one(self, batched, fused):
+        out = batched.new_output(1)
+        batched.vgh_batch(np.array([[0.5, 0.5, 0.5]]), out)
+        single = fused.new_output("vgh")
+        fused.vgh(0.5, 0.5, 0.5, single)
+        np.testing.assert_allclose(out.v[0], single.v, atol=1e-10)

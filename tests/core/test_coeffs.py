@@ -1,0 +1,116 @@
+"""Unit tests for the periodic coefficient solve."""
+
+import numpy as np
+import pytest
+
+from repro.core import Grid3D, pad_spline_count, solve_coefficients_1d, solve_coefficients_3d
+from repro.core.coeffs import interpolation_matrix_eigenvalues
+from repro.core.refimpl import reference_v
+
+
+class TestEigenvalues:
+    def test_values(self):
+        lam = interpolation_matrix_eigenvalues(8)
+        assert lam.shape == (8,)
+        assert np.isclose(lam[0], 1.0)  # DC mode: (4+2)/6
+
+    def test_all_positive(self):
+        for n in (4, 5, 16, 48):
+            assert (interpolation_matrix_eigenvalues(n) >= 1.0 / 3.0 - 1e-12).all()
+
+    def test_rejects_small(self):
+        with pytest.raises(ValueError):
+            interpolation_matrix_eigenvalues(3)
+
+
+class TestSolve1D:
+    def test_reproduces_samples(self):
+        rng = np.random.default_rng(5)
+        f = rng.standard_normal(16)
+        p = solve_coefficients_1d(f)
+        # Interpolation condition: (p[j-1] + 4 p[j] + p[j+1]) / 6 == f[j].
+        recon = (np.roll(p, 1) + 4 * p + np.roll(p, -1)) / 6.0
+        np.testing.assert_allclose(recon, f, atol=1e-12)
+
+    def test_constant_is_fixed_point(self):
+        f = np.full(12, 3.7)
+        np.testing.assert_allclose(solve_coefficients_1d(f), f, atol=1e-12)
+
+    def test_axis_argument(self):
+        rng = np.random.default_rng(6)
+        f = rng.standard_normal((8, 6))
+        p0 = solve_coefficients_1d(f, axis=0)
+        p1 = solve_coefficients_1d(f.T, axis=1).T
+        np.testing.assert_allclose(p0, p1, atol=1e-13)
+
+    def test_linearity(self):
+        rng = np.random.default_rng(7)
+        f, g = rng.standard_normal((2, 10))
+        lhs = solve_coefficients_1d(2.0 * f + g)
+        rhs = 2.0 * solve_coefficients_1d(f) + solve_coefficients_1d(g)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-12)
+
+
+class TestSolve3D:
+    def test_output_shape_and_dtype(self):
+        samples = np.zeros((6, 8, 10, 3))
+        P = solve_coefficients_3d(samples)
+        assert P.shape == (6, 8, 10, 3)
+        assert P.dtype == np.float32
+        assert P.flags["C_CONTIGUOUS"]
+
+    def test_accepts_single_orbital_3d(self):
+        P = solve_coefficients_3d(np.zeros((6, 6, 6)))
+        assert P.shape == (6, 6, 6, 1)
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError, match="nx, ny, nz"):
+            solve_coefficients_3d(np.zeros((6, 6)))
+
+    def test_interpolates_at_grid_points(self, small_grid, rng):
+        samples = rng.standard_normal((*small_grid.shape, 4))
+        P = solve_coefficients_3d(samples, dtype=np.float64)
+        dx, dy, dz = small_grid.deltas
+        for i, j, k in [(0, 0, 0), (3, 2, 5), (11, 9, 13)]:
+            v = reference_v(small_grid, P, i * dx, j * dy, k * dz)
+            np.testing.assert_allclose(v, samples[i, j, k], atol=1e-10)
+
+    def test_float32_interpolation_accuracy(self, small_grid, rng):
+        samples = rng.standard_normal((*small_grid.shape, 4))
+        P = solve_coefficients_3d(samples, dtype=np.float32)
+        dx, dy, dz = small_grid.deltas
+        v = reference_v(small_grid, P, 3 * dx, 2 * dy, 5 * dz)
+        np.testing.assert_allclose(v, samples[3, 2, 5], atol=1e-5)
+
+    def test_smooth_function_interpolation_error(self):
+        # Cubic interpolation error should scale ~h^4 for a smooth periodic f.
+        errs = []
+        for n in (8, 16):
+            grid = Grid3D(n, n, n)
+            x = np.arange(n) / n
+            f = (
+                np.sin(2 * np.pi * x)[:, None, None]
+                * np.cos(2 * np.pi * x)[None, :, None]
+                * np.ones(n)[None, None, :]
+            )
+            P = solve_coefficients_3d(f[..., np.newaxis], dtype=np.float64)
+            v = reference_v(grid, P, 0.1234, 0.456, 0.789)
+            exact = np.sin(2 * np.pi * 0.1234) * np.cos(2 * np.pi * 0.456)
+            errs.append(abs(v[0] - exact))
+        # Doubling resolution should cut the error by ~16; demand >= 8.
+        assert errs[0] / max(errs[1], 1e-16) > 8.0
+
+
+class TestPadding:
+    @pytest.mark.parametrize(
+        "n,lanes,expected",
+        [(1, 16, 16), (16, 16, 16), (17, 16, 32), (100, 8, 104), (128, 16, 128)],
+    )
+    def test_pad(self, n, lanes, expected):
+        assert pad_spline_count(n, lanes) == expected
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            pad_spline_count(0)
+        with pytest.raises(ValueError):
+            pad_spline_count(8, 0)

@@ -1,0 +1,74 @@
+"""Unit tests for the SoA particle container (paper Sec. V-A bridge)."""
+
+import numpy as np
+import pytest
+
+from repro.core import VectorSoA3D
+
+
+class TestStorage:
+    def test_component_streams_contiguous(self):
+        v = VectorSoA3D(10)
+        assert v.x.flags["C_CONTIGUOUS"]
+        assert v.y.flags["C_CONTIGUOUS"]
+        assert v.z.flags["C_CONTIGUOUS"]
+
+    def test_components_are_views(self):
+        v = VectorSoA3D(4)
+        v.x[2] = 5.0
+        assert v.data[0, 2] == 5.0
+
+    def test_len(self):
+        assert len(VectorSoA3D(7)) == 7
+
+    def test_zero_size_allowed(self):
+        assert len(VectorSoA3D(0)) == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            VectorSoA3D(-1)
+
+
+class TestAoSFacade:
+    def test_getitem_returns_triple(self):
+        v = VectorSoA3D(3)
+        v.x[1], v.y[1], v.z[1] = 1.0, 2.0, 3.0
+        np.testing.assert_array_equal(v[1], [1.0, 2.0, 3.0])
+
+    def test_getitem_is_a_copy(self):
+        v = VectorSoA3D(2)
+        p = v[0]
+        p[0] = 99.0
+        assert v.x[0] == 0.0
+
+    def test_setitem(self):
+        v = VectorSoA3D(2)
+        v[1] = (4.0, 5.0, 6.0)
+        assert v.x[1] == 4.0 and v.y[1] == 5.0 and v.z[1] == 6.0
+
+    def test_iteration(self):
+        v = VectorSoA3D.from_aos(np.arange(6.0).reshape(2, 3))
+        rows = list(v)
+        np.testing.assert_array_equal(rows[0], [0, 1, 2])
+        np.testing.assert_array_equal(rows[1], [3, 4, 5])
+
+
+class TestConversions:
+    def test_roundtrip(self, rng):
+        aos = rng.standard_normal((9, 3))
+        v = VectorSoA3D.from_aos(aos)
+        np.testing.assert_array_equal(v.to_aos(), aos)
+
+    def test_from_aos_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            VectorSoA3D.from_aos(np.zeros((3, 2)))
+
+    def test_copy_is_deep(self):
+        v = VectorSoA3D.from_aos(np.ones((2, 3)))
+        c = v.copy()
+        c.x[0] = -1.0
+        assert v.x[0] == 1.0
+
+    def test_dtype_option(self):
+        v = VectorSoA3D(3, np.float32)
+        assert v.data.dtype == np.float32

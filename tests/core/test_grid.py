@@ -1,0 +1,101 @@
+"""Unit tests for Grid3D index arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.core import Grid3D
+
+
+class TestConstruction:
+    def test_shape_and_spacings(self):
+        g = Grid3D(10, 20, 40, (1.0, 2.0, 4.0))
+        assert g.shape == (10, 20, 40)
+        np.testing.assert_allclose(g.deltas, (0.1, 0.1, 0.1))
+        np.testing.assert_allclose(g.inv_deltas, (10.0, 10.0, 10.0))
+
+    def test_npoints(self):
+        assert Grid3D(4, 5, 6).npoints == 120
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ValueError, match="4 points"):
+            Grid3D(3, 10, 10)
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(ValueError, match="positive"):
+            Grid3D(8, 8, 8, (1.0, 0.0, 1.0))
+
+
+class TestLocate:
+    def test_locate_at_grid_point(self):
+        g = Grid3D(10, 10, 10)
+        i0, j0, k0, tx, ty, tz = g.locate(0.3, 0.5, 0.7)
+        assert (i0, j0, k0) == (3, 5, 7)
+        assert abs(tx) < 1e-12 and abs(ty) < 1e-12 and abs(tz) < 1e-12
+
+    def test_locate_interior(self):
+        g = Grid3D(10, 10, 10)
+        i0, _, _, tx, _, _ = g.locate(0.234, 0.0, 0.0)
+        assert i0 == 2
+        assert np.isclose(tx, 0.34)
+
+    def test_locate_wraps_negative(self):
+        g = Grid3D(10, 10, 10)
+        i0, j0, k0, tx, *_ = g.locate(-0.05, 1.25, 2.0)
+        assert i0 == 9  # -0.05 wraps to 0.95
+        assert np.isclose(tx, 0.5)
+        assert j0 == 2  # 1.25 wraps to 0.25
+        assert k0 == 0  # 2.0 wraps to 0.0
+
+    def test_fraction_always_in_unit_interval(self):
+        g = Grid3D(12, 10, 14, (2.0, 1.5, 2.5))
+        rng = np.random.default_rng(0)
+        for p in rng.uniform(-10, 10, (200, 3)):
+            _, _, _, tx, ty, tz = g.locate(*p)
+            assert 0.0 <= tx < 1.0
+            assert 0.0 <= ty < 1.0
+            assert 0.0 <= tz < 1.0
+
+    def test_indices_always_in_range(self):
+        g = Grid3D(12, 10, 14, (2.0, 1.5, 2.5))
+        rng = np.random.default_rng(1)
+        for p in rng.uniform(-10, 10, (200, 3)):
+            i0, j0, k0, *_ = g.locate(*p)
+            assert 0 <= i0 < 12 and 0 <= j0 < 10 and 0 <= k0 < 14
+
+
+class TestLocateBatch:
+    def test_matches_scalar(self):
+        g = Grid3D(12, 10, 14, (2.0, 1.5, 2.5))
+        rng = np.random.default_rng(2)
+        pos = rng.uniform(-5, 5, (50, 3))
+        idx, frac = g.locate_batch(pos)
+        for n in range(50):
+            i0, j0, k0, tx, ty, tz = g.locate(*pos[n])
+            assert tuple(idx[n]) == (i0, j0, k0)
+            np.testing.assert_allclose(frac[n], (tx, ty, tz), atol=1e-12)
+
+    def test_rejects_bad_shape(self):
+        g = Grid3D(8, 8, 8)
+        with pytest.raises(ValueError, match=r"\(n, 3\)"):
+            g.locate_batch(np.zeros((5, 2)))
+
+
+class TestStencilAndRandom:
+    def test_stencil_interior(self):
+        g = Grid3D(10, 10, 10)
+        np.testing.assert_array_equal(g.stencil_indices(5, 0), [4, 5, 6, 7])
+
+    def test_stencil_wraps_low(self):
+        g = Grid3D(10, 10, 10)
+        np.testing.assert_array_equal(g.stencil_indices(0, 0), [9, 0, 1, 2])
+
+    def test_stencil_wraps_high(self):
+        g = Grid3D(10, 12, 10)
+        np.testing.assert_array_equal(g.stencil_indices(11, 1), [10, 11, 0, 1])
+
+    def test_random_positions_inside_box(self):
+        g = Grid3D(8, 8, 8, (2.0, 3.0, 4.0))
+        pos = g.random_positions(100, np.random.default_rng(3))
+        assert pos.shape == (100, 3)
+        assert (pos >= 0).all()
+        assert (pos < [2.0, 3.0, 4.0]).all()

@@ -1,0 +1,124 @@
+"""Property-based tests (hypothesis) for the core data structures."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Grid3D,
+    VectorSoA3D,
+    WalkerTiled,
+    bspline_d2weights,
+    bspline_dweights,
+    bspline_weights,
+    candidate_tile_sizes,
+    pad_spline_count,
+    solve_coefficients_1d,
+)
+
+fractions = st.floats(min_value=0.0, max_value=1.0, exclude_max=True)
+coords = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False)
+
+
+class TestBasisProperties:
+    @given(t=fractions)
+    def test_partition_of_unity(self, t):
+        assert np.isclose(bspline_weights(t).sum(), 1.0, atol=1e-12)
+
+    @given(t=fractions)
+    def test_derivative_weights_sum_zero(self, t):
+        assert np.isclose(bspline_dweights(t).sum(), 0.0, atol=1e-12)
+        assert np.isclose(bspline_d2weights(t).sum(), 0.0, atol=1e-11)
+
+    @given(t=fractions)
+    def test_weights_nonnegative_and_bounded(self, t):
+        w = bspline_weights(t)
+        assert (w >= -1e-15).all()
+        assert (w <= 4.0 / 6.0 + 1e-12).all()
+
+    @given(t=fractions, c=st.floats(-10, 10), d=st.floats(-10, 10))
+    def test_linear_reproduction(self, t, c, d):
+        # Coefficients p_j = c*j + d must interpolate exactly to c*t + d + c*0.
+        offsets = np.array([-1.0, 0.0, 1.0, 2.0])
+        p = c * offsets + d
+        val = float(bspline_weights(t) @ p)
+        assert np.isclose(val, c * t + d, atol=1e-9 * (1 + abs(c) + abs(d)))
+
+
+class TestGridProperties:
+    @given(x=coords, y=coords, z=coords)
+    @settings(max_examples=50)
+    def test_locate_invariants(self, x, y, z):
+        g = Grid3D(7, 9, 5, (1.3, 2.1, 0.7))
+        i0, j0, k0, tx, ty, tz = g.locate(x, y, z)
+        assert 0 <= i0 < 7 and 0 <= j0 < 9 and 0 <= k0 < 5
+        assert 0.0 <= tx < 1.0 and 0.0 <= ty < 1.0 and 0.0 <= tz < 1.0
+
+    @given(x=coords)
+    @settings(max_examples=30)
+    def test_locate_periodic(self, x):
+        g = Grid3D(8, 8, 8, (2.0, 2.0, 2.0))
+        a = g.locate(x, 0.0, 0.0)
+        b = g.locate(x + 2.0, 0.0, 0.0)
+        assert a[0] == b[0]
+        assert np.isclose(a[3], b[3], atol=1e-6)
+
+
+class TestSolveProperties:
+    @given(
+        data=st.lists(
+            st.floats(min_value=-100, max_value=100), min_size=4, max_size=32
+        )
+    )
+    @settings(max_examples=40)
+    def test_solve_satisfies_interpolation_stencil(self, data):
+        f = np.asarray(data)
+        p = solve_coefficients_1d(f)
+        recon = (np.roll(p, 1) + 4 * p + np.roll(p, -1)) / 6.0
+        np.testing.assert_allclose(recon, f, atol=1e-8 * max(1.0, np.abs(f).max()))
+
+
+class TestTilingProperties:
+    @given(n=st.integers(min_value=1, max_value=1 << 16))
+    def test_pad_is_multiple_and_minimal(self, n):
+        padded = pad_spline_count(n, 16)
+        assert padded % 16 == 0
+        assert padded >= n
+        assert padded - n < 16
+
+    @given(n=st.integers(min_value=16, max_value=1 << 14))
+    def test_candidates_divide_n(self, n):
+        for nb in candidate_tile_sizes(n):
+            assert n % nb == 0
+            assert nb <= n
+
+
+class TestContainerProperties:
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.floats(-1e6, 1e6), st.floats(-1e6, 1e6), st.floats(-1e6, 1e6)
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=40)
+    def test_aos_roundtrip(self, rows):
+        aos = np.asarray(rows)
+        v = VectorSoA3D.from_aos(aos)
+        np.testing.assert_array_equal(v.to_aos(), aos)
+        for i, row in enumerate(rows):
+            np.testing.assert_array_equal(v[i], row)
+
+    @given(
+        n_tiles=st.integers(min_value=1, max_value=8),
+        tile=st.integers(min_value=1, max_value=16),
+    )
+    def test_walker_tiled_shapes(self, n_tiles, tile):
+        w = WalkerTiled(n_tiles * tile, tile)
+        assert len(w) == n_tiles
+        c = w.as_canonical()
+        assert c["v"].shape == (n_tiles * tile,)
+        assert c["g"].shape == (3, n_tiles * tile)
+        assert c["h"].shape == (3, 3, n_tiles * tile)

@@ -1,0 +1,102 @@
+"""Unit tests for walker output buffers (AoS/SoA/tiled)."""
+
+import numpy as np
+import pytest
+
+from repro.core import WalkerAoS, WalkerSoA, WalkerTiled
+from repro.core.walker import HESS_COMPONENTS
+
+
+class TestWalkerAoS:
+    def test_shapes(self):
+        w = WalkerAoS(10)
+        assert w.v.shape == (10,)
+        assert w.g.shape == (30,)
+        assert w.l.shape == (10,)
+        assert w.h.shape == (90,)
+
+    def test_views_share_memory(self):
+        w = WalkerAoS(4)
+        w.g[3] = 7.0  # gradient x of spline 1
+        assert w.gradient_view()[1, 0] == 7.0
+        w.h[9 + 4] = 2.5  # hessian yy of spline 1
+        assert w.hessian_view()[1, 1, 1] == 2.5
+
+    def test_zero(self):
+        w = WalkerAoS(4)
+        w.v[:] = 1
+        w.g[:] = 2
+        w.h[:] = 3
+        w.zero()
+        assert not w.v.any() and not w.g.any() and not w.h.any()
+
+    def test_canonical_shapes(self):
+        c = WalkerAoS(6).as_canonical()
+        assert c["v"].shape == (6,)
+        assert c["g"].shape == (3, 6)
+        assert c["h"].shape == (3, 3, 6)
+
+    def test_output_bytes(self):
+        w = WalkerAoS(8, np.float32)
+        assert w.output_bytes == {"v": 32, "vgl": 160, "vgh": 416}
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            WalkerAoS(0)
+
+
+class TestWalkerSoA:
+    def test_component_streams_are_contiguous(self):
+        w = WalkerSoA(16)
+        for stream in (w.gx, w.gy, w.gz, w.hess("xy")):
+            assert stream.flags["C_CONTIGUOUS"]
+
+    def test_hess_names(self):
+        w = WalkerSoA(4)
+        for i, name in enumerate(HESS_COMPONENTS):
+            w.h[i, :] = i
+            assert (w.hess(name) == i).all()
+
+    def test_hess_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            WalkerSoA(4).hess("xw")
+
+    def test_canonical_hessian_symmetric(self):
+        w = WalkerSoA(3)
+        w.h[:] = np.arange(18).reshape(6, 3)
+        h = w.as_canonical()["h"]
+        np.testing.assert_array_equal(h, h.transpose(1, 0, 2))
+
+    def test_output_bytes_symmetric_hessian(self):
+        # SoA VGH has 10 streams vs AoS's 13 (paper Sec. V-A).
+        w = WalkerSoA(8, np.float32)
+        assert w.output_bytes["vgh"] == 10 * 8 * 4
+
+
+class TestWalkerTiled:
+    def test_structure(self):
+        w = WalkerTiled(24, 8)
+        assert len(w) == 3
+        assert w[0].n_splines == 8
+
+    def test_rejects_nondivisor(self):
+        with pytest.raises(ValueError, match="divide"):
+            WalkerTiled(24, 7)
+
+    def test_canonical_concatenates_in_order(self):
+        w = WalkerTiled(6, 2)
+        for t, tile in enumerate(w.tiles):
+            tile.v[:] = t
+        np.testing.assert_array_equal(w.as_canonical()["v"], [0, 0, 1, 1, 2, 2])
+
+    def test_zero_resets_all_tiles(self):
+        w = WalkerTiled(8, 4)
+        for tile in w.tiles:
+            tile.v[:] = 9
+        w.zero()
+        assert not w.as_canonical()["v"].any()
+
+    def test_output_bytes_match_soa_totals(self):
+        flat = WalkerSoA(32, np.float32)
+        tiled = WalkerTiled(32, 8, np.float32)
+        assert tiled.output_bytes == flat.output_bytes

@@ -1,0 +1,88 @@
+"""Tests for the application-level profile model (Tables II/III)."""
+
+import numpy as np
+import pytest
+
+from repro.hwsim import BDW, KNC, KNL, MACHINES, AppWorkload, MiniQmcProfileModel
+
+
+class TestWorkload:
+    def test_coral_defaults(self):
+        w = AppWorkload()
+        assert w.n_orbitals == 128
+        assert w.n_electrons == 256
+        assert w.n_ions == 64
+        assert w.entries_per_move == 320
+
+
+class TestComponentTimes:
+    def test_all_positive(self):
+        t = MiniQmcProfileModel(KNL).component_times()
+        assert set(t) == {"bspline", "distance_tables", "jastrow", "rest"}
+        assert all(v > 0 for v in t.values())
+
+    def test_soa_tables_faster(self):
+        m = MiniQmcProfileModel(KNL)
+        aos = m.component_times("aos", "aos")
+        soa = m.component_times("aos", "soa")
+        assert soa["distance_tables"] < aos["distance_tables"]
+        assert soa["jastrow"] < aos["jastrow"]
+        assert soa["bspline"] == aos["bspline"]  # untouched group
+
+    def test_aosoa_bspline_fastest(self):
+        m = MiniQmcProfileModel(KNL)
+        t_aos = m.component_times("aos")["bspline"]
+        t_soa = m.component_times("soa")["bspline"]
+        t_tiled = m.component_times("aosoa")["bspline"]
+        assert t_tiled < t_soa < t_aos
+
+
+class TestTable2:
+    def test_shares_sum_to_100(self):
+        for m in MACHINES.values():
+            shares = MiniQmcProfileModel(m).table2_profile()
+            assert np.isclose(sum(shares.values()), 100.0)
+
+    def test_three_groups_dominate(self):
+        # Paper: "Their total amounts to 60%-80% across the platforms".
+        for m in MACHINES.values():
+            s = MiniQmcProfileModel(m).table2_profile()
+            known = s["bspline"] + s["distance_tables"] + s["jastrow"]
+            assert 45.0 < known < 90.0
+
+    def test_bdw_knl_within_paper_ballpark(self):
+        # The two calibration anchors stay near Table II.
+        paper = {"BDW": (18, 30, 13), "KNL": (21, 34, 19)}
+        for name, (pb, pd, pj) in paper.items():
+            s = MiniQmcProfileModel(MACHINES[name]).table2_profile()
+            assert abs(s["bspline"] - pb) < 10
+            assert abs(s["distance_tables"] - pd) < 10
+            assert abs(s["jastrow"] - pj) < 10
+
+
+class TestTable3:
+    def test_bspline_dominates_after_dt_jastrow_optimization(self):
+        # Paper: "B-spline routines consume more than 55% of run time".
+        for name in ("KNL", "BDW"):
+            s = MiniQmcProfileModel(MACHINES[name]).table3_profile()
+            assert s["bspline"] > 55.0
+
+    def test_knl_close_to_paper(self):
+        s = MiniQmcProfileModel(KNL).table3_profile()
+        paper = {"bspline": 68.5, "distance_tables": 20.3, "jastrow": 11.2}
+        for k, v in paper.items():
+            assert abs(s[k] - v) < 8.0
+
+    def test_shares_renormalized_over_three_groups(self):
+        s = MiniQmcProfileModel(KNC).table3_profile()
+        assert set(s) == {"bspline", "distance_tables", "jastrow"}
+        assert np.isclose(sum(s.values()), 100.0)
+
+    def test_transition_from_table2(self):
+        # The central qualitative claim: optimizing DT/Jastrow raises the
+        # B-spline share on every machine.
+        for m in MACHINES.values():
+            model = MiniQmcProfileModel(m)
+            t2 = model.table2_profile()
+            t3 = model.table3_profile()
+            assert t3["bspline"] > t2["bspline"]

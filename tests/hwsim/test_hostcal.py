@@ -1,0 +1,49 @@
+"""Tests for host calibration measurements."""
+
+import numpy as np
+import pytest
+
+from repro.hwsim.hostcal import (
+    HostProfile,
+    measure_dispatch_overhead,
+    measure_stream_bandwidth,
+    predict_fused_vgh_seconds,
+    profile_host,
+)
+
+
+class TestMeasurements:
+    def test_bandwidth_plausible(self):
+        bw = measure_stream_bandwidth(size_mb=8, repeats=2)
+        # Anything from an SD card to an HBM stack.
+        assert 1e8 < bw < 1e13
+
+    def test_dispatch_overhead_plausible(self):
+        o = measure_dispatch_overhead(repeats=2000)
+        assert 1e-8 < o < 1e-3
+
+    def test_profile_host_fields(self):
+        h = profile_host()
+        assert h.stream_bw > 0
+        assert h.dispatch_overhead > 0
+
+
+class TestPrediction:
+    def test_scales_linearly_at_large_n(self):
+        h = HostProfile(stream_bw=10e9, dispatch_overhead=1e-6)
+        t1 = predict_fused_vgh_seconds(4096, h)
+        t2 = predict_fused_vgh_seconds(8192, h)
+        # Traffic dominates at large N: close to proportional.
+        assert 1.8 < t2 / t1 < 2.1
+
+    def test_overhead_floor_at_small_n(self):
+        h = HostProfile(stream_bw=1e12, dispatch_overhead=1e-6)
+        t = predict_fused_vgh_seconds(1, h)
+        assert t >= 28 * 1e-6  # the dispatch floor
+
+    def test_faster_memory_reduces_time(self):
+        slow = HostProfile(stream_bw=5e9, dispatch_overhead=1e-6)
+        fast = HostProfile(stream_bw=50e9, dispatch_overhead=1e-6)
+        assert predict_fused_vgh_seconds(2048, fast) < predict_fused_vgh_seconds(
+            2048, slow
+        )

@@ -1,0 +1,90 @@
+"""Tests for machine specs — pinned to paper Table I."""
+
+import pytest
+
+from repro.hwsim import BDW, BGQ, KNC, KNL, MACHINES, PAPER_CORES_USED, PAPER_WALKERS
+
+
+class TestTableI:
+    """Every Table-I number, pinned."""
+
+    def test_cores(self):
+        assert BDW.cores == 18
+        assert KNC.cores == 61
+        assert KNL.cores == 68
+        assert BGQ.cores == 16
+
+    def test_smt(self):
+        assert BDW.smt == 2
+        assert KNC.smt == KNL.smt == BGQ.smt == 4
+
+    def test_simd_width(self):
+        assert BDW.simd_bits == 256
+        assert KNC.simd_bits == KNL.simd_bits == 512
+        assert BGQ.simd_bits == 256
+
+    def test_frequency(self):
+        assert BDW.freq_ghz == 2.3
+        assert KNC.freq_ghz == 1.238
+        assert KNL.freq_ghz == 1.4
+        assert BGQ.freq_ghz == 1.6
+
+    def test_l1(self):
+        assert BDW.l1d_bytes == KNC.l1d_bytes == KNL.l1d_bytes == 32 * 1024
+        assert BGQ.l1d_bytes == 16 * 1024
+
+    def test_l2(self):
+        assert BDW.l2_bytes == 256 * 1024
+        assert KNC.l2_bytes == 512 * 1024
+        assert KNL.l2_bytes == 1024 * 1024 and KNL.l2_cores_per_domain == 2
+        assert BGQ.l2_bytes == 32 * 1024 * 1024
+
+    def test_llc(self):
+        assert BDW.llc_bytes == 45 * 1024 * 1024
+        assert KNC.llc_bytes == KNL.llc_bytes == 0
+        assert BGQ.llc_bytes == 32 * 1024 * 1024
+
+    def test_stream_bandwidth(self):
+        assert BDW.stream_bw == 64e9
+        assert KNC.stream_bw == 177e9
+        assert KNL.stream_bw == 490e9
+        assert BGQ.stream_bw == 28e9
+
+
+class TestDerived:
+    def test_sp_lanes(self):
+        assert BDW.sp_lanes == 8
+        assert KNC.sp_lanes == KNL.sp_lanes == 16
+        assert BGQ.sp_lanes == 4  # QPX stays 4-wide in SP
+
+    def test_hw_threads(self):
+        assert KNL.hw_threads == 272
+        assert BGQ.hw_threads == 64
+
+    def test_peak_flops_ordering(self):
+        # KNL > KNC > BDW > BGQ in SP peak, as in the paper's intro.
+        assert KNL.peak_sp_gflops > KNC.peak_sp_gflops > BDW.peak_sp_gflops
+        assert BDW.peak_sp_gflops > BGQ.peak_sp_gflops
+
+    def test_knl_peak_magnitude(self):
+        # 68 cores x 1.4 GHz x 16 lanes x 2 FMA x 2 ports ~ 6 TF.
+        assert 5500 < KNL.peak_sp_gflops < 6500
+
+    def test_shared_llc_flags(self):
+        assert BDW.has_shared_llc and BGQ.has_shared_llc
+        assert not KNC.has_shared_llc and not KNL.has_shared_llc
+
+    def test_l2_total(self):
+        assert KNL.l2_total_bytes == 34 * 1024 * 1024
+        assert BGQ.l2_total_bytes == 32 * 1024 * 1024
+
+    def test_machines_registry(self):
+        assert set(MACHINES) == {"BDW", "KNC", "KNL", "BGQ"}
+
+    def test_paper_run_parameters(self):
+        # Sec. VI: Nw = 36/240/256/64, one walker per hardware thread used.
+        assert PAPER_WALKERS == {"BDW": 36, "KNC": 240, "KNL": 256, "BGQ": 64}
+        assert PAPER_CORES_USED == {"BDW": 18, "KNC": 60, "KNL": 64, "BGQ": 16}
+
+    def test_knl_ddr_slower_than_mcdram(self):
+        assert KNL.ddr_bw < KNL.stream_bw

@@ -1,0 +1,233 @@
+"""Tests for the execution-time model, including paper-shape assertions.
+
+The calibration tests assert the *shape* of the paper's results — who
+wins, by roughly what factor, where the optima fall — with tolerances
+documented in EXPERIMENTS.md (generally within ~1.4x of each Table IV
+entry and exact optimal-tile positions).
+"""
+
+import numpy as np
+import pytest
+
+from repro.hwsim import (
+    BDW,
+    BGQ,
+    KNC,
+    KNL,
+    MACHINES,
+    BsplinePerfModel,
+    max_accum_fitting_tile,
+    max_llc_fitting_tile,
+    working_set_report,
+)
+
+#: Paper Table IV, transcribed: (A, B, C) speedups at N=2048.
+PAPER_TABLE_IV = {
+    ("v", "BDW"): (None, 2.0, 3.4),
+    ("v", "KNC"): (None, 1.2, 5.9),
+    ("v", "KNL"): (None, 1.3, 18.7),
+    ("v", "BGQ"): (None, 1.3, 2.0),
+    ("vgl", "BDW"): (4.2, 10.2, 17.2),
+    ("vgl", "KNC"): (4.0, 5.7, 42.1),
+    ("vgl", "KNL"): (5.1, 5.6, 80.6),
+    ("vgl", "BGQ"): (7.4, 9.5, 15.8),
+    ("vgh", "BDW"): (1.7, 3.7, 6.4),
+    ("vgh", "KNC"): (2.6, 5.2, 35.2),
+    ("vgh", "KNL"): (1.7, 2.3, 33.1),
+    ("vgh", "BGQ"): (1.9, 2.7, 5.2),
+}
+
+#: Paper Table IV bottom row: nth (Nb) used for Opt C per machine.
+PAPER_NTH = {"BDW": 2, "KNC": 8, "KNL": 16, "BGQ": 2}
+
+
+class TestBasicProperties:
+    def test_result_fields_positive(self):
+        res = BsplinePerfModel(KNL).evaluate("vgh", "soa", 2048)
+        assert res.evals_per_sec > 0
+        assert res.throughput == pytest.approx(res.evals_per_sec * 2048)
+        assert res.t_eval == pytest.approx(
+            res.t_compute + res.t_read + res.t_write
+        )
+
+    def test_bound_classification(self):
+        res = BsplinePerfModel(BGQ).evaluate("vgh", "aos", 2048)
+        assert res.bound in ("compute", "memory")
+
+    def test_rejects_bad_layout(self):
+        with pytest.raises(ValueError):
+            BsplinePerfModel(KNL).evaluate("vgh", "simd", 2048)
+
+    def test_rejects_nondivisor_tile(self):
+        with pytest.raises(ValueError):
+            BsplinePerfModel(KNL).evaluate("vgh", "aosoa", 2048, 300)
+
+    def test_soa_never_slower_than_aos(self):
+        for m in MACHINES.values():
+            model = BsplinePerfModel(m)
+            for kern in ("vgl", "vgh"):
+                aos = model.evaluate(kern, "aos", 2048)
+                soa = model.evaluate(kern, "soa", 2048)
+                assert soa.evals_per_sec >= aos.evals_per_sec
+
+    def test_spill_multiplier_monotone(self):
+        model = BsplinePerfModel(KNL)
+        mults = [
+            model.write_spill_multiplier("vgh", "soa", nb)
+            for nb in (128, 512, 2048, 8192)
+        ]
+        assert mults[0] == 1.0  # fits the budget
+        assert all(a <= b for a, b in zip(mults, mults[1:]))
+
+    def test_smt_capacity_monotone(self):
+        model = BsplinePerfModel(KNL)
+        caps = [model.node_cycle_capacity(t) for t in (1, 2, 4)]
+        assert caps[0] < caps[1] < caps[2]
+
+
+class TestOptimalTiles:
+    """Fig. 7c: the model's optimal Nb matches the paper exactly."""
+
+    def test_bdw_peak_at_64(self):
+        nb, _ = BsplinePerfModel(BDW).best_tile_size("vgh", 2048)
+        assert nb == 64
+
+    def test_knc_peak_at_512(self):
+        nb, _ = BsplinePerfModel(KNC).best_tile_size("vgh", 2048)
+        assert nb == 512
+
+    def test_knl_peak_at_512(self):
+        nb, _ = BsplinePerfModel(KNL).best_tile_size("vgh", 2048)
+        assert nb == 512
+
+    def test_bgq_peak_at_64_or_128(self):
+        # The modelled BG/Q curve is nearly flat across 32-128 (see
+        # EXPERIMENTS.md); the paper reports 64.
+        nb, sweep = BsplinePerfModel(BGQ).best_tile_size("vgh", 2048)
+        assert nb in (32, 64, 128)
+        assert sweep[64] > 0.9 * max(sweep.values())
+
+    def test_bdw_cliff_at_128(self):
+        # LLC fit lost between Nb=64 (28 MB) and Nb=128 (56 MB > 45 MB).
+        _, sweep = BsplinePerfModel(BDW).best_tile_size("vgh", 2048)
+        assert sweep[64] > 1.3 * sweep[128]
+
+    def test_knl_declines_past_512(self):
+        _, sweep = BsplinePerfModel(KNL).best_tile_size("vgh", 2048)
+        assert sweep[512] > sweep[1024] > sweep[2048]
+
+    def test_nested_requires_enough_tiles(self):
+        nb, sweep = BsplinePerfModel(KNL).best_tile_size("vgh", 2048, nth=16)
+        assert nb <= 2048 // 16
+        assert all(2048 // n >= 16 for n in sweep)
+
+
+class TestWorkingSetPredicates:
+    def test_bdw_llc_fit_boundary(self):
+        # Paper Sec. VI-B: 28 MB (Nb=64) fits the 45 MB L3; 56 MB does not.
+        assert max_llc_fitting_tile(BDW, "vgh", 2048) == 64
+
+    def test_bgq_llc_fit_boundary(self):
+        assert max_llc_fitting_tile(BGQ, "vgh", 2048) in (32, 64)
+
+    def test_no_llc_machines_return_none(self):
+        assert max_llc_fitting_tile(KNL, "vgh", 2048) is None
+        assert max_llc_fitting_tile(KNC, "vgh", 2048) is None
+
+    def test_knl_accum_fit_is_512(self):
+        # 40 bytes/spline output: 512 * 40 = 20 KB <= 24 KB budget; 1024
+        # does not fit — the Fig. 7c peak position.
+        assert max_accum_fitting_tile(KNL, "vgh", 2048) == 512
+
+    def test_working_set_report_fields(self):
+        rep = working_set_report(BDW, "vgh", 2048, 64)
+        assert rep.input_ws == 4 * 48**3 * 64
+        assert rep.fits_llc
+        rep2 = working_set_report(BDW, "vgh", 2048, 128)
+        assert not rep2.fits_llc
+
+
+class TestPaperTableIV:
+    """Model-vs-paper for every Table IV cell, within 1.45x."""
+
+    TOL = 1.45
+
+    @pytest.mark.parametrize("kern,mname", sorted(PAPER_TABLE_IV))
+    def test_speedups_within_tolerance(self, kern, mname):
+        model = BsplinePerfModel(MACHINES[mname])
+        s = model.speedups(kern, 2048, PAPER_NTH[mname])
+        pa, pb, pc = PAPER_TABLE_IV[(kern, mname)]
+        if pa is not None:
+            assert 1 / self.TOL < s["A"] / pa < self.TOL, f"A: {s['A']} vs {pa}"
+        assert 1 / self.TOL < s["B"] / pb < self.TOL, f"B: {s['B']} vs {pb}"
+        assert 1 / self.TOL < s["C"] / pc < self.TOL, f"C: {s['C']} vs {pc}"
+
+    def test_speedup_ordering_vgl_largest(self):
+        # On every machine the paper's VGL speedups dwarf VGH's (the
+        # baseline VGL was the worst code).
+        for mname, m in MACHINES.items():
+            model = BsplinePerfModel(m)
+            nth = PAPER_NTH[mname]
+            vgl = model.speedups("vgl", 2048, nth)
+            vgh = model.speedups("vgh", 2048, nth)
+            assert vgl["B"] > vgh["B"]
+
+
+class TestFig8And9:
+    def test_fig8_knl_n4096_shape(self):
+        # Paper Fig. 8 at N=4096: 1.85x (V), 6.4x (VGL), 2.5x (VGH).
+        model = BsplinePerfModel(KNL)
+        b = {k: model.speedups(k, 4096, 1)["B"] for k in ("v", "vgl", "vgh")}
+        assert 1.3 < b["v"] < 2.4
+        assert 4.5 < b["vgl"] < 10.5
+        assert 1.9 < b["vgh"] < 3.6
+        assert b["vgl"] > b["vgh"] > b["v"]  # the paper's ordering
+
+    def test_fig9_knl_efficiency_above_80pct_at_16(self):
+        # Paper: "parallel efficiency for nth=16 is greater than 90%".
+        model = BsplinePerfModel(KNL)
+        eff = model.nested_efficiency("vgh", 2048, 16)
+        assert eff > 0.80
+
+    def test_fig9_efficiency_decreases_with_threads(self):
+        model = BsplinePerfModel(KNL)
+        effs = [model.nested_efficiency("vgh", 2048, n) for n in (2, 4, 8, 16)]
+        assert all(a >= b - 1e-9 for a, b in zip(effs, effs[1:]))
+
+    def test_bdw_limited_to_2_threads(self):
+        # Paper Sec. VI-C: BDW/BGQ scale to only ~2 threads at 80% eff.
+        model = BsplinePerfModel(BDW)
+        assert model.nested_efficiency("vgh", 2048, 2) > 0.7
+        assert model.nested_efficiency("vgh", 2048, 8) < model.nested_efficiency(
+            "vgh", 2048, 2
+        )
+
+
+class TestFig7Shapes:
+    def test_fig7a_soa_gain_fades_at_large_n_on_knl(self):
+        # "Almost no speedup is obtained on KNC and KNL at N=2048 and 4096"
+        # relative to the small-N gain.
+        model = BsplinePerfModel(KNL)
+
+        def a_gain(n):
+            return (
+                model.evaluate("vgh", "soa", n).evals_per_sec
+                / model.evaluate("vgh", "aos", n).evals_per_sec
+            )
+
+        assert a_gain(256) > a_gain(4096)
+
+    def test_fig7b_tiling_restores_large_n_throughput(self):
+        # Tiled throughput at N=4096 within 25% of the N=256 level (the
+        # "sustained throughput across problem sizes" claim).
+        model = BsplinePerfModel(KNL)
+        t_small = model.evaluate("vgh", "aosoa", 256, 256).throughput
+        nb, _ = model.best_tile_size("vgh", 4096)
+        t_large = model.evaluate("vgh", "aosoa", 4096, nb).throughput
+        assert t_large > 0.75 * t_small
+
+    def test_untiled_throughput_collapses_with_n(self):
+        model = BsplinePerfModel(KNL)
+        t256 = model.evaluate("vgh", "soa", 256).throughput
+        t4096 = model.evaluate("vgh", "soa", 4096).throughput
+        assert t4096 < 0.8 * t256

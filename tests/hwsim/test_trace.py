@@ -1,0 +1,109 @@
+"""Tests for kernel address-trace generation and its cache behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.hwsim import SetAssociativeCache, TraceBuilder
+
+
+class TestTraceStructure:
+    def test_row_line_count(self):
+        tb = TraceBuilder((8, 8, 8), 64)  # rows of 256 B = 4 lines
+        lines = tb.read_lines_for_eval(0, 4, 4, 4)
+        assert len(lines) == 64 * 4
+
+    def test_rows_are_contiguous_lines(self):
+        tb = TraceBuilder((8, 8, 8), 32)
+        r = tb._row_lines(0, 1, 2, 3)
+        assert (np.diff(r) == 1).all()
+
+    def test_distinct_rows_for_distinct_points(self):
+        tb = TraceBuilder((8, 8, 8), 16)
+        a = set(tb._row_lines(0, 0, 0, 0))
+        b = set(tb._row_lines(0, 0, 0, 1))
+        assert not (a & b) or 16 * 4 < 64  # small rows may share a line
+
+    def test_tiles_occupy_disjoint_regions(self):
+        tb = TraceBuilder((8, 8, 8), 32, tile_size=16)
+        a = tb.read_lines_for_eval(0, 4, 4, 4)
+        b = tb.read_lines_for_eval(1, 4, 4, 4)
+        assert not (set(a) & set(b))
+
+    def test_output_region_above_table(self):
+        tb = TraceBuilder((8, 8, 8), 32, tile_size=16)
+        assert tb.output_lines(0, "vgh", "soa").min() * 64 >= tb.output_base
+
+    def test_output_line_count_scales_with_streams(self):
+        tb = TraceBuilder((8, 8, 8), 64)
+        aos = tb.output_lines(0, "vgh", "aos")
+        soa = tb.output_lines(0, "vgh", "soa")
+        assert len(aos) > len(soa)  # 13 streams vs 10
+
+    def test_rejects_nondivisor_tile(self):
+        with pytest.raises(ValueError):
+            TraceBuilder((8, 8, 8), 32, tile_size=5)
+
+    def test_periodic_wrap_in_stencil(self):
+        tb = TraceBuilder((8, 8, 8), 16)
+        lines = tb.read_lines_for_eval(0, 0, 0, 0)  # stencil wraps low
+        assert len(lines) == 64  # 16 splines * 4B = 64B = 1 line per row
+        assert (lines >= 0).all()
+
+
+class TestCacheBehaviour:
+    """The headline validation: working-set cliffs appear where the
+    paper's arithmetic says they should."""
+
+    def test_repeated_tile_evals_hit_once_slab_cached(self, rng):
+        grid = (6, 6, 6)
+        nb = 16
+        tb = TraceBuilder(grid, nb)
+        slab_bytes = 6 * 6 * 6 * nb * 4  # 13.5 KB
+        cache = SetAssociativeCache(32 * 1024, assoc=16)  # slab fits
+        idx = tb.random_position_indices(40, rng)
+        trace = tb.walker_trace(idx, "vgh", "soa")
+        cache.access_lines(trace)
+        # After the cold pass the slab is resident: hit rate must be high.
+        assert cache.stats.hit_rate > 0.85
+
+    def test_slab_too_big_thrashes(self, rng):
+        grid = (8, 8, 8)
+        nb = 64
+        tb = TraceBuilder(grid, nb)
+        slab_bytes = 8 * 8 * 8 * nb * 4  # 128 KB
+        cache = SetAssociativeCache(16 * 1024, assoc=16)  # way too small
+        idx = tb.random_position_indices(30, rng)
+        trace = tb.walker_trace(idx, "vgh", "soa")
+        cache.access_lines(trace)
+        small_rate = cache.stats.hit_rate
+        big = SetAssociativeCache(256 * 1024, assoc=16)  # slab fits
+        big.access_lines(trace)
+        assert big.stats.hit_rate > small_rate + 0.2
+
+    def test_tiling_raises_hit_rate_at_fixed_cache(self, rng):
+        """The Opt-B mechanism, observed mechanically: same total work,
+        same cache, higher hit rate with a smaller active slab."""
+        grid = (8, 8, 8)
+        n_splines = 64
+        cache_bytes = 64 * 1024
+        rates = {}
+        for nb in (64, 16):
+            tb = TraceBuilder(grid, n_splines, tile_size=nb)
+            cache = SetAssociativeCache(cache_bytes, assoc=16)
+            idx = tb.random_position_indices(25, rng)
+            cache.access_lines(tb.walker_trace(idx, "vgh", "soa"))
+            rates[nb] = cache.stats.hit_rate
+        assert rates[16] > rates[64]
+
+    def test_outputs_stay_resident_for_small_tiles(self, rng):
+        grid = (6, 6, 6)
+        tb = TraceBuilder(grid, 32, tile_size=8)
+        cache = SetAssociativeCache(8 * 1024, assoc=8)
+        idx = tb.random_position_indices(10, rng)
+        # Outputs of one tile: 10 streams * 8 splines * 4 B = 320 B.
+        out_lines = tb.output_lines(0, "vgh", "soa")
+        trace = tb.eval_trace(0, 3, 3, 3, "vgh", "soa")
+        cache.access_lines(trace)
+        cache.reset_stats()
+        hits = cache.access_lines(out_lines)
+        assert hits == len(out_lines)  # all output lines still resident

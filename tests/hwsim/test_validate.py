@@ -1,0 +1,38 @@
+"""Tests for the model-vs-trace validation battery."""
+
+import pytest
+
+from repro.hwsim import (
+    validate_all,
+    validate_slab_residency,
+    validate_tiling_benefit,
+)
+
+
+class TestValidationBattery:
+    def test_all_cases_pass(self):
+        cases = validate_all()
+        assert len(cases) >= 4
+        for c in cases:
+            assert c.passed, c
+
+    def test_slab_residency_covers_both_outcomes(self):
+        cases = validate_slab_residency()
+        fits = {c.predicted_fits for c in cases}
+        assert fits == {True, False}  # the battery spans the boundary
+
+    def test_marginal_band_excluded(self):
+        cases = validate_slab_residency()
+        for c in cases:
+            ratio = c.slab_bytes / c.cache_bytes
+            assert ratio < 0.5 or ratio > 2.0
+
+    def test_tiling_benefit_positive(self):
+        c = validate_tiling_benefit()
+        assert c.passed
+        assert c.hit_rate > 0  # stores the rate *difference*
+
+    def test_deterministic(self):
+        a = validate_tiling_benefit(seed=7)
+        b = validate_tiling_benefit(seed=7)
+        assert a.hit_rate == b.hit_rate

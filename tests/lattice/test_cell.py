@@ -1,0 +1,94 @@
+"""Unit tests for simulation cells."""
+
+import numpy as np
+import pytest
+
+from repro.lattice import Cell, graphite_unit_cell
+
+
+class TestConstruction:
+    def test_cubic(self):
+        c = Cell.cubic(3.0)
+        assert np.isclose(c.volume, 27.0)
+        assert c.is_orthorhombic
+
+    def test_orthorhombic(self):
+        c = Cell.orthorhombic(1.0, 2.0, 3.0)
+        np.testing.assert_allclose(c.edge_lengths, [1.0, 2.0, 3.0])
+
+    def test_graphite_not_orthorhombic(self):
+        assert not graphite_unit_cell().is_orthorhombic
+
+    def test_rejects_singular(self):
+        with pytest.raises(ValueError, match="singular"):
+            Cell(np.array([[1, 0, 0], [2, 0, 0], [0, 0, 1]], dtype=float))
+
+    def test_rejects_left_handed(self):
+        with pytest.raises(ValueError, match="right-handed"):
+            Cell(np.diag([1.0, 1.0, -1.0]))
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            Cell(np.eye(2))
+
+    def test_reciprocal_identity(self):
+        c = graphite_unit_cell()
+        np.testing.assert_allclose(
+            c.lattice @ c.reciprocal.T, 2 * np.pi * np.eye(3), atol=1e-12
+        )
+
+
+class TestConversions:
+    def test_frac_cart_roundtrip(self, rng):
+        c = graphite_unit_cell()
+        frac = rng.random((20, 3))
+        np.testing.assert_allclose(
+            c.cart_to_frac(c.frac_to_cart(frac)), frac, atol=1e-12
+        )
+
+    def test_wrap_frac(self):
+        c = Cell.cubic(1.0)
+        np.testing.assert_allclose(
+            c.wrap_frac([1.25, -0.25, 0.5]), [0.25, 0.75, 0.5]
+        )
+
+    def test_wrap_cart_preserves_lattice_equivalence(self, rng):
+        c = graphite_unit_cell()
+        pos = c.frac_to_cart(rng.random(3) + np.array([2.0, -1.0, 3.0]))
+        wrapped = c.wrap_cart(pos)
+        dfrac = c.cart_to_frac(pos - wrapped)
+        np.testing.assert_allclose(dfrac, np.round(dfrac), atol=1e-9)
+        assert (c.cart_to_frac(wrapped) >= -1e-12).all()
+        assert (c.cart_to_frac(wrapped) < 1.0 + 1e-12).all()
+
+
+class TestSupercell:
+    def test_supercell_volume(self):
+        c = graphite_unit_cell()
+        s = c.supercell((4, 4, 1))
+        assert np.isclose(s.volume, 16 * c.volume)
+
+    def test_rejects_bad_tiling(self):
+        with pytest.raises(ValueError):
+            Cell.cubic(1.0).supercell((0, 1, 1))
+
+    def test_tile_positions_count_and_range(self):
+        c = Cell.cubic(1.0)
+        basis = np.array([[0.0, 0.0, 0.0], [0.5, 0.5, 0.5]])
+        tiled = c.tile_positions(basis, (2, 3, 1))
+        assert tiled.shape == (12, 3)
+        assert (tiled >= 0).all() and (tiled < 1.0).all()
+
+    def test_tiled_positions_are_distinct(self):
+        c = Cell.cubic(1.0)
+        tiled = c.tile_positions(np.zeros((1, 3)), (2, 2, 2))
+        assert len(np.unique(np.round(tiled, 9), axis=0)) == 8
+
+    def test_supercell_tiling_physical_consistency(self):
+        # Tiling a point at the unit-cell origin by (2,1,1) puts images at
+        # supercell fractions 0 and 1/2 along a1.
+        c = Cell.cubic(2.0)
+        tiled = c.tile_positions(np.zeros((1, 3)), (2, 1, 1))
+        sc = c.supercell((2, 1, 1))
+        carts = sc.frac_to_cart(tiled)
+        np.testing.assert_allclose(carts[1] - carts[0], [2.0, 0, 0], atol=1e-12)

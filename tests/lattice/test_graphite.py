@@ -1,0 +1,79 @@
+"""Unit tests for the graphite geometry and benchmark descriptors."""
+
+import numpy as np
+import pytest
+
+from repro.lattice import (
+    GRAPHITE_A_BOHR,
+    GRAPHITE_C_BOHR,
+    coral_4x4x1,
+    graphite_basis_frac,
+    graphite_unit_cell,
+    minimal_image_distances,
+    sweep_system,
+)
+
+
+class TestUnitCell:
+    def test_hexagonal_angles(self):
+        c = graphite_unit_cell()
+        a1, a2, a3 = c.lattice
+        cos12 = a1 @ a2 / (np.linalg.norm(a1) * np.linalg.norm(a2))
+        assert np.isclose(cos12, -0.5)  # 120 degrees in-plane
+        assert np.isclose(a1 @ a3, 0.0) and np.isclose(a2 @ a3, 0.0)
+
+    def test_lattice_constants(self):
+        c = graphite_unit_cell()
+        assert np.isclose(c.edge_lengths[0], GRAPHITE_A_BOHR)
+        assert np.isclose(c.edge_lengths[2], GRAPHITE_C_BOHR)
+
+    def test_four_atom_basis(self):
+        basis = graphite_basis_frac()
+        assert basis.shape == (4, 3)
+        # Two atoms per layer, layers at z = 0 and z = 1/2.
+        assert sorted(basis[:, 2]) == [0.0, 0.0, 0.5, 0.5]
+
+    def test_nearest_neighbour_distance(self):
+        # In-plane C-C bond in graphite is a/sqrt(3) ~ 1.42 Angstrom.
+        cell = graphite_unit_cell()
+        pos = cell.frac_to_cart(graphite_basis_frac())
+        d = minimal_image_distances(cell, pos, pos)
+        d[d < 1e-9] = np.inf
+        assert np.isclose(d.min(), GRAPHITE_A_BOHR / np.sqrt(3.0), rtol=1e-6)
+
+
+class TestCoral:
+    def test_paper_parameters(self):
+        # Paper Sec. IV: 64 atoms, 256 electrons, 128 orbitals, 48x48x60.
+        sysm = coral_4x4x1()
+        assert sysm.n_ions == 64
+        assert sysm.n_electrons == 256
+        assert sysm.n_orbitals == 128
+        assert sysm.grid_shape == (48, 48, 60)
+
+    def test_ion_positions_inside_supercell(self):
+        sysm = coral_4x4x1()
+        frac = sysm.cell.cart_to_frac(sysm.ion_positions)
+        assert (frac >= -1e-9).all() and (frac < 1.0 + 1e-9).all()
+
+    def test_all_ions_distinct(self):
+        sysm = coral_4x4x1()
+        d = minimal_image_distances(sysm.cell, sysm.ion_positions, sysm.ion_positions)
+        iu = np.triu_indices(64, k=1)
+        assert d[iu].min() > 1.0  # bohr
+
+    def test_grid_point_count(self):
+        assert coral_4x4x1().n_grid_points == 48 * 48 * 60
+
+
+class TestSweep:
+    @pytest.mark.parametrize("n", [128, 256, 2048, 4096])
+    def test_sweep_sizes(self, n):
+        sysm = sweep_system(n)
+        assert sysm.n_orbitals == n
+        assert sysm.n_electrons == 2 * n
+        assert sysm.grid_shape == (48, 48, 48)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            sweep_system(0)

@@ -1,0 +1,109 @@
+"""Unit tests for the synthetic plane-wave orbital sets."""
+
+import numpy as np
+import pytest
+
+from repro.lattice import Cell, PlaneWaveOrbitalSet, enumerate_gvectors, graphite_unit_cell
+
+
+class TestGVectors:
+    def test_count_and_shape(self):
+        g = enumerate_gvectors(Cell.cubic(1.0), 10)
+        assert g.shape == (10, 3)
+
+    def test_sorted_by_length(self):
+        c = graphite_unit_cell()
+        g = enumerate_gvectors(c, 30)
+        lengths = np.linalg.norm(g @ c.reciprocal, axis=1)
+        assert (np.diff(lengths) >= -1e-9).all()
+
+    def test_half_space_no_pm_duplicates(self):
+        g = enumerate_gvectors(Cell.cubic(1.0), 50)
+        s = {tuple(v) for v in g}
+        assert not any(tuple(-np.asarray(v)) in s for v in s)
+
+    def test_no_zero_vector(self):
+        g = enumerate_gvectors(Cell.cubic(1.0), 20)
+        assert not (g == 0).all(axis=1).any()
+
+    def test_rejects_excessive_count(self):
+        with pytest.raises(ValueError, match="max_index"):
+            enumerate_gvectors(Cell.cubic(1.0), 10000, max_index=2)
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ValueError):
+            enumerate_gvectors(Cell.cubic(1.0), 0)
+
+
+class TestOrbitalSet:
+    @pytest.fixture
+    def pw(self):
+        return PlaneWaveOrbitalSet(Cell.cubic(4.0), 9)
+
+    def test_grid_values_shape(self, pw):
+        vals = pw.values_on_grid(6, 8, 10)
+        assert vals.shape == (6, 8, 10, 9)
+
+    def test_orbital_zero_is_constant(self, pw):
+        vals = pw.values_on_grid(5, 5, 5)
+        assert np.allclose(vals[..., 0], 1.0)
+
+    def test_grid_values_match_pointwise_evaluation(self, pw):
+        vals = pw.values_on_grid(6, 6, 6)
+        cell = pw.cell
+        pts = [(0, 0, 0), (1, 2, 3), (5, 5, 5)]
+        carts = cell.frac_to_cart(np.array([[i / 6, j / 6, k / 6] for i, j, k in pts]))
+        direct = pw.evaluate(carts)
+        for n, (i, j, k) in enumerate(pts):
+            np.testing.assert_allclose(vals[i, j, k], direct[n], atol=1e-12)
+
+    def test_periodicity(self, pw):
+        cell = pw.cell
+        p = np.array([[0.7, 1.1, 2.3]])
+        shifted = p + cell.lattice[0] + 2 * cell.lattice[2]
+        np.testing.assert_allclose(pw.evaluate(p), pw.evaluate(shifted), atol=1e-10)
+
+    def test_gradients_match_finite_difference(self, pw):
+        p = np.array([[0.4, 1.3, 0.9]])
+        _, g, _ = pw.evaluate_vgl(p)
+        eps = 1e-6
+        for d in range(3):
+            dp = np.zeros(3)
+            dp[d] = eps
+            fd = (pw.evaluate(p + dp) - pw.evaluate(p - dp)) / (2 * eps)
+            np.testing.assert_allclose(g[0, d], fd[0], atol=1e-6)
+
+    def test_laplacian_matches_finite_difference(self, pw):
+        p = np.array([[1.0, 0.5, 2.0]])
+        v, _, lap = pw.evaluate_vgl(p)
+        eps = 1e-4
+        fd = np.zeros(pw.n_orbitals)
+        for d in range(3):
+            dp = np.zeros(3)
+            dp[d] = eps
+            fd += (pw.evaluate(p + dp)[0] - 2 * v[0] + pw.evaluate(p - dp)[0]) / eps**2
+        np.testing.assert_allclose(lap[0], fd, atol=1e-4)
+
+    def test_orbitals_orthogonal_on_grid(self, pw):
+        # cos/sin of distinct G are L2-orthogonal over the cell; check via
+        # the grid quadrature (exact for band-limited functions).
+        vals = pw.values_on_grid(12, 12, 12).reshape(-1, pw.n_orbitals)
+        gram = vals.T @ vals / vals.shape[0]
+        off = gram - np.diag(np.diag(gram))
+        assert np.abs(off).max() < 1e-10
+
+    def test_gram_is_nonsingular(self, pw):
+        vals = pw.values_on_grid(10, 10, 10).reshape(-1, pw.n_orbitals)
+        gram = vals.T @ vals / vals.shape[0]
+        assert np.linalg.cond(gram) < 10.0
+
+    def test_triclinic_cell_supported(self):
+        pw = PlaneWaveOrbitalSet(graphite_unit_cell(), 6)
+        p = pw.cell.frac_to_cart(np.array([[0.2, 0.3, 0.4]]))
+        v = pw.evaluate(p)
+        assert v.shape == (1, 6)
+        assert np.isfinite(v).all()
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ValueError):
+            PlaneWaveOrbitalSet(Cell.cubic(1.0), 0)

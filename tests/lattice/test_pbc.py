@@ -1,0 +1,103 @@
+"""Unit tests for minimal-image PBC geometry."""
+
+import numpy as np
+import pytest
+
+from repro.lattice import (
+    Cell,
+    graphite_unit_cell,
+    minimal_image_displacements,
+    minimal_image_distances,
+    wigner_seitz_radius,
+)
+
+
+def brute_force_min_dist(cell, a, b, reach=2):
+    """Oracle: search a (2*reach+1)^3 image block."""
+    best = np.inf
+    for i in range(-reach, reach + 1):
+        for j in range(-reach, reach + 1):
+            for k in range(-reach, reach + 1):
+                img = b + np.array([i, j, k], dtype=float) @ cell.lattice
+                best = min(best, float(np.linalg.norm(img - a)))
+    return best
+
+
+class TestOrthorhombic:
+    def test_simple_wrap(self):
+        c = Cell.cubic(10.0)
+        d = minimal_image_distances(c, [[0.5, 0, 0]], [[9.5, 0, 0]])
+        assert np.isclose(d[0, 0], 1.0)
+
+    def test_displacement_sign(self):
+        c = Cell.cubic(10.0)
+        disp = minimal_image_displacements(c, [[0.5, 0, 0]], [[9.5, 0, 0]])
+        np.testing.assert_allclose(disp[0, 0], [-1.0, 0.0, 0.0])
+
+    def test_matches_brute_force(self, rng):
+        c = Cell.orthorhombic(3.0, 4.0, 5.0)
+        a = rng.random((4, 3)) * [3, 4, 5]
+        b = rng.random((5, 3)) * [3, 4, 5]
+        d = minimal_image_distances(c, a, b)
+        for i in range(4):
+            for j in range(5):
+                assert np.isclose(d[i, j], brute_force_min_dist(c, a[i], b[j]))
+
+    def test_self_distance_zero(self):
+        c = Cell.cubic(2.0)
+        p = np.array([[0.3, 1.9, 0.7]])
+        assert np.isclose(minimal_image_distances(c, p, p)[0, 0], 0.0)
+
+
+class TestTriclinic:
+    def test_matches_brute_force_graphite(self, rng):
+        c = graphite_unit_cell()
+        a = c.frac_to_cart(rng.random((4, 3)))
+        b = c.frac_to_cart(rng.random((4, 3)))
+        d = minimal_image_distances(c, a, b)
+        for i in range(4):
+            for j in range(4):
+                assert np.isclose(d[i, j], brute_force_min_dist(c, a[i], b[j]))
+
+    def test_sheared_cell_where_rounding_fails(self):
+        # A heavily sheared cell: componentwise rounding in fractional
+        # space picks the wrong image; the 27-image search must not.
+        lat = np.array([[1.0, 0.0, 0.0], [0.9, 0.5, 0.0], [0.0, 0.0, 1.0]])
+        c = Cell(lat)
+        a = np.zeros((1, 3))
+        b = c.frac_to_cart(np.array([[0.5, 0.5, 0.0]]))
+        d = minimal_image_distances(c, a, b)[0, 0]
+        assert np.isclose(d, brute_force_min_dist(c, a[0], b[0]))
+
+    def test_displacement_antisymmetry(self, rng):
+        c = graphite_unit_cell()
+        a = c.frac_to_cart(rng.random((3, 3)))
+        b = c.frac_to_cart(rng.random((3, 3)))
+        dab = minimal_image_displacements(c, a, b)
+        dba = minimal_image_displacements(c, b, a)
+        np.testing.assert_allclose(dab, -dba.transpose(1, 0, 2), atol=1e-12)
+
+    def test_distance_consistent_with_displacement(self, rng):
+        c = graphite_unit_cell()
+        a = c.frac_to_cart(rng.random((3, 3)))
+        disp = minimal_image_displacements(c, a, a)
+        dist = minimal_image_distances(c, a, a)
+        np.testing.assert_allclose(np.linalg.norm(disp, axis=-1), dist, atol=1e-12)
+
+
+class TestWignerSeitz:
+    def test_cubic(self):
+        assert np.isclose(wigner_seitz_radius(Cell.cubic(2.0)), 1.0)
+
+    def test_orthorhombic_min_edge(self):
+        assert np.isclose(wigner_seitz_radius(Cell.orthorhombic(2, 4, 6)), 1.0)
+
+    def test_distances_never_exceed_diameter_bound(self, rng):
+        c = graphite_unit_cell()
+        rws = wigner_seitz_radius(c)
+        a = c.frac_to_cart(rng.random((10, 3)))
+        d = minimal_image_distances(c, a, a)
+        # Any minimal-image distance is at most the WS-cell circumradius;
+        # a loose but useful bound is the max edge length.
+        assert d.max() <= c.edge_lengths.max()
+        assert rws > 0

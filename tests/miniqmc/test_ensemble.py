@@ -1,0 +1,83 @@
+"""Tests for the walker-ensemble driver."""
+
+import numpy as np
+import pytest
+
+from repro.core import Grid3D
+from repro.miniqmc import WalkerEnsemble
+
+
+@pytest.fixture
+def grid_and_table(rng):
+    grid = Grid3D(10, 10, 10)
+    P = rng.standard_normal((10, 10, 10, 32)).astype(np.float32)
+    return grid, P
+
+
+class TestConstruction:
+    def test_shared_table_not_copied(self, grid_and_table):
+        grid, P = grid_and_table
+        ens = WalkerEnsemble(grid, P, n_walkers=4)
+        assert ens.engine.P is P
+        assert ens.table_bytes == P.nbytes
+
+    def test_private_outputs(self, grid_and_table):
+        grid, P = grid_and_table
+        ens = WalkerEnsemble(grid, P, n_walkers=3)
+        assert len(ens.outputs) == 3
+        assert ens.outputs[0] is not ens.outputs[1]
+
+    def test_rejects_bad_args(self, grid_and_table):
+        grid, P = grid_and_table
+        with pytest.raises(ValueError):
+            WalkerEnsemble(grid, P, 0)
+        with pytest.raises(ValueError):
+            WalkerEnsemble(grid, P, 2, engine="cuda")
+
+
+class TestRun:
+    def test_batch_result_fields(self, grid_and_table):
+        grid, P = grid_and_table
+        ens = WalkerEnsemble(grid, P, n_walkers=3)
+        res = ens.run_batch("vgh", n_samples=2)
+        assert res.n_walkers == 3
+        assert res.seconds > 0
+        assert res.throughput > 0
+        assert res.total_output_bytes == 3 * res.output_bytes_per_walker
+
+    def test_output_memory_scales_with_walkers(self, grid_and_table):
+        # The O(Nw N) output-footprint bookkeeping of paper Sec. I.
+        grid, P = grid_and_table
+        r2 = WalkerEnsemble(grid, P, 2).run_batch("vgh", 1)
+        r4 = WalkerEnsemble(grid, P, 4).run_batch("vgh", 1)
+        assert r4.total_output_bytes == 2 * r2.total_output_bytes
+
+    def test_walkers_independent_streams(self, grid_and_table):
+        grid, P = grid_and_table
+        ens = WalkerEnsemble(grid, P, n_walkers=2)
+        ens.run_batch("v", n_samples=1)
+        # Different positions => different outputs.
+        assert not np.allclose(ens.outputs[0].v, ens.outputs[1].v)
+
+    def test_deterministic_given_seed(self, grid_and_table):
+        grid, P = grid_and_table
+        a = WalkerEnsemble(grid, P, 2, seed=5)
+        b = WalkerEnsemble(grid, P, 2, seed=5)
+        a.run_batch("v", 2)
+        b.run_batch("v", 2)
+        np.testing.assert_array_equal(a.outputs[1].v, b.outputs[1].v)
+
+    def test_threaded_walkers_match_sequential(self, grid_and_table):
+        grid, P = grid_and_table
+        seq = WalkerEnsemble(grid, P, 4, seed=9)
+        par = WalkerEnsemble(grid, P, 4, seed=9)
+        seq.run_batch("vgh", 2, walker_threads=1)
+        par.run_batch("vgh", 2, walker_threads=4)
+        for ws, wp in zip(seq.outputs, par.outputs):
+            np.testing.assert_array_equal(ws.v, wp.v)
+            np.testing.assert_array_equal(ws.h, wp.h)
+
+    def test_rejects_unknown_kernel(self, grid_and_table):
+        grid, P = grid_and_table
+        with pytest.raises(ValueError):
+            WalkerEnsemble(grid, P, 1).run_batch("vvv")

@@ -1,0 +1,148 @@
+"""Tests for timing, throughput metric, sweep and reporting helpers."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.perf import (
+    SectionTimers,
+    best_of,
+    format_series,
+    format_table,
+    paper_vs_model_row,
+    parallel_efficiency,
+    speedup,
+    sweep,
+    throughput,
+)
+
+
+class TestTimers:
+    def test_best_of_returns_positive(self):
+        t = best_of(lambda: sum(range(1000)), repeats=2)
+        assert t > 0
+
+    def test_best_of_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            best_of(lambda: None, repeats=0)
+
+    def test_sections_accumulate(self):
+        timers = SectionTimers()
+        with timers.section("a"):
+            time.sleep(0.01)
+        with timers.section("a"):
+            pass
+        with timers.section("b"):
+            pass
+        assert timers.elapsed["a"] >= 0.01
+        assert set(timers.elapsed) == {"a", "b"}
+
+    def test_shares_sum_to_100(self):
+        timers = SectionTimers()
+        timers.add("x", 1.0)
+        timers.add("y", 3.0)
+        shares = timers.shares()
+        assert np.isclose(sum(shares.values()), 100.0)
+        assert np.isclose(shares["y"], 75.0)
+
+    def test_empty_shares(self):
+        assert SectionTimers().shares() == {}
+
+    def test_reset(self):
+        timers = SectionTimers()
+        timers.add("x", 1.0)
+        timers.reset()
+        assert timers.total == 0.0
+
+    def test_section_records_on_exception(self):
+        timers = SectionTimers()
+        with pytest.raises(RuntimeError):
+            with timers.section("x"):
+                raise RuntimeError
+        assert "x" in timers.elapsed
+
+
+class TestThroughput:
+    def test_paper_formula(self):
+        # T = Nw * N / t (per eval).
+        assert throughput(36, 2048, 2.0) == 36 * 2048 / 2.0
+
+    def test_with_evals(self):
+        assert throughput(1, 100, 1.0, n_evals=512) == 51200
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            throughput(1, 1, 0.0)
+        with pytest.raises(ValueError):
+            throughput(0, 1, 1.0)
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_parallel_efficiency(self):
+        assert parallel_efficiency(14.0, 16) == pytest.approx(0.875)
+        with pytest.raises(ValueError):
+            parallel_efficiency(1.0, 0)
+
+
+class TestSweep:
+    def test_cartesian_product(self):
+        records = sweep(lambda a, b: a * b, {"a": [1, 2], "b": [10, 20]})
+        assert len(records) == 4
+        assert records[0] == {"a": 1, "b": 10, "value": 10}
+
+    def test_dict_results_merged(self):
+        records = sweep(lambda a: {"sq": a * a}, {"a": [3]})
+        assert records == [{"a": 3, "sq": 9}]
+
+    def test_fixed_arguments(self):
+        records = sweep(lambda a, k: a + k, {"a": [1]}, fixed={"k": 100})
+        assert records[0]["value"] == 101
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        txt = format_table(["name", "x"], [["a", 1.5], ["bb", 22.25]])
+        lines = txt.splitlines()
+        assert len(lines) == 4
+        assert "1.50" in txt and "22.25" in txt
+
+    def test_format_table_title(self):
+        txt = format_table(["c"], [[1.0]], title="T1")
+        assert txt.splitlines()[0] == "T1"
+
+    def test_format_series(self):
+        txt = format_series("N", [128, 256], {"aos": [1.0, 2.0], "soa": [3.0, 4.0]})
+        assert "aos" in txt and "soa" in txt and "128" in txt
+
+    def test_paper_vs_model_row(self):
+        row = paper_vs_model_row("B", 2.0, 2.5)
+        assert row == ["B", 2.0, 2.5, 1.25]
+
+
+class TestFormatBars:
+    def test_basic_render(self):
+        from repro.perf import format_bars
+
+        txt = format_bars(["a", "bb"], [1.0, 2.0], title="T")
+        lines = txt.splitlines()
+        assert lines[0] == "T"
+        assert lines[2].count("#") > lines[1].count("#")
+
+    def test_peak_fills_width(self):
+        from repro.perf import format_bars
+
+        txt = format_bars(["x"], [5.0], width=10)
+        assert txt.count("#") == 10
+
+    def test_rejects_empty_and_nonpositive(self):
+        from repro.perf import format_bars
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            format_bars([], [])
+        with _pytest.raises(ValueError):
+            format_bars(["a"], [0.0])

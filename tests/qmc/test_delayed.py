@@ -1,0 +1,165 @@
+"""Tests for rank-k delayed determinant updates vs Sherman-Morrison."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.qmc import DiracDeterminant
+from repro.qmc.delayed import DelayedDeterminant
+
+
+def random_matrix(seed, n=8):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, n)) + 3.0 * np.eye(n)
+
+
+class TestConstruction:
+    def test_matches_dirac_initially(self, rng):
+        A = random_matrix(1)
+        d = DelayedDeterminant(A, delay=4)
+        s = DiracDeterminant(A)
+        assert np.isclose(d.log_det, s.log_det)
+        np.testing.assert_allclose(d.effective_inverse(), s.Ainv, atol=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DelayedDeterminant(np.zeros((3, 4)))
+        with pytest.raises(ValueError):
+            DelayedDeterminant(np.eye(4), delay=0)
+        bad = np.eye(4)
+        bad[0, 0] = np.inf
+        with pytest.raises(ValueError):
+            DelayedDeterminant(bad)
+        with pytest.raises(ValueError, match="singular"):
+            DelayedDeterminant(np.ones((4, 4)))
+
+
+class TestEquivalenceWithShermanMorrison:
+    def run_sequence(self, seed, n_moves, delay, n=8):
+        """Drive both implementations with identical move sequences."""
+        A = random_matrix(seed, n)
+        delayed = DelayedDeterminant(A.copy(), delay=delay)
+        dirac = DiracDeterminant(A.copy())
+        rng = np.random.default_rng(seed + 99)
+        for _ in range(n_moves):
+            e = int(rng.integers(0, n))
+            u = rng.standard_normal(n) + 3.0 * np.eye(n)[e]
+            r_d = delayed.ratio(e, u)
+            r_s = dirac.ratio(e, u)
+            assert np.isclose(r_d, r_s, atol=1e-9), (r_d, r_s)
+            if abs(r_s) > 0.05 and rng.random() < 0.7:
+                delayed.accept_move(e)
+                dirac.accept_move(e)
+            else:
+                delayed.reject_move(e)
+                dirac.reject_move(e)
+        return delayed, dirac
+
+    @pytest.mark.parametrize("delay", [1, 2, 4, 8, 100])
+    def test_ratios_and_state_match(self, delay):
+        delayed, dirac = self.run_sequence(seed=5, n_moves=40, delay=delay)
+        assert np.isclose(delayed.log_det, dirac.log_det, atol=1e-8)
+        assert delayed.sign == dirac.sign
+        np.testing.assert_allclose(delayed.A, dirac.A, atol=1e-12)
+        np.testing.assert_allclose(
+            delayed.effective_inverse(), dirac.Ainv, atol=1e-7
+        )
+
+    def test_repeated_row_updates_within_window(self):
+        """The tricky case: the same electron accepted twice before a
+        flush — the delta must chain off the in-window row, not A0."""
+        A = random_matrix(7, 6)
+        delayed = DelayedDeterminant(A.copy(), delay=10)
+        dirac = DiracDeterminant(A.copy())
+        rng = np.random.default_rng(8)
+        for _ in range(3):  # three consecutive updates of row 2
+            u = rng.standard_normal(6) + 3.0 * np.eye(6)[2]
+            r_d = delayed.ratio(2, u)
+            r_s = dirac.ratio(2, u)
+            assert np.isclose(r_d, r_s, atol=1e-9)
+            delayed.accept_move(2)
+            dirac.accept_move(2)
+        assert delayed.pending == 3
+        np.testing.assert_allclose(
+            delayed.effective_inverse(), dirac.Ainv, atol=1e-8
+        )
+        delayed.flush()
+        np.testing.assert_allclose(delayed.Ainv, dirac.Ainv, atol=1e-8)
+
+    def test_flush_happens_at_delay(self):
+        A = random_matrix(9, 6)
+        delayed = DelayedDeterminant(A, delay=3)
+        rng = np.random.default_rng(10)
+        for i in range(3):
+            e = i % 6
+            u = rng.standard_normal(6) + 3.0 * np.eye(6)[e]
+            delayed.ratio(e, u)
+            delayed.accept_move(e)
+        assert delayed.pending == 0  # auto-flushed on the 3rd accept
+        assert delayed.n_flushes == 1
+
+    def test_update_error_small_after_long_run(self):
+        delayed, _ = self.run_sequence(seed=11, n_moves=120, delay=6)
+        assert delayed.update_error < 1e-6
+
+    def test_recompute_clears_window(self):
+        A = random_matrix(12, 5)
+        delayed = DelayedDeterminant(A, delay=10)
+        u = np.ones(5) + np.eye(5)[1] * 3
+        delayed.ratio(1, u)
+        delayed.accept_move(1)
+        assert delayed.pending == 1
+        delayed.recompute()
+        assert delayed.pending == 0
+        assert delayed.update_error < 1e-10
+
+
+class TestProtocol:
+    def test_accept_without_ratio(self):
+        d = DelayedDeterminant(np.eye(4) * 2)
+        with pytest.raises(RuntimeError):
+            d.accept_move(0)
+
+    def test_reject_clears_stage(self):
+        d = DelayedDeterminant(np.eye(4) * 2)
+        d.ratio(0, np.ones(4))
+        d.reject_move(0)
+        with pytest.raises(RuntimeError):
+            d.accept_move(0)
+
+    def test_zero_ratio_rejected(self):
+        d = DelayedDeterminant(np.eye(4))
+        d.ratio(0, np.zeros(4))
+        with pytest.raises(ZeroDivisionError):
+            d.accept_move(0)
+
+    def test_flush_on_empty_is_noop(self):
+        d = DelayedDeterminant(np.eye(4) * 2)
+        d.flush()
+        assert d.n_flushes == 0
+
+
+class TestPropertyBased:
+    @given(
+        seed=st.integers(0, 5000),
+        delay=st.integers(1, 12),
+        n_moves=st.integers(1, 25),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_always_matches_direct_inverse(self, seed, delay, n_moves):
+        n = 6
+        A = random_matrix(seed, n)
+        delayed = DelayedDeterminant(A.copy(), delay=delay)
+        rng = np.random.default_rng(seed + 1)
+        for _ in range(n_moves):
+            e = int(rng.integers(0, n))
+            u = rng.standard_normal(n) + 3.0 * np.eye(n)[e]
+            r = delayed.ratio(e, u)
+            if abs(r) > 0.05:
+                delayed.accept_move(e)
+            else:
+                delayed.reject_move(e)
+        np.testing.assert_allclose(
+            delayed.effective_inverse(), np.linalg.inv(delayed.A), atol=1e-6
+        )

@@ -1,0 +1,144 @@
+"""Unit tests for AoS/SoA distance tables with incremental updates."""
+
+import numpy as np
+import pytest
+
+from repro.lattice import Cell, graphite_unit_cell, minimal_image_distances
+from repro.qmc import DistanceTableAA, DistanceTableAB, ParticleSet
+
+
+@pytest.fixture(params=["aos", "soa"])
+def layout(request):
+    return request.param
+
+
+@pytest.fixture(params=[Cell.cubic(5.0), graphite_unit_cell()], ids=["cubic", "graphite"])
+def cell(request):
+    return request.param
+
+
+def make_sets(cell, rng, n_src=4, n_tgt=6):
+    src = ParticleSet("ion", cell, cell.frac_to_cart(rng.random((n_src, 3))))
+    tgt = ParticleSet.random("e", cell, n_tgt, rng)
+    return src, tgt
+
+
+class TestAB:
+    def test_build_matches_oracle(self, cell, layout, rng):
+        src, tgt = make_sets(cell, rng)
+        table = DistanceTableAB(src, tgt, layout)
+        oracle = minimal_image_distances(cell, tgt.positions, src.positions)
+        np.testing.assert_allclose(table.distances, oracle, atol=1e-10)
+
+    def test_row_view(self, cell, layout, rng):
+        src, tgt = make_sets(cell, rng)
+        table = DistanceTableAB(src, tgt, layout)
+        np.testing.assert_array_equal(table.row(2), table.distances[2])
+
+    def test_displacement_shapes(self, cell, layout, rng):
+        src, tgt = make_sets(cell, rng)
+        table = DistanceTableAB(src, tgt, layout)
+        expected = (6, 4, 3) if layout == "aos" else (6, 3, 4)
+        assert table.displacements.shape == expected
+
+    def test_displacement_norms_match_distances(self, cell, layout, rng):
+        src, tgt = make_sets(cell, rng)
+        table = DistanceTableAB(src, tgt, layout)
+        for i in range(6):
+            d = table.disp_row(i)
+            norms = (
+                np.linalg.norm(d, axis=1) if layout == "aos" else np.linalg.norm(d, axis=0)
+            )
+            np.testing.assert_allclose(norms, table.row(i), atol=1e-10)
+
+    def test_propose_accept(self, cell, layout, rng):
+        src, tgt = make_sets(cell, rng)
+        table = DistanceTableAB(src, tgt, layout)
+        new_pos = cell.frac_to_cart(rng.random(3))
+        temp = table.propose_row(3, new_pos)
+        oracle = minimal_image_distances(cell, new_pos[np.newaxis], src.positions)[0]
+        np.testing.assert_allclose(temp, oracle, atol=1e-10)
+        table.accept_move(3)
+        np.testing.assert_allclose(table.row(3), oracle, atol=1e-10)
+
+    def test_propose_reject_leaves_table(self, cell, layout, rng):
+        src, tgt = make_sets(cell, rng)
+        table = DistanceTableAB(src, tgt, layout)
+        before = table.distances.copy()
+        table.propose_row(1, cell.frac_to_cart(rng.random(3)))
+        table.reject_move(1)
+        np.testing.assert_array_equal(table.distances, before)
+
+    def test_accept_wrong_index_rejected(self, cell, layout, rng):
+        src, tgt = make_sets(cell, rng)
+        table = DistanceTableAB(src, tgt, layout)
+        table.propose_row(1, tgt[1])
+        with pytest.raises(RuntimeError):
+            table.accept_move(2)
+        table.reject_move(1)
+
+    def test_layout_validation(self, rng):
+        src, tgt = make_sets(Cell.cubic(3.0), rng)
+        with pytest.raises(ValueError, match="layout"):
+            DistanceTableAB(src, tgt, "soaos")
+
+    def test_requires_shared_cell(self, rng):
+        a = ParticleSet.random("a", Cell.cubic(3.0), 2, rng)
+        b = ParticleSet.random("b", Cell.cubic(3.0), 2, rng)
+        with pytest.raises(ValueError, match="cell"):
+            DistanceTableAB(a, b)
+
+
+class TestAA:
+    def test_build_matches_oracle(self, cell, layout, rng):
+        pset = ParticleSet.random("e", cell, 5, rng)
+        table = DistanceTableAA(pset, layout)
+        oracle = minimal_image_distances(cell, pset.positions, pset.positions)
+        np.fill_diagonal(oracle, 0.0)
+        np.testing.assert_allclose(table.distances, oracle, atol=1e-10)
+
+    def test_symmetric(self, cell, layout, rng):
+        pset = ParticleSet.random("e", cell, 5, rng)
+        table = DistanceTableAA(pset, layout)
+        np.testing.assert_allclose(table.distances, table.distances.T, atol=1e-12)
+
+    def test_accept_updates_row_and_column(self, cell, layout, rng):
+        pset = ParticleSet.random("e", cell, 5, rng)
+        table = DistanceTableAA(pset, layout)
+        new_pos = cell.frac_to_cart(rng.random(3))
+        table.propose_row(2, new_pos)
+        table.accept_move(2)
+        pset.propose(2, new_pos)
+        pset.accept()
+        oracle = minimal_image_distances(cell, pset.positions, pset.positions)
+        np.fill_diagonal(oracle, 0.0)
+        np.testing.assert_allclose(table.distances, oracle, atol=1e-10)
+        np.testing.assert_allclose(table.distances, table.distances.T, atol=1e-12)
+
+    def test_displacement_antisymmetry_after_accept(self, cell, layout, rng):
+        pset = ParticleSet.random("e", cell, 4, rng)
+        table = DistanceTableAA(pset, layout)
+        new_pos = cell.frac_to_cart(rng.random(3))
+        table.propose_row(1, new_pos)
+        table.accept_move(1)
+        for j in range(4):
+            if layout == "aos":
+                dij = table.displacements[1, j]
+                dji = table.displacements[j, 1]
+            else:
+                dij = table.displacements[1, :, j]
+                dji = table.displacements[j, :, 1]
+            np.testing.assert_allclose(dij, -dji, atol=1e-10)
+
+    def test_propose_self_distance_zero(self, cell, layout, rng):
+        pset = ParticleSet.random("e", cell, 4, rng)
+        table = DistanceTableAA(pset, layout)
+        temp = table.propose_row(2, cell.frac_to_cart(rng.random(3)))
+        assert temp[2] == 0.0
+        table.reject_move(2)
+
+    def test_aos_and_soa_agree(self, cell, rng):
+        pset = ParticleSet.random("e", cell, 6, rng)
+        t_aos = DistanceTableAA(pset, "aos")
+        t_soa = DistanceTableAA(pset, "soa")
+        np.testing.assert_allclose(t_aos.distances, t_soa.distances, atol=1e-12)

@@ -1,0 +1,77 @@
+"""Unit tests for local-energy estimators."""
+
+import numpy as np
+import pytest
+
+from repro.lattice import Cell, minimal_image_distances
+from repro.qmc import (
+    DistanceTableAA,
+    DistanceTableAB,
+    LocalEnergy,
+    ParticleSet,
+    coulomb_ee,
+    coulomb_ei,
+    coulomb_ii,
+    kinetic_energy,
+)
+from tests.qmc.test_wavefunction import build_wf
+
+
+class TestCoulomb:
+    def test_ee_two_particles(self):
+        cell = Cell.cubic(10.0)
+        pset = ParticleSet("e", cell, np.array([[0.0, 0, 0], [2.0, 0, 0]]))
+        table = DistanceTableAA(pset)
+        assert np.isclose(coulomb_ee(table), 0.5)
+
+    def test_ee_matches_brute_force(self, rng):
+        cell = Cell.cubic(8.0)
+        pset = ParticleSet.random("e", cell, 6, rng)
+        table = DistanceTableAA(pset)
+        d = minimal_image_distances(cell, pset.positions, pset.positions)
+        iu = np.triu_indices(6, k=1)
+        assert np.isclose(coulomb_ee(table), np.sum(1.0 / d[iu]))
+
+    def test_ei_sign_and_charge(self, rng):
+        cell = Cell.cubic(8.0)
+        ions = ParticleSet("ion", cell, cell.frac_to_cart(rng.random((2, 3))))
+        els = ParticleSet.random("e", cell, 4, rng)
+        table = DistanceTableAB(ions, els)
+        v1 = coulomb_ei(table, ion_charge=1.0)
+        v4 = coulomb_ei(table, ion_charge=4.0)
+        assert v1 < 0
+        assert np.isclose(v4, 4 * v1)
+
+    def test_ii_constant(self):
+        cell = Cell.cubic(10.0)
+        ions = np.array([[0.0, 0, 0], [5.0, 0, 0]])
+        assert np.isclose(coulomb_ii(ions, cell, ion_charge=2.0), 4.0 / 5.0)
+
+
+class TestKinetic:
+    def test_kinetic_of_smooth_wavefunction_is_finite(self, rng):
+        wf = build_wf(rng)
+        ke = kinetic_energy(wf)
+        assert np.isfinite(ke)
+
+    def test_kinetic_invariant_under_rigid_translation(self, rng):
+        # Translating all electrons by a lattice vector leaves E_kin.
+        wf = build_wf(rng)
+        ke0 = kinetic_energy(wf)
+        shift = wf.electrons.cell.lattice[0]
+        wf.electrons.load_positions(wf.electrons.positions + shift)
+        wf.recompute()
+        ke1 = kinetic_energy(wf)
+        assert np.isclose(ke0, ke1, atol=1e-6)
+
+    def test_local_energy_total(self, rng):
+        wf = build_wf(rng)
+        est = LocalEnergy(wf, ion_charge=4.0)
+        assert np.isclose(est.total(), est.kinetic() + est.potential())
+
+    def test_ii_constant_cached(self, rng):
+        wf = build_wf(rng)
+        est = LocalEnergy(wf)
+        assert np.isclose(
+            est.e_ii, coulomb_ii(wf.ions.positions, wf.ions.cell, 4.0)
+        )

@@ -1,0 +1,189 @@
+"""Unit tests for one- and two-body Jastrow factors."""
+
+import numpy as np
+import pytest
+
+from repro.lattice import Cell
+from repro.qmc import (
+    DistanceTableAA,
+    DistanceTableAB,
+    OneBodyJastrow,
+    ParticleSet,
+    TwoBodyJastrow,
+    make_polynomial_radial,
+)
+
+
+@pytest.fixture(params=["aos", "soa"])
+def layout(request):
+    return request.param
+
+
+@pytest.fixture
+def system(rng, layout):
+    cell = Cell.cubic(6.0)
+    ions = ParticleSet("ion", cell, cell.frac_to_cart(rng.random((3, 3))))
+    electrons = ParticleSet.random("e", cell, 6, rng)
+    ee = DistanceTableAA(electrons, layout)
+    ei = DistanceTableAB(ions, electrons, layout)
+    u = make_polynomial_radial(0.7, 2.5)
+    return cell, ions, electrons, ee, ei, u
+
+
+class TestRadial:
+    def test_vanishes_smoothly_at_cutoff(self):
+        u = make_polynomial_radial(1.0, 2.0)
+        v, dv, _ = u.evaluate_vgl(2.0 - 1e-9)
+        assert abs(v) < 1e-6 and abs(dv) < 1e-5
+
+    def test_value_at_origin(self):
+        u = make_polynomial_radial(1.5, 2.0)
+        assert np.isclose(u.evaluate(0.0), 1.5, atol=1e-10)
+
+    def test_rejects_bad_cutoff(self):
+        with pytest.raises(ValueError):
+            make_polynomial_radial(1.0, -1.0)
+
+
+def brute_j2(electrons, u, cell):
+    from repro.lattice import minimal_image_distances
+
+    d = minimal_image_distances(cell, electrons.positions, electrons.positions)
+    iu = np.triu_indices(len(electrons), k=1)
+    return -float(np.sum(u.evaluate(d[iu])))
+
+
+def brute_j1(ions, electrons, u, cell):
+    from repro.lattice import minimal_image_distances
+
+    d = minimal_image_distances(cell, electrons.positions, ions.positions)
+    return -float(np.sum(u.evaluate(d)))
+
+
+class TestTwoBody:
+    def test_log_value_matches_brute_force(self, system):
+        cell, _, electrons, ee, _, u = system
+        j2 = TwoBodyJastrow(ee, u)
+        assert np.isclose(j2.log_value(), brute_j2(electrons, u, cell), atol=1e-10)
+
+    def test_ratio_matches_recompute(self, system, rng):
+        cell, _, electrons, ee, _, u = system
+        j2 = TwoBodyJastrow(ee, u)
+        lv0 = j2.log_value()
+        new_pos = cell.frac_to_cart(rng.random(3))
+        ee.propose_row(2, new_pos)
+        r = j2.ratio(2)
+        # Commit everywhere and compare log difference.
+        j2.accept_move(2)
+        ee.accept_move(2)
+        electrons.propose(2, new_pos)
+        electrons.accept()
+        lv1_brute = brute_j2(electrons, u, cell)
+        assert np.isclose(np.log(r), lv1_brute - lv0, atol=1e-9)
+        assert np.isclose(j2.log_value(), lv1_brute, atol=1e-9)
+
+    def test_reject_keeps_state(self, system, rng):
+        cell, _, _, ee, _, u = system
+        j2 = TwoBodyJastrow(ee, u)
+        lv0 = j2.log_value()
+        ee.propose_row(1, cell.frac_to_cart(rng.random(3)))
+        j2.ratio(1)
+        ee.reject_move(1)
+        assert np.isclose(j2.log_value(), lv0)
+
+    def test_grad_matches_finite_difference(self, system):
+        cell, _, electrons, ee, _, u = system
+        j2 = TwoBodyJastrow(ee, u)
+        e = 3
+        g = j2.grad(e)
+        eps = 1e-6
+        fd = np.zeros(3)
+        for d in range(3):
+            vals = []
+            for s in (+1, -1):
+                p = electrons[e].copy()
+                p[d] += s * eps
+                ee.propose_row(e, p)
+                vnew, *_ = j2._row_terms(ee.temp_dist, e)
+                ee.reject_move(e)
+                vals.append(-(vnew.sum() - j2._usum[e]))
+            fd[d] = (vals[0] - vals[1]) / (2 * eps)
+        np.testing.assert_allclose(g, fd, atol=1e-6)
+
+    def test_lap_matches_finite_difference(self, system):
+        cell, _, electrons, ee, _, u = system
+        j2 = TwoBodyJastrow(ee, u)
+        e = 0
+        _, lap = j2.grad_lap(e)
+        eps = 1e-4
+
+        def j_at(p):
+            ee.propose_row(e, p)
+            vnew, *_ = j2._row_terms(ee.temp_dist, e)
+            ee.reject_move(e)
+            return -float(vnew.sum())
+
+        center = j_at(electrons[e])
+        fd = 0.0
+        for d in range(3):
+            dp = np.zeros(3)
+            dp[d] = eps
+            fd += (j_at(electrons[e] + dp) - 2 * center + j_at(electrons[e] - dp)) / eps**2
+        assert np.isclose(lap, fd, atol=1e-3)
+
+    def test_aos_soa_agree(self, rng):
+        cell = Cell.cubic(6.0)
+        electrons = ParticleSet.random("e", cell, 6, rng)
+        u = make_polynomial_radial(0.7, 2.5)
+        j_aos = TwoBodyJastrow(DistanceTableAA(electrons, "aos"), u)
+        j_soa = TwoBodyJastrow(DistanceTableAA(electrons, "soa"), u)
+        assert np.isclose(j_aos.log_value(), j_soa.log_value(), atol=1e-12)
+        np.testing.assert_allclose(j_aos.grad(2), j_soa.grad(2), atol=1e-12)
+
+
+class TestOneBody:
+    def test_log_value_matches_brute_force(self, system):
+        cell, ions, electrons, _, ei, u = system
+        j1 = OneBodyJastrow(ei, u)
+        assert np.isclose(j1.log_value(), brute_j1(ions, electrons, u, cell), atol=1e-10)
+
+    def test_ratio_matches_recompute(self, system, rng):
+        cell, ions, electrons, _, ei, u = system
+        j1 = OneBodyJastrow(ei, u)
+        lv0 = j1.log_value()
+        new_pos = cell.frac_to_cart(rng.random(3))
+        ei.propose_row(4, new_pos)
+        r = j1.ratio(4)
+        j1.accept_move(4)
+        ei.accept_move(4)
+        electrons.propose(4, new_pos)
+        electrons.accept()
+        lv1 = brute_j1(ions, electrons, u, cell)
+        assert np.isclose(np.log(r), lv1 - lv0, atol=1e-9)
+
+    def test_grad_matches_finite_difference(self, system):
+        cell, ions, electrons, _, ei, u = system
+        j1 = OneBodyJastrow(ei, u)
+        e = 2
+        g = j1.grad(e)
+        eps = 1e-6
+        fd = np.zeros(3)
+        for d in range(3):
+            vals = []
+            for s in (+1, -1):
+                p = electrons[e].copy()
+                p[d] += s * eps
+                ei.propose_row(e, p)
+                vnew, *_ = j1._row_terms(ei.temp_dist, None)
+                ei.reject_move(e)
+                vals.append(-float(vnew.sum()))
+            fd[d] = (vals[0] - vals[1]) / (2 * eps)
+        np.testing.assert_allclose(g, fd, atol=1e-6)
+
+    def test_grad_lap_consistent_with_grad(self, system):
+        _, _, _, _, ei, u = system
+        j1 = OneBodyJastrow(ei, u)
+        g1 = j1.grad(0)
+        g2, lap = j1.grad_lap(0)
+        np.testing.assert_array_equal(g1, g2)
+        assert np.isfinite(lap)

@@ -1,0 +1,98 @@
+"""Tests for structural observables (g(r), S(k))."""
+
+import numpy as np
+import pytest
+
+from repro.lattice import Cell
+from repro.qmc import DistanceTableAA, ParticleSet
+from repro.qmc.observables import PairCorrelation, StructureFactor
+
+
+class TestPairCorrelation:
+    def test_uncorrelated_gas_gives_unity(self, rng):
+        # Uniform random particles: g(r) ~ 1 within statistics.
+        cell = Cell.cubic(5.0)
+        gofr = PairCorrelation(cell, 32, n_bins=8)
+        for _ in range(60):
+            pset = ParticleSet.random("e", cell, 32, rng)
+            gofr.accumulate(DistanceTableAA(pset))
+        r, g = gofr.estimate()
+        mask = r > 0.8  # small-r bins have few pairs -> noisy
+        assert np.allclose(g[mask], 1.0, atol=0.25)
+
+    def test_hard_shell_depletion_visible(self, rng):
+        # Particles placed on a lattice with minimum spacing 1.25 must
+        # show g(r) = 0 below that spacing.
+        cell = Cell.cubic(5.0)
+        grid_pts = np.array(
+            [[i, j, k] for i in range(4) for j in range(4) for k in range(4)],
+            dtype=float,
+        ) * 1.25
+        pset = ParticleSet("e", cell, grid_pts)
+        gofr = PairCorrelation(cell, 64, n_bins=10)
+        gofr.accumulate(DistanceTableAA(pset))
+        r, g = gofr.estimate()
+        assert (g[r < 1.1] == 0.0).all()
+        assert g.max() > 0
+
+    def test_r_max_capped_at_wigner_seitz(self):
+        cell = Cell.cubic(4.0)
+        gofr = PairCorrelation(cell, 8, r_max=100.0)
+        assert gofr.r_max == pytest.approx(2.0)
+
+    def test_estimate_requires_samples(self):
+        with pytest.raises(RuntimeError):
+            PairCorrelation(Cell.cubic(4.0), 4).estimate()
+
+    def test_rejects_single_particle(self):
+        with pytest.raises(ValueError):
+            PairCorrelation(Cell.cubic(4.0), 1)
+
+
+class TestStructureFactor:
+    def test_uncorrelated_gas_near_unity(self, rng):
+        cell = Cell.cubic(5.0)
+        sk = StructureFactor(cell, n_kvectors=6)
+        for _ in range(80):
+            pset = ParticleSet.random("e", cell, 24, rng)
+            sk.accumulate(pset.positions)
+        k, s = sk.estimate()
+        assert np.allclose(s, 1.0, atol=0.5)
+        assert (np.diff(k) >= -1e-12).all()  # sorted by |k|
+
+    def test_crystal_shows_bragg_peak(self):
+        # Particles on a sublattice commensurate with k produce S(k) ~ N.
+        cell = Cell.cubic(4.0)
+        pts = np.array(
+            [[i, j, k] for i in range(4) for j in range(4) for k in range(4)],
+            dtype=float,
+        )  # spacing 1.0 => Bragg at |k| = 2 pi (Miller index 4 of the cell)
+        sk = StructureFactor(cell, n_kvectors=150)
+        sk.accumulate(pts)
+        k, s = sk.estimate()
+        bragg = s[np.isclose(k, 2 * np.pi, atol=1e-9)]
+        assert bragg.size and (bragg > 30).all()  # ~N = 64
+        # Every non-Bragg commensurate k interferes destructively.
+        assert np.max(s[~np.isclose(k, 2 * np.pi, atol=1e-9)]) < 1e-9
+
+    def test_particle_count_must_stay_fixed(self, rng):
+        cell = Cell.cubic(4.0)
+        sk = StructureFactor(cell, 4)
+        sk.accumulate(rng.random((8, 3)))
+        with pytest.raises(ValueError):
+            sk.accumulate(rng.random((9, 3)))
+
+    def test_estimate_requires_samples(self):
+        with pytest.raises(RuntimeError):
+            StructureFactor(Cell.cubic(4.0), 4).estimate()
+
+    def test_translation_invariance(self, rng):
+        cell = Cell.cubic(5.0)
+        pts = cell.frac_to_cart(rng.random((16, 3)))
+        a = StructureFactor(cell, 8)
+        b = StructureFactor(cell, 8)
+        a.accumulate(pts)
+        b.accumulate(pts + cell.lattice[0] * 0.37 + 1.23)
+        _, sa = a.estimate()
+        _, sb = b.estimate()
+        np.testing.assert_allclose(sa, sb, atol=1e-9)

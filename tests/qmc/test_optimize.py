@@ -1,0 +1,75 @@
+"""Tests for the variational Jastrow optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.lattice import Cell, PlaneWaveOrbitalSet, wigner_seitz_radius
+from repro.qmc import (
+    ParticleSet,
+    SlaterJastrow,
+    SplineOrbitalSet,
+    make_polynomial_radial,
+)
+from repro.qmc.optimize import optimize_jastrow_strengths
+
+
+@pytest.fixture(scope="module")
+def factory():
+    """A wavefunction factory over shared orbitals (built once)."""
+    cell = Cell.cubic(6.0)
+    pw = PlaneWaveOrbitalSet(cell, 4)
+    spos = SplineOrbitalSet.from_orbital_functions(
+        cell, pw, (12, 12, 12), engine="fused", dtype=np.float64
+    )
+    rcut = 0.9 * wigner_seitz_radius(cell)
+
+    def build(a1, a2, rng):
+        ions = ParticleSet("ion", cell, cell.frac_to_cart(rng.random((2, 3))))
+        electrons = ParticleSet.random("e", cell, 8, rng)
+        j1 = make_polynomial_radial(a1, rcut) if a1 > 0 else None
+        j2 = make_polynomial_radial(a2, rcut) if a2 > 0 else None
+        return SlaterJastrow(electrons, ions, spos, j1, j2)
+
+    return build
+
+
+class TestOptimizer:
+    def test_scan_covers_grid(self, factory):
+        res = optimize_jastrow_strengths(
+            factory,
+            j1_strengths=(0.0, 0.4),
+            j2_strengths=(0.0, 0.6),
+            n_steps=4,
+            n_warmup=2,
+        )
+        assert len(res.scan) == 4
+        assert res.best_params in res.scan
+        assert res.best_energy == min(res.scan.values())
+        assert res.best_error >= 0.0
+
+    def test_best_is_at_least_as_good_as_bare_slater(self, factory):
+        # The variational principle, demonstrated: the winner of the scan
+        # cannot be worse than the (0, 0) bare-Slater candidate it
+        # contains.
+        res = optimize_jastrow_strengths(
+            factory,
+            j1_strengths=(0.0, 0.4),
+            j2_strengths=(0.0, 0.6),
+            n_steps=6,
+            n_warmup=3,
+        )
+        assert res.best_energy <= res.scan[(0.0, 0.0)]
+        assert res.improvement_over((0.0, 0.0)) >= 0.0
+
+    def test_deterministic_given_seed(self, factory):
+        kwargs = dict(
+            j1_strengths=(0.0, 0.4),
+            j2_strengths=(0.4,),
+            n_steps=3,
+            n_warmup=1,
+            seed=7,
+        )
+        a = optimize_jastrow_strengths(factory, **kwargs)
+        b = optimize_jastrow_strengths(factory, **kwargs)
+        assert a.scan == b.scan
+        assert a.best_params == b.best_params

@@ -1,0 +1,97 @@
+"""Unit tests for ParticleSet and its staged-move protocol."""
+
+import numpy as np
+import pytest
+
+from repro.lattice import Cell
+from repro.qmc import ParticleSet
+
+
+@pytest.fixture
+def pset(rng):
+    cell = Cell.cubic(4.0)
+    return ParticleSet.random("e", cell, 6, rng)
+
+
+class TestConstruction:
+    def test_random_inside_cell(self, pset):
+        frac = pset.cell.cart_to_frac(pset.positions)
+        assert (frac >= 0).all() and (frac < 1).all()
+
+    def test_len_and_indexing(self, pset):
+        assert len(pset) == 6
+        np.testing.assert_array_equal(pset[2], pset.positions[2])
+
+    def test_positions_wrapped_at_construction(self):
+        cell = Cell.cubic(2.0)
+        p = ParticleSet("e", cell, np.array([[3.0, -0.5, 1.0]]))
+        np.testing.assert_allclose(p[0], [1.0, 1.5, 1.0])
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            ParticleSet("e", Cell.cubic(1.0), np.zeros((3, 2)))
+
+
+class TestMoveProtocol:
+    def test_propose_accept(self, pset):
+        old = pset[1]
+        staged = pset.propose(1, old + 0.1)
+        assert pset.active_particle == 1
+        np.testing.assert_allclose(pset[1], old)  # not committed yet
+        pset.accept()
+        np.testing.assert_allclose(pset[1], staged)
+        assert pset.active_particle is None
+
+    def test_propose_reject(self, pset):
+        old = pset[1]
+        pset.propose(1, old + 0.5)
+        pset.reject()
+        np.testing.assert_allclose(pset[1], old)
+
+    def test_propose_wraps(self, pset):
+        staged = pset.propose(0, np.array([100.0, 0.0, 0.0]))
+        frac = pset.cell.cart_to_frac(staged)
+        assert (frac >= 0).all() and (frac < 1).all()
+        pset.reject()
+
+    def test_double_propose_rejected(self, pset):
+        pset.propose(0, pset[0])
+        with pytest.raises(RuntimeError, match="already staged"):
+            pset.propose(1, pset[1])
+        pset.reject()
+
+    def test_accept_without_propose_rejected(self, pset):
+        with pytest.raises(RuntimeError, match="no move staged"):
+            pset.accept()
+
+    def test_reject_without_propose_rejected(self, pset):
+        with pytest.raises(RuntimeError, match="no move staged"):
+            pset.reject()
+
+    def test_out_of_range_index(self, pset):
+        with pytest.raises(IndexError):
+            pset.propose(6, np.zeros(3))
+
+    def test_staged_position_copy(self, pset):
+        staged = pset.propose(0, pset[0] + 0.1)
+        sp = pset.staged_position
+        sp[0] = 1e9
+        np.testing.assert_allclose(pset.staged_position, staged)
+        pset.reject()
+
+
+class TestBulkLoad:
+    def test_load_positions(self, pset, rng):
+        new = pset.cell.frac_to_cart(rng.random((6, 3)))
+        pset.load_positions(new)
+        np.testing.assert_allclose(pset.positions, new, atol=1e-12)
+
+    def test_load_rejects_wrong_shape(self, pset):
+        with pytest.raises(ValueError):
+            pset.load_positions(np.zeros((5, 3)))
+
+    def test_load_rejects_with_staged_move(self, pset):
+        pset.propose(0, pset[0])
+        with pytest.raises(RuntimeError, match="staged"):
+            pset.load_positions(np.zeros((6, 3)))
+        pset.reject()

@@ -1,0 +1,156 @@
+"""Property-based tests (hypothesis) for the QMC substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.spline1d import CubicBspline1D
+from repro.lattice import Cell, minimal_image_distances
+from repro.qmc import DiracDeterminant, limited_drift, log_greens_ratio
+
+
+def well_conditioned_matrix(seed: int, n: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, n)) + 3.0 * np.eye(n)
+
+
+class TestDeterminantProperties:
+    @given(seed=st.integers(0, 10_000), e=st.integers(0, 5))
+    @settings(max_examples=30)
+    def test_ratio_times_inverse_ratio_is_one(self, seed, e):
+        """Replacing a row and putting the old row back must give R * R' = 1."""
+        A = well_conditioned_matrix(seed, 6)
+        det = DiracDeterminant(A)
+        old_row = det.A[e].copy()
+        rng = np.random.default_rng(seed + 1)
+        u = old_row + rng.standard_normal(6) * 0.5
+        r1 = det.ratio(e, u)
+        if abs(r1) < 1e-6:
+            det.reject_move(e)
+            return
+        det.accept_move(e)
+        r2 = det.ratio(e, old_row)
+        det.accept_move(e)
+        assert np.isclose(r1 * r2, 1.0, atol=1e-8)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20)
+    def test_sm_update_equals_fresh_inverse(self, seed):
+        A = well_conditioned_matrix(seed, 5)
+        det = DiracDeterminant(A)
+        rng = np.random.default_rng(seed + 2)
+        e = int(rng.integers(0, 5))
+        u = rng.standard_normal(5) + 3.0 * np.eye(5)[e]
+        r = det.ratio(e, u)
+        if abs(r) < 1e-3:
+            det.reject_move(e)
+            return
+        det.accept_move(e)
+        np.testing.assert_allclose(det.Ainv, np.linalg.inv(det.A), atol=1e-8)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20)
+    def test_logdet_additivity_over_move_sequence(self, seed):
+        A = well_conditioned_matrix(seed, 4)
+        det = DiracDeterminant(A)
+        rng = np.random.default_rng(seed + 3)
+        log_accum = det.log_det
+        for _ in range(5):
+            e = int(rng.integers(0, 4))
+            u = rng.standard_normal(4) + 3.0 * np.eye(4)[e]
+            r = det.ratio(e, u)
+            if abs(r) < 1e-3:
+                det.reject_move(e)
+                continue
+            det.accept_move(e)
+            log_accum += np.log(abs(r))
+        assert np.isclose(det.log_det, log_accum, atol=1e-9)
+
+
+class TestPbcProperties:
+    @given(
+        seed=st.integers(0, 1000),
+        lx=st.floats(1.0, 10.0),
+        ly=st.floats(1.0, 10.0),
+        lz=st.floats(1.0, 10.0),
+    )
+    @settings(max_examples=25)
+    def test_minimal_image_symmetric_and_bounded(self, seed, lx, ly, lz):
+        cell = Cell.orthorhombic(lx, ly, lz)
+        rng = np.random.default_rng(seed)
+        a = rng.random((3, 3)) * [lx, ly, lz]
+        b = rng.random((3, 3)) * [lx, ly, lz]
+        d = minimal_image_distances(cell, a, b)
+        dt = minimal_image_distances(cell, b, a)
+        np.testing.assert_allclose(d, dt.T, atol=1e-10)
+        # No minimal-image distance exceeds half the diagonal.
+        assert d.max() <= 0.5 * np.sqrt(lx**2 + ly**2 + lz**2) + 1e-9
+
+    @given(seed=st.integers(0, 1000), shift=st.integers(-3, 3))
+    @settings(max_examples=25)
+    def test_lattice_translation_invariance(self, seed, shift):
+        cell = Cell.cubic(4.0)
+        rng = np.random.default_rng(seed)
+        a = rng.random((2, 3)) * 4.0
+        b = rng.random((2, 3)) * 4.0
+        d1 = minimal_image_distances(cell, a, b)
+        d2 = minimal_image_distances(cell, a, b + shift * cell.lattice[1])
+        np.testing.assert_allclose(d1, d2, atol=1e-9)
+
+
+class TestDriftProperties:
+    @given(
+        gx=st.floats(-1e4, 1e4),
+        gy=st.floats(-1e4, 1e4),
+        gz=st.floats(-1e4, 1e4),
+        tau=st.floats(0.001, 1.0),
+    )
+    @settings(max_examples=50)
+    def test_limited_drift_never_longer_than_raw(self, gx, gy, gz, tau):
+        g = np.array([gx, gy, gz])
+        v = limited_drift(g, tau)
+        assert np.linalg.norm(v) <= np.linalg.norm(g) + 1e-12
+        # And points in the same direction.
+        if np.linalg.norm(g) > 1e-9:
+            assert float(v @ g) >= 0.0
+
+    @given(seed=st.integers(0, 1000), tau=st.floats(0.01, 0.5))
+    @settings(max_examples=30)
+    def test_greens_ratio_antisymmetry(self, seed, tau):
+        rng = np.random.default_rng(seed)
+        r1, r2, d1, d2 = rng.standard_normal((4, 3))
+        fwd = log_greens_ratio(r1, r2, d1, d2, tau)
+        rev = log_greens_ratio(r2, r1, d2, d1, tau)
+        assert np.isclose(fwd, -rev, atol=1e-9)
+
+
+class TestSpline1dProperties:
+    @given(
+        vals=st.lists(st.floats(-10, 10), min_size=5, max_size=15),
+        scale=st.floats(0.5, 5.0),
+    )
+    @settings(max_examples=30)
+    def test_interpolation_at_interior_knots(self, vals, scale):
+        samples = np.asarray(vals)
+        sp = CubicBspline1D(samples, rcut=scale)
+        n = len(samples)
+        knots = np.arange(1, n - 1) * scale / (n - 1)
+        recon = sp.evaluate(knots)
+        np.testing.assert_allclose(
+            recon, samples[1:-1], atol=1e-7 * max(1.0, np.abs(samples).max())
+        )
+
+    @given(a=st.floats(-5, 5), b=st.floats(-5, 5))
+    @settings(max_examples=25)
+    def test_linearity_in_samples(self, a, b):
+        f = np.arange(6.0)
+        g = np.ones(6)
+        combo = CubicBspline1D(a * f + b * g, 2.0)
+        sf = CubicBspline1D(f, 2.0)
+        sg = CubicBspline1D(g, 2.0)
+        r = np.array([0.3, 0.9, 1.7])
+        np.testing.assert_allclose(
+            combo.evaluate(r),
+            a * sf.evaluate(r) + b * sg.evaluate(r),
+            atol=1e-8 * (1 + abs(a) + abs(b)),
+        )

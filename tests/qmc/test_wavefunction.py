@@ -1,0 +1,131 @@
+"""Integration tests for the full Slater-Jastrow wavefunction."""
+
+import numpy as np
+import pytest
+
+from repro.lattice import Cell, PlaneWaveOrbitalSet, wigner_seitz_radius
+from repro.qmc import (
+    ParticleSet,
+    SlaterJastrow,
+    SplineOrbitalSet,
+    make_polynomial_radial,
+)
+
+
+def build_wf(rng, layout="soa", with_jastrow=True, n_orb=4):
+    cell = Cell.cubic(6.0)
+    pw = PlaneWaveOrbitalSet(cell, n_orb)
+    spos = SplineOrbitalSet.from_orbital_functions(
+        cell, pw, (14, 14, 14), engine="fused", dtype=np.float64
+    )
+    ions = ParticleSet("ion", cell, cell.frac_to_cart(rng.random((2, 3))))
+    electrons = ParticleSet.random("e", cell, 2 * n_orb, rng)
+    rcut = 0.9 * wigner_seitz_radius(cell)
+    j1 = make_polynomial_radial(0.4, rcut) if with_jastrow else None
+    j2 = make_polynomial_radial(0.6, rcut) if with_jastrow else None
+    return SlaterJastrow(electrons, ions, spos, j1, j2, layout=layout)
+
+
+@pytest.fixture
+def wf(rng):
+    return build_wf(rng)
+
+
+class TestRatios:
+    def test_ratio_matches_log_value_change(self, wf, rng):
+        lv0 = wf.log_value
+        e = 3
+        new_pos = wf.electrons[e] + rng.standard_normal(3) * 0.3
+        r, _ = wf.ratio_grad(e, new_pos)
+        wf.accept_move(e)
+        assert np.isclose(np.log(abs(r)), wf.log_value - lv0, atol=1e-9)
+
+    def test_recompute_agrees_after_many_moves(self, wf, rng):
+        for _ in range(20):
+            e = int(rng.integers(0, len(wf.electrons)))
+            new_pos = wf.electrons[e] + rng.standard_normal(3) * 0.2
+            r, _ = wf.ratio_grad(e, new_pos)
+            if abs(r) > 0.1 and rng.random() < 0.7:
+                wf.accept_move(e)
+            else:
+                wf.reject_move(e)
+        lv = wf.log_value
+        wf.recompute()
+        assert np.isclose(wf.log_value, lv, atol=1e-7)
+
+    def test_reject_is_a_noop(self, wf, rng):
+        lv0 = wf.log_value
+        pos0 = wf.electrons.positions
+        wf.ratio_grad(1, wf.electrons[1] + 0.5)
+        wf.reject_move(1)
+        assert wf.log_value == lv0
+        np.testing.assert_array_equal(wf.electrons.positions, pos0)
+
+    def test_double_stage_rejected(self, wf):
+        wf.ratio_grad(0, wf.electrons[0] + 0.1)
+        with pytest.raises(RuntimeError, match="already staged"):
+            wf.ratio_grad(1, wf.electrons[1])
+        wf.reject_move(0)
+
+    def test_ratio_without_jastrow(self, rng):
+        wf = build_wf(rng, with_jastrow=False)
+        lv0 = wf.log_value
+        r, _ = wf.ratio_grad(2, wf.electrons[2] + 0.2)
+        wf.accept_move(2)
+        assert np.isclose(np.log(abs(r)), wf.log_value - lv0, atol=1e-9)
+
+    def test_aos_and_soa_layouts_agree(self, rng):
+        r1 = np.random.default_rng(77)
+        r2 = np.random.default_rng(77)
+        wf_aos = build_wf(r1, layout="aos")
+        wf_soa = build_wf(r2, layout="soa")
+        assert np.isclose(wf_aos.log_value, wf_soa.log_value, atol=1e-9)
+        e = 2
+        step = np.array([0.21, -0.1, 0.3])
+        ra, ga = wf_aos.ratio_grad(e, wf_aos.electrons[e] + step)
+        rs, gs = wf_soa.ratio_grad(e, wf_soa.electrons[e] + step)
+        assert np.isclose(ra, rs, atol=1e-9)
+        np.testing.assert_allclose(ga, gs, atol=1e-9)
+
+
+class TestDerivatives:
+    def test_grad_matches_finite_difference(self, wf):
+        e = 4
+        g = wf.grad(e)
+        eps = 1e-5
+        fd = np.zeros(3)
+        for d in range(3):
+            vals = []
+            for s in (+1, -1):
+                p = wf.electrons[e].copy()
+                p[d] += s * eps
+                r, _ = wf.ratio_grad(e, p)
+                wf.reject_move(e)
+                vals.append(np.log(abs(r)))
+            fd[d] = (vals[0] - vals[1]) / (2 * eps)
+        np.testing.assert_allclose(g, fd, atol=1e-4)
+
+    def test_trial_grad_continuous_with_committed_grad(self, wf):
+        # ratio_grad at the current position must return the committed grad.
+        e = 0
+        g_committed = wf.grad(e)
+        _, g_trial = wf.ratio_grad(e, wf.electrons[e])
+        wf.reject_move(e)
+        np.testing.assert_allclose(g_trial, g_committed, atol=1e-8)
+
+    def test_grad_lap_logpsi_finite_difference(self, wf):
+        e = 2
+        _, lap_log = wf.grad_lap_logpsi(e)
+        eps = 1e-4
+
+        def logpsi_delta(dp):
+            r, _ = wf.ratio_grad(e, wf.electrons[e] + dp)
+            wf.reject_move(e)
+            return np.log(abs(r))
+
+        fd = 0.0
+        for d in range(3):
+            dp = np.zeros(3)
+            dp[d] = eps
+            fd += (logpsi_delta(dp) + logpsi_delta(-dp)) / eps**2
+        assert np.isclose(lap_log, fd, atol=5e-2 * max(1.0, abs(fd)))

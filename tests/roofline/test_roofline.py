@@ -1,0 +1,89 @@
+"""Tests for the roofline model and per-step analysis (paper Fig. 10)."""
+
+import numpy as np
+import pytest
+
+from repro.hwsim import BDW, KNL
+from repro.roofline import Roofline, roofline_points
+
+
+class TestRoofline:
+    def test_bandwidth_bound_region(self):
+        r = Roofline(1000.0, {"DRAM": 100.0})
+        assert r.attainable(1.0) == 100.0
+        assert r.attainable(5.0) == 500.0
+
+    def test_compute_bound_region(self):
+        r = Roofline(1000.0, {"DRAM": 100.0})
+        assert r.attainable(100.0) == 1000.0
+
+    def test_ridge_point(self):
+        r = Roofline(1000.0, {"DRAM": 100.0})
+        assert r.ridge_point() == 10.0
+        assert r.attainable(r.ridge_point()) == 1000.0
+
+    def test_named_ceiling(self):
+        r = Roofline(1000.0, {"MCDRAM": 490.0, "DDR": 90.0})
+        assert r.attainable(1.0, "DDR") == 90.0
+        assert r.attainable(1.0) == 490.0  # fastest by default
+
+    def test_curve_vectorized(self):
+        r = Roofline(1000.0, {"DRAM": 100.0})
+        ai = np.array([0.1, 1.0, 100.0])
+        np.testing.assert_allclose(r.curve(ai), [10.0, 100.0, 1000.0])
+
+    def test_rejects_negative_ai(self):
+        with pytest.raises(ValueError):
+            Roofline(1.0, {"DRAM": 1.0}).attainable(-1.0)
+
+    def test_for_machine_knl_has_both_memories(self):
+        r = Roofline.for_machine(KNL)
+        assert set(r.ceilings) == {"MCDRAM", "DDR"}
+        assert r.peak_gflops == KNL.peak_sp_gflops
+
+    def test_for_machine_bdw_has_llc_ceiling(self):
+        r = Roofline.for_machine(BDW)
+        assert "LLC" in r.ceilings and "DRAM" in r.ceilings
+
+    def test_efficiency(self):
+        r = Roofline(1000.0, {"DRAM": 100.0})
+        assert r.efficiency(1.0, 50.0) == 0.5
+
+
+class TestFig10Points:
+    def test_knl_point_set(self):
+        pts = {p.step.split("(")[0]: p for p in roofline_points(KNL)}
+        assert {"AoS", "SoA", "AoSoA", "AoSoA-DDR"} == set(pts)
+
+    def test_soa_improves_both_ai_and_gflops(self):
+        # Paper: "The AoS-to-SoA transformation increases the AI as well
+        # as GFLOPS".
+        pts = roofline_points(KNL)
+        aos = next(p for p in pts if p.step == "AoS")
+        soa = next(p for p in pts if p.step == "SoA")
+        assert soa.ai > aos.ai
+        assert soa.gflops > aos.gflops
+
+    def test_aosoa_improves_gflops(self):
+        pts = roofline_points(KNL)
+        soa = next(p for p in pts if p.step == "SoA")
+        aosoa = next(p for p in pts if p.step.startswith("AoSoA(N"))
+        assert aosoa.gflops > soa.gflops
+
+    def test_ddr_caps_performance(self):
+        # Paper: "the best 150 GFLOPS obtained on DDR with the AoSoA
+        # version" — DDR must be several times below MCDRAM.
+        pts = roofline_points(KNL)
+        mcdram = next(p for p in pts if p.step.startswith("AoSoA(N"))
+        ddr = next(p for p in pts if p.step.startswith("AoSoA-DDR"))
+        assert ddr.gflops < 0.4 * mcdram.gflops
+        assert 100 < ddr.gflops < 600
+
+    def test_all_points_below_attainable(self):
+        for machine in (KNL, BDW):
+            for p in roofline_points(machine):
+                assert p.gflops <= p.attainable_gflops * 1.0001
+
+    def test_efficiency_in_unit_interval(self):
+        for p in roofline_points(KNL):
+            assert 0.0 < p.efficiency <= 1.0
