@@ -3,6 +3,12 @@
 Targets are the paper's tables and figures (see ``python -m repro list``);
 ``all`` prints everything.  Live measurements and shape assertions live in
 the pytest benchmark suite; this CLI is the quick model-only view.
+
+``python -m repro dmc`` runs a small live DMC ensemble with the
+fault-tolerant driver: ``--checkpoint-every N --checkpoint-path DIR``
+makes the run restartable, and after a kill the same command plus
+``--resume DIR`` continues from the last checkpoint — the combined
+energy/population trace is bit-identical to the uninterrupted run.
 """
 
 from __future__ import annotations
@@ -13,7 +19,72 @@ import sys
 from repro.reproduce import ALL_TARGETS
 
 
+def _dmc_main(argv: list[str]) -> int:
+    """The ``dmc`` subcommand: a restartable live DMC run."""
+    from repro.qmc.dmc import build_dmc_ensemble, run_dmc
+    from repro.qmc.rng import WalkerRngPool
+    from repro.resilience.checkpoint import CheckpointError
+    from repro.resilience.guards import GuardConfig
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro dmc",
+        description="Run a small live DMC ensemble with checkpoint/resume.",
+    )
+    parser.add_argument("--walkers", type=int, default=4)
+    parser.add_argument("--generations", type=int, default=10)
+    parser.add_argument("--tau", type=float, default=0.02)
+    parser.add_argument("--seed", type=int, default=2017)
+    parser.add_argument("--n-orbitals", type=int, default=4)
+    parser.add_argument("--checkpoint-every", type=int, default=None, metavar="N")
+    parser.add_argument("--checkpoint-path", default=None, metavar="DIR")
+    parser.add_argument("--resume", default=None, metavar="DIR")
+    parser.add_argument(
+        "--on-bad-energy",
+        default="raise",
+        choices=("raise", "recompute", "drop", "ignore"),
+        help="policy for walkers with NaN/Inf local energy",
+    )
+    args = parser.parse_args(argv)
+    if args.checkpoint_every is not None and args.checkpoint_path is None:
+        parser.error("--checkpoint-every requires --checkpoint-path")
+
+    # The ensemble is rebuilt deterministically from the seed; on resume
+    # it serves as the structural template the checkpoint loads into.
+    pool = WalkerRngPool(args.seed)
+    walkers = build_dmc_ensemble(pool, args.walkers, n_orbitals=args.n_orbitals)
+    try:
+        result = run_dmc(
+            walkers,
+            pool,
+            n_generations=args.generations,
+            tau=args.tau,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_path=args.checkpoint_path,
+            resume=args.resume,
+            guard=GuardConfig(on_nonfinite_energy=args.on_bad_energy),
+        )
+    except CheckpointError as exc:
+        print(f"python -m repro dmc: error: {exc}", file=sys.stderr)
+        return 1
+    print(f"generations: {len(result.energy_trace)}")
+    print(f"acceptance:  {result.acceptance:.4f}")
+    print(f"energy mean: {result.energy_mean:.10f}")
+    for g, (e, p) in enumerate(zip(result.energy_trace, result.population_trace)):
+        print(f"  gen {g:3d}  E = {e:+.12f}  pop = {p}")
+    if result.rescues or result.truncations or result.dropped_walkers:
+        print(
+            f"guard interventions: {result.rescues} rescues, "
+            f"{result.truncations} truncations, "
+            f"{result.dropped_walkers} dropped walkers"
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "dmc":
+        return _dmc_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce the tables/figures of Mathuriya et al. "
@@ -21,13 +92,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "target",
-        help="one of: " + ", ".join(ALL_TARGETS) + ", all, list",
+        help="one of: " + ", ".join(ALL_TARGETS) + ", all, list, "
+        "dmc (restartable live DMC run; see 'dmc --help')",
     )
     args = parser.parse_args(argv)
 
     if args.target == "list":
         for name, (_, desc) in ALL_TARGETS.items():
             print(f"  {name:10s} {desc}")
+        print("  dmc        restartable live DMC run (--checkpoint-every/--resume)")
         return 0
     if args.target == "all":
         for name, (func, _) in ALL_TARGETS.items():

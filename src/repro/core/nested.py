@@ -87,9 +87,16 @@ class NestedEvaluator:
         self._pool = ThreadPoolExecutor(
             max_workers=n_threads, thread_name_prefix="walker-nested"
         )
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run; a closed evaluator never revives."""
+        return self._closed
 
     def close(self) -> None:
         """Shut the worker pool down; the evaluator is unusable afterwards."""
+        self._closed = True
         self._pool.shutdown(wait=True)
 
     def __enter__(self) -> "NestedEvaluator":
@@ -117,6 +124,11 @@ class NestedEvaluator:
         """
         if kind not in ("v", "vgl", "vgh"):
             raise ValueError(f"unknown kernel kind {kind!r}")
+        if self._closed:
+            raise RuntimeError(
+                "NestedEvaluator is closed; create a new evaluator "
+                "(worker pools do not restart after close())"
+            )
         positions = np.asarray(positions, dtype=np.float64)
         futures = [
             self._pool.submit(self.engine.eval_tiles, kind, rng, positions, out)

@@ -15,6 +15,8 @@ Layouts are configurable independently, matching the paper's sequence:
 
 from __future__ import annotations
 
+import argparse
+import sys
 import time
 from dataclasses import dataclass
 
@@ -32,8 +34,22 @@ from repro.qmc.particleset import ParticleSet
 from repro.qmc.rng import WalkerRngPool
 from repro.qmc.slater import SplineOrbitalSet
 from repro.qmc.wavefunction import SlaterJastrow
+from repro.resilience.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+    set_rng_state,
+    rng_state,
+)
 
-__all__ = ["TimedProxy", "AppInstance", "build_app", "run_profiled", "profile_shares"]
+__all__ = [
+    "TimedProxy",
+    "AppInstance",
+    "build_app",
+    "run_profiled",
+    "profile_shares",
+    "main",
+]
 
 
 class TimedProxy:
@@ -187,6 +203,9 @@ def run_profiled(
     n_sweeps: int = 5,
     tau: float = 0.15,
     measure: bool = False,
+    checkpoint_every: int | None = None,
+    checkpoint_path=None,
+    resume=None,
 ) -> tuple[float, SectionTimers]:
     """Run drift-diffusion sweeps; returns (total wall seconds, timers).
 
@@ -199,24 +218,130 @@ def run_profiled(
     recorded as the ``other`` section, matching the paper's "Rest of the
     time is mostly spent on the assembly of SPOs ... determinant updates
     and inverses" (Sec. IV).
+
+    ``checkpoint_every`` sweeps, the walker state (positions + exact RNG
+    state) and the profile accumulated so far are snapshotted to
+    ``checkpoint_path``; ``resume`` continues a killed run on an app
+    rebuilt with the same :func:`build_app` arguments — the propagation
+    trajectory continues exactly (timings, being wall clock, simply
+    accumulate).
     """
+    if checkpoint_every is not None:
+        if checkpoint_every <= 0:
+            raise ValueError(
+                f"checkpoint_every must be positive, got {checkpoint_every}"
+            )
+        if checkpoint_path is None:
+            raise ValueError("checkpoint_every requires checkpoint_path")
     estimator = (
         LocalEnergy(app.wf, pseudopotential=app.pseudopotential)
         if measure
         else None
     )
+    start_sweep = 0
+    prior_seconds = 0.0
+    if resume is not None:
+        ckpt = load_checkpoint(resume, expect_kind="miniqmc_app")
+        if ckpt.manifest["params"] != {"tau": tau, "measure": measure}:
+            raise CheckpointError(
+                f"checkpoint parameters {ckpt.manifest['params']!r} do not "
+                f"match this run (tau={tau!r}, measure={measure!r})"
+            )
+        try:
+            app.wf.electrons.load_positions(ckpt.arrays["positions"], wrap=False)
+            app.wf.ions.load_positions(ckpt.arrays["ion_positions"], wrap=False)
+        except ValueError as exc:
+            raise CheckpointError(
+                f"app does not match checkpoint shape: {exc}"
+            ) from exc
+        app.wf.recompute()
+        set_rng_state(app.rng, ckpt.manifest["rng_state"])
+        start_sweep = int(ckpt.manifest["sweep"])
+        prior_seconds = float(ckpt.manifest["seconds"])
+        for section, secs in ckpt.manifest["timers"].items():
+            app.timers.add(section, secs)
+        if estimator is not None:
+            estimator = LocalEnergy(app.wf, pseudopotential=app.pseudopotential)
     t0 = time.perf_counter()
-    for _ in range(n_sweeps):
+    for sweep_idx in range(start_sweep, n_sweeps):
         sweep(app.wf, tau, app.rng)
         if estimator is not None:
             estimator.total()
-    total = time.perf_counter() - t0
+        if checkpoint_every is not None and (sweep_idx + 1) % checkpoint_every == 0:
+            app.wf.recompute()
+            save_checkpoint(
+                checkpoint_path,
+                {
+                    "kind": "miniqmc_app",
+                    "sweep": sweep_idx + 1,
+                    "seconds": prior_seconds + time.perf_counter() - t0,
+                    "rng_state": rng_state(app.rng),
+                    "timers": app.timers.elapsed,
+                    "params": {"tau": tau, "measure": measure},
+                },
+                {
+                    "positions": app.wf.electrons.positions,
+                    "ion_positions": app.wf.ions.positions,
+                },
+            )
+    total = prior_seconds + time.perf_counter() - t0
     known = app.timers.total
     # B-spline time is nested inside jastrow/distance sections never (the
     # proxies are disjoint), but proxied calls do nest inside the sweep
     # total, so "other" is the remainder.
     app.timers.add("other", max(total - known, 0.0))
     return total, app.timers
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: ``python -m repro.miniqmc.app`` — a profiled, restartable run.
+
+    Builds the app deterministically from ``--seed`` and friends, runs
+    ``--sweeps`` drift-diffusion sweeps, and prints the profile shares.
+    ``--checkpoint-every N --checkpoint-path DIR`` makes the run
+    restartable; after a kill, the same command plus ``--resume DIR``
+    continues where the last checkpoint left off.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.miniqmc.app",
+        description="Profiled miniQMC run with checkpoint/resume support.",
+    )
+    parser.add_argument("--n-orbitals", type=int, default=8)
+    parser.add_argument("--sweeps", type=int, default=5)
+    parser.add_argument("--tau", type=float, default=0.15)
+    parser.add_argument("--seed", type=int, default=2017)
+    parser.add_argument("--layout", default="soa", choices=("aos", "soa"))
+    parser.add_argument("--engine", default="fused", choices=("aos", "soa", "fused"))
+    parser.add_argument("--measure", action="store_true")
+    parser.add_argument("--checkpoint-every", type=int, default=None, metavar="N")
+    parser.add_argument("--checkpoint-path", default=None, metavar="DIR")
+    parser.add_argument("--resume", default=None, metavar="DIR")
+    args = parser.parse_args(argv)
+    if args.checkpoint_every is not None and args.checkpoint_path is None:
+        parser.error("--checkpoint-every requires --checkpoint-path")
+    app = build_app(
+        n_orbitals=args.n_orbitals,
+        layout=args.layout,
+        engine=args.engine,
+        seed=args.seed,
+    )
+    try:
+        total, timers = run_profiled(
+            app,
+            n_sweeps=args.sweeps,
+            tau=args.tau,
+            measure=args.measure,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_path=args.checkpoint_path,
+            resume=args.resume,
+        )
+    except CheckpointError as exc:
+        print(f"{parser.prog}: error: {exc}", file=sys.stderr)
+        return 1
+    print(f"ran {args.sweeps} sweeps in {total:.3f} s (N={args.n_orbitals})")
+    for section, share in sorted(timers.shares().items()):
+        print(f"  {section:16s} {share:6.2f} %")
+    return 0
 
 
 def profile_shares(
@@ -237,3 +362,7 @@ def profile_shares(
     )
     run_profiled(app, n_sweeps=n_sweeps)
     return app.timers.shares()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,16 @@ On this host walkers execute sequentially (one core); since walkers share
 nothing but the read-only table, per-eval cost — and therefore every
 layout *comparison* — is unaffected.  The returned
 :class:`DriverResult` carries the paper's throughput metric per kernel.
+
+Resilience: both drivers accept ``checkpoint_every`` (walkers) /
+``checkpoint_path`` / ``resume`` so a killed benchmark run does not
+repeat completed work — the checkpoint carries accumulated per-kernel
+seconds/evals plus the exact RNG state, so the resumed run consumes the
+same position stream the uninterrupted run would have.
+``run_tiled_driver`` additionally takes a
+:class:`~repro.resilience.retry.RetryPolicy` that wraps the nested
+evaluator in bounded retry-with-backoff and single-threaded fallback
+(:class:`~repro.resilience.retry.ResilientEvaluator`).
 """
 
 from __future__ import annotations
@@ -26,6 +36,14 @@ from repro.core.layout_soa import BsplineSoA
 from repro.core.nested import NestedEvaluator
 from repro.miniqmc.config import MiniQmcConfig, random_coefficients
 from repro.perf.throughput import throughput
+from repro.resilience.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    restore_rng,
+    rng_state,
+    save_checkpoint,
+)
+from repro.resilience.retry import ResilientEvaluator, RetryPolicy
 
 __all__ = ["DriverResult", "run_kernel_driver", "run_tiled_driver"]
 
@@ -45,6 +63,9 @@ class DriverResult:
         The paper's T = Nw*N*evals/t per kernel.
     evals:
         Kernel calls per kernel name.
+    retries, fallbacks:
+        Worker-failure retries absorbed and single-threaded fallbacks
+        taken by the nested evaluator (tiled driver with a retry policy).
     """
 
     config: MiniQmcConfig
@@ -52,17 +73,82 @@ class DriverResult:
     seconds: dict[str, float] = field(default_factory=dict)
     throughputs: dict[str, float] = field(default_factory=dict)
     evals: dict[str, int] = field(default_factory=dict)
+    retries: int = 0
+    fallbacks: int = 0
 
 
 def _finalize(result: DriverResult) -> DriverResult:
     cfg = result.config
     for kern, secs in result.seconds.items():
         n_evals = result.evals[kern]
-        if secs > 0:
+        if secs > 0 and n_evals > 0:
             result.throughputs[kern] = throughput(
                 1, cfg.n_splines, secs, n_evals
             )
+        else:
+            # Unmeasurably fast (timer granularity) or nothing evaluated:
+            # downstream reporting still needs the key present.
+            result.throughputs[kern] = float("inf") if n_evals > 0 else 0.0
     return result
+
+
+def _driver_fingerprint(config: MiniQmcConfig, engine: str, kernels) -> dict:
+    """What must match for a driver checkpoint to be resumable."""
+    return {
+        "engine": engine,
+        "n_splines": config.n_splines,
+        "grid_shape": list(config.grid_shape),
+        "n_samples": config.n_samples,
+        "n_iters": config.n_iters,
+        "n_walkers": config.n_walkers,
+        "tile_size": config.tile_size,
+        "seed": config.seed,
+        "kernels": list(kernels),
+    }
+
+
+def _save_driver_checkpoint(
+    path, fingerprint: dict, result: DriverResult, ki: int, walker: int, rng
+) -> None:
+    save_checkpoint(
+        path,
+        {
+            "kind": "kernel_driver",
+            "fingerprint": fingerprint,
+            "kernel_index": ki,
+            "walkers_done": walker,
+            "seconds": result.seconds,
+            "evals": result.evals,
+            "rng_state": rng_state(rng),
+        },
+    )
+
+
+def _resume_driver(resume, fingerprint: dict, result: DriverResult):
+    """Restore progress counters; returns (kernel_index, walkers_done, rng)."""
+    ckpt = load_checkpoint(resume, expect_kind="kernel_driver")
+    if ckpt.manifest["fingerprint"] != fingerprint:
+        raise CheckpointError(
+            f"driver checkpoint does not match this run: saved "
+            f"{ckpt.manifest['fingerprint']!r}, requested {fingerprint!r}"
+        )
+    result.seconds.update(ckpt.manifest["seconds"])
+    result.evals.update({k: int(v) for k, v in ckpt.manifest["evals"].items()})
+    return (
+        int(ckpt.manifest["kernel_index"]),
+        int(ckpt.manifest["walkers_done"]),
+        restore_rng(ckpt.manifest["rng_state"]),
+    )
+
+
+def _checkpoint_args_ok(checkpoint_every: int | None, checkpoint_path) -> None:
+    if checkpoint_every is not None:
+        if checkpoint_every <= 0:
+            raise ValueError(
+                f"checkpoint_every must be positive, got {checkpoint_every}"
+            )
+        if checkpoint_path is None:
+            raise ValueError("checkpoint_every requires checkpoint_path")
 
 
 def run_kernel_driver(
@@ -70,6 +156,9 @@ def run_kernel_driver(
     engine: str = "soa",
     kernels: tuple[str, ...] = ("v", "vgl", "vgh"),
     coefficients: np.ndarray | None = None,
+    checkpoint_every: int | None = None,
+    checkpoint_path=None,
+    resume=None,
 ) -> DriverResult:
     """Paper Fig. 3: the flat (untiled) miniQMC kernel loop.
 
@@ -84,21 +173,41 @@ def run_kernel_driver(
     coefficients:
         Reuse a prebuilt table (avoids rebuilding across engine
         comparisons); defaults to a fresh random table.
+    checkpoint_every:
+        Checkpoint progress every this many walkers (per kernel).
+    checkpoint_path:
+        Checkpoint directory (required with ``checkpoint_every``).
+    resume:
+        Checkpoint to continue from; the run configuration must match.
     """
     if engine not in _ENGINES:
         raise ValueError(f"unknown engine {engine!r}")
+    _checkpoint_args_ok(checkpoint_every, checkpoint_path)
     nx, ny, nz = config.grid_shape
     grid = Grid3D(nx, ny, nz)
     P = coefficients if coefficients is not None else random_coefficients(config)
     eng = _ENGINES[engine](grid, P)
     result = DriverResult(config=config, engine=engine)
-    rng = np.random.default_rng(config.seed + 1)
-    for kern in kernels:
+    fingerprint = _driver_fingerprint(config, engine, kernels)
+    if resume is not None:
+        start_ki, start_walker, rng = _resume_driver(resume, fingerprint, result)
+    else:
+        start_ki, start_walker = 0, 0
+        rng = np.random.default_rng(config.seed + 1)
+    for ki, kern in enumerate(kernels):
+        if ki < start_ki:
+            continue  # fully recorded in the restored result
         out = eng.new_output(kern)
         kern_fn = getattr(eng, kern)
-        total = 0.0
-        count = 0
-        for _walker in range(config.n_walkers):
+        if ki == start_ki and start_walker:
+            total = result.seconds.get(kern, 0.0)
+            count = result.evals.get(kern, 0)
+            first_walker = start_walker
+        else:
+            total = 0.0
+            count = 0
+            first_walker = 0
+        for walker in range(first_walker, config.n_walkers):
             positions = grid.random_positions(config.n_samples, rng)
             t0 = time.perf_counter()
             for _ in range(config.n_iters):
@@ -106,8 +215,12 @@ def run_kernel_driver(
                     kern_fn(x, y, z, out)
             total += time.perf_counter() - t0
             count += config.n_iters * config.n_samples
-        result.seconds[kern] = total
-        result.evals[kern] = count
+            result.seconds[kern] = total
+            result.evals[kern] = count
+            if checkpoint_every is not None and (walker + 1) % checkpoint_every == 0:
+                _save_driver_checkpoint(
+                    checkpoint_path, fingerprint, result, ki, walker + 1, rng
+                )
     return _finalize(result)
 
 
@@ -116,42 +229,73 @@ def run_tiled_driver(
     n_threads: int = 1,
     kernels: tuple[str, ...] = ("v", "vgl", "vgh"),
     coefficients: np.ndarray | None = None,
+    checkpoint_every: int | None = None,
+    checkpoint_path=None,
+    resume=None,
+    retry_policy: RetryPolicy | None = None,
 ) -> DriverResult:
     """Paper Fig. 6: the AoSoA driver, optionally nested (Opt C).
 
     Requires ``config.tile_size``; with ``n_threads > 1`` the tiles of
     each walker are distributed over a thread pool exactly as Sec. V-C
-    describes.
+    describes.  With ``retry_policy`` set, nested worker failures are
+    retried with backoff and, once exhausted, the evaluation degrades to
+    single-threaded — the run completes either way, and the result
+    carries the retry/fallback counts.
     """
     if not config.tile_size:
         raise ValueError("run_tiled_driver requires config.tile_size")
+    _checkpoint_args_ok(checkpoint_every, checkpoint_path)
     nx, ny, nz = config.grid_shape
     grid = Grid3D(nx, ny, nz)
     P = coefficients if coefficients is not None else random_coefficients(config)
     eng = BsplineAoSoA(grid, P, config.tile_size)
     result = DriverResult(config=config, engine=f"aosoa{config.tile_size}")
-    rng = np.random.default_rng(config.seed + 1)
+    fingerprint = _driver_fingerprint(config, result.engine, kernels)
+    if resume is not None:
+        start_ki, start_walker, rng = _resume_driver(resume, fingerprint, result)
+    else:
+        start_ki, start_walker = 0, 0
+        rng = np.random.default_rng(config.seed + 1)
     nested = NestedEvaluator(eng, n_threads) if n_threads > 1 else None
+    evaluator = nested
+    if nested is not None and retry_policy is not None:
+        evaluator = ResilientEvaluator(nested, retry_policy)
     try:
-        for kern in kernels:
+        for ki, kern in enumerate(kernels):
+            if ki < start_ki:
+                continue
             out = eng.new_output(kern)
-            total = 0.0
-            count = 0
-            for _walker in range(config.n_walkers):
+            if ki == start_ki and start_walker:
+                total = result.seconds.get(kern, 0.0)
+                count = result.evals.get(kern, 0)
+                first_walker = start_walker
+            else:
+                total = 0.0
+                count = 0
+                first_walker = 0
+            for walker in range(first_walker, config.n_walkers):
                 positions = grid.random_positions(config.n_samples, rng)
                 t0 = time.perf_counter()
                 for _ in range(config.n_iters):
-                    if nested is not None:
-                        nested.evaluate(kern, positions, out)
+                    if evaluator is not None:
+                        evaluator.evaluate(kern, positions, out)
                     else:
                         kern_fn = getattr(eng, kern)
                         for x, y, z in positions:
                             kern_fn(x, y, z, out)
                 total += time.perf_counter() - t0
                 count += config.n_iters * config.n_samples
-            result.seconds[kern] = total
-            result.evals[kern] = count
+                result.seconds[kern] = total
+                result.evals[kern] = count
+                if checkpoint_every is not None and (walker + 1) % checkpoint_every == 0:
+                    _save_driver_checkpoint(
+                        checkpoint_path, fingerprint, result, ki, walker + 1, rng
+                    )
     finally:
         if nested is not None:
             nested.close()
+    if isinstance(evaluator, ResilientEvaluator):
+        result.retries = evaluator.retries
+        result.fallbacks = evaluator.fallbacks
     return _finalize(result)

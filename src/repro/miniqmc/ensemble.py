@@ -22,6 +22,7 @@ from repro.core.layout_fused import BsplineFused
 from repro.core.layout_soa import BsplineSoA
 from repro.core.layout_aos import BsplineAoS
 from repro.perf.throughput import throughput
+from repro.resilience.guards import GuardedEngine
 
 __all__ = ["EnsembleResult", "WalkerEnsemble"]
 
@@ -62,6 +63,14 @@ class WalkerEnsemble:
         ``"aos"``, ``"soa"`` or ``"fused"``.
     seed:
         Master seed; each walker draws its own position stream.
+    guard_policy:
+        When set (``"raise"``, ``"recompute"`` or ``"count"``), every
+        kernel output is validated for NaN/Inf through a
+        :class:`~repro.resilience.guards.GuardedEngine` — a corrupted
+        shared table poisons *every* walker, so the ensemble is where
+        loud detection pays off.  ``None`` (default) adds no overhead.
+    reference_table:
+        Pristine float64 table for the ``"recompute"`` repair path.
     """
 
     def __init__(
@@ -71,6 +80,8 @@ class WalkerEnsemble:
         n_walkers: int,
         engine: str = "soa",
         seed: int = 2017,
+        guard_policy: str | None = None,
+        reference_table: np.ndarray | None = None,
     ):
         if n_walkers <= 0:
             raise ValueError(f"n_walkers must be positive, got {n_walkers}")
@@ -81,6 +92,10 @@ class WalkerEnsemble:
         self.n_walkers = int(n_walkers)
         # ONE engine object: the table is shared; outputs are per walker.
         self.engine = _ENGINES[engine](grid, coefficients)
+        if guard_policy is not None:
+            self.engine = GuardedEngine(
+                self.engine, guard_policy, reference_table=reference_table
+            )
         self.outputs = [self.engine.new_output("vgh") for _ in range(n_walkers)]
         seqs = np.random.SeedSequence(seed).spawn(n_walkers)
         self.rngs = [np.random.default_rng(s) for s in seqs]

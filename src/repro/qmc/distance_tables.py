@@ -102,13 +102,10 @@ class DistanceTableAB:
         self.sources = sources
         self.targets = targets
         ns, nt = len(sources), len(targets)
-        src_frac = self.cell.cart_to_frac(sources.positions)
         if layout == "aos":
-            self._src_frac = np.ascontiguousarray(src_frac)
             self.displacements = np.zeros((nt, ns, 3))
             self._temp_disp = np.zeros((ns, 3))
         else:
-            self._src_frac = np.ascontiguousarray(src_frac.T)
             self.displacements = np.zeros((nt, 3, ns))
             self._temp_disp = np.zeros((3, ns))
         self.distances = np.zeros((nt, ns))
@@ -122,7 +119,18 @@ class DistanceTableAB:
         return _row_displacements_soa(self.cell, self._src_frac, tgt_cart)
 
     def rebuild(self) -> None:
-        """Recompute the full table from committed positions (O(ns*nt))."""
+        """Recompute the full table from committed positions (O(ns*nt)).
+
+        Re-snapshots the *source* positions too: sources are fixed between
+        single-particle moves, but a full rebuild must honour bulk source
+        updates (e.g. checkpoint restore loading ion positions into an
+        already-constructed wavefunction).
+        """
+        src_frac = self.cell.cart_to_frac(self.sources.positions)
+        if self.layout == "aos":
+            self._src_frac = np.ascontiguousarray(src_frac)
+        else:
+            self._src_frac = np.ascontiguousarray(src_frac.T)
         for i in range(len(self.targets)):
             disp, dist = self._compute_row(self.targets[i])
             self.displacements[i] = disp

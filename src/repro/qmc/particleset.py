@@ -108,8 +108,14 @@ class ParticleSet:
         self._active = None
         self._staged = None
 
-    def load_positions(self, positions: np.ndarray) -> None:
-        """Bulk-replace all positions (used by DMC branching clones)."""
+    def load_positions(self, positions: np.ndarray, wrap: bool = True) -> None:
+        """Bulk-replace all positions (DMC branching clones, checkpoint restore).
+
+        ``wrap=False`` stores the positions verbatim: already-committed
+        positions are not floating-point fixed points of ``wrap_cart``
+        (the cart->frac->cart round trip moves them by ULPs), so
+        checkpoint restores must skip the re-wrap to stay bit-for-bit.
+        """
         positions = np.asarray(positions, dtype=np.float64)
         if positions.shape != (len(self), 3):
             raise ValueError(
@@ -117,7 +123,9 @@ class ParticleSet:
             )
         if self._active is not None:
             raise RuntimeError("cannot bulk-load with a staged move in flight")
-        self.R.data[...] = self.cell.wrap_cart(positions).T
+        if wrap:
+            positions = self.cell.wrap_cart(positions)
+        self.R.data[...] = positions.T
 
     @classmethod
     def random(

@@ -47,3 +47,37 @@ class WalkerRngPool:
     def issued(self) -> int:
         """How many generators this pool has handed out."""
         return self._spawned
+
+    @property
+    def state(self) -> dict:
+        """JSON-serializable snapshot (entropy + children spawned).
+
+        Restoring via :meth:`from_state` yields a pool whose *future*
+        ``next_rng``/``batch`` streams are identical to this pool's —
+        the property DMC checkpoint/resume relies on for bit-for-bit
+        branching reproducibility.
+        """
+        seq_state = self._seq.state
+        entropy = seq_state["entropy"]
+        return {
+            "entropy": int(entropy) if np.isscalar(entropy) else [int(e) for e in entropy],
+            "spawn_key": [int(k) for k in seq_state["spawn_key"]],
+            "pool_size": int(seq_state["pool_size"]),
+            "n_children_spawned": int(self._seq.n_children_spawned),
+            "issued": self._spawned,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "WalkerRngPool":
+        """Rebuild a pool that continues exactly where ``state`` left off."""
+        pool = cls.__new__(cls)
+        entropy = state["entropy"]
+        pool._seq = np.random.SeedSequence(
+            entropy=entropy,
+            spawn_key=tuple(state.get("spawn_key", ())),
+            pool_size=state.get("pool_size", 4),
+            n_children_spawned=state["n_children_spawned"],
+        )
+        pool._children = iter(())
+        pool._spawned = int(state.get("issued", state["n_children_spawned"]))
+        return pool

@@ -4,6 +4,13 @@ VMC samples ``|Psi_T|^2`` with the drift-diffusion kernel and averages
 the local energy.  In this reproduction it serves two roles: a
 correctness harness (detailed balance + estimator sanity on toy systems)
 and the equilibration stage that hands thermalized walkers to DMC.
+
+Like the DMC driver, ``run_vmc`` supports periodic checkpoints and
+bit-for-bit resume (positions + exact RNG state + partial energy trace),
+and a :class:`~repro.resilience.guards.GuardConfig` policy for
+non-finite local energies.  Taking a checkpoint calls
+``wf.recompute()``, so reproducibility comparisons must share the same
+``checkpoint_every`` cadence (see :mod:`repro.qmc.dmc`).
 """
 
 from __future__ import annotations
@@ -15,6 +22,14 @@ import numpy as np
 from repro.qmc.drift_diffusion import sweep
 from repro.qmc.estimators import LocalEnergy
 from repro.qmc.wavefunction import SlaterJastrow
+from repro.resilience.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+    set_rng_state,
+    rng_state,
+)
+from repro.resilience.guards import GuardConfig, GuardViolation
 
 __all__ = ["VmcResult", "run_vmc"]
 
@@ -57,6 +72,10 @@ def run_vmc(
     ion_charge: float = 4.0,
     recompute_every: int = 20,
     measure: bool = True,
+    checkpoint_every: int | None = None,
+    checkpoint_path=None,
+    resume=None,
+    guard: GuardConfig | None = None,
 ) -> VmcResult:
     """Run VMC on one walker and return its energy trace.
 
@@ -64,8 +83,9 @@ def run_vmc(
     ----------
     wf:
         The walker's wavefunction; mutated in place (the walker moves).
+        When resuming, its positions are overwritten from the checkpoint.
     rng:
-        The walker's private stream.
+        The walker's private stream; restored in place on resume.
     n_steps:
         Measured generations (one sweep over all electrons each).
     n_warmup:
@@ -78,18 +98,110 @@ def run_vmc(
         Sweeps between full recomputations (rounding-drift control).
     measure:
         False skips the energy estimator (pure-propagation benchmarks).
+    checkpoint_every:
+        Write a checkpoint to ``checkpoint_path`` every this many sweeps.
+    checkpoint_path:
+        Checkpoint directory (required with ``checkpoint_every``).
+    resume:
+        Checkpoint to continue from; run parameters must match.
+    guard:
+        Non-finite-energy policy: ``"raise"`` fails loudly,
+        ``"recompute"`` rebuilds derived state and re-measures once
+        (keeping the bad sample only if still bad under ``"ignore"``
+        semantics), ``"drop"`` skips the sample.
     """
+    if checkpoint_every is not None:
+        if checkpoint_every <= 0:
+            raise ValueError(
+                f"checkpoint_every must be positive, got {checkpoint_every}"
+            )
+        if checkpoint_path is None:
+            raise ValueError("checkpoint_every requires checkpoint_path")
+    params = {
+        "n_warmup": n_warmup,
+        "tau": tau,
+        "ion_charge": ion_charge,
+        "recompute_every": recompute_every,
+        "measure": measure,
+    }
+    energy_policy = guard.on_nonfinite_energy if guard is not None else "ignore"
     estimator = LocalEnergy(wf, ion_charge) if measure else None
-    energies = []
-    accepted = attempted = 0
-    for step in range(n_warmup + n_steps):
+
+    def measure_energy() -> float | None:
+        nonlocal estimator
+        e = estimator.total()
+        if np.isfinite(e) or energy_policy == "ignore":
+            return e
+        if energy_policy == "recompute":
+            wf.recompute()
+            estimator = LocalEnergy(wf, ion_charge)
+            e = estimator.total()
+            if np.isfinite(e):
+                return e
+        if energy_policy == "raise":
+            raise GuardViolation(
+                f"non-finite local energy {e!r} in VMC "
+                f"(policy 'raise'; use 'drop' or 'recompute' to continue)"
+            )
+        return None  # drop the sample
+
+    if resume is not None:
+        ckpt = load_checkpoint(resume, expect_kind="vmc")
+        saved = ckpt.manifest["params"]
+        for key in params:
+            if saved.get(key) != params[key]:
+                raise CheckpointError(
+                    f"checkpoint parameter mismatch for {key!r}: "
+                    f"saved {saved.get(key)!r}, requested {params[key]!r}"
+                )
+        try:
+            wf.electrons.load_positions(ckpt.arrays["positions"], wrap=False)
+            wf.ions.load_positions(ckpt.arrays["ion_positions"], wrap=False)
+        except ValueError as exc:
+            raise CheckpointError(
+                f"wavefunction does not match checkpoint shape: {exc}"
+            ) from exc
+        wf.recompute()
+        set_rng_state(rng, ckpt.manifest["rng_state"])
+        start_step = int(ckpt.manifest["step"])
+        energies = list(ckpt.arrays["energies"])
+        accepted = int(ckpt.manifest["accepted"])
+        attempted = int(ckpt.manifest["attempted"])
+        if measure:
+            estimator = LocalEnergy(wf, ion_charge)
+    else:
+        start_step = 0
+        energies = []
+        accepted = attempted = 0
+
+    for step in range(start_step, n_warmup + n_steps):
         acc, att = sweep(wf, tau, rng)
         accepted += acc
         attempted += att
         if (step + 1) % recompute_every == 0:
             wf.recompute()
         if step >= n_warmup and estimator is not None:
-            energies.append(estimator.total())
+            e = measure_energy()
+            if e is not None:
+                energies.append(e)
+        if checkpoint_every is not None and (step + 1) % checkpoint_every == 0:
+            wf.recompute()
+            save_checkpoint(
+                checkpoint_path,
+                {
+                    "kind": "vmc",
+                    "step": step + 1,
+                    "accepted": accepted,
+                    "attempted": attempted,
+                    "rng_state": rng_state(rng),
+                    "params": params,
+                },
+                {
+                    "positions": wf.electrons.positions,
+                    "ion_positions": wf.ions.positions,
+                    "energies": np.asarray(energies, dtype=np.float64),
+                },
+            )
     return VmcResult(
         energies=np.asarray(energies),
         acceptance=accepted / max(attempted, 1),

@@ -1,0 +1,69 @@
+"""repro.resilience — fault tolerance for long-running QMC drivers.
+
+Production QMC burns node-hours by the thousand: a killed job or a single
+NaN walker must not cost the whole ensemble.  This package supplies the
+three layers the drivers wire through:
+
+* :mod:`repro.resilience.checkpoint` — versioned, seeded snapshots
+  (``.npz`` arrays + JSON manifest with exact RNG bit-generator state)
+  with :func:`save_checkpoint` / :func:`load_checkpoint`, plus the
+  DMC/VMC/driver-specific state captures.  A resumed run reproduces the
+  uninterrupted energy trace bit-for-bit.
+* :mod:`repro.resilience.faults` — a deterministic, seeded
+  :class:`FaultInjector` that corrupts coefficient tables, poisons local
+  energies with NaN/Inf, and kills worker tasks; the engine behind
+  ``tests/resilience``.
+* :mod:`repro.resilience.guards` — NaN/Inf guardrails on kernel outputs
+  (:class:`GuardedEngine`, with recompute-via-reference repair) and on
+  walker energies, plus DMC population collapse/explosion guards
+  (:class:`PopulationGuard`).
+* :mod:`repro.resilience.retry` — bounded retry-with-backoff
+  (:func:`retry_with_backoff`) and :class:`ResilientEvaluator`, the
+  nested-threading wrapper that falls back to single-threaded evaluation
+  when workers keep dying.
+"""
+
+from repro.resilience.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    load_checkpoint,
+    restore_rng,
+    rng_state,
+    save_checkpoint,
+)
+from repro.resilience.faults import FaultInjector, SimulatedFault
+from repro.resilience.guards import (
+    GuardConfig,
+    GuardedEngine,
+    GuardViolation,
+    PopulationGuard,
+    nonfinite_counts,
+    check_finite,
+)
+from repro.resilience.retry import (
+    ResilientEvaluator,
+    RetryExhausted,
+    RetryPolicy,
+    retry_with_backoff,
+)
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "save_checkpoint",
+    "load_checkpoint",
+    "rng_state",
+    "restore_rng",
+    "FaultInjector",
+    "SimulatedFault",
+    "GuardConfig",
+    "GuardViolation",
+    "GuardedEngine",
+    "PopulationGuard",
+    "nonfinite_counts",
+    "check_finite",
+    "RetryPolicy",
+    "RetryExhausted",
+    "retry_with_backoff",
+    "ResilientEvaluator",
+]

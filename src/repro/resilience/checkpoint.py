@@ -1,0 +1,193 @@
+"""Versioned checkpoints: ``.npz`` arrays + a JSON manifest.
+
+A checkpoint is a directory holding two files:
+
+* ``manifest.json`` — everything small and structured: format version,
+  checkpoint kind, progress counters, and *exact* RNG state (the
+  bit-generator state dicts NumPy exposes, which restore a
+  ``np.random.Generator`` bit-for-bit — Python's JSON carries the
+  arbitrary-precision PCG64 integers losslessly);
+* ``arrays.npz`` — the bulky numeric payload (walker positions, traces).
+
+Writes are atomic at the directory level: the checkpoint is assembled in
+a ``<path>.tmp-<pid>`` staging directory and renamed into place, so a
+kill mid-write leaves either the previous checkpoint or none — never a
+torn one.
+
+The QMC drivers (:func:`repro.qmc.dmc.run_dmc`,
+:func:`repro.qmc.vmc.run_vmc`, the miniQMC drivers) build their
+checkpoint payloads on top of the generic :func:`save_checkpoint` /
+:func:`load_checkpoint` pair; resuming restores RNG streams, particle
+positions and accumulated traces so the continued run reproduces the
+uninterrupted one bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "Checkpoint",
+    "save_checkpoint",
+    "load_checkpoint",
+    "rng_state",
+    "restore_rng",
+    "set_rng_state",
+]
+
+#: Format version written into every manifest; bumped on layout changes.
+CHECKPOINT_VERSION = 1
+
+_MANIFEST = "manifest.json"
+_ARRAYS = "arrays.npz"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint is missing, torn, or incompatible with this run."""
+
+
+# -- RNG state (de)serialization ---------------------------------------------
+
+
+def _jsonable(obj):
+    """Recursively convert NumPy scalars/arrays/tuples to JSON-native types."""
+    if isinstance(obj, dict):
+        return {k: _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return [_jsonable(v) for v in obj.tolist()]
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    return obj
+
+
+def rng_state(rng: np.random.Generator) -> dict:
+    """JSON-serializable bit-generator state of ``rng`` (exact)."""
+    return _jsonable(rng.bit_generator.state)
+
+
+def restore_rng(state: dict) -> np.random.Generator:
+    """A fresh :class:`~numpy.random.Generator` restored from ``state``."""
+    name = state["bit_generator"]
+    try:
+        bitgen_cls = getattr(np.random, name)
+    except AttributeError as exc:
+        raise CheckpointError(f"unknown bit generator {name!r}") from exc
+    bitgen = bitgen_cls()
+    bitgen.state = state
+    return np.random.Generator(bitgen)
+
+
+def set_rng_state(rng: np.random.Generator, state: dict) -> None:
+    """Restore ``state`` *into* an existing generator (in place).
+
+    Used when the caller owns the generator object (e.g. the stream passed
+    to :func:`repro.qmc.vmc.run_vmc`) and identity must be preserved.
+    """
+    if rng.bit_generator.state["bit_generator"] != state["bit_generator"]:
+        raise CheckpointError(
+            f"bit generator mismatch: checkpoint has "
+            f"{state['bit_generator']!r}, generator is "
+            f"{rng.bit_generator.state['bit_generator']!r}"
+        )
+    rng.bit_generator.state = state
+
+
+# -- generic save / load -----------------------------------------------------
+
+
+@dataclass
+class Checkpoint:
+    """A loaded checkpoint: the manifest dict plus the array payload."""
+
+    manifest: dict
+    arrays: dict[str, np.ndarray]
+
+    @property
+    def kind(self) -> str:
+        """The driver kind that wrote this checkpoint (``dmc``, ``vmc``...)."""
+        return self.manifest.get("kind", "")
+
+
+def save_checkpoint(
+    path: str | os.PathLike,
+    manifest: dict,
+    arrays: dict[str, np.ndarray] | None = None,
+) -> str:
+    """Write a checkpoint directory atomically; returns the final path.
+
+    Parameters
+    ----------
+    path:
+        Target checkpoint directory (created or replaced).
+    manifest:
+        JSON-serializable metadata; ``version`` and the caller's ``kind``
+        are stamped in automatically (``version`` cannot be overridden).
+    arrays:
+        Numeric payload for ``arrays.npz``.
+    """
+    path = os.fspath(path)
+    manifest = dict(manifest)
+    manifest["version"] = CHECKPOINT_VERSION
+    staging = f"{path}.tmp-{os.getpid()}"
+    if os.path.exists(staging):
+        shutil.rmtree(staging)
+    os.makedirs(staging)
+    try:
+        with open(os.path.join(staging, _MANIFEST), "w") as fh:
+            json.dump(_jsonable(manifest), fh, indent=2, sort_keys=True)
+        np.savez(os.path.join(staging, _ARRAYS), **(arrays or {}))
+        if os.path.isdir(path):
+            shutil.rmtree(path)
+        os.replace(staging, path)
+    finally:
+        if os.path.exists(staging):
+            shutil.rmtree(staging)
+    return path
+
+
+def load_checkpoint(
+    path: str | os.PathLike, expect_kind: str | None = None
+) -> Checkpoint:
+    """Load a checkpoint directory; validates version and (optionally) kind.
+
+    Raises
+    ------
+    CheckpointError:
+        Missing directory/files, version from the future, or a kind
+        mismatch (resuming a DMC run from a VMC checkpoint is refused
+        loudly rather than garbling state).
+    """
+    path = os.fspath(path)
+    manifest_path = os.path.join(path, _MANIFEST)
+    arrays_path = os.path.join(path, _ARRAYS)
+    if not os.path.isdir(path) or not os.path.exists(manifest_path):
+        raise CheckpointError(f"no checkpoint at {path!r}")
+    with open(manifest_path) as fh:
+        manifest = json.load(fh)
+    version = manifest.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint version {version!r} not supported "
+            f"(this build reads version {CHECKPOINT_VERSION})"
+        )
+    if expect_kind is not None and manifest.get("kind") != expect_kind:
+        raise CheckpointError(
+            f"checkpoint kind {manifest.get('kind')!r} at {path!r}; "
+            f"expected {expect_kind!r}"
+        )
+    arrays: dict[str, np.ndarray] = {}
+    if os.path.exists(arrays_path):
+        with np.load(arrays_path) as npz:
+            arrays = {k: npz[k] for k in npz.files}
+    return Checkpoint(manifest=manifest, arrays=arrays)

@@ -1,0 +1,165 @@
+"""Deterministic fault injection for resilience testing.
+
+Every fault drawn from a :class:`FaultInjector` comes from its own seeded
+stream, so a failing resilience test replays exactly: the same table
+entries get corrupted, the same local-energy evaluation returns NaN, the
+same worker task dies on the same call.  The injector also keeps an audit
+``log`` of everything it did, which the tests assert against.
+
+Three fault families match the production failure modes the guardrails
+(:mod:`repro.resilience.guards`) and retries
+(:mod:`repro.resilience.retry`) defend against:
+
+* **data corruption** — :meth:`FaultInjector.corrupt_coefficients`
+  poisons entries of a coefficient table (NaN, Inf, or large noise);
+* **poisoned measurements** — :meth:`FaultInjector.poison_energies`
+  wraps a local-energy callable to return NaN/Inf on selected calls;
+* **dying workers** — :meth:`FaultInjector.failing` wraps any callable to
+  raise :class:`SimulatedFault` a fixed number of times (transient
+  faults, which retries absorb) or forever (hard faults, which force the
+  single-threaded fallback), and
+  :meth:`FaultInjector.kill_at_generation` builds the mid-run kill hook
+  the checkpoint/resume tests use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SimulatedFault", "FaultInjector"]
+
+
+class SimulatedFault(RuntimeError):
+    """An injected failure — raised by wrappers built on a FaultInjector."""
+
+
+class FaultInjector:
+    """Seeded source of reproducible faults.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the injector's private stream; two injectors with the
+        same seed inject identical faults in identical order.
+    """
+
+    def __init__(self, seed: int = 2017):
+        self.seed = int(seed)
+        self._rng = np.random.default_rng(seed)
+        #: Audit trail: one ``(kind, detail)`` tuple per injected fault.
+        self.log: list[tuple[str, dict]] = []
+
+    # -- data corruption ----------------------------------------------------
+
+    def corrupt_coefficients(
+        self,
+        table: np.ndarray,
+        n_sites: int = 1,
+        mode: str = "nan",
+        in_place: bool = False,
+    ) -> tuple[np.ndarray, list[tuple[int, ...]]]:
+        """Poison ``n_sites`` random entries of a coefficient table.
+
+        Parameters
+        ----------
+        table:
+            The ``(nx, ny, nz, N)`` (or any-shape) coefficient array.
+        n_sites:
+            Number of scalar entries to corrupt.
+        mode:
+            ``"nan"``, ``"inf"``, or ``"noise"`` (entry replaced by a huge
+            finite value — the silent-corruption case NaN checks alone
+            miss).
+        in_place:
+            Corrupt ``table`` itself instead of a copy.
+
+        Returns
+        -------
+        (corrupted, sites):
+            The corrupted array and the multi-indices that were hit.
+        """
+        if mode not in ("nan", "inf", "noise"):
+            raise ValueError(f"unknown corruption mode {mode!r}")
+        out = table if in_place else table.copy()
+        flat = self._rng.choice(table.size, size=n_sites, replace=False)
+        sites = [tuple(int(i) for i in np.unravel_index(f, table.shape)) for f in flat]
+        for site in sites:
+            if mode == "nan":
+                out[site] = np.nan
+            elif mode == "inf":
+                out[site] = np.inf
+            else:
+                out[site] = 1e30
+        self.log.append(("corrupt_coefficients", {"mode": mode, "sites": sites}))
+        return out, sites
+
+    # -- poisoned measurements ----------------------------------------------
+
+    def poison_energies(self, fn, every: int = 3, mode: str = "nan"):
+        """Wrap a scalar-returning callable to return NaN/Inf periodically.
+
+        Every ``every``-th call (1-indexed) returns the poison value
+        instead of the true result; all other calls pass through.
+
+        Parameters
+        ----------
+        fn:
+            The callable to wrap (e.g. a bound ``LocalEnergy.total``).
+        every:
+            Poison call numbers ``every, 2*every, ...``.
+        mode:
+            ``"nan"`` or ``"inf"``.
+        """
+        if every <= 0:
+            raise ValueError(f"every must be positive, got {every}")
+        poison = float("nan") if mode == "nan" else float("inf")
+        calls = 0
+
+        def wrapped(*args, **kwargs):
+            nonlocal calls
+            calls += 1
+            result = fn(*args, **kwargs)
+            if calls % every == 0:
+                self.log.append(("poison_energy", {"call": calls, "mode": mode}))
+                return poison
+            return result
+
+        return wrapped
+
+    # -- dying workers -------------------------------------------------------
+
+    def failing(self, fn, n_failures: int = 1, exc_type=SimulatedFault):
+        """Wrap a callable to raise on its first ``n_failures`` calls.
+
+        ``n_failures=None`` fails forever (a hard fault); otherwise calls
+        after the first ``n_failures`` pass through — the transient-fault
+        shape bounded retries are built for.
+        """
+        calls = 0
+
+        def wrapped(*args, **kwargs):
+            nonlocal calls
+            calls += 1
+            if n_failures is None or calls <= n_failures:
+                self.log.append(("fault", {"call": calls, "fn": getattr(fn, "__name__", str(fn))}))
+                raise exc_type(f"injected fault on call {calls}")
+            return fn(*args, **kwargs)
+
+        return wrapped
+
+    def kill_at_generation(self, generation: int):
+        """A driver hook that raises :class:`SimulatedFault` at one generation.
+
+        The returned callable matches the ``on_generation(gen, walkers)``
+        hook of :func:`repro.qmc.dmc.run_dmc` (and the per-step hooks of
+        the other drivers); it kills the run *after* generation
+        ``generation`` completes — past any checkpoint written for it —
+        which is exactly the shape of a mid-run SIGKILL.
+        """
+
+        def hook(gen: int, *_args) -> None:
+            if gen == generation:
+                self.log.append(("kill", {"generation": gen}))
+                raise SimulatedFault(f"injected kill after generation {gen}")
+
+        return hook

@@ -87,3 +87,42 @@ class TestNestedEvaluator:
             assert len(nested.partition) == 3
             flattened = [i for r in nested.partition for i in r]
             assert flattened == sorted(flattened)
+
+    def test_worker_exception_leaves_evaluator_usable(
+        self, tiled, small_grid, rng
+    ):
+        # A failed evaluation must not wedge the pool: the next call with
+        # a correct output buffer succeeds.
+        positions = small_grid.random_positions(2, rng)
+        with NestedEvaluator(tiled, 2) as nested:
+            wrong = BsplineAoSoA(
+                tiled.grid, np.zeros((12, 10, 14, 24), dtype=np.float64), 12
+            ).new_output("v")
+            with pytest.raises(ValueError):
+                nested.evaluate("v", positions, wrong)
+            good = tiled.new_output("v")
+            nested.evaluate("v", positions, good)
+            assert np.isfinite(good.tiles[0].v).all()
+
+    def test_evaluate_after_close_raises_clear_error(
+        self, tiled, small_grid, rng
+    ):
+        nested = NestedEvaluator(tiled, 2)
+        assert not nested.closed
+        nested.close()
+        assert nested.closed
+        with pytest.raises(RuntimeError, match="closed; create a new evaluator"):
+            nested.evaluate(
+                "v", small_grid.random_positions(1, rng), tiled.new_output("v")
+            )
+
+    def test_close_is_idempotent(self, tiled):
+        nested = NestedEvaluator(tiled, 2)
+        nested.close()
+        nested.close()  # second close must not raise
+        assert nested.closed
+
+    def test_context_manager_closes(self, tiled):
+        with NestedEvaluator(tiled, 2) as nested:
+            pass
+        assert nested.closed

@@ -88,6 +88,19 @@ class TestAB:
         with pytest.raises(ValueError, match="cell"):
             DistanceTableAB(a, b)
 
+    def test_rebuild_picks_up_moved_sources(self, cell, layout, rng):
+        # Sources are fixed between single-particle moves, but a bulk
+        # source update (checkpoint restore loading ion positions into an
+        # existing wavefunction) followed by rebuild() must not reuse the
+        # construction-time snapshot.
+        src, tgt = make_sets(cell, rng)
+        table = DistanceTableAB(src, tgt, layout)
+        new_src = cell.frac_to_cart(rng.random((4, 3)))
+        src.load_positions(new_src, wrap=False)
+        table.rebuild()
+        oracle = minimal_image_distances(cell, tgt.positions, src.positions)
+        np.testing.assert_allclose(table.distances, oracle, atol=1e-10)
+
 
 class TestAA:
     def test_build_matches_oracle(self, cell, layout, rng):
