@@ -20,7 +20,8 @@ from repro.reproduce import ALL_TARGETS
 
 
 def _dmc_main(argv: list[str]) -> int:
-    """The ``dmc`` subcommand: a restartable live DMC run."""
+    """The ``dmc`` subcommand: a restartable, observable live DMC run."""
+    from repro.obs import OBS
     from repro.qmc.dmc import build_dmc_ensemble, run_dmc
     from repro.qmc.rng import WalkerRngPool
     from repro.resilience.checkpoint import CheckpointError
@@ -44,9 +45,25 @@ def _dmc_main(argv: list[str]) -> int:
         choices=("raise", "recompute", "drop", "ignore"),
         help="policy for walkers with NaN/Inf local energy",
     )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="enable observability and dump the metrics registry as JSON",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="enable observability and dump a Chrome trace_event JSON",
+    )
     args = parser.parse_args(argv)
     if args.checkpoint_every is not None and args.checkpoint_path is None:
         parser.error("--checkpoint-every requires --checkpoint-path")
+    observe = args.metrics_out is not None or args.trace_out is not None
+    if observe:
+        OBS.reset()
+        OBS.enable()
 
     # The ensemble is rebuilt deterministically from the seed; on resume
     # it serves as the structural template the checkpoint loads into.
@@ -66,6 +83,9 @@ def _dmc_main(argv: list[str]) -> int:
     except CheckpointError as exc:
         print(f"python -m repro dmc: error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if observe:
+            OBS.disable()
     print(f"generations: {len(result.energy_trace)}")
     print(f"acceptance:  {result.acceptance:.4f}")
     print(f"energy mean: {result.energy_mean:.10f}")
@@ -77,6 +97,10 @@ def _dmc_main(argv: list[str]) -> int:
             f"{result.truncations} truncations, "
             f"{result.dropped_walkers} dropped walkers"
         )
+    if observe:
+        OBS.write(metrics_out=args.metrics_out, trace_out=args.trace_out)
+        print()
+        print(OBS.summary_table())
     return 0
 
 

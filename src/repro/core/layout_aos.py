@@ -26,6 +26,7 @@ import numpy as np
 from repro.core.grid import Grid3D
 from repro.core.stencil import gather_block, locate_and_weights
 from repro.core.walker import WalkerAoS
+from repro.obs import OBS
 
 __all__ = ["BsplineAoS"]
 
@@ -82,6 +83,8 @@ class BsplineAoS:
         "does not need SoA data layout and only benefits with the AoSoA
         transformation" (Sec. VI).
         """
+        if OBS.enabled:
+            OBS.count("kernel_calls_total", engine=self.layout, kernel="v")
         pt = locate_and_weights(self.grid, x, y, z)
         block = gather_block(self.grid, self.P, pt)
         ax, ay, az = pt.wx[0], pt.wy[0], pt.wz[0]
@@ -102,6 +105,8 @@ class BsplineAoS:
         inside the loop (the temporaries the paper hoists in Opt A's
         "other optimizations").
         """
+        if OBS.enabled:
+            OBS.count("kernel_calls_total", engine=self.layout, kernel="vgl")
         pt = locate_and_weights(self.grid, x, y, z)
         block = gather_block(self.grid, self.P, pt)
         (ax, dax, d2ax), (ay, day, d2ay), (az, daz, d2az) = pt.wx, pt.wy, pt.wz
@@ -131,6 +136,8 @@ class BsplineAoS:
         gradient components and 9-strided Hessian components, including
         the redundant symmetric entries the baseline stores.
         """
+        if OBS.enabled:
+            OBS.count("kernel_calls_total", engine=self.layout, kernel="vgh")
         pt = locate_and_weights(self.grid, x, y, z)
         block = gather_block(self.grid, self.P, pt)
         (ax, dax, d2ax), (ay, day, d2ay), (az, daz, d2az) = pt.wx, pt.wy, pt.wz

@@ -21,6 +21,7 @@ from repro.core.grid import Grid3D
 from repro.core.layout_soa import BsplineSoA
 from repro.core.tiling import split_table
 from repro.core.walker import WalkerTiled
+from repro.obs import OBS
 
 __all__ = ["BsplineAoSoA"]
 
@@ -58,8 +59,10 @@ class BsplineAoSoA:
         self.tile_size = int(tile_size)
         self.n_tiles = n_splines // tile_size
         self.dtype = coefficients.dtype
+        # Tiles report nothing to OBS themselves: a tiled evaluation is
+        # one logical kernel call, counted once by this engine.
         self.tiles = [
-            BsplineSoA(grid, tile, first_spline=t * tile_size)
+            BsplineSoA(grid, tile, first_spline=t * tile_size, report_obs=False)
             for t, tile in enumerate(split_table(coefficients, tile_size))
         ]
 
@@ -80,18 +83,24 @@ class BsplineAoSoA:
     def v(self, x: float, y: float, z: float, out: WalkerTiled) -> None:
         """Kernel ``V`` over all tiles (paper Fig. 6 inner loop)."""
         self._check(out)
+        if OBS.enabled:
+            OBS.count("kernel_calls_total", engine=self.layout, kernel="v")
         for eng, buf in zip(self.tiles, out.tiles):
             eng.v(x, y, z, buf)
 
     def vgl(self, x: float, y: float, z: float, out: WalkerTiled) -> None:
         """Kernel ``VGL`` over all tiles."""
         self._check(out)
+        if OBS.enabled:
+            OBS.count("kernel_calls_total", engine=self.layout, kernel="vgl")
         for eng, buf in zip(self.tiles, out.tiles):
             eng.vgl(x, y, z, buf)
 
     def vgh(self, x: float, y: float, z: float, out: WalkerTiled) -> None:
         """Kernel ``VGH`` over all tiles."""
         self._check(out)
+        if OBS.enabled:
+            OBS.count("kernel_calls_total", engine=self.layout, kernel="vgh")
         for eng, buf in zip(self.tiles, out.tiles):
             eng.vgh(x, y, z, buf)
 
@@ -122,6 +131,13 @@ class BsplineAoSoA:
         """
         self._check(out)
         positions = np.asarray(positions, dtype=np.float64)
+        if OBS.enabled:
+            OBS.count(
+                "tile_evals_total",
+                len(tile_ids) * len(positions),
+                engine=self.layout,
+                kernel=kind,
+            )
         for t in tile_ids:
             eng = self.tiles[t]
             buf = out.tiles[t]

@@ -23,6 +23,7 @@ import numpy as np
 from repro.core.grid import Grid3D
 from repro.core.stencil import gather_block, locate_and_weights
 from repro.core.walker import WalkerSoA
+from repro.obs import OBS
 
 __all__ = ["BsplineFused"]
 
@@ -85,6 +86,8 @@ class BsplineFused:
 
     def v(self, x: float, y: float, z: float, out: WalkerSoA) -> None:
         """Kernel ``V`` via z->y->x contraction (3 matmuls total)."""
+        if OBS.enabled:
+            OBS.count("kernel_calls_total", engine=self.layout, kernel="v")
         (ax, _, _), (ay, _, _), (az, _, _), block = self._setup(x, y, z)
         # (4,4,4,N) . (4,) over z -> (4,4,N); then y; then x.
         tz = np.tensordot(block, az, axes=([2], [0]))
@@ -93,6 +96,8 @@ class BsplineFused:
 
     def vgl(self, x: float, y: float, z: float, out: WalkerSoA) -> None:
         """Kernel ``VGL`` via shared partial contractions."""
+        if OBS.enabled:
+            OBS.count("kernel_calls_total", engine=self.layout, kernel="vgl")
         (ax, dax, d2ax), (ay, day, d2ay), (az, daz, d2az), block = self._setup(
             x, y, z
         )
@@ -112,6 +117,8 @@ class BsplineFused:
 
     def vgh(self, x: float, y: float, z: float, out: WalkerSoA) -> None:
         """Kernel ``VGH`` via shared partial contractions (10 streams)."""
+        if OBS.enabled:
+            OBS.count("kernel_calls_total", engine=self.layout, kernel="vgh")
         (ax, dax, d2ax), (ay, day, d2ay), (az, daz, d2az), block = self._setup(
             x, y, z
         )

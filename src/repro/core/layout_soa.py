@@ -24,6 +24,7 @@ import numpy as np
 from repro.core.grid import Grid3D
 from repro.core.stencil import gather_block, locate_and_weights
 from repro.core.walker import WalkerSoA
+from repro.obs import OBS
 
 __all__ = ["BsplineSoA"]
 
@@ -40,6 +41,11 @@ class BsplineSoA:
     first_spline:
         Global index of the first spline served by this object; used when
         the engine is one tile of a :class:`~repro.core.layout_aosoa.BsplineAoSoA`.
+    report_obs:
+        When False, kernel calls are not counted into :data:`repro.obs.OBS`
+        — set by :class:`~repro.core.layout_aosoa.BsplineAoSoA` on its
+        tiles so a tiled evaluation is counted once (by the owner), not
+        once per tile.
     """
 
     layout = "soa"
@@ -49,6 +55,7 @@ class BsplineSoA:
         grid: Grid3D,
         coefficients: np.ndarray,
         first_spline: int = 0,
+        report_obs: bool = True,
     ):
         if coefficients.ndim != 4:
             raise ValueError(
@@ -63,6 +70,7 @@ class BsplineSoA:
         self.first_spline = int(first_spline)
         self.n_splines = coefficients.shape[3]
         self.dtype = coefficients.dtype
+        self._report_obs = bool(report_obs)
 
     def new_output(self, kind: str = "vgh") -> WalkerSoA:
         """Allocate a matching SoA output buffer."""
@@ -78,6 +86,8 @@ class BsplineSoA:
         V has a single output stream, so Opt A is a no-op for it (paper
         Sec. VI: "AoS-to-SoA transformation does not apply to V").
         """
+        if OBS.enabled and self._report_obs:
+            OBS.count("kernel_calls_total", engine=self.layout, kernel="v")
         pt = locate_and_weights(self.grid, x, y, z)
         block = gather_block(self.grid, self.P, pt)
         ax, ay, az = pt.wx[0], pt.wy[0], pt.wz[0]
@@ -96,6 +106,8 @@ class BsplineSoA:
         The Laplacian weight ``(d2x + d2y + d2z)`` is folded into a single
         accumulation per stencil point.
         """
+        if OBS.enabled and self._report_obs:
+            OBS.count("kernel_calls_total", engine=self.layout, kernel="vgl")
         pt = locate_and_weights(self.grid, x, y, z)
         block = gather_block(self.grid, self.P, pt)
         (ax, dax, d2ax), (ay, day, d2ay), (az, daz, d2az) = pt.wx, pt.wy, pt.wz
@@ -126,6 +138,8 @@ class BsplineSoA:
         1 value + 3 gradient + 6 independent Hessian components; the
         symmetric entries are never computed twice.
         """
+        if OBS.enabled and self._report_obs:
+            OBS.count("kernel_calls_total", engine=self.layout, kernel="vgh")
         pt = locate_and_weights(self.grid, x, y, z)
         block = gather_block(self.grid, self.P, pt)
         (ax, dax, d2ax), (ay, day, d2ay), (az, daz, d2az) = pt.wx, pt.wy, pt.wz

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core.layout_aosoa import BsplineAoSoA
 from repro.core.walker import WalkerTiled
+from repro.obs import OBS
 
 __all__ = ["partition_tiles", "NestedEvaluator"]
 
@@ -130,13 +131,29 @@ class NestedEvaluator:
                 "(worker pools do not restart after close())"
             )
         positions = np.asarray(positions, dtype=np.float64)
-        futures = [
-            self._pool.submit(self.engine.eval_tiles, kind, rng, positions, out)
-            for rng in self.partition
-            if len(rng)
-        ]
-        for fut in futures:
-            fut.result()  # re-raises worker exceptions
+        if OBS.enabled:
+            # Occupancy: threads with a non-empty tile range actually work;
+            # the rest idle (the paper's nth <= N/Nb scaling limit).
+            active = sum(1 for rng in self.partition if len(rng))
+            OBS.gauge("nested_threads", self.n_threads)
+            OBS.gauge("nested_active_workers", active)
+            OBS.gauge("nested_occupancy", active / self.n_threads)
+            OBS.count("nested_evaluations_total", engine="aosoa", kernel=kind)
+        with OBS.span(
+            f"nested:{kind}",
+            cat="nested",
+            n_positions=len(positions),
+            n_threads=self.n_threads,
+        ):
+            futures = [
+                self._pool.submit(
+                    self.engine.eval_tiles, kind, rng, positions, out
+                )
+                for rng in self.partition
+                if len(rng)
+            ]
+            for fut in futures:
+                fut.result()  # re-raises worker exceptions
 
     def evaluate_v(self, positions: np.ndarray, out: WalkerTiled) -> None:
         """Convenience wrapper for :meth:`evaluate` with ``kind="v"``."""

@@ -25,6 +25,7 @@ import numpy as np
 from repro.lattice.cell import Cell
 from repro.lattice.orbitals import PlaneWaveOrbitalSet
 from repro.lattice.pbc import wigner_seitz_radius
+from repro.obs import OBS
 from repro.perf.timer import SectionTimers
 from repro.qmc.drift_diffusion import sweep
 from repro.qmc.estimators import LocalEnergy
@@ -76,7 +77,10 @@ class TimedProxy:
                 try:
                     return attr(*args, **kwargs)
                 finally:
-                    timers.add(section, time.perf_counter() - t0)
+                    dt = time.perf_counter() - t0
+                    timers.add(section, dt)
+                    if OBS.enabled:
+                        OBS.observe("section_seconds", dt, section=section)
 
             return timed
         return attr
@@ -264,9 +268,11 @@ def run_profiled(
             estimator = LocalEnergy(app.wf, pseudopotential=app.pseudopotential)
     t0 = time.perf_counter()
     for sweep_idx in range(start_sweep, n_sweeps):
-        sweep(app.wf, tau, app.rng)
-        if estimator is not None:
-            estimator.total()
+        with OBS.span("miniqmc:sweep", cat="miniqmc", sweep=sweep_idx):
+            sweep(app.wf, tau, app.rng)
+            if estimator is not None:
+                estimator.total()
+        OBS.count("miniqmc_sweeps_total")
         if checkpoint_every is not None and (sweep_idx + 1) % checkpoint_every == 0:
             app.wf.recompute()
             save_checkpoint(
@@ -300,7 +306,10 @@ def main(argv: list[str] | None = None) -> int:
     ``--sweeps`` drift-diffusion sweeps, and prints the profile shares.
     ``--checkpoint-every N --checkpoint-path DIR`` makes the run
     restartable; after a kill, the same command plus ``--resume DIR``
-    continues where the last checkpoint left off.
+    continues where the last checkpoint left off.  ``--metrics-out`` /
+    ``--trace-out`` turn observability on: the run dumps a metrics JSON
+    and/or a Chrome ``trace_event`` JSON and prints the metrics summary
+    table after the profile shares.
     """
     parser = argparse.ArgumentParser(
         prog="python -m repro.miniqmc.app",
@@ -316,9 +325,25 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--checkpoint-every", type=int, default=None, metavar="N")
     parser.add_argument("--checkpoint-path", default=None, metavar="DIR")
     parser.add_argument("--resume", default=None, metavar="DIR")
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="enable observability and dump the metrics registry as JSON",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="enable observability and dump a Chrome trace_event JSON",
+    )
     args = parser.parse_args(argv)
     if args.checkpoint_every is not None and args.checkpoint_path is None:
         parser.error("--checkpoint-every requires --checkpoint-path")
+    observe = args.metrics_out is not None or args.trace_out is not None
+    if observe:
+        OBS.reset()
+        OBS.enable()
     app = build_app(
         n_orbitals=args.n_orbitals,
         layout=args.layout,
@@ -338,9 +363,16 @@ def main(argv: list[str] | None = None) -> int:
     except CheckpointError as exc:
         print(f"{parser.prog}: error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if observe:
+            OBS.disable()
     print(f"ran {args.sweeps} sweeps in {total:.3f} s (N={args.n_orbitals})")
     for section, share in sorted(timers.shares().items()):
         print(f"  {section:16s} {share:6.2f} %")
+    if observe:
+        OBS.write(metrics_out=args.metrics_out, trace_out=args.trace_out)
+        print()
+        print(OBS.summary_table())
     return 0
 
 

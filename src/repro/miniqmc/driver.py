@@ -35,6 +35,7 @@ from repro.core.layout_fused import BsplineFused
 from repro.core.layout_soa import BsplineSoA
 from repro.core.nested import NestedEvaluator
 from repro.miniqmc.config import MiniQmcConfig, random_coefficients
+from repro.obs import OBS, kernel_bytes_moved
 from repro.perf.throughput import throughput
 from repro.resilience.checkpoint import (
     CheckpointError,
@@ -213,10 +214,31 @@ def run_kernel_driver(
             for _ in range(config.n_iters):
                 for x, y, z in positions:
                     kern_fn(x, y, z, out)
-            total += time.perf_counter() - t0
-            count += config.n_iters * config.n_samples
+            dt = time.perf_counter() - t0
+            total += dt
+            n_batch = config.n_iters * config.n_samples
+            count += n_batch
             result.seconds[kern] = total
             result.evals[kern] = count
+            if OBS.enabled:
+                OBS.kernel_eval(
+                    engine,
+                    kern,
+                    n_batch,
+                    dt,
+                    n_batch
+                    * kernel_bytes_moved(
+                        kern, eng.layout, config.n_splines, P.itemsize
+                    ),
+                )
+                OBS.complete(
+                    f"kernel:{kern}",
+                    t0,
+                    dt,
+                    cat="miniqmc",
+                    engine=engine,
+                    walker=walker,
+                )
             if checkpoint_every is not None and (walker + 1) % checkpoint_every == 0:
                 _save_driver_checkpoint(
                     checkpoint_path, fingerprint, result, ki, walker + 1, rng
@@ -261,6 +283,12 @@ def run_tiled_driver(
     evaluator = nested
     if nested is not None and retry_policy is not None:
         evaluator = ResilientEvaluator(nested, retry_policy)
+    if OBS.enabled:
+        OBS.gauge("driver_tiles", eng.n_tiles)
+        OBS.gauge("driver_threads", n_threads)
+        OBS.gauge(
+            "driver_tile_occupancy", min(n_threads, eng.n_tiles) / n_threads
+        )
     try:
         for ki, kern in enumerate(kernels):
             if ki < start_ki:
@@ -284,10 +312,32 @@ def run_tiled_driver(
                         kern_fn = getattr(eng, kern)
                         for x, y, z in positions:
                             kern_fn(x, y, z, out)
-                total += time.perf_counter() - t0
-                count += config.n_iters * config.n_samples
+                dt = time.perf_counter() - t0
+                total += dt
+                n_batch = config.n_iters * config.n_samples
+                count += n_batch
                 result.seconds[kern] = total
                 result.evals[kern] = count
+                if OBS.enabled:
+                    OBS.kernel_eval(
+                        result.engine,
+                        kern,
+                        n_batch,
+                        dt,
+                        n_batch
+                        * kernel_bytes_moved(
+                            kern, "soa", config.n_splines, P.itemsize
+                        ),
+                    )
+                    OBS.complete(
+                        f"kernel:{kern}",
+                        t0,
+                        dt,
+                        cat="miniqmc",
+                        engine=result.engine,
+                        walker=walker,
+                        n_threads=n_threads,
+                    )
                 if checkpoint_every is not None and (walker + 1) % checkpoint_every == 0:
                     _save_driver_checkpoint(
                         checkpoint_path, fingerprint, result, ki, walker + 1, rng

@@ -1,0 +1,282 @@
+"""Process-wide metrics primitives: counters, gauges, histograms, registry.
+
+The design follows the shape every production metrics system converges on
+(Prometheus client libraries, QMCPACK's own ``NewTimer`` accumulators):
+
+* a metric is identified by a **name plus a frozen label set** — the same
+  ``(name, labels)`` pair always returns the same live object, so hot
+  paths can cache the handle and skip the registry lookup entirely;
+* counters only go up, gauges hold the last value, histograms keep
+  streaming aggregates (count/sum/min/max) plus a bounded sample buffer
+  for quantiles;
+* the registry snapshots to plain dicts/JSON so the CLI, the BENCH
+  harness, or an external scraper can consume one dump format.
+
+Histograms bound their memory with deterministic stride decimation: once
+the sample buffer hits its cap, every other retained sample is dropped
+and the retention stride doubles.  Quantiles stay representative for
+arbitrarily long runs at a fixed (documented) resolution, with no RNG —
+reservoir sampling would perturb the reproducibility contracts the rest
+of the codebase keeps.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from typing import Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "format_labels",
+]
+
+
+def format_labels(labels: dict[str, str]) -> str:
+    """Render a label dict as ``{k=v,...}`` (empty string when unlabeled)."""
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+class Counter:
+    """A monotonically increasing count (evals, retries, guard trips)."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        """Plain-dict view for dumps."""
+        return {"value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (population size, occupancy, queue depth)."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = float(value)
+
+    def snapshot(self) -> dict:
+        """Plain-dict view for dumps."""
+        return {"value": self.value}
+
+
+class Histogram:
+    """Streaming distribution with bounded-memory quantiles.
+
+    Parameters
+    ----------
+    max_samples:
+        Cap on retained raw samples.  When reached, retained samples are
+        decimated 2:1 and the retention stride doubles, so a run of any
+        length keeps at most ``max_samples`` values while still spanning
+        the whole observation sequence.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, max_samples: int = 8192) -> None:
+        if max_samples < 2:
+            raise ValueError(f"max_samples must be >= 2, got {max_samples}")
+        self.count: int = 0
+        self.sum: float = 0.0
+        self.min: float = math.inf
+        self.max: float = -math.inf
+        self._max_samples = int(max_samples)
+        self._samples: list[float] = []
+        self._stride = 1
+        self._seen = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if self._seen % self._stride == 0:
+            self._samples.append(value)
+            if len(self._samples) >= self._max_samples:
+                self._samples = self._samples[::2]
+                self._stride *= 2
+        self._seen += 1
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Linear-interpolated quantile from the retained samples.
+
+        Parameters
+        ----------
+        q:
+            Quantile in ``[0, 1]``; 0.5 is the median.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._samples:
+            return 0.0
+        data = sorted(self._samples)
+        pos = q * (len(data) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(data) - 1)
+        frac = pos - lo
+        return data[lo] * (1.0 - frac) + data[hi] * frac
+
+    def snapshot(self) -> dict:
+        """count/sum/mean/min/max plus p50/p90/p99 as a plain dict."""
+        empty = self.count == 0
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": 0.0 if empty else self.min,
+            "max": 0.0 if empty else self.max,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
+
+_METRIC_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Get-or-create home for every metric in the process.
+
+    The registry hands out live metric objects; callers on hot paths
+    should hold the returned handle rather than re-looking it up per
+    event.  Re-registering the same ``(name, labels)`` with a different
+    metric type is an error — silent type morphing is how dashboards rot.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, tuple[tuple[str, str], ...]], object] = {}
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def _key(name: str, labels: dict[str, str]):
+        return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+    def _get_or_create(self, cls, name: str, labels: dict[str, str]):
+        key = self._key(name, labels)
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = cls()
+                self._metrics[key] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r}{format_labels(labels)} already registered "
+                    f"as {metric.kind}, requested {cls.kind}"
+                )
+            return metric
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        """The counter named ``name`` with ``labels`` (created on demand)."""
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        """The gauge named ``name`` with ``labels`` (created on demand)."""
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        """The histogram named ``name`` with ``labels`` (created on demand)."""
+        return self._get_or_create(Histogram, name, labels)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def items(self) -> Iterable[tuple[str, dict[str, str], object]]:
+        """Iterate ``(name, labels, metric)`` sorted by name then labels."""
+        for (name, labels), metric in sorted(self._metrics.items()):
+            yield name, dict(labels), metric
+
+    def snapshot(self) -> dict:
+        """The whole registry as one JSON-ready dict.
+
+        Format: ``{"counters": [...], "gauges": [...], "histograms": [...]}``
+        with each entry carrying ``name``, ``labels`` and the metric's own
+        snapshot fields.
+        """
+        out: dict[str, list] = {"counters": [], "gauges": [], "histograms": []}
+        for name, labels, metric in self.items():
+            entry = {"name": name, "labels": labels, **metric.snapshot()}
+            out[metric.kind + "s"].append(entry)
+        return out
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The snapshot serialized as JSON text."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def write_json(self, path) -> None:
+        """Write the snapshot to ``path`` as JSON."""
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+
+    def summary_table(self) -> str:
+        """Human-readable summary (the CLI's ``--metrics-out`` companion).
+
+        Counters and gauges print ``name value``; histograms print
+        count/mean/p50/p90/p99/max with seconds-style precision.
+        """
+        lines: list[str] = []
+        scalars = [
+            (f"{name}{format_labels(labels)}", metric.value)
+            for name, labels, metric in self.items()
+            if metric.kind in ("counter", "gauge")
+        ]
+        if scalars:
+            width = max(len(k) for k, _ in scalars)
+            lines.append("-- counters / gauges --")
+            for key, value in scalars:
+                shown = f"{value:g}" if isinstance(value, float) else str(value)
+                lines.append(f"  {key:<{width}}  {shown}")
+        histos = [
+            (f"{name}{format_labels(labels)}", metric.snapshot())
+            for name, labels, metric in self.items()
+            if metric.kind == "histogram"
+        ]
+        if histos:
+            width = max(len(k) for k, _ in histos)
+            lines.append("-- histograms --")
+            header = (
+                f"  {'metric':<{width}}  {'count':>8} {'mean':>11} "
+                f"{'p50':>11} {'p90':>11} {'p99':>11} {'max':>11}"
+            )
+            lines.append(header)
+            for key, s in histos:
+                lines.append(
+                    f"  {key:<{width}}  {s['count']:>8d} {s['mean']:>11.4g} "
+                    f"{s['p50']:>11.4g} {s['p90']:>11.4g} {s['p99']:>11.4g} "
+                    f"{s['max']:>11.4g}"
+                )
+        return "\n".join(lines) if lines else "(no metrics recorded)"
+
+    def reset(self) -> None:
+        """Drop every metric (tests and fresh CLI runs)."""
+        with self._lock:
+            self._metrics.clear()

@@ -1,0 +1,186 @@
+"""Low-overhead span tracer emitting Chrome ``trace_event`` JSON + JSONL.
+
+Every span is one append of a small dict to an in-memory list under a
+lock — no I/O, no formatting, no syscalls on the hot path.  Rendering to
+the two output formats happens once, at dump time:
+
+* **Chrome trace** (``chrome://tracing`` / Perfetto): a ``traceEvents``
+  array of complete (``"ph": "X"``) and instant (``"ph": "i"``) events
+  with microsecond timestamps — the visual timeline of a run;
+* **JSONL**: the same events one-JSON-object-per-line, for grep/jq/pandas
+  pipelines and the flat event log the resilience layer appends to.
+
+Timestamps come from ``time.perf_counter`` relative to the tracer's
+creation, so traces from one process line up across threads.  Thread ids
+are remapped to small consecutive integers in arrival order, which keeps
+the Chrome UI's track names stable and the JSON diffable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+
+__all__ = ["Tracer", "NULL_SPAN"]
+
+
+class _NullSpan:
+    """Shared no-op context manager returned by disabled tracing paths."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+#: The singleton no-op span; reused so disabled paths allocate nothing.
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans and instants; renders Chrome trace JSON and JSONL.
+
+    Parameters
+    ----------
+    clock:
+        Injectable monotonic clock (seconds); tests pass a fake to get
+        deterministic timestamps.
+    """
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self._t0 = clock()
+        self._lock = threading.Lock()
+        self._events: list[dict] = []
+        self._tids: dict[int, int] = {}
+
+    def _now_us(self) -> float:
+        return (self._clock() - self._t0) * 1e6
+
+    def _tid(self) -> int:
+        ident = threading.get_ident()
+        tid = self._tids.get(ident)
+        if tid is None:
+            with self._lock:
+                tid = self._tids.setdefault(ident, len(self._tids))
+        return tid
+
+    def _append(self, event: dict) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def events(self) -> list[dict]:
+        """A copy of the recorded events (dump order = record order)."""
+        with self._lock:
+            return list(self._events)
+
+    @contextmanager
+    def span(self, name: str, cat: str = "repro", **args):
+        """Time the enclosed block as one complete ("X") event.
+
+        ``args`` become the Chrome-trace ``args`` payload (shown in the
+        UI's detail pane); keep them small and JSON-native.
+        """
+        start = self._now_us()
+        try:
+            yield self
+        finally:
+            end = self._now_us()
+            self._append(
+                {
+                    "name": name,
+                    "cat": cat,
+                    "ph": "X",
+                    "ts": start,
+                    "dur": end - start,
+                    "tid": self._tid(),
+                    "args": args,
+                }
+            )
+
+    def add_complete(
+        self,
+        name: str,
+        start_seconds: float,
+        duration_seconds: float,
+        cat: str = "repro",
+        **args,
+    ) -> None:
+        """Record an already-measured interval as a complete event.
+
+        Hot paths that time themselves (the drivers' per-walker loops)
+        use this instead of :meth:`span`, so observability never adds a
+        second clock read to code that already has one.
+
+        Parameters
+        ----------
+        start_seconds:
+            The interval start as a ``time.perf_counter`` reading taken
+            by the caller (same clock the tracer runs on).
+        duration_seconds:
+            The measured interval length in seconds.
+        """
+        self._append(
+            {
+                "name": name,
+                "cat": cat,
+                "ph": "X",
+                "ts": (start_seconds - self._t0) * 1e6,
+                "dur": duration_seconds * 1e6,
+                "tid": self._tid(),
+                "args": args,
+            }
+        )
+
+    def instant(self, name: str, cat: str = "repro", **args) -> None:
+        """Record a zero-duration marker (checkpoint written, guard trip)."""
+        self._append(
+            {
+                "name": name,
+                "cat": cat,
+                "ph": "i",
+                "ts": self._now_us(),
+                "s": "t",
+                "tid": self._tid(),
+                "args": args,
+            }
+        )
+
+    # -- rendering -----------------------------------------------------------
+
+    def chrome_trace(self) -> dict:
+        """The Chrome ``trace_event`` document (``{"traceEvents": [...]}``)."""
+        pid = os.getpid()
+        events = []
+        for e in self.events:
+            ev = dict(e)
+            ev["pid"] = pid
+            events.append(ev)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path) -> None:
+        """Write the Chrome-trace JSON document to ``path``."""
+        with open(path, "w") as fh:
+            json.dump(self.chrome_trace(), fh)
+
+    def write_jsonl(self, path) -> None:
+        """Write the flat one-event-per-line JSONL log to ``path``."""
+        with open(path, "w") as fh:
+            for event in self.events:
+                fh.write(json.dumps(event, sort_keys=True))
+                fh.write("\n")
+
+    def reset(self) -> None:
+        """Drop all recorded events (keeps the epoch)."""
+        with self._lock:
+            self._events.clear()

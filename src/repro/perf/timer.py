@@ -14,11 +14,14 @@ from contextlib import contextmanager
 __all__ = ["best_of", "SectionTimers"]
 
 
-def best_of(func, repeats: int = 3, *args, **kwargs) -> float:
+def best_of(func, *args, repeats: int = 3, **kwargs) -> float:
     """Best-of-``repeats`` wall-clock seconds for ``func(*args, **kwargs)``.
 
     Returns the minimum across repeats; the callable's return value is
-    discarded (measure side-effect-free closures).
+    discarded (measure side-effect-free closures).  ``repeats`` is
+    keyword-only: every positional argument after ``func`` is forwarded
+    to it, so ``best_of(f, x)`` times ``f(x)`` rather than silently
+    reinterpreting ``x`` as a repeat count.
     """
     if repeats <= 0:
         raise ValueError(f"repeats must be positive, got {repeats}")

@@ -32,10 +32,12 @@ production restart compares against its own uninterrupted twin.
 from __future__ import annotations
 
 import copy
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import OBS
 from repro.qmc.drift_diffusion import sweep
 from repro.qmc.estimators import LocalEnergy
 from repro.qmc.rng import WalkerRngPool
@@ -310,6 +312,10 @@ def run_dmc(
         w.e_local = e_local(w)
         if np.isfinite(w.e_local) or energy_policy == "ignore":
             return True
+        OBS.count(
+            "guard_trips_total", kind="nonfinite_energy", driver="dmc"
+        )
+        OBS.event("guard:nonfinite_energy", cat="guard", driver="dmc")
         if energy_policy == "recompute":
             # Rebuild derived state (a drifted inverse is the usual
             # culprit) and re-measure once through a fresh estimator.
@@ -343,6 +349,7 @@ def run_dmc(
         e_trial = float(np.mean([w.e_local for w in walkers]))
 
     for gen in range(start_gen, n_generations):
+        t_gen = time.perf_counter() if OBS.enabled else 0.0
         weights: list[float | None] = []
         for w in walkers:
             # (i) drift-diffusion propagation.
@@ -370,6 +377,7 @@ def run_dmc(
                     new_walkers.append(w)
                 else:
                     new_walkers.append(w.clone(pool.next_rng()))
+                    OBS.count("dmc_branch_clones_total")
         walkers[:] = pop_guard.enforce(new_walkers, walkers, pool)
         estimators.clear()
         e_est = float(np.mean([w.e_local for w in walkers]))
@@ -378,6 +386,20 @@ def run_dmc(
         energy_trace.append(e_est)
         pop_trace.append(len(walkers))
         et_trace.append(e_trial)
+        if OBS.enabled:
+            dt = time.perf_counter() - t_gen
+            OBS.count("dmc_generations_total")
+            OBS.observe("dmc_generation_seconds", dt)
+            OBS.gauge("dmc_population", len(walkers))
+            OBS.gauge("dmc_e_trial", e_trial)
+            OBS.complete(
+                "dmc:generation",
+                t_gen,
+                dt,
+                cat="qmc",
+                generation=gen,
+                population=len(walkers),
+            )
         if checkpoint_every is not None and (gen + 1) % checkpoint_every == 0:
             _save_dmc_checkpoint(
                 checkpoint_path,

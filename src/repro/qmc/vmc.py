@@ -15,10 +15,12 @@ non-finite local energies.  Taking a checkpoint calls
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import OBS
 from repro.qmc.drift_diffusion import sweep
 from repro.qmc.estimators import LocalEnergy
 from repro.qmc.wavefunction import SlaterJastrow
@@ -132,6 +134,10 @@ def run_vmc(
         e = estimator.total()
         if np.isfinite(e) or energy_policy == "ignore":
             return e
+        OBS.count(
+            "guard_trips_total", kind="nonfinite_energy", driver="vmc"
+        )
+        OBS.event("guard:nonfinite_energy", cat="guard", driver="vmc")
         if energy_policy == "recompute":
             wf.recompute()
             estimator = LocalEnergy(wf, ion_charge)
@@ -175,7 +181,13 @@ def run_vmc(
         accepted = attempted = 0
 
     for step in range(start_step, n_warmup + n_steps):
+        t_step = time.perf_counter() if OBS.enabled else 0.0
         acc, att = sweep(wf, tau, rng)
+        if OBS.enabled:
+            dt = time.perf_counter() - t_step
+            OBS.count("vmc_steps_total")
+            OBS.observe("vmc_step_seconds", dt)
+            OBS.complete("vmc:sweep", t_step, dt, cat="qmc", step=step)
         accepted += acc
         attempted += att
         if (step + 1) % recompute_every == 0:

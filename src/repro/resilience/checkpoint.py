@@ -27,9 +27,12 @@ from __future__ import annotations
 import json
 import os
 import shutil
+import time
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro.obs import OBS
 
 __all__ = [
     "CHECKPOINT_VERSION",
@@ -139,6 +142,7 @@ def save_checkpoint(
     path = os.fspath(path)
     manifest = dict(manifest)
     manifest["version"] = CHECKPOINT_VERSION
+    t0 = time.perf_counter() if OBS.enabled else 0.0
     staging = f"{path}.tmp-{os.getpid()}"
     if os.path.exists(staging):
         shutil.rmtree(staging)
@@ -153,6 +157,16 @@ def save_checkpoint(
     finally:
         if os.path.exists(staging):
             shutil.rmtree(staging)
+    if OBS.enabled:
+        dt = time.perf_counter() - t0
+        kind = manifest.get("kind", "unknown")
+        size = os.path.getsize(os.path.join(path, _ARRAYS))
+        OBS.count("checkpoints_saved_total", kind=kind)
+        OBS.count("checkpoint_bytes_total", size, kind=kind)
+        OBS.observe("checkpoint_save_seconds", dt, kind=kind)
+        OBS.complete(
+            "checkpoint:save", t0, dt, cat="resilience", kind=kind, bytes=size
+        )
     return path
 
 
@@ -190,4 +204,8 @@ def load_checkpoint(
     if os.path.exists(arrays_path):
         with np.load(arrays_path) as npz:
             arrays = {k: npz[k] for k in npz.files}
+    OBS.count("checkpoints_loaded_total", kind=manifest.get("kind", "unknown"))
+    OBS.event(
+        "checkpoint:load", cat="resilience", kind=manifest.get("kind", "unknown")
+    )
     return Checkpoint(manifest=manifest, arrays=arrays)

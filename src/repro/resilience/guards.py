@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core import refimpl
+from repro.obs import OBS
 
 __all__ = [
     "GuardViolation",
@@ -220,6 +221,15 @@ class GuardedEngine:
         if not bad:
             return
         self.violations += 1
+        OBS.count(
+            "guard_trips_total",
+            kind="nonfinite_output",
+            policy=self.policy,
+            kernel=kind,
+        )
+        OBS.event(
+            "guard:nonfinite_output", cat="guard", kernel=kind, policy=self.policy
+        )
         if self.policy == "count":
             return
         if self.policy == "raise":
@@ -244,6 +254,7 @@ class GuardedEngine:
         check_finite(f"reference {kind.upper()} repair", **ref_arrays)
         _write_reference(kind, out, v, g, lh)
         self.repairs += 1
+        OBS.count("guard_repairs_total", kernel=kind)
 
     def v(self, x: float, y: float, z: float, out) -> None:
         """Guarded value kernel."""
@@ -313,6 +324,8 @@ class PopulationGuard:
         if len(new_walkers) > self.cap:
             del new_walkers[self.cap:]
             self.truncations += 1
+            OBS.count("population_truncations_total")
+            OBS.event("guard:population_truncated", cat="guard", cap=self.cap)
         if not new_walkers:
             finite = [w for w in previous if np.isfinite(w.e_local)]
             if not finite:
@@ -321,6 +334,10 @@ class PopulationGuard:
                 )
             finite.sort(key=lambda w: w.e_local)
             self.rescues += 1
+            OBS.count("population_rescues_total")
+            OBS.event(
+                "guard:population_rescued", cat="guard", survivors=len(finite)
+            )
             rescued = [finite[0]]
             while len(rescued) < min(self.target, self.cap):
                 parent = finite[(len(rescued) - 1) % len(finite)]

@@ -23,6 +23,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import OBS
+
 __all__ = ["RetryPolicy", "RetryExhausted", "retry_with_backoff", "ResilientEvaluator"]
 
 
@@ -149,8 +151,16 @@ class ResilientEvaluator:
     def evaluate(self, kind: str, positions: np.ndarray, out) -> None:
         """Nested evaluation with retry, then single-threaded degradation."""
 
-        def count_retry(_attempt, _exc):
+        def count_retry(attempt, exc):
             self.retries += 1
+            OBS.count("nested_retries_total", kernel=kind)
+            OBS.event(
+                "retry:nested_worker",
+                cat="resilience",
+                kernel=kind,
+                attempt=attempt,
+                error=type(exc).__name__,
+            )
 
         try:
             retry_with_backoff(
@@ -161,6 +171,8 @@ class ResilientEvaluator:
             )
         except RetryExhausted:
             self.fallbacks += 1
+            OBS.count("nested_fallbacks_total", kernel=kind)
+            OBS.event("retry:single_thread_fallback", cat="resilience", kernel=kind)
             self.engine.eval_tiles(
                 kind, range(self.engine.n_tiles), positions, out
             )

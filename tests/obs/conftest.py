@@ -1,0 +1,31 @@
+"""Fixtures for the observability tests.
+
+``OBS`` is process-wide state, so every test that enables it must leave
+it disabled and empty — otherwise a leaked enable would silently record
+(and slow) every other test in the session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import OBS
+
+
+@pytest.fixture
+def obs():
+    """The global ``OBS``, enabled and empty; disabled and wiped after."""
+    OBS.reset()
+    OBS.enable()
+    try:
+        yield OBS
+    finally:
+        OBS.disable()
+        OBS.reset()
+
+
+@pytest.fixture(autouse=True)
+def _obs_stays_off():
+    """Guard: no test in this package may leak an enabled OBS."""
+    yield
+    assert not OBS.enabled, "test left the global OBS enabled"

@@ -1,0 +1,173 @@
+"""Tests for the metrics primitives: counters, gauges, histograms, registry."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, format_labels
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter()
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_snapshot(self):
+        c = Counter()
+        c.inc(3)
+        assert c.snapshot() == {"value": 3}
+
+
+class TestGauge:
+    def test_holds_last_value(self):
+        g = Gauge()
+        g.set(7)
+        g.set(2.5)
+        assert g.value == 2.5
+        assert g.snapshot() == {"value": 2.5}
+
+
+class TestHistogram:
+    def test_streaming_aggregates(self):
+        h = Histogram()
+        for v in (3.0, 1.0, 2.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == 6.0
+        assert h.min == 1.0
+        assert h.max == 3.0
+        assert np.isclose(h.mean, 2.0)
+
+    def test_empty_snapshot_is_all_zero(self):
+        s = Histogram().snapshot()
+        assert s["count"] == 0
+        assert s["min"] == 0.0 and s["max"] == 0.0
+        assert s["p50"] == 0.0
+
+    def test_quantiles_exact_on_small_data(self):
+        h = Histogram()
+        for v in range(1, 101):  # 1..100
+            h.observe(float(v))
+        assert np.isclose(h.quantile(0.0), 1.0)
+        assert np.isclose(h.quantile(1.0), 100.0)
+        assert np.isclose(h.quantile(0.5), 50.5)
+        assert np.isclose(h.quantile(0.90), 90.1)
+
+    def test_quantile_range_checked(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+    def test_decimation_bounds_memory_keeps_aggregates_exact(self):
+        h = Histogram(max_samples=64)
+        n = 10_000
+        for v in range(n):
+            h.observe(float(v))
+        # Aggregates are streaming: exact regardless of decimation.
+        assert h.count == n
+        assert h.sum == sum(range(n))
+        assert h.min == 0.0 and h.max == float(n - 1)
+        # The retained sample buffer never exceeds the cap.
+        assert len(h._samples) <= 64
+        # Decimated quantiles stay representative (samples span the run).
+        assert abs(h.quantile(0.5) - n / 2) < n * 0.05
+
+    def test_decimation_is_deterministic(self):
+        def fill():
+            h = Histogram(max_samples=32)
+            for v in range(1000):
+                h.observe(float(v))
+            return h.snapshot()
+
+        assert fill() == fill()
+
+    def test_max_samples_validated(self):
+        with pytest.raises(ValueError):
+            Histogram(max_samples=1)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_handle(self):
+        reg = MetricsRegistry()
+        a = reg.counter("evals", engine="soa")
+        b = reg.counter("evals", engine="soa")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        a = reg.counter("evals", engine="soa", kernel="v")
+        b = reg.counter("evals", kernel="v", engine="soa")
+        assert a is b
+
+    def test_different_labels_are_different_metrics(self):
+        reg = MetricsRegistry()
+        a = reg.counter("evals", engine="soa")
+        b = reg.counter("evals", engine="aos")
+        assert a is not b
+        assert len(reg) == 2
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("latency")
+        with pytest.raises(TypeError):
+            reg.histogram("latency")
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("n", engine="soa").inc(2)
+        reg.gauge("occ").set(0.5)
+        reg.histogram("t").observe(1.0)
+        snap = reg.snapshot()
+        assert [c["name"] for c in snap["counters"]] == ["n"]
+        assert snap["counters"][0]["labels"] == {"engine": "soa"}
+        assert snap["counters"][0]["value"] == 2
+        assert snap["gauges"][0]["value"] == 0.5
+        assert snap["histograms"][0]["count"] == 1
+
+    def test_to_json_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("n").inc()
+        assert json.loads(reg.to_json()) == reg.snapshot()
+
+    def test_write_json(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("n").inc(3)
+        path = tmp_path / "metrics.json"
+        reg.write_json(path)
+        assert json.loads(path.read_text())["counters"][0]["value"] == 3
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("n").inc()
+        reg.reset()
+        assert len(reg) == 0
+
+    def test_summary_table_empty(self):
+        assert MetricsRegistry().summary_table() == "(no metrics recorded)"
+
+    def test_summary_table_contents(self):
+        reg = MetricsRegistry()
+        reg.counter("kernel_evals_total", engine="soa", kernel="vgh").inc(512)
+        reg.gauge("occupancy").set(0.75)
+        h = reg.histogram("kernel_eval_seconds", engine="soa")
+        for v in (1e-4, 2e-4, 3e-4):
+            h.observe(v)
+        table = reg.summary_table()
+        assert "kernel_evals_total{engine=soa,kernel=vgh}" in table
+        assert "512" in table
+        assert "occupancy" in table
+        assert "-- histograms --" in table
+        assert "kernel_eval_seconds{engine=soa}" in table
+
+
+def test_format_labels():
+    assert format_labels({}) == ""
+    assert format_labels({"b": "2", "a": "1"}) == "{a=1,b=2}"

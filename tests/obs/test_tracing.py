@@ -1,0 +1,125 @@
+"""Tests for the span tracer: Chrome trace validity, JSONL, fake clocks."""
+
+import json
+import threading
+
+from repro.obs import NULL_SPAN, Tracer
+
+
+class FakeClock:
+    """Deterministic monotonic clock advanced by hand."""
+
+    def __init__(self):
+        self.t = 100.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def test_null_span_is_reusable_noop():
+    with NULL_SPAN as s:
+        assert s is NULL_SPAN
+    with NULL_SPAN:
+        pass
+
+
+class TestSpans:
+    def test_span_records_complete_event(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("kernel:vgh", cat="miniqmc", engine="soa"):
+            clock.advance(0.25)
+        (ev,) = tracer.events
+        assert ev["name"] == "kernel:vgh"
+        assert ev["cat"] == "miniqmc"
+        assert ev["ph"] == "X"
+        assert ev["ts"] == 0.0  # relative to tracer epoch
+        assert ev["dur"] == 0.25 * 1e6  # microseconds
+        assert ev["args"] == {"engine": "soa"}
+
+    def test_span_records_even_on_exception(self):
+        tracer = Tracer(clock=FakeClock())
+        try:
+            with tracer.span("boom"):
+                raise RuntimeError("kernel fault")
+        except RuntimeError:
+            pass
+        assert len(tracer) == 1
+
+    def test_add_complete_uses_caller_measured_interval(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)  # epoch = 100.0
+        tracer.add_complete("walker", 100.5, 0.125, cat="driver", walker=3)
+        (ev,) = tracer.events
+        assert ev["ts"] == 0.5 * 1e6
+        assert ev["dur"] == 0.125 * 1e6
+        assert ev["args"] == {"walker": 3}
+
+    def test_instant_event(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        clock.advance(1.0)
+        tracer.instant("guard:trip", cat="guard", kind="nan")
+        (ev,) = tracer.events
+        assert ev["ph"] == "i"
+        assert ev["ts"] == 1e6
+        assert ev["s"] == "t"
+
+    def test_reset_keeps_epoch(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        tracer.instant("a")
+        tracer.reset()
+        assert len(tracer) == 0
+        clock.advance(2.0)
+        tracer.instant("b")
+        assert tracer.events[0]["ts"] == 2e6
+
+
+class TestRendering:
+    def test_chrome_trace_is_valid_document(self, tmp_path):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("s", x=1):
+            clock.advance(0.1)
+        tracer.instant("i")
+        path = tmp_path / "trace.json"
+        tracer.write_chrome_trace(path)
+        doc = json.loads(path.read_text())
+        assert isinstance(doc["traceEvents"], list)
+        assert len(doc["traceEvents"]) == 2
+        for ev in doc["traceEvents"]:
+            # The fields chrome://tracing / Perfetto require.
+            assert ev["ph"] in ("X", "i")
+            assert isinstance(ev["name"], str)
+            assert isinstance(ev["ts"], (int, float))
+            assert isinstance(ev["pid"], int)
+            assert isinstance(ev["tid"], int)
+            if ev["ph"] == "X":
+                assert ev["dur"] >= 0
+
+    def test_jsonl_one_object_per_line(self, tmp_path):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        for i in range(3):
+            tracer.instant(f"e{i}")
+        path = tmp_path / "events.jsonl"
+        tracer.write_jsonl(path)
+        lines = path.read_text().splitlines()
+        assert [json.loads(ln)["name"] for ln in lines] == ["e0", "e1", "e2"]
+
+    def test_thread_ids_remapped_to_small_ints(self):
+        tracer = Tracer(clock=FakeClock())
+        tracer.instant("main")
+
+        def worker():
+            tracer.instant("worker")
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        tids = {ev["tid"] for ev in tracer.events}
+        assert tids == {0, 1}

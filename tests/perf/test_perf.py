@@ -27,6 +27,26 @@ class TestTimers:
         with pytest.raises(ValueError):
             best_of(lambda: None, repeats=0)
 
+    def test_best_of_forwards_positional_args(self):
+        seen = []
+        best_of(seen.append, "payload", repeats=2)
+        # Positional args go to the callable, never to repeats.
+        assert seen == ["payload", "payload"]
+
+    def test_best_of_forwards_keyword_args(self):
+        calls = []
+        best_of(lambda a, k=None: calls.append((a, k)), 1, k="kw", repeats=1)
+        assert calls == [(1, "kw")]
+
+    def test_best_of_repeats_is_keyword_only(self):
+        # best_of(f, 5) must time f(5), not run 5 repeats of f().
+        counted = []
+        best_of(counted.append, 5, repeats=1)
+        assert counted == [5]
+        with pytest.raises(TypeError):
+            best_of(lambda: None, repeats="not-an-int")  # still validated
+
+
     def test_sections_accumulate(self):
         timers = SectionTimers()
         with timers.section("a"):

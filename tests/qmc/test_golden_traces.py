@@ -1,0 +1,112 @@
+"""Golden-trace regression tests for the QMC drivers.
+
+Short, fully seeded VMC and DMC runs are compared against committed
+reference traces (``tests/qmc/golden/``).  Any change to the random-walk
+logic, branching arithmetic, RNG stream handling, or guard policies shows
+up here as a diff against the golden file — the cheap canary for "did
+this refactor change the physics?".
+
+Regenerate after an *intentional* change with::
+
+    PYTHONPATH=src python tests/qmc/test_golden_traces.py
+
+and review the diff of the golden JSONs like any other code change.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.qmc import WalkerRngPool, run_vmc
+from repro.qmc.dmc import build_dmc_ensemble, run_dmc
+from tests.qmc.test_wavefunction import build_wf
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+# Energies are compared loosely enough to survive BLAS/libm differences
+# across machines, tightly enough to catch any algorithmic change.
+RTOL = 1e-7
+
+
+def run_vmc_case():
+    rng = np.random.default_rng(20170401)
+    wf = build_wf(rng, n_orb=2)
+    return run_vmc(wf, rng, n_steps=12, n_warmup=3, tau=0.3)
+
+
+def run_dmc_case():
+    pool = WalkerRngPool(2017)
+    walkers = build_dmc_ensemble(pool, 3, n_orbitals=2, grid_shape=(8, 8, 8))
+    return run_dmc(walkers, pool, n_generations=6, tau=0.02)
+
+
+def vmc_trace():
+    r = run_vmc_case()
+    return {
+        "energies": [float(e) for e in r.energies],
+        "acceptance": float(r.acceptance),
+        "energy_mean": float(r.energy_mean),
+    }
+
+
+def dmc_trace():
+    r = run_dmc_case()
+    return {
+        "energy_trace": [float(e) for e in r.energy_trace],
+        "population_trace": [int(p) for p in r.population_trace],
+        "e_trial_trace": [float(e) for e in r.e_trial_trace],
+        "acceptance": float(r.acceptance),
+    }
+
+
+def load_golden(name):
+    return json.loads((GOLDEN_DIR / name).read_text())
+
+
+class TestVmcGolden:
+    def test_energy_trace_matches(self):
+        golden = load_golden("vmc_seed20170401.json")
+        got = vmc_trace()
+        assert len(got["energies"]) == len(golden["energies"])
+        np.testing.assert_allclose(got["energies"], golden["energies"], rtol=RTOL)
+        np.testing.assert_allclose(
+            got["energy_mean"], golden["energy_mean"], rtol=RTOL
+        )
+
+    def test_acceptance_matches(self):
+        golden = load_golden("vmc_seed20170401.json")
+        # Acceptance is a count ratio: robust to last-ulp float noise,
+        # so it must match exactly.
+        assert vmc_trace()["acceptance"] == golden["acceptance"]
+
+
+class TestDmcGolden:
+    def test_energy_and_trial_traces_match(self):
+        golden = load_golden("dmc_seed2017.json")
+        got = dmc_trace()
+        np.testing.assert_allclose(
+            got["energy_trace"], golden["energy_trace"], rtol=RTOL
+        )
+        np.testing.assert_allclose(
+            got["e_trial_trace"], golden["e_trial_trace"], rtol=RTOL
+        )
+
+    def test_population_trace_matches_exactly(self):
+        golden = load_golden("dmc_seed2017.json")
+        assert dmc_trace()["population_trace"] == golden["population_trace"]
+
+
+def regenerate():
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, trace in (
+        ("vmc_seed20170401.json", vmc_trace()),
+        ("dmc_seed2017.json", dmc_trace()),
+    ):
+        path = GOLDEN_DIR / name
+        path.write_text(json.dumps(trace, indent=2) + "\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    regenerate()
