@@ -36,6 +36,15 @@ def _dmc_main(argv: list[str]) -> int:
     parser.add_argument("--tau", type=float, default=0.02)
     parser.add_argument("--seed", type=int, default=2017)
     parser.add_argument("--n-orbitals", type=int, default=4)
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        metavar="K",
+        help="run the sharded multiprocess driver "
+        "(repro.parallel.run_dmc_sharded) over K workers; traces are "
+        "bit-identical for any K, and checkpoints resume under any K",
+    )
     parser.add_argument("--checkpoint-every", type=int, default=None, metavar="N")
     parser.add_argument("--checkpoint-path", default=None, metavar="DIR")
     parser.add_argument("--resume", default=None, metavar="DIR")
@@ -65,21 +74,43 @@ def _dmc_main(argv: list[str]) -> int:
         OBS.reset()
         OBS.enable()
 
-    # The ensemble is rebuilt deterministically from the seed; on resume
-    # it serves as the structural template the checkpoint loads into.
-    pool = WalkerRngPool(args.seed)
-    walkers = build_dmc_ensemble(pool, args.walkers, n_orbitals=args.n_orbitals)
     try:
-        result = run_dmc(
-            walkers,
-            pool,
-            n_generations=args.generations,
-            tau=args.tau,
-            checkpoint_every=args.checkpoint_every,
-            checkpoint_path=args.checkpoint_path,
-            resume=args.resume,
-            guard=GuardConfig(on_nonfinite_energy=args.on_bad_energy),
-        )
+        if args.processes is not None:
+            from repro.parallel import CrowdSpec, run_dmc_sharded
+
+            spec = CrowdSpec(
+                n_walkers=args.walkers,
+                n_orbitals=args.n_orbitals,
+                seed=args.seed,
+            )
+            result = run_dmc_sharded(
+                spec,
+                n_workers=args.processes,
+                n_generations=args.generations,
+                tau=args.tau,
+                checkpoint_every=args.checkpoint_every,
+                checkpoint_path=args.checkpoint_path,
+                resume=args.resume,
+                guard=GuardConfig(on_nonfinite_energy=args.on_bad_energy),
+            )
+        else:
+            # The ensemble is rebuilt deterministically from the seed; on
+            # resume it serves as the structural template the checkpoint
+            # loads into.
+            pool = WalkerRngPool(args.seed)
+            walkers = build_dmc_ensemble(
+                pool, args.walkers, n_orbitals=args.n_orbitals
+            )
+            result = run_dmc(
+                walkers,
+                pool,
+                n_generations=args.generations,
+                tau=args.tau,
+                checkpoint_every=args.checkpoint_every,
+                checkpoint_path=args.checkpoint_path,
+                resume=args.resume,
+                guard=GuardConfig(on_nonfinite_energy=args.on_bad_energy),
+            )
     except CheckpointError as exc:
         print(f"python -m repro dmc: error: {exc}", file=sys.stderr)
         return 1

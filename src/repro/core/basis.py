@@ -157,6 +157,17 @@ def bspline_weights_batch(
     -------
     numpy.ndarray
         Shape ``t.shape + (4,)``.
+
+    Notes
+    -----
+    The contraction is written elementwise (not ``@``) on purpose: BLAS
+    matmul kernels pick different accumulation orders for different batch
+    sizes, which would make a weight's bits depend on how many positions
+    it was computed alongside.  Elementwise ufunc chains are per-element
+    deterministic, so a position's weights are identical whether it is
+    evaluated alone, inside a chunk, or inside the full batch — the
+    foundation of the bitwise chunking/sharding contracts in
+    :mod:`repro.core.batched` and :mod:`repro.parallel`.
     """
     if order == 0:
         mat = BSPLINE_A
@@ -166,4 +177,9 @@ def bspline_weights_batch(
         mat = BSPLINE_D2A
     else:
         raise ValueError(f"order must be 0, 1 or 2, got {order!r}")
-    return _monomials(np.asarray(t)) @ mat.T
+    m = _monomials(np.asarray(t))
+    out = np.empty(m.shape, dtype=np.float64)
+    for j in range(4):
+        c3, c2, c1, c0 = mat[j]
+        out[..., j] = ((c3 * m[..., 0] + c2 * m[..., 1]) + c1 * m[..., 2]) + c0 * m[..., 3]
+    return out

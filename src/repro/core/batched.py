@@ -9,7 +9,19 @@ large tensor contractions; it is the evolution of this paper's work that
 QMCPACK eventually shipped as multi-walker APIs.
 
 The batched engine is SoA-layout (batch-major outputs) and validated
-against the per-position engines.
+against the per-position engines.  Two output-correctness contracts:
+
+* **Stream validity.**  Each kernel records which output streams it
+  wrote in :attr:`BatchedOutput.valid` and poisons (fills with NaN) any
+  stream a *previous* kernel call left behind that this call does not
+  refresh — reusing one output buffer across ``vgh_batch`` →
+  ``vgl_batch`` → ``v_batch`` can therefore never silently serve stale
+  numbers.
+* **Chunking.**  Peak temporary memory of an unchunked call is
+  ``64 * ns * N`` elements; construct the engine with
+  ``max_batch_bytes`` to stream arbitrarily large position batches
+  through bounded temporaries (bitwise-identical results — each
+  position's contraction is independent).
 """
 
 from __future__ import annotations
@@ -20,6 +32,13 @@ from repro.core.basis import bspline_weights_batch
 from repro.core.grid import Grid3D
 
 __all__ = ["BatchedOutput", "BsplineBatched"]
+
+#: Output streams written by each batched kernel.
+_KERNEL_STREAMS = {
+    "v": ("v",),
+    "vgl": ("v", "g", "l"),
+    "vgh": ("v", "g", "l", "h"),
+}
 
 
 class BatchedOutput:
@@ -36,15 +55,30 @@ class BatchedOutput:
     h:
         ``(ns, 6, N)`` symmetric Hessian components (xx, xy, xz, yy,
         yz, zz).
+    valid:
+        Frozen set naming the streams written by the most recent kernel
+        call (``{"v"}`` after ``v_batch``, ``{"v", "g", "l"}`` after
+        ``vgl_batch``, all four after ``vgh_batch``; empty on a fresh
+        buffer).  Streams that fall *out* of this set on reuse are
+        filled with NaN, so reading one is loud rather than silently
+        stale.
+
+    Notes
+    -----
+    The default dtype is ``float64`` — the dtype NumPy itself defaults
+    to — so a directly-constructed output never silently downcasts a
+    double-precision table.  :meth:`BsplineBatched.new_output` always
+    passes the engine's table dtype and is the preferred constructor.
     """
 
-    def __init__(self, n_positions: int, n_splines: int, dtype=np.float32):
+    def __init__(self, n_positions: int, n_splines: int, dtype=np.float64):
         self.n_positions = int(n_positions)
         self.n_splines = int(n_splines)
         self.v = np.zeros((n_positions, n_splines), dtype=dtype)
         self.g = np.zeros((n_positions, 3, n_splines), dtype=dtype)
         self.l = np.zeros((n_positions, n_splines), dtype=dtype)
         self.h = np.zeros((n_positions, 6, n_splines), dtype=dtype)
+        self.valid: frozenset[str] = frozenset()
 
 
 class BsplineBatched:
@@ -56,19 +90,30 @@ class BsplineBatched:
         The interpolation grid.
     coefficients:
         ``(nx, ny, nz, N)`` table, shared and read-only.
+    max_batch_bytes:
+        Optional cap on the peak temporary allocation of one kernel
+        call.  The 4x4x4 neighbourhood gather is the dominant temporary
+        (``64 * ns * N`` elements); with a cap set, positions stream
+        through chunks small enough to respect it instead of being
+        gathered all at once.  Results are bitwise-identical to the
+        unchunked path.  ``None`` (default) never chunks.
 
     Notes
     -----
-    The 4x4x4 neighbourhoods of the whole batch are gathered into one
-    ``(ns, 4, 4, 4, N)`` array (a copy — batching trades memory for
+    The 4x4x4 neighbourhoods of a (chunk of a) batch are gathered into
+    one ``(ns, 4, 4, 4, N)`` array (a copy — batching trades memory for
     dispatch), then contracted axis by axis with the per-position weight
-    matrices.  Peak temporary memory is ``64 * ns * N`` elements; callers
-    with huge batches should chunk.
+    matrices.
     """
 
     layout = "batched"
 
-    def __init__(self, grid: Grid3D, coefficients: np.ndarray):
+    def __init__(
+        self,
+        grid: Grid3D,
+        coefficients: np.ndarray,
+        max_batch_bytes: int | None = None,
+    ):
         if coefficients.ndim != 4:
             raise ValueError(
                 f"coefficients must be (nx, ny, nz, N), got {coefficients.shape}"
@@ -81,6 +126,16 @@ class BsplineBatched:
         self.P = coefficients
         self.n_splines = coefficients.shape[3]
         self.dtype = coefficients.dtype
+        if max_batch_bytes is not None:
+            if max_batch_bytes <= 0:
+                raise ValueError(
+                    f"max_batch_bytes must be positive, got {max_batch_bytes}"
+                )
+            per_position = 64 * self.n_splines * self.dtype.itemsize
+            self._chunk = max(1, int(max_batch_bytes) // per_position)
+        else:
+            self._chunk = None
+        self.max_batch_bytes = max_batch_bytes
 
     def new_output(self, n_positions: int) -> BatchedOutput:
         """Allocate outputs for a batch of ``n_positions``."""
@@ -88,11 +143,41 @@ class BsplineBatched:
             raise ValueError(f"n_positions must be positive, got {n_positions}")
         return BatchedOutput(n_positions, self.n_splines, self.dtype)
 
-    def _gather(self, positions: np.ndarray):
-        """Blocks ``(ns, 4, 4, 4, N)`` + per-axis weight triples."""
+    # -- shared plumbing -----------------------------------------------------
+
+    def _check(self, positions: np.ndarray, out: BatchedOutput) -> np.ndarray:
         positions = np.asarray(positions, dtype=np.float64)
         if positions.ndim != 2 or positions.shape[1] != 3:
             raise ValueError(f"expected (ns, 3) positions, got {positions.shape}")
+        if out.v.shape != (len(positions), self.n_splines):
+            raise ValueError(
+                f"output holds ({out.n_positions}, {out.n_splines}), "
+                f"batch needs ({len(positions)}, {self.n_splines})"
+            )
+        return positions
+
+    @staticmethod
+    def _begin(out: BatchedOutput, written: tuple[str, ...]) -> None:
+        """Poison previously-valid streams this kernel will not refresh.
+
+        A reused output whose ``.h`` (say) still holds an earlier
+        ``vgh_batch`` result must not let a caller read it after a
+        ``vgl_batch`` — the untouched stream is filled with NaN and
+        dropped from :attr:`BatchedOutput.valid`.  Fresh (all-zero)
+        buffers pay nothing: only streams marked valid are rewritten.
+        """
+        for name in out.valid:
+            if name not in written:
+                getattr(out, name).fill(np.nan)
+        out.valid = frozenset()
+
+    def _chunks(self, n_positions: int):
+        step = self._chunk if self._chunk is not None else n_positions
+        for lo in range(0, n_positions, step):
+            yield slice(lo, min(lo + step, n_positions))
+
+    def _gather(self, positions: np.ndarray):
+        """Blocks ``(ns, 4, 4, 4, N)`` + per-axis weight triples."""
         idx, frac = self.grid.locate_batch(positions)
         offsets = np.arange(-1, 3)
         nx, ny, nz = self.grid.shape
@@ -111,23 +196,51 @@ class BsplineBatched:
             weights.append((a, da * self.dtype.type(inv), d2a * self.dtype.type(inv * inv)))
         return blocks, weights
 
+    # -- kernels -------------------------------------------------------------
+
     def v_batch(self, positions: np.ndarray, out: BatchedOutput) -> None:
         """Kernel ``V`` for the whole batch into ``out.v``."""
-        blocks, ((ax, _, _), (ay, _, _), (az, _, _)) = self._gather(positions)
-        tz = np.einsum("sabcn,sc->sabn", blocks, az)
-        ty = np.einsum("sabn,sb->san", tz, ay)
-        np.einsum("san,sa->sn", ty, ax, out=out.v)
+        positions = self._check(positions, out)
+        self._begin(out, _KERNEL_STREAMS["v"])
+        for sl in self._chunks(len(positions)):
+            self._v_core(positions[sl], out.v[sl])
+        out.valid = frozenset(_KERNEL_STREAMS["v"])
 
     def vgl_batch(self, positions: np.ndarray, out: BatchedOutput) -> None:
         """Kernel ``VGL`` for the whole batch."""
-        self._vgh_core(positions, out, want_hessian=False)
+        positions = self._check(positions, out)
+        self._begin(out, _KERNEL_STREAMS["vgl"])
+        for sl in self._chunks(len(positions)):
+            self._vgh_core(
+                positions[sl], out.v[sl], out.g[sl], out.l[sl], None
+            )
+        out.valid = frozenset(_KERNEL_STREAMS["vgl"])
 
     def vgh_batch(self, positions: np.ndarray, out: BatchedOutput) -> None:
         """Kernel ``VGH`` for the whole batch (fills ``l`` too, for free)."""
-        self._vgh_core(positions, out, want_hessian=True)
+        positions = self._check(positions, out)
+        self._begin(out, _KERNEL_STREAMS["vgh"])
+        for sl in self._chunks(len(positions)):
+            self._vgh_core(
+                positions[sl], out.v[sl], out.g[sl], out.l[sl], out.h[sl]
+            )
+        out.valid = frozenset(_KERNEL_STREAMS["vgh"])
+
+    # -- contraction cores (one chunk; outputs are array views) --------------
+
+    def _v_core(self, positions: np.ndarray, v: np.ndarray) -> None:
+        blocks, ((ax, _, _), (ay, _, _), (az, _, _)) = self._gather(positions)
+        tz = np.einsum("sabcn,sc->sabn", blocks, az)
+        ty = np.einsum("sabn,sb->san", tz, ay)
+        np.einsum("san,sa->sn", ty, ax, out=v)
 
     def _vgh_core(
-        self, positions: np.ndarray, out: BatchedOutput, want_hessian: bool
+        self,
+        positions: np.ndarray,
+        v: np.ndarray,
+        g: np.ndarray,
+        l: np.ndarray,
+        h: np.ndarray | None,
     ) -> None:
         blocks, ((ax, dax, d2ax), (ay, day, d2ay), (az, daz, d2az)) = self._gather(
             positions
@@ -141,18 +254,18 @@ class BsplineBatched:
         u01 = np.einsum("sabn,sb->san", tz1, ay)
         u11 = np.einsum("sabn,sb->san", tz1, day)
         u02 = np.einsum("sabn,sb->san", tz2, ay)
-        out.v[...] = np.einsum("san,sa->sn", u00, ax)
-        out.g[:, 0] = np.einsum("san,sa->sn", u00, dax)
-        out.g[:, 1] = np.einsum("san,sa->sn", u10, ax)
-        out.g[:, 2] = np.einsum("san,sa->sn", u01, ax)
+        v[...] = np.einsum("san,sa->sn", u00, ax)
+        g[:, 0] = np.einsum("san,sa->sn", u00, dax)
+        g[:, 1] = np.einsum("san,sa->sn", u10, ax)
+        g[:, 2] = np.einsum("san,sa->sn", u01, ax)
         hxx = np.einsum("san,sa->sn", u00, d2ax)
         hyy = np.einsum("san,sa->sn", u20, ax)
         hzz = np.einsum("san,sa->sn", u02, ax)
-        out.l[...] = hxx + hyy + hzz
-        if want_hessian:
-            out.h[:, 0] = hxx
-            out.h[:, 1] = np.einsum("san,sa->sn", u10, dax)
-            out.h[:, 2] = np.einsum("san,sa->sn", u01, dax)
-            out.h[:, 3] = hyy
-            out.h[:, 4] = np.einsum("san,sa->sn", u11, ax)
-            out.h[:, 5] = hzz
+        l[...] = hxx + hyy + hzz
+        if h is not None:
+            h[:, 0] = hxx
+            h[:, 1] = np.einsum("san,sa->sn", u10, dax)
+            h[:, 2] = np.einsum("san,sa->sn", u01, dax)
+            h[:, 3] = hyy
+            h[:, 4] = np.einsum("san,sa->sn", u11, ax)
+            h[:, 5] = hzz

@@ -310,6 +310,11 @@ def main(argv: list[str] | None = None) -> int:
     ``--trace-out`` turn observability on: the run dumps a metrics JSON
     and/or a Chrome ``trace_event`` JSON and prints the metrics summary
     table after the profile shares.
+
+    ``--walkers W [--processes K]`` switches to population mode: W
+    lock-step crowd walkers sharded over K worker processes attaching
+    one shared-memory coefficient table (:mod:`repro.parallel`).  The
+    propagated population is bit-identical for every K.
     """
     parser = argparse.ArgumentParser(
         prog="python -m repro.miniqmc.app",
@@ -322,6 +327,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--layout", default="soa", choices=("aos", "soa"))
     parser.add_argument("--engine", default="fused", choices=("aos", "soa", "fused"))
     parser.add_argument("--measure", action="store_true")
+    parser.add_argument(
+        "--walkers",
+        type=int,
+        default=None,
+        metavar="W",
+        help="population mode: propagate W crowd walkers instead of "
+        "profiling one",
+    )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        metavar="K",
+        help="shard the population over K worker processes sharing one "
+        "coefficient table (implies --walkers; default K=1)",
+    )
     parser.add_argument("--checkpoint-every", type=int, default=None, metavar="N")
     parser.add_argument("--checkpoint-path", default=None, metavar="DIR")
     parser.add_argument("--resume", default=None, metavar="DIR")
@@ -341,6 +362,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.checkpoint_every is not None and args.checkpoint_path is None:
         parser.error("--checkpoint-every requires --checkpoint-path")
     observe = args.metrics_out is not None or args.trace_out is not None
+    if args.walkers is not None or args.processes is not None:
+        if args.checkpoint_every is not None or args.resume is not None:
+            parser.error(
+                "population mode (--walkers/--processes) does not support "
+                "checkpointing; use the single-walker profiled mode"
+            )
+        return _population_main(args, observe)
     if observe:
         OBS.reset()
         OBS.enable()
@@ -369,6 +397,41 @@ def main(argv: list[str] | None = None) -> int:
     print(f"ran {args.sweeps} sweeps in {total:.3f} s (N={args.n_orbitals})")
     for section, share in sorted(timers.shares().items()):
         print(f"  {section:16s} {share:6.2f} %")
+    if observe:
+        OBS.write(metrics_out=args.metrics_out, trace_out=args.trace_out)
+        print()
+        print(OBS.summary_table())
+    return 0
+
+
+def _population_main(args, observe: bool) -> int:
+    """The ``--walkers/--processes`` population mode of :func:`main`."""
+    from repro.parallel import CrowdSpec, run_crowd_parallel
+
+    n_walkers = args.walkers if args.walkers is not None else 8
+    n_workers = args.processes if args.processes is not None else 1
+    if observe:
+        OBS.reset()
+        OBS.enable()
+    try:
+        spec = CrowdSpec(
+            n_walkers=n_walkers,
+            n_orbitals=args.n_orbitals,
+            engine=args.engine,
+            seed=args.seed,
+        )
+        result = run_crowd_parallel(
+            spec, n_workers=n_workers, n_sweeps=args.sweeps, tau=args.tau
+        )
+    finally:
+        if observe:
+            OBS.disable()
+    print(
+        f"propagated {n_walkers} walkers x {args.sweeps} sweeps over "
+        f"{n_workers} process(es) in {result.seconds:.3f} s"
+    )
+    print(f"  acceptance      {result.acceptance:.4f}")
+    print(f"  walker-sweeps/s {result.walkers_per_second:.3f}")
     if observe:
         OBS.write(metrics_out=args.metrics_out, trace_out=args.trace_out)
         print()

@@ -19,6 +19,18 @@ same position stream the uninterrupted run would have.
 :class:`~repro.resilience.retry.RetryPolicy` that wraps the nested
 evaluator in bounded retry-with-backoff and single-threaded fallback
 (:class:`~repro.resilience.retry.ResilientEvaluator`).
+
+Process parallelism: both drivers accept ``processes`` — walkers are
+sharded over a :class:`~repro.parallel.pool.ProcessCrowdPool` whose
+workers attach the coefficient table through a
+:class:`~repro.parallel.shared_table.SharedTable` (one physical copy, as
+in paper Fig. 3, at process scope).  In process mode each walker draws
+its positions from its own ``SeedSequence(seed+1, spawn_key=(walker,))``
+stream, so per-kernel eval counts and position streams are identical for
+any process count (including ``processes=1``); the sequential
+``processes=None`` path keeps its historical single-stream behaviour.
+Checkpointing is a sequential-mode feature — combining it with
+``processes`` raises.
 """
 
 from __future__ import annotations
@@ -152,6 +164,122 @@ def _checkpoint_args_ok(checkpoint_every: int | None, checkpoint_path) -> None:
             raise ValueError("checkpoint_every requires checkpoint_path")
 
 
+# -- process-parallel walker sharding ----------------------------------------
+
+
+class _DriverShard:
+    """Worker-process state for the process-parallel kernel drivers.
+
+    Attaches the shared coefficient table, builds its engine once, and
+    evaluates its contiguous walker range per ``run(kern)`` call.  Each
+    walker's positions come from ``SeedSequence(seed+1, spawn_key=(w,))``
+    — a function of the global walker index only, so shard boundaries
+    cannot change what gets evaluated.
+    """
+
+    def __init__(self, worker_id: int, table_spec: dict, payload: dict):
+        from repro.parallel.shared_table import SharedTable
+        from repro.parallel.sharding import shard_slices
+
+        self._table = SharedTable.attach(table_spec)
+        config: MiniQmcConfig = payload["config"]
+        nx, ny, nz = config.grid_shape
+        self.grid = Grid3D(nx, ny, nz)
+        if payload["engine"].startswith("aosoa"):
+            self.eng = BsplineAoSoA(self.grid, self._table.array, config.tile_size)
+        else:
+            self.eng = _ENGINES[payload["engine"]](self.grid, self._table.array)
+        self.engine_name = payload["engine"]
+        self.config = config
+        shard = shard_slices(config.n_walkers, payload["n_workers"])[worker_id]
+        self.walkers = range(shard.start, shard.stop)
+
+    def run(self, kern: str) -> dict:
+        """Evaluate kernel ``kern`` for every walker of this shard."""
+        config = self.config
+        out = self.eng.new_output(kern)
+        kern_fn = getattr(self.eng, kern)
+        count = 0
+        t0 = time.perf_counter()
+        for w in self.walkers:
+            rng = np.random.default_rng(
+                np.random.SeedSequence(entropy=config.seed + 1, spawn_key=(w,))
+            )
+            positions = self.grid.random_positions(config.n_samples, rng)
+            for _ in range(config.n_iters):
+                for x, y, z in positions:
+                    kern_fn(x, y, z, out)
+            count += config.n_iters * config.n_samples
+        dt = time.perf_counter() - t0
+        if OBS.enabled and count:
+            layout = "aos" if self.engine_name == "aos" else "soa"
+            OBS.kernel_eval(
+                self.engine_name,
+                kern,
+                count,
+                dt,
+                count
+                * kernel_bytes_moved(
+                    kern, layout, config.n_splines, self._table.dtype.itemsize
+                ),
+            )
+        return {"evals": count, "seconds": dt}
+
+    def close(self) -> None:
+        self.eng = None
+        try:
+            self._table.close()
+        except BufferError:
+            pass
+
+
+def _init_driver_shard(worker_id: int, table_spec: dict, payload: dict):
+    return _DriverShard(worker_id, table_spec, payload)
+
+
+def _run_sharded(
+    config: MiniQmcConfig,
+    engine_name: str,
+    kernels,
+    P: np.ndarray,
+    processes: int,
+    start_method: str | None = None,
+) -> DriverResult:
+    """The shared process-mode loop behind both kernel drivers.
+
+    Per kernel, one scatter/gather round over the pool; the recorded
+    seconds are parent wall-clock (the number speedups come from), and
+    the eval counts are the sum over shards — identical for any
+    ``processes``.
+    """
+    from repro.parallel.pool import ProcessCrowdPool
+    from repro.parallel.shared_table import SharedTable
+
+    result = DriverResult(config=config, engine=engine_name)
+    shared = SharedTable.create(P)
+    table_spec = dict(shared.spec, n_workers=processes)
+    payload = {"config": config, "engine": engine_name, "n_workers": processes}
+    try:
+        with ProcessCrowdPool(
+            processes,
+            _init_driver_shard,
+            (table_spec, payload),
+            start_method=start_method,
+        ) as pool:
+            for kern in kernels:
+                t0 = time.perf_counter()
+                shards = pool.broadcast("run", kern)
+                result.seconds[kern] = time.perf_counter() - t0
+                result.evals[kern] = sum(s["evals"] for s in shards)
+            pool.merge_metrics()
+    finally:
+        shared.close()
+        shared.unlink()
+    if OBS.enabled:
+        OBS.gauge("driver_processes", processes)
+    return _finalize(result)
+
+
 def run_kernel_driver(
     config: MiniQmcConfig,
     engine: str = "soa",
@@ -160,6 +288,7 @@ def run_kernel_driver(
     checkpoint_every: int | None = None,
     checkpoint_path=None,
     resume=None,
+    processes: int | None = None,
 ) -> DriverResult:
     """Paper Fig. 3: the flat (untiled) miniQMC kernel loop.
 
@@ -180,13 +309,25 @@ def run_kernel_driver(
         Checkpoint directory (required with ``checkpoint_every``).
     resume:
         Checkpoint to continue from; the run configuration must match.
+    processes:
+        Shard walkers over this many worker processes sharing the table
+        through shared memory (see the module docstring).  ``None``
+        keeps the sequential in-process loop.  Mutually exclusive with
+        checkpointing.
     """
     if engine not in _ENGINES:
         raise ValueError(f"unknown engine {engine!r}")
     _checkpoint_args_ok(checkpoint_every, checkpoint_path)
+    P = coefficients if coefficients is not None else random_coefficients(config)
+    if processes is not None:
+        if checkpoint_every is not None or resume is not None:
+            raise ValueError(
+                "checkpoint/resume is a sequential-mode feature; "
+                "run with processes=None to checkpoint"
+            )
+        return _run_sharded(config, engine, kernels, P, processes)
     nx, ny, nz = config.grid_shape
     grid = Grid3D(nx, ny, nz)
-    P = coefficients if coefficients is not None else random_coefficients(config)
     eng = _ENGINES[engine](grid, P)
     result = DriverResult(config=config, engine=engine)
     fingerprint = _driver_fingerprint(config, engine, kernels)
@@ -255,6 +396,7 @@ def run_tiled_driver(
     checkpoint_path=None,
     resume=None,
     retry_policy: RetryPolicy | None = None,
+    processes: int | None = None,
 ) -> DriverResult:
     """Paper Fig. 6: the AoSoA driver, optionally nested (Opt C).
 
@@ -264,13 +406,32 @@ def run_tiled_driver(
     retried with backoff and, once exhausted, the evaluation degrades to
     single-threaded — the run completes either way, and the result
     carries the retry/fallback counts.
+
+    ``processes`` shards *walkers* over worker processes (the outer
+    level, complementing the within-walker tile threads); it requires
+    ``n_threads == 1`` and no checkpointing/retry policy (those are
+    sequential-mode features).
     """
     if not config.tile_size:
         raise ValueError("run_tiled_driver requires config.tile_size")
     _checkpoint_args_ok(checkpoint_every, checkpoint_path)
+    P = coefficients if coefficients is not None else random_coefficients(config)
+    if processes is not None:
+        if checkpoint_every is not None or resume is not None:
+            raise ValueError(
+                "checkpoint/resume is a sequential-mode feature; "
+                "run with processes=None to checkpoint"
+            )
+        if n_threads != 1 or retry_policy is not None:
+            raise ValueError(
+                "processes shards walkers over worker processes; nested "
+                "threads/retry policies apply to the sequential path only"
+            )
+        return _run_sharded(
+            config, f"aosoa{config.tile_size}", kernels, P, processes
+        )
     nx, ny, nz = config.grid_shape
     grid = Grid3D(nx, ny, nz)
-    P = coefficients if coefficients is not None else random_coefficients(config)
     eng = BsplineAoSoA(grid, P, config.tile_size)
     result = DriverResult(config=config, engine=f"aosoa{config.tile_size}")
     fingerprint = _driver_fingerprint(config, result.engine, kernels)

@@ -45,22 +45,36 @@ def format_labels(labels: dict[str, str]) -> str:
 
 
 class Counter:
-    """A monotonically increasing count (evals, retries, guard trips)."""
+    """A monotonically increasing count (evals, retries, guard trips).
+
+    Updates are lock-protected so concurrent walker threads sharing one
+    registry never lose increments.
+    """
 
     kind = "counter"
 
     def __init__(self) -> None:
         self.value: float = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1) -> None:
         """Add ``amount`` (must be non-negative) to the counter."""
         if amount < 0:
             raise ValueError(f"counters only go up, got {amount}")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def snapshot(self) -> dict:
         """Plain-dict view for dumps."""
         return {"value": self.value}
+
+    def state(self) -> dict:
+        """Mergeable full state (see :meth:`MetricsRegistry.state`)."""
+        return {"value": self.value}
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another process's counter into this one (values add)."""
+        self.inc(state["value"])
 
 
 class Gauge:
@@ -78,6 +92,14 @@ class Gauge:
     def snapshot(self) -> dict:
         """Plain-dict view for dumps."""
         return {"value": self.value}
+
+    def state(self) -> dict:
+        """Mergeable full state (see :meth:`MetricsRegistry.state`)."""
+        return {"value": self.value}
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another process's gauge into this one (last write wins)."""
+        self.set(state["value"])
 
 
 class Histogram:
@@ -105,22 +127,24 @@ class Histogram:
         self._samples: list[float] = []
         self._stride = 1
         self._seen = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         """Record one observation."""
         value = float(value)
-        self.count += 1
-        self.sum += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
-        if self._seen % self._stride == 0:
-            self._samples.append(value)
-            if len(self._samples) >= self._max_samples:
-                self._samples = self._samples[::2]
-                self._stride *= 2
-        self._seen += 1
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            if self._seen % self._stride == 0:
+                self._samples.append(value)
+                if len(self._samples) >= self._max_samples:
+                    self._samples = self._samples[::2]
+                    self._stride *= 2
+            self._seen += 1
 
     @property
     def mean(self) -> float:
@@ -159,6 +183,43 @@ class Histogram:
             "p90": self.quantile(0.90),
             "p99": self.quantile(0.99),
         }
+
+    def state(self) -> dict:
+        """Mergeable full state, *including* the retained sample buffer.
+
+        Unlike :meth:`snapshot` (which reduces to fixed quantiles), the
+        state carries enough to fold this histogram into another one —
+        the per-worker → parent merge of multiprocess runs.
+        """
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": None if self.count == 0 else self.min,
+            "max": None if self.count == 0 else self.max,
+            "samples": list(self._samples),
+            "seen": self._seen,
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another histogram's state into this one.
+
+        Aggregates (count/sum/min/max) combine exactly; retained samples
+        are concatenated and re-decimated against this histogram's cap,
+        so merged quantiles keep the same bounded-memory resolution
+        contract as a single-process run.
+        """
+        with self._lock:
+            self.count += int(state["count"])
+            self.sum += float(state["sum"])
+            if state["min"] is not None and state["min"] < self.min:
+                self.min = float(state["min"])
+            if state["max"] is not None and state["max"] > self.max:
+                self.max = float(state["max"])
+            self._samples.extend(float(s) for s in state["samples"])
+            while len(self._samples) >= self._max_samples:
+                self._samples = self._samples[::2]
+                self._stride *= 2
+            self._seen += int(state["seen"])
 
 
 _METRIC_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
@@ -227,6 +288,32 @@ class MetricsRegistry:
             entry = {"name": name, "labels": labels, **metric.snapshot()}
             out[metric.kind + "s"].append(entry)
         return out
+
+    def state(self) -> list[dict]:
+        """The whole registry as a picklable, *mergeable* entry list.
+
+        Each entry carries ``name``, ``labels``, ``kind`` and the
+        metric's :meth:`state` payload.  Worker processes ship this back
+        to the parent, which folds it in with :meth:`merge_state` —
+        counters add, gauges keep the last write, histograms combine
+        aggregates and re-decimate samples.
+        """
+        return [
+            {
+                "name": name,
+                "labels": labels,
+                "kind": metric.kind,
+                "state": metric.state(),
+            }
+            for name, labels, metric in self.items()
+        ]
+
+    def merge_state(self, entries: list[dict]) -> None:
+        """Fold a :meth:`state` dump (e.g. from a worker process) in."""
+        for entry in entries:
+            cls = _METRIC_TYPES[entry["kind"]]
+            metric = self._get_or_create(cls, entry["name"], entry["labels"])
+            metric.merge_state(entry["state"])
 
     def to_json(self, indent: int | None = 2) -> str:
         """The snapshot serialized as JSON text."""

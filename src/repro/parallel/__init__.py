@@ -1,0 +1,49 @@
+"""Shared-memory multiprocess execution layer (paper Sec. IV at node scope).
+
+The paper parallelizes walkers over threads sharing one read-only
+B-spline table; pure-Python walker loops are GIL-bound, so this package
+re-creates that architecture with *processes*:
+
+* :class:`~repro.parallel.shared_table.SharedTable` — the coefficient
+  table in POSIX shared memory, one physical copy per node;
+* :class:`~repro.parallel.pool.ProcessCrowdPool` — persistent worker
+  processes holding shard state across calls;
+* :mod:`~repro.parallel.sharding` — deterministic contiguous sharding
+  and per-walker streams, the bit-for-bit contract;
+* :func:`~repro.parallel.crowd.run_crowd_parallel`,
+  :func:`~repro.parallel.vmc.run_vmc_population`,
+  :func:`~repro.parallel.dmc.run_dmc_sharded` — drivers whose results
+  are bit-identical for any worker count.
+"""
+
+from repro.parallel.crowd import (
+    CrowdRunResult,
+    CrowdSpec,
+    build_walker_range,
+    run_crowd_parallel,
+    run_crowd_sequential,
+    solve_spec_table,
+)
+from repro.parallel.dmc import run_dmc_sharded
+from repro.parallel.pool import ProcessCrowdPool, WorkerError
+from repro.parallel.sharding import shard_slices, walker_rng, walker_seed_sequence
+from repro.parallel.shared_table import SharedTable
+from repro.parallel.vmc import VmcPopulationResult, run_vmc_population
+
+__all__ = [
+    "SharedTable",
+    "ProcessCrowdPool",
+    "WorkerError",
+    "shard_slices",
+    "walker_seed_sequence",
+    "walker_rng",
+    "CrowdSpec",
+    "CrowdRunResult",
+    "solve_spec_table",
+    "build_walker_range",
+    "run_crowd_sequential",
+    "run_crowd_parallel",
+    "VmcPopulationResult",
+    "run_vmc_population",
+    "run_dmc_sharded",
+]

@@ -1,0 +1,277 @@
+"""Process-parallel crowd execution over one shared coefficient table.
+
+The sequential :class:`repro.qmc.crowd.Crowd` already turns per-electron
+orbital evaluations across walkers into batched kernel calls; this
+module distributes the *walkers* over worker processes.  Each worker
+attaches the :class:`~repro.parallel.shared_table.SharedTable`
+zero-copy, builds its contiguous walker shard from deterministic
+per-walker seeds (:mod:`repro.parallel.sharding`), and advances it as a
+sub-crowd.  Because every walker's streams depend only on its global
+index, and the batched kernels evaluate each position independently,
+
+    ``run_crowd_parallel(spec, n_workers=K)``
+
+is **bit-identical** to the sequential one-process crowd for every
+``K`` — the regression the tests pin down at 1, 2 and 4 workers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.coeffs import solve_coefficients_3d
+from repro.core.grid import Grid3D
+from repro.core.layout_fused import BsplineFused
+from repro.core.layout_soa import BsplineSoA
+from repro.core.layout_aos import BsplineAoS
+from repro.lattice.cell import Cell
+from repro.lattice.orbitals import PlaneWaveOrbitalSet
+from repro.lattice.pbc import wigner_seitz_radius
+from repro.obs import OBS
+from repro.parallel.pool import ProcessCrowdPool
+from repro.parallel.sharding import shard_slices, walker_rng
+from repro.parallel.shared_table import SharedTable
+from repro.qmc.crowd import Crowd
+from repro.qmc.jastrow import make_polynomial_radial
+from repro.qmc.particleset import ParticleSet
+from repro.qmc.slater import SplineOrbitalSet
+from repro.qmc.wavefunction import SlaterJastrow
+
+__all__ = [
+    "CrowdSpec",
+    "CrowdRunResult",
+    "solve_spec_table",
+    "build_walker_range",
+    "run_crowd_sequential",
+    "run_crowd_parallel",
+]
+
+_ENGINES = {"aos": BsplineAoS, "soa": BsplineSoA, "fused": BsplineFused}
+
+
+@dataclass(frozen=True)
+class CrowdSpec:
+    """A picklable description of a walker population.
+
+    Everything a worker needs to rebuild its shard deterministically:
+    walker ``w``'s configuration comes from stream ``(seed, w, 0)`` and
+    its move stream from ``(seed, w, 1)`` — independent of sharding.
+    """
+
+    n_walkers: int
+    n_orbitals: int = 4
+    box: float = 6.0
+    grid_shape: tuple[int, int, int] = (12, 12, 12)
+    engine: str = "fused"
+    seed: int = 2017
+
+    def __post_init__(self) -> None:
+        if self.n_walkers <= 0:
+            raise ValueError(f"n_walkers must be positive, got {self.n_walkers}")
+        if self.engine not in _ENGINES:
+            raise ValueError(f"unknown engine {self.engine!r}")
+
+
+def solve_spec_table(spec: CrowdSpec) -> np.ndarray:
+    """Solve the spec's plane-wave coefficient table once (float64).
+
+    The parent does this exactly once; workers receive the bytes through
+    shared memory, never by re-solving.
+    """
+    cell = Cell.cubic(spec.box)
+    orbitals = PlaneWaveOrbitalSet(cell, spec.n_orbitals)
+    nx, ny, nz = spec.grid_shape
+    samples = orbitals.values_on_grid(nx, ny, nz)
+    return solve_coefficients_3d(samples, dtype=np.float64)
+
+
+def build_walker_range(
+    spec: CrowdSpec, table: np.ndarray, lo: int, hi: int
+) -> tuple[list[SlaterJastrow], list[np.random.Generator]]:
+    """Walkers ``lo .. hi-1`` of the population, over ``table``.
+
+    All walkers of the range share one :class:`SplineOrbitalSet` (the
+    crowd contract); ``table`` may be a private array or a
+    :class:`SharedTable` view — the engine never copies it.
+    """
+    cell = Cell.cubic(spec.box)
+    nx, ny, nz = spec.grid_shape
+    grid = Grid3D(nx, ny, nz, (1.0, 1.0, 1.0))
+    engine = _ENGINES[spec.engine](grid, table)
+    spos = SplineOrbitalSet(cell, grid, engine)
+    rcut = 0.9 * wigner_seitz_radius(cell)
+    j1 = make_polynomial_radial(0.4, rcut)
+    j2 = make_polynomial_radial(0.6, rcut)
+    wfs, rngs = [], []
+    for w in range(lo, hi):
+        conf_rng = walker_rng(spec.seed, w, stream=0)
+        ions = ParticleSet("ion", cell, cell.frac_to_cart(conf_rng.random((2, 3))))
+        electrons = ParticleSet.random("e", cell, 2 * spec.n_orbitals, conf_rng)
+        wfs.append(SlaterJastrow(electrons, ions, spos, j1, j2))
+        rngs.append(walker_rng(spec.seed, w, stream=1))
+    return wfs, rngs
+
+
+@dataclass
+class CrowdRunResult:
+    """Merged outcome of a (parallel) crowd run, in walker order.
+
+    ``positions`` is ``(n_walkers, n_electrons, 3)``; ``log_values`` the
+    per-walker ``log |Psi|`` after the last sweep — together they pin a
+    trajectory bit-for-bit.  ``seconds`` is parent wall time over the
+    whole run (the number speedups are computed from).
+    """
+
+    positions: np.ndarray
+    log_values: np.ndarray
+    accepted: int
+    attempted: int
+    seconds: float
+    n_workers: int
+
+    @property
+    def acceptance(self) -> float:
+        """Overall move acceptance."""
+        return self.accepted / max(self.attempted, 1)
+
+    @property
+    def walkers_per_second(self) -> float:
+        """Walker-sweeps per wall second (the bench's rate metric)."""
+        if self.seconds <= 0 or len(self.positions) == 0:
+            return 0.0
+        n_el = self.positions.shape[1] or 1
+        sweeps = self.attempted / (len(self.positions) * n_el)
+        return len(self.positions) * sweeps / self.seconds
+
+
+class _CrowdShard:
+    """Worker-process state: one attached table + one sub-crowd."""
+
+    def __init__(self, worker_id: int, spec: CrowdSpec, table_spec: dict):
+        self._table = SharedTable.attach(table_spec)
+        shard = shard_slices(spec.n_walkers, table_spec["n_workers"])[worker_id]
+        self.lo, self.hi = shard.start, shard.stop
+        wfs, rngs = build_walker_range(spec, self._table.array, self.lo, self.hi)
+        self.crowd = Crowd(wfs, rngs) if wfs else None
+
+    def run(self, n_sweeps: int, tau: float) -> dict:
+        """Advance the shard ``n_sweeps`` lock-step sweeps."""
+        if self.crowd is None:
+            return {
+                "positions": None,
+                "log_values": None,
+                "accepted": 0,
+                "attempted": 0,
+            }
+        t0 = time.perf_counter()
+        accepted = attempted = 0
+        for _ in range(n_sweeps):
+            acc, att = self.crowd.sweep(tau)
+            accepted += acc
+            attempted += att
+        dt = time.perf_counter() - t0
+        if OBS.enabled:
+            OBS.count("crowd_sweeps_total", n_sweeps)
+            OBS.count("crowd_moves_total", attempted)
+            OBS.observe("crowd_shard_seconds", dt)
+            OBS.gauge("crowd_shard_walkers", len(self.crowd))
+        return {
+            "positions": np.stack(
+                [wf.electrons.positions for wf in self.crowd.wfs]
+            ),
+            "log_values": np.asarray(
+                [wf.log_value for wf in self.crowd.wfs], dtype=np.float64
+            ),
+            "accepted": accepted,
+            "attempted": attempted,
+        }
+
+    def close(self) -> None:
+        """Drop table views, then detach the shared segment."""
+        self.crowd = None
+        try:
+            self._table.close()
+        except BufferError:
+            # Lingering views die with the worker process anyway; the
+            # segment itself is unlinked by the owner, not here.
+            pass
+
+
+def _init_crowd_shard(worker_id: int, spec: CrowdSpec, table_spec: dict):
+    return _CrowdShard(worker_id, spec, table_spec)
+
+
+def run_crowd_sequential(
+    spec: CrowdSpec,
+    n_sweeps: int,
+    tau: float,
+    table: np.ndarray | None = None,
+) -> CrowdRunResult:
+    """The single-process reference: one crowd holding every walker."""
+    if table is None:
+        table = solve_spec_table(spec)
+    wfs, rngs = build_walker_range(spec, table, 0, spec.n_walkers)
+    crowd = Crowd(wfs, rngs)
+    t0 = time.perf_counter()
+    accepted = attempted = 0
+    for _ in range(n_sweeps):
+        acc, att = crowd.sweep(tau)
+        accepted += acc
+        attempted += att
+    seconds = time.perf_counter() - t0
+    return CrowdRunResult(
+        positions=np.stack([wf.electrons.positions for wf in wfs]),
+        log_values=np.asarray([wf.log_value for wf in wfs], dtype=np.float64),
+        accepted=accepted,
+        attempted=attempted,
+        seconds=seconds,
+        n_workers=1,
+    )
+
+
+def run_crowd_parallel(
+    spec: CrowdSpec,
+    n_workers: int,
+    n_sweeps: int,
+    tau: float,
+    table: np.ndarray | None = None,
+    start_method: str | None = None,
+) -> CrowdRunResult:
+    """Shard the population over ``n_workers`` processes and advance it.
+
+    The coefficient table is placed in shared memory once and attached
+    zero-copy by every worker; walkers are sharded contiguously and
+    gathered back in order, so the result is bit-identical to
+    :func:`run_crowd_sequential` for any ``n_workers``.  All segments
+    and workers are torn down before returning (no ``/dev/shm`` leaks).
+    """
+    if table is None:
+        table = solve_spec_table(spec)
+    shared = SharedTable.create(table)
+    table_spec = dict(shared.spec, n_workers=n_workers)
+    t0 = time.perf_counter()
+    try:
+        with ProcessCrowdPool(
+            n_workers,
+            _init_crowd_shard,
+            (spec, table_spec),
+            start_method=start_method,
+        ) as pool:
+            shards = pool.broadcast("run", n_sweeps, tau)
+            pool.merge_metrics()
+    finally:
+        shared.close()
+        shared.unlink()
+    seconds = time.perf_counter() - t0
+    filled = [s for s in shards if s["positions"] is not None]
+    return CrowdRunResult(
+        positions=np.concatenate([s["positions"] for s in filled]),
+        log_values=np.concatenate([s["log_values"] for s in filled]),
+        accepted=sum(s["accepted"] for s in shards),
+        attempted=sum(s["attempted"] for s in shards),
+        seconds=seconds,
+        n_workers=n_workers,
+    )

@@ -1,0 +1,417 @@
+"""Sharded DMC: propagation in worker processes, branching in the parent.
+
+The DMC generation loop splits naturally at the paper's three stages:
+drift-diffusion and measurement touch only per-walker state (workers),
+while branching and population control are global decisions (parent).
+This driver keeps the *authoritative* population in the parent as plain
+arrays — positions, exact RNG bit-generator states, last local energy —
+and ships each generation's shard to persistent workers that hold the
+heavy wavefunction machinery (shared coefficient table, Slater-Jastrow
+templates) and never pickle it back.
+
+Workers rebuild derived state with ``recompute()`` before every sweep,
+so a walker's trajectory is a pure function of its (positions, ions,
+rng-state) triple.  Two consequences the tests pin down:
+
+* **worker-count invariance** — the run is bit-identical for any
+  ``n_workers`` (sharding is contiguous, gathering ordered, branching
+  draws come from per-walker streams and a parent-side clone pool);
+* **cadence-free resume** — unlike :func:`repro.qmc.dmc.run_dmc` (whose
+  checkpoints recompute mid-run state), checkpoint/resume here is
+  bit-identical to the uninterrupted run at *any* ``checkpoint_every``,
+  and a resumed run may even use a different worker count.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lattice.cell import Cell
+from repro.obs import OBS
+from repro.parallel.crowd import CrowdSpec, build_walker_range, solve_spec_table
+from repro.parallel.pool import ProcessCrowdPool
+from repro.parallel.sharding import shard_slices, walker_rng
+from repro.parallel.shared_table import SharedTable
+from repro.qmc.dmc import DmcResult
+from repro.qmc.drift_diffusion import sweep
+from repro.qmc.estimators import LocalEnergy
+from repro.qmc.particleset import ParticleSet
+from repro.qmc.rng import WalkerRngPool
+from repro.resilience.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    restore_rng,
+    rng_state,
+    save_checkpoint,
+)
+from repro.resilience.guards import GuardConfig, GuardViolation, PopulationGuard
+
+__all__ = ["run_dmc_sharded"]
+
+_CHECKPOINT_KIND = "dmc-sharded"
+
+
+@dataclass
+class _WalkerState:
+    """The parent's authoritative view of one walker: arrays, no objects."""
+
+    positions: np.ndarray
+    ion_positions: np.ndarray
+    rng_state: dict
+    e_local: float = 0.0
+
+    def clone(self, rng: np.random.Generator) -> "_WalkerState":
+        """Branching copy: same configuration, fresh stream (pool-drawn)."""
+        return _WalkerState(
+            positions=self.positions.copy(),
+            ion_positions=self.ion_positions.copy(),
+            rng_state=rng_state(rng),
+            e_local=self.e_local,
+        )
+
+    def task(self) -> dict:
+        return {
+            "positions": self.positions,
+            "ion_positions": self.ion_positions,
+            "rng_state": self.rng_state,
+        }
+
+
+class _DmcShard:
+    """Worker-process state: attached table + reusable wavefunction templates.
+
+    Templates are grown on demand (branching can push a shard past its
+    initial size); each task loads its positions into template ``i``,
+    recomputes, and propagates — the template never carries state between
+    generations.
+    """
+
+    def __init__(self, worker_id: int, spec: CrowdSpec, table_spec: dict):
+        self._spec = spec
+        self._table = SharedTable.attach(table_spec)
+        # Template 0 doubles as the structural prototype; templates use a
+        # fixed arbitrary configuration stream (walker 0's) — every task
+        # overwrites positions before any physics runs.
+        self._wfs, _ = build_walker_range(spec, self._table.array, 0, 1)
+
+    def _template(self, i: int):
+        while len(self._wfs) <= i:
+            wfs, _ = build_walker_range(
+                self._spec, self._table.array, 0, 1
+            )
+            self._wfs.append(wfs[0])
+        return self._wfs[i]
+
+    def _load(self, i: int, task: dict):
+        wf = self._template(i)
+        wf.electrons.load_positions(task["positions"], wrap=False)
+        wf.ions.load_positions(task["ion_positions"], wrap=False)
+        wf.recompute()
+        return wf
+
+    def measure(self, tasks: list[dict], ion_charge: float) -> list[float]:
+        """Local energy of each task's configuration (no RNG consumed)."""
+        return [
+            float(LocalEnergy(self._load(i, t), ion_charge).total())
+            for i, t in enumerate(tasks)
+        ]
+
+    def propagate(self, tasks: list[dict], tau: float, ion_charge: float) -> list[dict]:
+        """One drift-diffusion sweep + measurement per task."""
+        t0 = time.perf_counter()
+        out = []
+        for i, task in enumerate(tasks):
+            wf = self._load(i, task)
+            rng = restore_rng(task["rng_state"])
+            acc, att = sweep(wf, tau, rng)
+            e = float(LocalEnergy(wf, ion_charge).total())
+            out.append(
+                {
+                    "positions": wf.electrons.positions.copy(),
+                    "rng_state": rng_state(rng),
+                    "e_local": e,
+                    "accepted": acc,
+                    "attempted": att,
+                }
+            )
+        if OBS.enabled and tasks:
+            OBS.count("dmc_shard_walkers_propagated_total", len(tasks))
+            OBS.observe("dmc_shard_propagate_seconds", time.perf_counter() - t0)
+        return out
+
+    def close(self) -> None:
+        self._wfs = None
+        try:
+            self._table.close()
+        except BufferError:
+            pass
+
+
+def _init_dmc_shard(worker_id: int, spec: CrowdSpec, table_spec: dict):
+    return _DmcShard(worker_id, spec, table_spec)
+
+
+def _initial_population(spec: CrowdSpec) -> list[_WalkerState]:
+    """Deterministic starting population from per-walker streams.
+
+    Uses the same streams as :func:`repro.parallel.crowd.build_walker_range`
+    (stream 0 configuration, stream 1 moves) but builds only the arrays —
+    the parent never instantiates wavefunctions.
+    """
+    cell = Cell.cubic(spec.box)
+    states = []
+    for w in range(spec.n_walkers):
+        conf_rng = walker_rng(spec.seed, w, stream=0)
+        ion_positions = cell.frac_to_cart(conf_rng.random((2, 3)))
+        electrons = ParticleSet.random("e", cell, 2 * spec.n_orbitals, conf_rng)
+        states.append(
+            _WalkerState(
+                positions=electrons.positions.copy(),
+                ion_positions=ion_positions,
+                rng_state=rng_state(walker_rng(spec.seed, w, stream=1)),
+            )
+        )
+    return states
+
+
+def _scatter(pool: ProcessCrowdPool, states: list[_WalkerState], method: str, *args):
+    """Shard ``states`` contiguously, run ``method`` on each shard, and
+    gather results back in walker order."""
+    slices = shard_slices(len(states), pool.n_workers)
+    per_worker = [([s.task() for s in states[sl.start : sl.stop]], *args) for sl in slices]
+    shards = pool.call(method, per_worker)
+    merged = []
+    for shard in shards:
+        merged.extend(shard)
+    return merged
+
+
+def run_dmc_sharded(
+    spec: CrowdSpec,
+    n_workers: int = 1,
+    n_generations: int = 20,
+    tau: float = 0.05,
+    target_population: int | None = None,
+    feedback: float = 1.0,
+    max_population_factor: int = 4,
+    ion_charge: float = 4.0,
+    checkpoint_every: int | None = None,
+    checkpoint_path=None,
+    resume=None,
+    guard: GuardConfig | None = None,
+    start_method: str | None = None,
+) -> DmcResult:
+    """Run DMC with propagation sharded over ``n_workers`` processes.
+
+    Parameters mirror :func:`repro.qmc.dmc.run_dmc` where they overlap;
+    the ensemble itself is described by ``spec`` (the parent builds the
+    initial population deterministically from per-walker streams).
+
+    Guard policy note: workers recompute derived state before every
+    sweep, so the ``"recompute"`` non-finite-energy policy has nothing
+    further to rebuild — it behaves like ``"drop"`` here.  ``"raise"``
+    and ``"ignore"`` behave as in ``run_dmc``.
+
+    Returns the same :class:`~repro.qmc.dmc.DmcResult` shape as the
+    sequential driver.
+    """
+    if n_generations <= 0:
+        raise ValueError(f"n_generations must be positive, got {n_generations}")
+    if checkpoint_every is not None:
+        if checkpoint_every <= 0:
+            raise ValueError(
+                f"checkpoint_every must be positive, got {checkpoint_every}"
+            )
+        if checkpoint_path is None:
+            raise ValueError("checkpoint_every requires checkpoint_path")
+    target = target_population or spec.n_walkers
+    params = {
+        "tau": tau,
+        "target_population": target,
+        "feedback": feedback,
+        "max_population_factor": max_population_factor,
+        "ion_charge": ion_charge,
+        # The physical system is part of the contract; the worker count
+        # deliberately is not (resume with any n_workers).
+        "spec": {
+            "n_walkers": spec.n_walkers,
+            "n_orbitals": spec.n_orbitals,
+            "box": spec.box,
+            "grid_shape": list(spec.grid_shape),
+            "engine": spec.engine,
+            "seed": spec.seed,
+        },
+    }
+    energy_policy = guard.on_nonfinite_energy if guard is not None else "ignore"
+    pop_guard = PopulationGuard(target, max_population_factor)
+    clone_pool = WalkerRngPool(spec.seed)
+    dropped = 0
+
+    def keep(e_local: float) -> bool:
+        """Apply the non-finite-energy policy; True keeps the walker."""
+        nonlocal dropped
+        if np.isfinite(e_local) or energy_policy == "ignore":
+            return True
+        OBS.count("guard_trips_total", kind="nonfinite_energy", driver="dmc-sharded")
+        OBS.event("guard:nonfinite_energy", cat="guard", driver="dmc-sharded")
+        if energy_policy == "raise":
+            raise GuardViolation(
+                f"non-finite local energy {e_local!r} "
+                f"(policy 'raise'; use 'drop' to continue)"
+            )
+        dropped += 1  # "drop" and "recompute" (see docstring)
+        return False
+
+    table = solve_spec_table(spec)
+    shared = SharedTable.create(table)
+    table_spec = dict(shared.spec, n_workers=n_workers)
+    try:
+        with ProcessCrowdPool(
+            n_workers,
+            _init_dmc_shard,
+            (spec, table_spec),
+            start_method=start_method,
+        ) as pool:
+            if resume is not None:
+                ckpt = load_checkpoint(resume, expect_kind=_CHECKPOINT_KIND)
+                saved = ckpt.manifest["params"]
+                for key in params:
+                    if saved.get(key) != params[key]:
+                        raise CheckpointError(
+                            f"checkpoint parameter mismatch for {key!r}: "
+                            f"saved {saved.get(key)!r}, requested {params[key]!r}"
+                        )
+                n_saved = int(ckpt.manifest["n_walkers"])
+                states = [
+                    _WalkerState(
+                        positions=ckpt.arrays["positions"][i].copy(),
+                        ion_positions=ckpt.arrays["ion_positions"][i].copy(),
+                        rng_state=ckpt.manifest["walker_rng_states"][i],
+                        e_local=float(ckpt.arrays["e_local"][i]),
+                    )
+                    for i in range(n_saved)
+                ]
+                clone_pool = WalkerRngPool.from_state(ckpt.manifest["pool_state"])
+                start_gen = int(ckpt.manifest["generation"])
+                e_trial = float(ckpt.arrays["e_trial"])
+                accepted = int(ckpt.manifest["accepted"])
+                attempted = int(ckpt.manifest["attempted"])
+                energy_trace = list(ckpt.arrays["energy_trace"])
+                pop_trace = [int(p) for p in ckpt.arrays["population_trace"]]
+                et_trace = list(ckpt.arrays["e_trial_trace"])
+            else:
+                states = _initial_population(spec)
+                energies = _scatter(pool, states, "measure", ion_charge)
+                healthy = []
+                for s, e in zip(states, energies):
+                    s.e_local = e
+                    if keep(e):
+                        healthy.append(s)
+                if not healthy:
+                    raise GuardViolation(
+                        "no walker with finite local energy at start"
+                    )
+                states = healthy
+                e_trial = float(np.mean([s.e_local for s in states]))
+                start_gen = 0
+                accepted = attempted = 0
+                energy_trace, pop_trace, et_trace = [], [], []
+
+            for gen in range(start_gen, n_generations):
+                t_gen = time.perf_counter() if OBS.enabled else 0.0
+                results = _scatter(pool, states, "propagate", tau, ion_charge)
+                weights: list[float | None] = []
+                for s, r in zip(states, results):
+                    e_old = s.e_local
+                    s.positions = r["positions"]
+                    s.rng_state = r["rng_state"]
+                    s.e_local = r["e_local"]
+                    accepted += r["accepted"]
+                    attempted += r["attempted"]
+                    if not keep(s.e_local):
+                        weights.append(None)
+                        continue
+                    weights.append(
+                        float(np.exp(-tau * (0.5 * (s.e_local + e_old) - e_trial)))
+                    )
+                new_states: list[_WalkerState] = []
+                cap = pop_guard.cap
+                for s, wt in zip(states, weights):
+                    if wt is None:
+                        continue
+                    # The branching uniform comes from the walker's own
+                    # stream (as in run_dmc), restored parent-side.
+                    rng = restore_rng(s.rng_state)
+                    n_copies = int(wt + rng.random())
+                    s.rng_state = rng_state(rng)
+                    for c in range(n_copies):
+                        if len(new_states) >= cap:
+                            break
+                        if c == 0:
+                            new_states.append(s)
+                        else:
+                            new_states.append(s.clone(clone_pool.next_rng()))
+                            OBS.count("dmc_branch_clones_total")
+                states = pop_guard.enforce(new_states, states, clone_pool)
+                e_est = float(np.mean([s.e_local for s in states]))
+                e_trial = e_est - feedback * np.log(len(states) / target)
+                energy_trace.append(e_est)
+                pop_trace.append(len(states))
+                et_trace.append(e_trial)
+                if OBS.enabled:
+                    dt = time.perf_counter() - t_gen
+                    OBS.count("dmc_generations_total")
+                    OBS.observe("dmc_generation_seconds", dt)
+                    OBS.gauge("dmc_population", len(states))
+                    OBS.gauge("dmc_e_trial", e_trial)
+                    OBS.complete(
+                        "dmc:generation",
+                        t_gen,
+                        dt,
+                        cat="qmc",
+                        generation=gen,
+                        population=len(states),
+                    )
+                if checkpoint_every is not None and (gen + 1) % checkpoint_every == 0:
+                    save_checkpoint(
+                        checkpoint_path,
+                        {
+                            "kind": _CHECKPOINT_KIND,
+                            "generation": gen + 1,
+                            "accepted": accepted,
+                            "attempted": attempted,
+                            "n_walkers": len(states),
+                            "pool_state": clone_pool.state,
+                            "walker_rng_states": [s.rng_state for s in states],
+                            "params": params,
+                        },
+                        {
+                            "positions": np.stack([s.positions for s in states]),
+                            "ion_positions": np.stack(
+                                [s.ion_positions for s in states]
+                            ),
+                            "e_local": np.asarray(
+                                [s.e_local for s in states], dtype=np.float64
+                            ),
+                            "e_trial": np.asarray(e_trial, dtype=np.float64),
+                            "energy_trace": np.asarray(energy_trace, dtype=np.float64),
+                            "population_trace": np.asarray(pop_trace, dtype=np.int64),
+                            "e_trial_trace": np.asarray(et_trace, dtype=np.float64),
+                        },
+                    )
+            pool.merge_metrics()
+    finally:
+        shared.close()
+        shared.unlink()
+    return DmcResult(
+        energy_trace=np.asarray(energy_trace),
+        population_trace=np.asarray(pop_trace),
+        e_trial_trace=np.asarray(et_trace),
+        acceptance=accepted / max(attempted, 1),
+        rescues=pop_guard.rescues,
+        truncations=pop_guard.truncations,
+        dropped_walkers=dropped,
+    )

@@ -1,0 +1,250 @@
+"""ProcessCrowdPool — a persistent pool of crowd-worker processes.
+
+Thread pools parallelize nothing here: outside the NumPy contractions,
+the walker loops are pure Python and GIL-bound (measured in
+``benchmarks/bench_pr3.py``: thread speedup ~1x).  This pool is the
+process-level replacement — the design QMCPACK's crowd drivers and
+QMCkl-style kernel libraries converged on:
+
+* each worker process builds its **shard state** once (attaching the
+  :class:`~repro.parallel.shared_table.SharedTable` zero-copy, building
+  its walkers from deterministic per-walker seeds) and keeps it alive
+  across calls — no per-step pickling of wavefunctions;
+* the parent scatters small command messages over pipes and gathers
+  results in worker order, so trajectories are bit-identical for any
+  worker count (see :mod:`repro.parallel.sharding`);
+* worker exceptions carry their traceback back to the parent and raise
+  :class:`WorkerError` there — never a silent hang;
+* per-worker :class:`~repro.obs.metrics.MetricsRegistry` state can be
+  pulled and merged into the parent's registry
+  (:meth:`ProcessCrowdPool.merge_metrics`).
+
+Start method: ``fork`` where the platform offers it (cheap, inherits
+the built problem), else ``spawn`` — in both cases the worker's *state*
+is built by the initializer in the worker, so the pool works identically
+under either.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import traceback
+
+__all__ = ["WorkerError", "ProcessCrowdPool"]
+
+
+class WorkerError(RuntimeError):
+    """A worker process failed; carries the worker's formatted traceback."""
+
+
+def _worker_main(conn, worker_id: int, initializer, init_args: tuple) -> None:
+    """The worker loop: build state once, then serve commands until stop."""
+    from repro.obs import OBS
+
+    # Under fork the child inherits the parent's registry contents;
+    # recording must start from zero or merging would double-count.
+    OBS.reset()
+    try:
+        state = initializer(worker_id, *init_args)
+        conn.send(("ready", None))
+    except BaseException:
+        conn.send(("err", traceback.format_exc()))
+        conn.close()
+        return
+    try:
+        while True:
+            # Orphan guard: a SIGKILL'd parent can never send "stop", and
+            # under fork each worker inherits a copy of its *own* parent
+            # pipe end, so recv would never raise EOFError either.  Poll
+            # with a timeout and exit once the parent is gone — this is
+            # also what lets the resource tracker reclaim the shared
+            # table segment after a parent crash.
+            while not conn.poll(1.0):
+                parent = mp.parent_process()
+                if parent is not None and not parent.is_alive():
+                    return
+            try:
+                msg = conn.recv()
+            except EOFError:
+                break
+            cmd = msg[0]
+            if cmd == "stop":
+                conn.send(("ok", None))
+                break
+            if cmd == "metrics":
+                conn.send(("ok", OBS.registry.state()))
+                continue
+            # ("call", method, args, kwargs)
+            _, method, args, kwargs = msg
+            try:
+                result = getattr(state, method)(*args, **kwargs)
+                conn.send(("ok", result))
+            except BaseException:
+                conn.send(("err", traceback.format_exc()))
+    finally:
+        closer = getattr(state, "close", None)
+        if callable(closer):
+            try:
+                closer()
+            except Exception:
+                pass
+        conn.close()
+
+
+def _default_start_method() -> str:
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+class ProcessCrowdPool:
+    """Persistent worker processes, each holding one walker shard.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker process count (>= 1).
+    initializer:
+        ``initializer(worker_id, *init_args) -> state`` run once inside
+        each worker; the returned object serves every later
+        :meth:`call`/:meth:`broadcast` by method name.  Must be a
+        module-level callable (pickled under ``spawn``).  If the state
+        has a ``close()`` method it is invoked at worker shutdown —
+        the hook for detaching shared-memory segments.
+    init_args:
+        Extra initializer arguments (picklable; pass the
+        ``SharedTable.spec`` here, never the array).
+    start_method:
+        ``"fork"`` / ``"spawn"`` / ``"forkserver"``; default prefers
+        ``fork`` where available.
+
+    Notes
+    -----
+    The pool is a context manager; :meth:`close` is idempotent and joins
+    every worker, so a ``with`` block leaves no processes (and, once the
+    owning :class:`SharedTable` unlinks, no ``/dev/shm`` segments)
+    behind.
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        initializer,
+        init_args: tuple = (),
+        start_method: str | None = None,
+    ):
+        if n_workers <= 0:
+            raise ValueError(f"n_workers must be positive, got {n_workers}")
+        ctx = mp.get_context(start_method or _default_start_method())
+        self.n_workers = int(n_workers)
+        self._conns = []
+        self._procs = []
+        self._closed = False
+        try:
+            for w in range(n_workers):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(child_conn, w, initializer, init_args),
+                    daemon=True,
+                    name=f"crowd-worker-{w}",
+                )
+                proc.start()
+                child_conn.close()
+                self._conns.append(parent_conn)
+                self._procs.append(proc)
+            for w in range(n_workers):
+                self._recv(w)  # "ready" (or the initializer's traceback)
+        except BaseException:
+            self.close()
+            raise
+
+    def __len__(self) -> int:
+        return self.n_workers
+
+    def _recv(self, worker: int):
+        try:
+            status, payload = self._conns[worker].recv()
+        except EOFError:
+            raise WorkerError(
+                f"worker {worker} died without replying (exit code "
+                f"{self._procs[worker].exitcode})"
+            ) from None
+        if status == "err":
+            raise WorkerError(f"worker {worker} failed:\n{payload}")
+        return payload
+
+    def call(self, method: str, per_worker_args: list[tuple], **kwargs) -> list:
+        """Scatter ``state.method(*args_w, **kwargs)`` and gather in order.
+
+        ``per_worker_args`` holds one positional-args tuple per worker;
+        all workers run concurrently, and the result list preserves
+        worker (hence walker) order.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        if len(per_worker_args) != self.n_workers:
+            raise ValueError(
+                f"need {self.n_workers} argument tuples, got {len(per_worker_args)}"
+            )
+        for conn, args in zip(self._conns, per_worker_args):
+            conn.send(("call", method, tuple(args), kwargs))
+        return [self._recv(w) for w in range(self.n_workers)]
+
+    def broadcast(self, method: str, *args, **kwargs) -> list:
+        """Run ``state.method(*args, **kwargs)`` on every worker."""
+        return self.call(method, [args] * self.n_workers, **kwargs)
+
+    # -- observability -------------------------------------------------------
+
+    def metrics_states(self) -> list[list[dict]]:
+        """Pull every worker's metrics-registry state (one list each)."""
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        for conn in self._conns:
+            conn.send(("metrics",))
+        return [self._recv(w) for w in range(self.n_workers)]
+
+    def merge_metrics(self) -> None:
+        """Fold every worker's registry into the parent's ``OBS`` registry.
+
+        Counters add, gauges keep the last worker's value, histograms
+        combine — see :meth:`repro.obs.metrics.MetricsRegistry.merge_state`.
+        A ``crowd_pool_workers`` gauge records the pool size.
+        """
+        from repro.obs import OBS
+
+        if not OBS.enabled:
+            return
+        for state in self.metrics_states():
+            OBS.registry.merge_state(state)
+        OBS.gauge("crowd_pool_workers", self.n_workers)
+
+    # -- lifetime ------------------------------------------------------------
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop and join every worker (idempotent, never raises on exit)."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for conn in self._conns:
+            try:
+                conn.recv()
+            except (EOFError, OSError):
+                pass
+        for conn in self._conns:
+            conn.close()
+        for proc in self._procs:
+            proc.join(timeout=timeout)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=timeout)
+
+    def __enter__(self) -> "ProcessCrowdPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

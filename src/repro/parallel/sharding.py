@@ -1,0 +1,60 @@
+"""Deterministic walker sharding and per-walker random streams.
+
+The bit-for-bit contract of :mod:`repro.parallel` rests on two rules:
+
+* a walker's random stream is a function of its **global index only**
+  (:func:`walker_seed_sequence`), never of which worker it lands on or
+  how many workers exist;
+* walkers are sharded **contiguously and in order**
+  (:func:`shard_slices`), and results are gathered back in walker
+  order.
+
+Together they make ``run_*(n_workers=K)`` bit-identical for every ``K``
+— the multiprocess twin of the paper's "independent walkers that share
+only the read-only table".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["shard_slices", "walker_seed_sequence", "walker_rng"]
+
+
+def shard_slices(n_items: int, n_shards: int) -> list[slice]:
+    """Contiguous, in-order, near-equal slices of ``range(n_items)``.
+
+    The first ``n_items % n_shards`` shards get one extra item.  Shards
+    beyond ``n_items`` come back empty (a 4-worker pool given 2 walkers
+    runs 2 idle workers rather than failing).
+    """
+    if n_items < 0:
+        raise ValueError(f"n_items must be >= 0, got {n_items}")
+    if n_shards <= 0:
+        raise ValueError(f"n_shards must be positive, got {n_shards}")
+    base, extra = divmod(n_items, n_shards)
+    slices = []
+    lo = 0
+    for s in range(n_shards):
+        hi = lo + base + (1 if s < extra else 0)
+        slices.append(slice(lo, hi))
+        lo = hi
+    return slices
+
+
+def walker_seed_sequence(seed: int, walker: int, stream: int = 0) -> np.random.SeedSequence:
+    """The seed sequence of global walker ``walker`` under master ``seed``.
+
+    ``stream`` separates independent uses for the same walker (0 =
+    configuration build, 1 = move stream, ...).  Depends only on
+    ``(seed, walker, stream)`` — not on sharding — which is what makes
+    process counts interchangeable.
+    """
+    if walker < 0:
+        raise ValueError(f"walker index must be >= 0, got {walker}")
+    return np.random.SeedSequence(entropy=seed, spawn_key=(walker, stream))
+
+
+def walker_rng(seed: int, walker: int, stream: int = 0) -> np.random.Generator:
+    """A fresh generator on :func:`walker_seed_sequence`'s stream."""
+    return np.random.default_rng(walker_seed_sequence(seed, walker, stream))

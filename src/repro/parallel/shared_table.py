@@ -1,0 +1,146 @@
+"""The read-only coefficient table in POSIX shared memory.
+
+Paper Fig. 3 shares one read-only ``(nx, ny, nz, N)`` coefficient table
+across all walker threads; :class:`SharedTable` extends that contract to
+*process* scope.  The owner process copies the table into a
+``multiprocessing.shared_memory`` segment exactly once; every worker
+process attaches the same segment by name and maps it zero-copy — the
+table never travels through a pipe, and the node holds one physical copy
+no matter how many workers run (the O(table) + O(Nw * N) memory model of
+paper Sec. I, with Nw spread over processes).
+
+Lifetime rules (enforced by tests, documented in ``docs/API.md``):
+
+* the **owner** (``SharedTable.create``) must call :meth:`unlink` —
+  most simply via the context-manager form — or the segment outlives
+  the process in ``/dev/shm``;
+* **attachers** (``SharedTable.attach``) call :meth:`close` only; they
+  never unlink a segment they do not own;
+* close workers *before* the owner unlinks: a mapped segment survives
+  unlinking (POSIX semantics), but late attachers would fail.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["SharedTable"]
+
+
+class SharedTable:
+    """A NumPy array placed once in shared memory, attached zero-copy.
+
+    Use :meth:`create` in the owner process and :meth:`attach` (with the
+    owner's picklable :attr:`spec`) in workers.  The exposed
+    :attr:`array` view is marked read-only in *every* process — the
+    coefficient table is immutable by contract, and an accidental write
+    from a worker would silently corrupt all of them.
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        shape: tuple[int, ...],
+        dtype: np.dtype,
+        owner: bool,
+    ):
+        self._shm = shm
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = np.dtype(dtype)
+        self.owner = bool(owner)
+        self._closed = False
+        view = np.ndarray(self.shape, dtype=self.dtype, buffer=shm.buf)
+        view.flags.writeable = False
+        self._array = view
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def create(cls, array: np.ndarray) -> "SharedTable":
+        """Copy ``array`` into a fresh shared segment; returns the owner
+        handle.  The one copy this class ever makes."""
+        array = np.ascontiguousarray(array)
+        if array.nbytes == 0:
+            raise ValueError("refusing to share an empty array")
+        shm = shared_memory.SharedMemory(create=True, size=array.nbytes)
+        staging = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+        staging[...] = array
+        return cls(shm, array.shape, array.dtype, owner=True)
+
+    @classmethod
+    def attach(cls, spec: dict) -> "SharedTable":
+        """Attach an existing segment from an owner's :attr:`spec`.
+
+        Zero-copy: the returned :attr:`array` maps the owner's pages
+        directly.  The attachment is *not* an owner — :meth:`unlink`
+        refuses, and the context-manager exit only detaches.
+        """
+        shm = shared_memory.SharedMemory(name=spec["name"])
+        return cls(shm, tuple(spec["shape"]), np.dtype(spec["dtype"]), owner=False)
+
+    # -- access --------------------------------------------------------------
+
+    @property
+    def array(self) -> np.ndarray:
+        """The read-only table view (valid until :meth:`close`)."""
+        if self._closed:
+            raise ValueError("shared table is closed")
+        return self._array
+
+    @property
+    def name(self) -> str:
+        """The segment name (how attachers find it)."""
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        """Table payload size in bytes."""
+        return int(np.prod(self.shape)) * self.dtype.itemsize
+
+    @property
+    def spec(self) -> dict:
+        """Picklable descriptor workers use to :meth:`attach`."""
+        return {
+            "name": self._shm.name,
+            "shape": list(self.shape),
+            "dtype": self.dtype.str,
+        }
+
+    # -- lifetime ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Detach this process's mapping (idempotent).
+
+        The segment itself survives until the owner unlinks it; after
+        closing, :attr:`array` raises instead of touching unmapped
+        memory.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._array = None
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner only; call after workers closed)."""
+        if not self.owner:
+            raise ValueError("only the creating process may unlink a segment")
+        self._shm.unlink()
+
+    def __enter__(self) -> "SharedTable":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        was_owner = self.owner and not self._closed
+        self.close()
+        if was_owner:
+            self.unlink()
+
+    def __repr__(self) -> str:
+        role = "owner" if self.owner else "attached"
+        return (
+            f"SharedTable({self._shm.name!r}, shape={self.shape}, "
+            f"dtype={self.dtype}, {role})"
+        )

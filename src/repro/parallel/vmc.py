@@ -1,0 +1,160 @@
+"""VMC over a walker population, sharded across worker processes.
+
+Each walker's VMC trajectory is fully independent (its wavefunction and
+its private stream), so population-level VMC is embarrassingly parallel:
+shard the walkers, run :func:`repro.qmc.vmc.run_vmc` per walker inside
+each worker, gather per-walker energy traces in walker order.  With the
+per-walker streams of :mod:`repro.parallel.sharding`, the merged result
+is bit-identical to the sequential loop for any worker count.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs import OBS
+from repro.parallel.crowd import CrowdSpec, build_walker_range, solve_spec_table
+from repro.parallel.pool import ProcessCrowdPool
+from repro.parallel.sharding import shard_slices
+from repro.parallel.shared_table import SharedTable
+from repro.qmc.vmc import run_vmc
+
+__all__ = ["VmcPopulationResult", "run_vmc_population"]
+
+
+@dataclass
+class VmcPopulationResult:
+    """Merged population VMC outcome, in walker order.
+
+    ``energies`` is ``(n_walkers, n_steps)`` — one post-warm-up local
+    energy trace per walker.
+    """
+
+    energies: np.ndarray
+    acceptance: float
+    seconds: float
+    n_workers: int
+    energy_mean: float = field(init=False)
+    energy_error: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        flat = np.asarray(self.energies).ravel()
+        self.energy_mean = float(np.mean(flat)) if flat.size else 0.0
+        self.energy_error = (
+            float(np.std(flat) / np.sqrt(flat.size)) if flat.size > 1 else 0.0
+        )
+
+
+def _run_walker_range(wfs, rngs, n_steps, n_warmup, tau, ion_charge) -> dict:
+    """Sequentially run VMC over already-built walkers; shared by the
+    in-process path and the worker shards."""
+    energies, accepted, attempted = [], 0, 0
+    for wf, rng in zip(wfs, rngs):
+        result = run_vmc(
+            wf,
+            rng,
+            n_steps=n_steps,
+            n_warmup=n_warmup,
+            tau=tau,
+            ion_charge=ion_charge,
+        )
+        energies.append(result.energies)
+        sweeps = n_steps + n_warmup
+        n_el = len(wf.electrons)
+        attempted += sweeps * n_el
+        accepted += round(result.acceptance * sweeps * n_el)
+    return {
+        "energies": np.asarray(energies, dtype=np.float64)
+        if energies
+        else np.empty((0, n_steps)),
+        "accepted": accepted,
+        "attempted": attempted,
+    }
+
+
+class _VmcShard:
+    """Worker-process state: attached table + this shard's walkers."""
+
+    def __init__(self, worker_id: int, spec: CrowdSpec, table_spec: dict):
+        self._table = SharedTable.attach(table_spec)
+        shard = shard_slices(spec.n_walkers, table_spec["n_workers"])[worker_id]
+        self.wfs, self.rngs = build_walker_range(
+            spec, self._table.array, shard.start, shard.stop
+        )
+
+    def run(self, n_steps, n_warmup, tau, ion_charge) -> dict:
+        t0 = time.perf_counter()
+        out = _run_walker_range(
+            self.wfs, self.rngs, n_steps, n_warmup, tau, ion_charge
+        )
+        if OBS.enabled and self.wfs:
+            OBS.count("vmc_shard_walkers_total", len(self.wfs))
+            OBS.observe("vmc_shard_seconds", time.perf_counter() - t0)
+        return out
+
+    def close(self) -> None:
+        self.wfs = self.rngs = None
+        try:
+            self._table.close()
+        except BufferError:
+            pass
+
+
+def _init_vmc_shard(worker_id: int, spec: CrowdSpec, table_spec: dict):
+    return _VmcShard(worker_id, spec, table_spec)
+
+
+def run_vmc_population(
+    spec: CrowdSpec,
+    n_workers: int = 1,
+    n_steps: int = 50,
+    n_warmup: int = 10,
+    tau: float = 0.3,
+    ion_charge: float = 4.0,
+    table: np.ndarray | None = None,
+    processes: bool = True,
+    start_method: str | None = None,
+) -> VmcPopulationResult:
+    """Run VMC over ``spec.n_walkers`` walkers, sharded over processes.
+
+    ``processes=False`` (or ``n_workers == 0``) runs the same walker loop
+    in the calling process — the bit-identity reference the tests compare
+    1/2/4-worker runs against.
+    """
+    if table is None:
+        table = solve_spec_table(spec)
+    t0 = time.perf_counter()
+    if not processes or n_workers == 0:
+        wfs, rngs = build_walker_range(spec, table, 0, spec.n_walkers)
+        shards = [_run_walker_range(wfs, rngs, n_steps, n_warmup, tau, ion_charge)]
+        n_workers = 0
+    else:
+        shared = SharedTable.create(table)
+        table_spec = dict(shared.spec, n_workers=n_workers)
+        try:
+            with ProcessCrowdPool(
+                n_workers,
+                _init_vmc_shard,
+                (spec, table_spec),
+                start_method=start_method,
+            ) as pool:
+                shards = pool.broadcast("run", n_steps, n_warmup, tau, ion_charge)
+                pool.merge_metrics()
+        finally:
+            shared.close()
+            shared.unlink()
+    seconds = time.perf_counter() - t0
+    energies = np.concatenate(
+        [s["energies"] for s in shards if len(s["energies"])]
+    )
+    accepted = sum(s["accepted"] for s in shards)
+    attempted = sum(s["attempted"] for s in shards)
+    return VmcPopulationResult(
+        energies=energies,
+        acceptance=accepted / max(attempted, 1),
+        seconds=seconds,
+        n_workers=n_workers,
+    )

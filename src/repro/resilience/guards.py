@@ -24,6 +24,7 @@ rebranch) is applied inside :func:`repro.qmc.dmc.run_dmc` and
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -191,6 +192,15 @@ class GuardedEngine:
         Kernel calls that produced at least one non-finite value.
     repairs:
         Violations successfully repaired via the reference path.
+
+    Notes
+    -----
+    The counters are updated under an internal lock, so one engine can
+    safely be shared by concurrent walker threads
+    (``WalkerEnsemble.run_batch(walker_threads > 1)``) — each walker
+    still needs its *own* output buffer, as with any engine.  The
+    recompute repair path only writes into the caller's private output,
+    so the lock covers exactly the shared mutable state.
     """
 
     def __init__(self, engine, policy: str = "raise", reference_table=None):
@@ -208,6 +218,7 @@ class GuardedEngine:
             raise ValueError("recompute policy needs a reference_table")
         self.violations = 0
         self.repairs = 0
+        self._lock = threading.Lock()
 
     def __getattr__(self, name):
         # Everything not guarded (new_output, n_splines, dtype, ...) passes
@@ -220,7 +231,8 @@ class GuardedEngine:
         bad = nonfinite_counts(**arrays)
         if not bad:
             return
-        self.violations += 1
+        with self._lock:
+            self.violations += 1
         OBS.count(
             "guard_trips_total",
             kind="nonfinite_output",
@@ -253,7 +265,8 @@ class GuardedEngine:
             ref_arrays["lh"] = lh
         check_finite(f"reference {kind.upper()} repair", **ref_arrays)
         _write_reference(kind, out, v, g, lh)
-        self.repairs += 1
+        with self._lock:
+            self.repairs += 1
         OBS.count("guard_repairs_total", kernel=kind)
 
     def v(self, x: float, y: float, z: float, out) -> None:

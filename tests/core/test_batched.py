@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import BsplineBatched, BsplineFused, Grid3D
+from repro.core.batched import BatchedOutput
 
 
 @pytest.fixture
@@ -60,6 +61,99 @@ class TestAgreementWithPerPosition:
         )
 
 
+class TestStreamValidity:
+    """Reusing one output across kernels must never serve stale numbers.
+
+    Regression for the headline bug: ``vgh_batch`` followed by
+    ``v_batch`` on the same buffer used to leave the old gradients /
+    Hessians readable as if current.
+    """
+
+    def test_fresh_output_starts_with_nothing_valid(self, batched):
+        assert batched.new_output(3).valid == frozenset()
+
+    def test_each_kernel_declares_its_streams(self, batched, positions):
+        out = batched.new_output(len(positions))
+        batched.v_batch(positions, out)
+        assert out.valid == {"v"}
+        batched.vgl_batch(positions, out)
+        assert out.valid == {"v", "g", "l"}
+        batched.vgh_batch(positions, out)
+        assert out.valid == {"v", "g", "l", "h"}
+
+    def test_reuse_poisons_stale_streams(self, batched, positions, rng):
+        # vgh -> vgl: h goes stale; vgl -> v: g and l go stale too.
+        out = batched.new_output(len(positions))
+        batched.vgh_batch(positions, out)
+        moved = positions + 0.05
+        batched.vgl_batch(moved, out)
+        assert out.valid == {"v", "g", "l"}
+        assert np.isnan(out.h).all(), "stale Hessian must be poisoned"
+        assert np.isfinite(out.v).all() and np.isfinite(out.g).all()
+        batched.v_batch(positions, out)
+        assert out.valid == {"v"}
+        assert np.isnan(out.g).all() and np.isnan(out.l).all()
+        assert np.isfinite(out.v).all()
+
+    def test_refreshed_streams_match_a_fresh_buffer(self, batched, positions):
+        # The poison/refresh cycle must not perturb the live streams.
+        reused = batched.new_output(len(positions))
+        batched.vgh_batch(positions, reused)
+        batched.v_batch(positions + 0.05, reused)
+        batched.vgl_batch(positions, reused)
+        fresh = batched.new_output(len(positions))
+        batched.vgl_batch(positions, fresh)
+        np.testing.assert_array_equal(reused.v, fresh.v)
+        np.testing.assert_array_equal(reused.g, fresh.g)
+        np.testing.assert_array_equal(reused.l, fresh.l)
+
+
+class TestChunking:
+    """``max_batch_bytes`` streams the batch through bounded temporaries
+    with bitwise-identical results."""
+
+    @pytest.mark.parametrize("kind", ["v", "vgl", "vgh"])
+    @pytest.mark.parametrize("chunk_positions", [1, 2, 4])
+    def test_chunked_matches_unchunked_bitwise(
+        self, small_grid, small_table, positions, kind, chunk_positions
+    ):
+        full = BsplineBatched(small_grid, small_table)
+        per_position = 64 * full.n_splines * small_table.dtype.itemsize
+        chunked = BsplineBatched(
+            small_grid, small_table,
+            max_batch_bytes=chunk_positions * per_position,
+        )
+        assert chunked._chunk == chunk_positions
+        a, b = full.new_output(len(positions)), chunked.new_output(len(positions))
+        getattr(full, f"{kind}_batch")(positions, a)
+        getattr(chunked, f"{kind}_batch")(positions, b)
+        np.testing.assert_array_equal(a.v, b.v)
+        if kind != "v":
+            np.testing.assert_array_equal(a.g, b.g)
+            np.testing.assert_array_equal(a.l, b.l)
+        if kind == "vgh":
+            np.testing.assert_array_equal(a.h, b.h)
+
+    def test_singleton_matches_batch_bitwise(self, batched, positions):
+        # The sharding contract in repro.parallel rests on this: a
+        # position's bits cannot depend on its batch-mates.
+        full = batched.new_output(len(positions))
+        batched.vgh_batch(positions, full)
+        for s in range(len(positions)):
+            one = batched.new_output(1)
+            batched.vgh_batch(positions[s : s + 1], one)
+            np.testing.assert_array_equal(one.v[0], full.v[s])
+            np.testing.assert_array_equal(one.h[:, :], full.h[s : s + 1])
+
+    def test_tiny_cap_clamps_to_one_position(self, small_grid, small_table):
+        engine = BsplineBatched(small_grid, small_table, max_batch_bytes=1)
+        assert engine._chunk == 1
+
+    def test_rejects_nonpositive_cap(self, small_grid, small_table):
+        with pytest.raises(ValueError, match="max_batch_bytes"):
+            BsplineBatched(small_grid, small_table, max_batch_bytes=0)
+
+
 class TestValidation:
     def test_output_shapes(self, batched):
         out = batched.new_output(5)
@@ -84,6 +178,19 @@ class TestValidation:
         b = BsplineBatched(small_grid, small_table_f32)
         out = b.new_output(3)
         assert out.v.dtype == np.float32
+
+    def test_direct_output_defaults_to_float64(self):
+        # Regression: the default used to be float32, silently
+        # downcasting double-precision tables on directly-built outputs.
+        out = BatchedOutput(2, 8)
+        for stream in (out.v, out.g, out.l, out.h):
+            assert stream.dtype == np.float64
+
+    def test_f64_engine_results_stay_f64(self, batched, positions):
+        out = batched.new_output(len(positions))
+        batched.vgh_batch(positions, out)
+        assert out.v.dtype == np.float64
+        assert out.h.dtype == np.float64
 
     def test_batch_of_one(self, batched, fused):
         out = batched.new_output(1)

@@ -105,3 +105,44 @@ class TestTiledDriver:
         np.testing.assert_allclose(
             of.as_canonical()["v"], ot.as_canonical()["v"], atol=1e-6
         )
+
+
+class TestProcessSharding:
+    """``processes=K`` shards walkers over worker processes; the work
+    done (eval counts) must not depend on K, and sequential-only
+    features must refuse to combine with it."""
+
+    @pytest.mark.parametrize("n_processes", [1, 2])
+    def test_kernel_driver_eval_counts_match_sequential(
+        self, cfg, table, n_processes
+    ):
+        c = replace(cfg, n_walkers=3)
+        seq = run_kernel_driver(c, "soa", kernels=("vgh",), coefficients=table)
+        par = run_kernel_driver(
+            c, "soa", kernels=("vgh",), coefficients=table, processes=n_processes
+        )
+        assert par.evals == seq.evals
+        assert par.seconds["vgh"] > 0
+        assert par.throughputs["vgh"] > 0
+
+    def test_tiled_driver_accepts_processes(self, cfg, table):
+        tc = replace(cfg, tile_size=8, n_walkers=2)
+        par = run_tiled_driver(tc, kernels=("v",), coefficients=table, processes=2)
+        assert par.engine == "aosoa8"
+        assert par.evals["v"] == tc.n_walkers * tc.n_iters * tc.n_samples
+
+    def test_processes_excludes_checkpointing(self, cfg, table, tmp_path):
+        with pytest.raises(ValueError, match="sequential-mode"):
+            run_kernel_driver(
+                cfg,
+                "soa",
+                coefficients=table,
+                processes=2,
+                checkpoint_every=1,
+                checkpoint_path=tmp_path,
+            )
+
+    def test_processes_excludes_nested_threads(self, cfg, table):
+        tc = replace(cfg, tile_size=8)
+        with pytest.raises(ValueError, match="worker processes"):
+            run_tiled_driver(tc, n_threads=2, coefficients=table, processes=2)

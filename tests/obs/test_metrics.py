@@ -168,6 +168,85 @@ class TestRegistry:
         assert "kernel_eval_seconds{engine=soa}" in table
 
 
+class TestMergeState:
+    """Cross-process folding: workers ship ``state()``, the parent merges."""
+
+    def test_counter_states_add(self):
+        a, b = Counter(), Counter()
+        a.inc(3)
+        b.inc(4)
+        a.merge_state(b.state())
+        assert a.value == 7
+
+    def test_gauge_last_write_wins(self):
+        a, b = Gauge(), Gauge()
+        a.set(1.0)
+        b.set(9.0)
+        a.merge_state(b.state())
+        assert a.value == 9.0
+
+    def test_histogram_aggregates_combine_exactly(self):
+        a, b = Histogram(), Histogram()
+        for v in (1.0, 5.0):
+            a.observe(v)
+        for v in (0.5, 2.0, 8.0):
+            b.observe(v)
+        a.merge_state(b.state())
+        assert a.count == 5
+        assert a.sum == 16.5
+        assert a.min == 0.5
+        assert a.max == 8.0
+        assert np.isclose(a.quantile(1.0), 8.0)
+
+    def test_merging_an_empty_histogram_changes_nothing(self):
+        a = Histogram()
+        a.observe(2.0)
+        a.merge_state(Histogram().state())
+        assert a.count == 1
+        assert a.min == a.max == 2.0
+
+    def test_state_is_picklable(self):
+        import pickle
+
+        reg = MetricsRegistry()
+        reg.counter("n", engine="soa").inc(2)
+        reg.histogram("t").observe(0.25)
+        state = pickle.loads(pickle.dumps(reg.state()))
+        assert {e["name"] for e in state} == {"n", "t"}
+
+    def test_registry_merge_creates_and_folds(self):
+        worker = MetricsRegistry()
+        worker.counter("evals", engine="soa").inc(10)
+        worker.gauge("occ").set(0.5)
+        worker.histogram("t").observe(1.5)
+        parent = MetricsRegistry()
+        parent.counter("evals", engine="soa").inc(5)
+        parent.merge_state(worker.state())
+        parent.merge_state(worker.state())  # a second worker, same shape
+        assert parent.counter("evals", engine="soa").value == 25
+        assert parent.gauge("occ").value == 0.5
+        assert parent.histogram("t").count == 2
+        assert len(parent) == 3
+
+    def test_registry_merge_respects_labels(self):
+        worker = MetricsRegistry()
+        worker.counter("evals", engine="soa").inc(1)
+        parent = MetricsRegistry()
+        parent.counter("evals", engine="aos").inc(1)
+        parent.merge_state(worker.state())
+        assert parent.counter("evals", engine="aos").value == 1
+        assert parent.counter("evals", engine="soa").value == 1
+
+    def test_merged_histogram_respects_sample_cap(self):
+        a = Histogram(max_samples=8)
+        b = Histogram(max_samples=8)
+        for v in range(16):
+            b.observe(float(v))
+        a.merge_state(b.state())
+        assert a.count == 16
+        assert len(a._samples) < 8
+
+
 def test_format_labels():
     assert format_labels({}) == ""
     assert format_labels({"b": "2", "a": "1"}) == "{a=1,b=2}"

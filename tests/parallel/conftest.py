@@ -1,0 +1,68 @@
+"""Fixtures for the process-parallel tests.
+
+The populations here are deliberately tiny (a handful of walkers, a
+couple of sweeps): the contracts under test are *bitwise*, not
+statistical, so one sweep already distinguishes a correct shard from a
+broken one, and process spawn/join dominates the wall time anyway.
+
+``shm_sentinel`` enforces the ISSUE's lifetime rule directly: no test
+may leave a ``shared_memory`` segment behind in ``/dev/shm``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.obs import OBS
+from repro.parallel import CrowdSpec, solve_spec_table
+
+_SHM_DIR = Path("/dev/shm")
+
+
+def shm_segments() -> set[str]:
+    """Names of live shared-memory segments (empty on non-Linux hosts)."""
+    if not _SHM_DIR.is_dir():
+        return set()
+    return {p.name for p in _SHM_DIR.iterdir()}
+
+
+@pytest.fixture
+def shm_sentinel():
+    """Fail the test if it leaks any shared-memory segment."""
+    before = shm_segments()
+    yield
+    leaked = shm_segments() - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+
+
+@pytest.fixture
+def obs():
+    """The global ``OBS``, enabled and empty; disabled and wiped after."""
+    OBS.reset()
+    OBS.enable()
+    try:
+        yield OBS
+    finally:
+        OBS.disable()
+        OBS.reset()
+
+
+@pytest.fixture(autouse=True)
+def _obs_stays_off():
+    """Guard: no test in this package may leak an enabled OBS."""
+    yield
+    assert not OBS.enabled, "test left the global OBS enabled"
+
+
+@pytest.fixture(scope="package")
+def spec():
+    """Five walkers so 2/4-worker shards are uneven (5 = 2+1+1+1)."""
+    return CrowdSpec(n_walkers=5, n_orbitals=2, seed=97)
+
+
+@pytest.fixture(scope="package")
+def table(spec):
+    """The spec's coefficient table, solved once for the whole package."""
+    return solve_spec_table(spec)

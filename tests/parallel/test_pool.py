@@ -1,0 +1,169 @@
+"""ProcessCrowdPool: scatter/gather order, worker errors, metrics merge."""
+
+import os
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.obs import OBS
+from repro.parallel import ProcessCrowdPool, WorkerError
+
+
+class _Echo:
+    """Minimal worker state exercising calls, persistence and metrics."""
+
+    def __init__(self, worker_id: int, bias: int = 0):
+        self.worker_id = worker_id
+        self.bias = bias
+
+    def whoami(self) -> int:
+        return self.worker_id
+
+    def add(self, a, b=0):
+        return self.worker_id * 100 + a + b + self.bias
+
+    def bump(self) -> int:
+        self.bias += 1
+        return self.bias
+
+    def boom(self):
+        raise RuntimeError("worker kaboom")
+
+    def record(self, n: int) -> None:
+        OBS.count("pool_test_total", n)
+        OBS.gauge("pool_test_last_worker", self.worker_id)
+        OBS.observe("pool_test_hist", float(n))
+
+
+def _init_echo(worker_id: int, bias: int = 0) -> _Echo:
+    return _Echo(worker_id, bias)
+
+
+def _init_fail(worker_id: int):
+    raise ValueError("init exploded on purpose")
+
+
+class TestScatterGather:
+    def test_broadcast_gathers_in_worker_order(self):
+        with ProcessCrowdPool(3, _init_echo) as pool:
+            assert len(pool) == 3
+            assert pool.broadcast("whoami") == [0, 1, 2]
+
+    def test_call_scatters_per_worker_args_and_kwargs(self):
+        with ProcessCrowdPool(2, _init_echo, (7,)) as pool:
+            assert pool.call("add", [(1,), (2,)], b=10) == [18, 119]
+
+    def test_call_rejects_wrong_arity(self):
+        with ProcessCrowdPool(2, _init_echo) as pool:
+            with pytest.raises(ValueError, match="argument tuples"):
+                pool.call("whoami", [()])
+
+    def test_worker_state_persists_between_calls(self):
+        with ProcessCrowdPool(2, _init_echo) as pool:
+            assert pool.broadcast("bump") == [1, 1]
+            assert pool.broadcast("bump") == [2, 2]
+
+
+class TestErrors:
+    def test_worker_exception_carries_its_traceback(self):
+        with ProcessCrowdPool(2, _init_echo) as pool:
+            with pytest.raises(WorkerError) as exc_info:
+                pool.broadcast("boom")
+        msg = str(exc_info.value)
+        assert "worker 0 failed" in msg
+        assert "RuntimeError: worker kaboom" in msg
+
+    def test_initializer_failure_propagates(self):
+        with pytest.raises(WorkerError, match="init exploded on purpose"):
+            ProcessCrowdPool(2, _init_fail)
+
+    def test_rejects_nonpositive_worker_count(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            ProcessCrowdPool(0, _init_echo)
+
+    def test_closed_pool_refuses_calls(self):
+        pool = ProcessCrowdPool(1, _init_echo)
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.broadcast("whoami")
+
+    def test_workers_exit_when_parent_is_killed(self, tmp_path):
+        # Regression: a SIGKILL'd parent can never send "stop", and under
+        # fork each worker inherits a copy of its own parent pipe end, so
+        # EOFError alone would never fire.  The orphan guard must notice
+        # the dead parent, exit the workers, and thereby let the resource
+        # tracker reclaim the shared table segment.
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        script = tmp_path / "orphan_parent.py"
+        script.write_text(textwrap.dedent(f"""
+            import os, signal, sys
+            sys.path.insert(0, {src!r})
+            import numpy as np
+            from repro.parallel import ProcessCrowdPool, SharedTable
+
+            def init(worker_id, spec):
+                table = SharedTable.attach(spec)
+                class Holder:
+                    def close(self):
+                        try:
+                            table.close()
+                        except BufferError:
+                            pass
+                return Holder()
+
+            if __name__ == "__main__":
+                shared = SharedTable.create(np.ones((2, 2, 2, 2)))
+                pool = ProcessCrowdPool(2, init, (shared.spec,))
+                print(",".join(str(p.pid) for p in pool._procs), flush=True)
+                print(shared.name, flush=True)
+                os.kill(os.getpid(), signal.SIGKILL)
+        """))
+        proc = subprocess.run(
+            [sys.executable, str(script)], capture_output=True, text=True, timeout=60
+        )
+        assert proc.returncode == -9  # the self-SIGKILL, not a crash
+        pid_line, segment = proc.stdout.strip().splitlines()
+        pids = [int(p) for p in pid_line.split(",")]
+        assert len(pids) == 2
+        deadline = time.monotonic() + 15.0
+        while time.monotonic() < deadline:
+            alive = []
+            for pid in pids:
+                try:
+                    os.kill(pid, 0)
+                    alive.append(pid)
+                except ProcessLookupError:
+                    pass
+            if not alive:
+                break
+            time.sleep(0.25)
+        assert not alive, f"orphaned workers survived parent death: {alive}"
+        shm_path = Path("/dev/shm") / segment
+        if shm_path.parent.is_dir():
+            while shm_path.exists() and time.monotonic() < deadline:
+                time.sleep(0.25)
+            assert not shm_path.exists(), "crashed run leaked its table segment"
+
+
+class TestMetricsMerge:
+    def test_worker_metrics_fold_into_parent(self, obs):
+        with ProcessCrowdPool(2, _init_echo) as pool:
+            pool.call("record", [(3,), (4,)])
+            pool.merge_metrics()
+        assert obs.registry.counter("pool_test_total").value == 7
+        hist = obs.registry.histogram("pool_test_hist")
+        assert hist.count == 2
+        assert hist.sum == 7.0
+        assert obs.registry.gauge("crowd_pool_workers").value == 2
+
+    def test_merge_is_a_no_op_when_disabled(self):
+        OBS.reset()
+        with ProcessCrowdPool(1, _init_echo) as pool:
+            pool.call("record", [(5,)])
+            pool.merge_metrics()
+        assert len(OBS.registry) == 0

@@ -1,0 +1,55 @@
+"""Deterministic sharding and per-walker streams — the bit-identity base."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import shard_slices, walker_rng, walker_seed_sequence
+
+
+class TestShardSlices:
+    def test_contiguous_in_order(self):
+        assert shard_slices(10, 3) == [slice(0, 4), slice(4, 7), slice(7, 10)]
+
+    def test_covers_every_item_exactly_once(self):
+        for n_items in range(9):
+            for n_shards in range(1, 6):
+                slices = shard_slices(n_items, n_shards)
+                assert len(slices) == n_shards
+                merged = [i for sl in slices for i in range(sl.start, sl.stop)]
+                assert merged == list(range(n_items))
+
+    def test_extra_items_go_to_leading_shards(self):
+        assert [sl.stop - sl.start for sl in shard_slices(7, 4)] == [2, 2, 2, 1]
+
+    def test_more_shards_than_items_leaves_empties(self):
+        assert [sl.stop - sl.start for sl in shard_slices(2, 4)] == [1, 1, 0, 0]
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError, match="n_items"):
+            shard_slices(-1, 2)
+        with pytest.raises(ValueError, match="n_shards"):
+            shard_slices(3, 0)
+
+
+class TestWalkerStreams:
+    def test_stream_is_a_function_of_identity_only(self):
+        a = walker_rng(7, 3, stream=1).random(4)
+        b = walker_rng(7, 3, stream=1).random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_walkers_and_streams_are_distinct(self):
+        draws = {
+            (w, s): tuple(walker_rng(7, w, stream=s).random(2))
+            for w in range(4)
+            for s in range(2)
+        }
+        assert len(set(draws.values())) == len(draws)
+
+    def test_spawn_key_encodes_walker_and_stream(self):
+        ss = walker_seed_sequence(11, 5, stream=1)
+        assert ss.entropy == 11
+        assert ss.spawn_key == (5, 1)
+
+    def test_rejects_negative_walker(self):
+        with pytest.raises(ValueError, match="walker"):
+            walker_seed_sequence(1, -1)

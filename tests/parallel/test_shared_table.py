@@ -1,0 +1,86 @@
+"""SharedTable: zero-copy attachment and the segment lifetime rules."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.parallel import SharedTable
+
+
+@pytest.fixture
+def array(rng):
+    return rng.standard_normal((4, 3, 5, 6))
+
+
+class TestRoundTrip:
+    def test_create_holds_the_bytes(self, array, shm_sentinel):
+        with SharedTable.create(array) as shared:
+            np.testing.assert_array_equal(shared.array, array)
+            assert shared.owner
+            assert shared.nbytes == array.nbytes
+            assert shared.shape == array.shape
+
+    def test_attach_sees_identical_bits(self, array, shm_sentinel):
+        with SharedTable.create(array) as owner:
+            attached = SharedTable.attach(owner.spec)
+            try:
+                np.testing.assert_array_equal(attached.array, array)
+                assert not attached.owner
+            finally:
+                attached.close()
+
+    def test_spec_survives_pickling(self, array, shm_sentinel):
+        with SharedTable.create(array) as owner:
+            assert pickle.loads(pickle.dumps(owner.spec)) == owner.spec
+
+    def test_f32_dtype_round_trips(self, shm_sentinel):
+        arr = np.arange(24, dtype=np.float32).reshape(2, 3, 4)
+        with SharedTable.create(arr) as shared:
+            assert shared.array.dtype == np.float32
+            np.testing.assert_array_equal(shared.array, arr)
+
+
+class TestReadOnly:
+    def test_owner_view_rejects_writes(self, array, shm_sentinel):
+        with SharedTable.create(array) as shared:
+            with pytest.raises(ValueError):
+                shared.array[0, 0, 0, 0] = 1.0
+
+    def test_attached_view_rejects_writes(self, array, shm_sentinel):
+        with SharedTable.create(array) as owner:
+            attached = SharedTable.attach(owner.spec)
+            try:
+                with pytest.raises(ValueError):
+                    attached.array[...] = 0.0
+            finally:
+                attached.close()
+
+
+class TestLifetime:
+    def test_attacher_may_not_unlink(self, array, shm_sentinel):
+        with SharedTable.create(array) as owner:
+            attached = SharedTable.attach(owner.spec)
+            try:
+                with pytest.raises(ValueError, match="creating process"):
+                    attached.unlink()
+            finally:
+                attached.close()
+
+    def test_close_is_idempotent_and_invalidates_array(self, array, shm_sentinel):
+        shared = SharedTable.create(array)
+        shared.close()
+        shared.close()
+        with pytest.raises(ValueError, match="closed"):
+            shared.array
+        shared.unlink()
+
+    def test_context_manager_removes_the_segment(self, array, shm_sentinel):
+        with SharedTable.create(array) as owner:
+            spec = owner.spec
+        with pytest.raises(FileNotFoundError):
+            SharedTable.attach(spec)
+
+    def test_refuses_empty_array(self):
+        with pytest.raises(ValueError, match="empty"):
+            SharedTable.create(np.empty((0, 3)))

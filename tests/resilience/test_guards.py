@@ -94,6 +94,34 @@ class TestGuardedEngine:
         assert guarded.violations == 3
         assert guarded.repairs == 0
 
+    def test_count_policy_is_thread_safe(self, small_grid, small_table):
+        # One engine shared by hammering walker threads: every violation
+        # must be counted exactly once (the counters update under a lock).
+        import threading
+
+        eng = BsplineSoA(small_grid, _poisoned_table(small_table))
+        guarded = GuardedEngine(eng, "count")
+        per_thread, n_threads = 25, 4
+        barrier = threading.Barrier(n_threads)
+        failures: list[BaseException] = []
+
+        def hammer():
+            out = guarded.new_output("vgh")  # outputs stay thread-private
+            barrier.wait()
+            try:
+                for _ in range(per_thread):
+                    guarded.vgh(0.4, 0.6, 0.9, out)
+            except BaseException as exc:  # pragma: no cover - diagnostic
+                failures.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures
+        assert guarded.violations == per_thread * n_threads
+
     @pytest.mark.parametrize("layout", list(_ENGINES))
     @pytest.mark.parametrize("kind", ["v", "vgl", "vgh"])
     def test_recompute_policy_repairs_all_layouts(
