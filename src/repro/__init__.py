@@ -32,14 +32,14 @@ The package is organised as one subpackage per subsystem:
 Quickstart::
 
     import numpy as np
-    from repro.core import Grid3D, solve_coefficients_3d, BsplineSoA
+    from repro.core import Grid3D, Kind, solve_coefficients_3d, BsplineSoA
 
     grid = Grid3D(24, 24, 24, (1.0, 1.0, 1.0))
     samples = np.random.default_rng(7).standard_normal((24, 24, 24, 8))
     P = solve_coefficients_3d(samples)
     spo = BsplineSoA(grid, P)
-    out = spo.new_output("vgh")
-    spo.vgh(0.3, 0.1, 0.9, out)
+    out = spo.new_output(Kind.VGH)
+    spo.evaluate(Kind.VGH, (0.3, 0.1, 0.9), out)
     print(out.v[:4])
 """
 

@@ -45,6 +45,14 @@ def _dmc_main(argv: list[str]) -> int:
         "(repro.parallel.run_dmc_sharded) over K workers; traces are "
         "bit-identical for any K, and checkpoints resume under any K",
     )
+    parser.add_argument(
+        "--step-mode",
+        default="batched",
+        choices=("batched", "walker"),
+        help="advance the population through the batched crowd kernels "
+        "(default) or the per-walker sweep; trajectories are "
+        "bit-identical either way",
+    )
     parser.add_argument("--checkpoint-every", type=int, default=None, metavar="N")
     parser.add_argument("--checkpoint-path", default=None, metavar="DIR")
     parser.add_argument("--resume", default=None, metavar="DIR")
@@ -92,6 +100,7 @@ def _dmc_main(argv: list[str]) -> int:
                 checkpoint_path=args.checkpoint_path,
                 resume=args.resume,
                 guard=GuardConfig(on_nonfinite_energy=args.on_bad_energy),
+                step_mode=args.step_mode,
             )
         else:
             # The ensemble is rebuilt deterministically from the seed; on
@@ -110,6 +119,7 @@ def _dmc_main(argv: list[str]) -> int:
                 checkpoint_path=args.checkpoint_path,
                 resume=args.resume,
                 guard=GuardConfig(on_nonfinite_energy=args.on_bad_energy),
+                step_mode=args.step_mode,
             )
     except CheckpointError as exc:
         print(f"python -m repro dmc: error: {exc}", file=sys.stderr)

@@ -15,6 +15,10 @@ Public surface:
 
 * Output buffers: :class:`WalkerAoS`, :class:`WalkerSoA`,
   :class:`WalkerTiled`.
+* Unified evaluation API: :class:`Kind` (V/VGL/VGH selector) and the
+  :class:`Engine` protocol every engine implements —
+  ``evaluate(kind, pos, out)`` / ``evaluate_batch(kind, positions, out)``
+  / ``new_output(kind, n=1)``.
 * Nested threading (Opt C): :class:`NestedEvaluator`,
   :func:`partition_tiles`.
 * Tiling arithmetic and auto-tuning: :mod:`repro.core.tiling`.
@@ -36,7 +40,9 @@ from repro.core.coeffs import (
     solve_coefficients_3d,
 )
 from repro.core.containers import VectorSoA3D
+from repro.core.engine import Engine, SinglePositionEngineMixin
 from repro.core.grid import Grid3D
+from repro.core.kinds import Kind
 from repro.core.layout_aos import BsplineAoS
 from repro.core.layout_aosoa import BsplineAoSoA
 from repro.core.layout_fused import BsplineFused
@@ -56,6 +62,9 @@ from repro.core.walker import WalkerAoS, WalkerSoA, WalkerTiled
 
 __all__ = [
     "Grid3D",
+    "Kind",
+    "Engine",
+    "SinglePositionEngineMixin",
     "solve_coefficients_1d",
     "solve_coefficients_3d",
     "pad_spline_count",

@@ -30,6 +30,8 @@ import numpy as np
 
 from repro.core.basis import bspline_weights_batch
 from repro.core.grid import Grid3D
+from repro.core.kinds import Kind
+from repro.core.walker import HESS_COMPONENTS
 
 __all__ = ["BatchedOutput", "BsplineBatched"]
 
@@ -79,6 +81,36 @@ class BatchedOutput:
         self.l = np.zeros((n_positions, n_splines), dtype=dtype)
         self.h = np.zeros((n_positions, 6, n_splines), dtype=dtype)
         self.valid: frozenset[str] = frozenset()
+
+    def as_canonical(self, i: int | None = None) -> dict[str, np.ndarray]:
+        """Float64 views in the canonical layout the walker buffers use.
+
+        With ``i`` given, returns the single-position dict produced by
+        ``WalkerSoA.as_canonical`` for position ``i`` — ``v: (N,)``,
+        ``g: (3, N)``, ``l: (N,)``, ``h: (3, 3, N)`` — so conformance
+        tests compare batched against single-position outputs without
+        ad-hoc slicing.  Without ``i``, the same dict with a leading
+        batch axis on every stream.
+
+        Streams the last kernel call did not write (see :attr:`valid`)
+        come back NaN-poisoned, exactly as stored.
+        """
+        v = np.asarray(self.v, dtype=np.float64)
+        g = np.asarray(self.g, dtype=np.float64)
+        lap = np.asarray(self.l, dtype=np.float64)
+        h6 = np.asarray(self.h, dtype=np.float64)
+        hfull = np.empty(
+            (self.n_positions, 3, 3, self.n_splines), dtype=np.float64
+        )
+        axes = {"x": 0, "y": 1, "z": 2}
+        for k, name in enumerate(HESS_COMPONENTS):
+            a, b = axes[name[0]], axes[name[1]]
+            hfull[:, a, b] = h6[:, k]
+            hfull[:, b, a] = h6[:, k]
+        full = {"v": v, "g": g, "l": lap, "h": hfull}
+        if i is None:
+            return full
+        return {key: val[i] for key, val in full.items()}
 
 
 class BsplineBatched:
@@ -137,11 +169,47 @@ class BsplineBatched:
             self._chunk = None
         self.max_batch_bytes = max_batch_bytes
 
-    def new_output(self, n_positions: int) -> BatchedOutput:
-        """Allocate outputs for a batch of ``n_positions``."""
-        if n_positions <= 0:
-            raise ValueError(f"n_positions must be positive, got {n_positions}")
-        return BatchedOutput(n_positions, self.n_splines, self.dtype)
+    def new_output(
+        self, kind: "Kind | str | int" = Kind.VGH, n: int | None = None
+    ) -> BatchedOutput:
+        """Allocate outputs for a batch of ``n`` positions.
+
+        Preferred spelling is ``new_output(Kind.VGH, n=ns)``.  The
+        original positional spelling ``new_output(ns)`` (batch size as
+        the single argument) stays as a silent alias.  The buffer always
+        carries all four streams; ``kind`` is validated for API parity
+        with the single-position engines.
+        """
+        if isinstance(kind, (int, np.integer)):
+            if n is not None:
+                raise TypeError(
+                    "pass either new_output(n_positions) or "
+                    "new_output(kind, n=...), not both"
+                )
+            n = int(kind)
+        else:
+            Kind.coerce(kind)
+            n = 1 if n is None else int(n)
+        if n <= 0:
+            raise ValueError(f"n_positions must be positive, got {n}")
+        return BatchedOutput(n, self.n_splines, self.dtype)
+
+    # -- unified Engine protocol ---------------------------------------------
+
+    def evaluate(self, kind: "Kind | str", pos, out: BatchedOutput) -> BatchedOutput:
+        """Evaluate one position through the batched kernels (batch of 1)."""
+        kind = Kind.coerce(kind)
+        positions = np.asarray(pos, dtype=np.float64).reshape(1, 3)
+        getattr(self, f"{kind.value}_batch")(positions, out)
+        return out
+
+    def evaluate_batch(
+        self, kind: "Kind | str", positions, out: BatchedOutput
+    ) -> BatchedOutput:
+        """Evaluate ``(ns, 3)`` positions, retaining every position's result."""
+        kind = Kind.coerce(kind)
+        getattr(self, f"{kind.value}_batch")(positions, out)
+        return out
 
     # -- shared plumbing -----------------------------------------------------
 

@@ -1,0 +1,72 @@
+"""Evaluation kinds: the paper's V/VGL/VGH kernel selector as an enum.
+
+Every engine entry point — ``new_output``, ``evaluate``, ``evaluate_batch``,
+:meth:`NestedEvaluator.evaluate`, and the miniqmc drivers — accepts a
+:class:`Kind`.  The legacy bare-string spelling (``"v"``, ``"vgl"``,
+``"vgh"``) keeps working through :meth:`Kind.coerce`, which emits a
+:class:`DeprecationWarning` attributed to the caller; CI escalates that
+warning to an error on the package's own modules so ``repro`` itself can
+never regress to the old spelling.
+"""
+
+from __future__ import annotations
+
+import enum
+import warnings
+
+__all__ = ["Kind"]
+
+
+class Kind(enum.Enum):
+    """Which derivative streams an orbital evaluation produces.
+
+    ``Kind("vgl")`` (lookup by value) stays silent — it is how normalized
+    configuration strings (CLI flags, JSON configs) become members.  Only
+    :meth:`coerce` warns, because it marks an API call site still using
+    the deprecated string spelling.
+    """
+
+    V = "v"
+    VGL = "vgl"
+    VGH = "vgh"
+
+    @classmethod
+    def coerce(cls, kind: "Kind | str", stacklevel: int = 3) -> "Kind":
+        """Normalize ``kind`` to a member, warning on the string spelling.
+
+        ``stacklevel`` attributes the warning to the *external* call site;
+        the default suits a one-frame wrapper (``coerce`` called directly
+        inside the public method).  Wrappers one level deeper pass 4.
+        """
+        if isinstance(kind, cls):
+            return kind
+        if isinstance(kind, str):
+            try:
+                member = cls(kind)
+            except ValueError:
+                valid = ", ".join(repr(m.value) for m in cls)
+                raise ValueError(
+                    f"unknown kernel kind {kind!r}; expected one of {valid}"
+                ) from None
+            warnings.warn(
+                f"passing kind={kind!r} as a bare string is deprecated; "
+                f"pass Kind.{member.name} instead",
+                DeprecationWarning,
+                stacklevel=stacklevel,
+            )
+            return member
+        raise TypeError(
+            f"kind must be a Kind or str, got {type(kind).__name__}"
+        )
+
+    @property
+    def streams(self) -> tuple[str, ...]:
+        """Output streams this kind fills (matches the batched engine)."""
+        return _STREAMS[self]
+
+
+_STREAMS = {
+    Kind.V: ("v",),
+    Kind.VGL: ("v", "g", "l"),
+    Kind.VGH: ("v", "g", "l", "h"),
+}

@@ -23,7 +23,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.engine import SinglePositionEngineMixin
 from repro.core.grid import Grid3D
+from repro.core.kinds import Kind
 from repro.core.stencil import gather_block, locate_and_weights
 from repro.core.walker import WalkerAoS
 from repro.obs import OBS
@@ -31,7 +33,7 @@ from repro.obs import OBS
 __all__ = ["BsplineAoS"]
 
 
-class BsplineAoS:
+class BsplineAoS(SinglePositionEngineMixin):
     """AoS-layout tricubic B-spline SPO evaluator (the paper's baseline).
 
     Parameters
@@ -68,10 +70,9 @@ class BsplineAoS:
         self.n_splines = coefficients.shape[3]
         self.dtype = coefficients.dtype
 
-    def new_output(self, kind: str = "vgh") -> WalkerAoS:
+    def new_output(self, kind: "Kind | str" = Kind.VGH, n: int = 1) -> WalkerAoS:
         """Allocate a matching output buffer (``kind`` kept for API parity)."""
-        if kind not in ("v", "vgl", "vgh"):
-            raise ValueError(f"unknown kernel kind {kind!r}")
+        self._coerce_new_output(kind, n)
         return WalkerAoS(self.n_splines, self.dtype)
 
     # -- kernels ---------------------------------------------------------

@@ -17,7 +17,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.engine import SinglePositionEngineMixin
 from repro.core.grid import Grid3D
+from repro.core.kinds import Kind
 from repro.core.layout_soa import BsplineSoA
 from repro.core.tiling import split_table
 from repro.core.walker import WalkerTiled
@@ -26,7 +28,7 @@ from repro.obs import OBS
 __all__ = ["BsplineAoSoA"]
 
 
-class BsplineAoSoA:
+class BsplineAoSoA(SinglePositionEngineMixin):
     """Tiled (array-of-SoA) tricubic B-spline SPO evaluator (Opt B).
 
     Parameters
@@ -72,10 +74,9 @@ class BsplineAoSoA:
     def __getitem__(self, t: int) -> BsplineSoA:
         return self.tiles[t]
 
-    def new_output(self, kind: str = "vgh") -> WalkerTiled:
+    def new_output(self, kind: "Kind | str" = Kind.VGH, n: int = 1) -> WalkerTiled:
         """Allocate a tiled output buffer matching this engine's blocking."""
-        if kind not in ("v", "vgl", "vgh"):
-            raise ValueError(f"unknown kernel kind {kind!r}")
+        self._coerce_new_output(kind, n)
         return WalkerTiled(self.n_splines, self.tile_size, self.dtype)
 
     # -- kernels ---------------------------------------------------------
@@ -106,7 +107,7 @@ class BsplineAoSoA:
 
     def eval_tiles(
         self,
-        kind: str,
+        kind: "Kind | str",
         tile_ids: range | list[int],
         positions: np.ndarray,
         out: WalkerTiled,
@@ -120,7 +121,8 @@ class BsplineAoSoA:
         Parameters
         ----------
         kind:
-            ``"v"``, ``"vgl"`` or ``"vgh"``.
+            :class:`~repro.core.kinds.Kind` (legacy strings accepted with
+            a deprecation warning).
         tile_ids:
             Tile indices this call is responsible for.
         positions:
@@ -129,6 +131,7 @@ class BsplineAoSoA:
             The walker's tiled output buffer; only tiles in ``tile_ids``
             are written.
         """
+        kind = Kind.coerce(kind)
         self._check(out)
         positions = np.asarray(positions, dtype=np.float64)
         if OBS.enabled:
@@ -136,12 +139,12 @@ class BsplineAoSoA:
                 "tile_evals_total",
                 len(tile_ids) * len(positions),
                 engine=self.layout,
-                kernel=kind,
+                kernel=kind.value,
             )
         for t in tile_ids:
             eng = self.tiles[t]
             buf = out.tiles[t]
-            kern = getattr(eng, kind)
+            kern = getattr(eng, kind.value)
             for x, y, z in positions:
                 kern(x, y, z, buf)
 

@@ -20,7 +20,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.engine import SinglePositionEngineMixin
 from repro.core.grid import Grid3D
+from repro.core.kinds import Kind
 from repro.core.stencil import gather_block, locate_and_weights
 from repro.core.walker import WalkerSoA
 from repro.obs import OBS
@@ -28,7 +30,7 @@ from repro.obs import OBS
 __all__ = ["BsplineFused"]
 
 
-class BsplineFused:
+class BsplineFused(SinglePositionEngineMixin):
     """Fused-contraction tricubic B-spline SPO evaluator (SoA outputs).
 
     API-compatible with :class:`~repro.core.layout_soa.BsplineSoA`; only
@@ -66,10 +68,9 @@ class BsplineFused:
         self.n_splines = coefficients.shape[3]
         self.dtype = coefficients.dtype
 
-    def new_output(self, kind: str = "vgh") -> WalkerSoA:
+    def new_output(self, kind: "Kind | str" = Kind.VGH, n: int = 1) -> WalkerSoA:
         """Allocate a matching SoA output buffer."""
-        if kind not in ("v", "vgl", "vgh"):
-            raise ValueError(f"unknown kernel kind {kind!r}")
+        self._coerce_new_output(kind, n)
         return WalkerSoA(self.n_splines, self.dtype)
 
     def _setup(self, x: float, y: float, z: float):

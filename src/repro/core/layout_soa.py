@@ -21,7 +21,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.engine import SinglePositionEngineMixin
 from repro.core.grid import Grid3D
+from repro.core.kinds import Kind
 from repro.core.stencil import gather_block, locate_and_weights
 from repro.core.walker import WalkerSoA
 from repro.obs import OBS
@@ -29,7 +31,7 @@ from repro.obs import OBS
 __all__ = ["BsplineSoA"]
 
 
-class BsplineSoA:
+class BsplineSoA(SinglePositionEngineMixin):
     """SoA-layout tricubic B-spline SPO evaluator (Opt A).
 
     Parameters
@@ -72,10 +74,9 @@ class BsplineSoA:
         self.dtype = coefficients.dtype
         self._report_obs = bool(report_obs)
 
-    def new_output(self, kind: str = "vgh") -> WalkerSoA:
+    def new_output(self, kind: "Kind | str" = Kind.VGH, n: int = 1) -> WalkerSoA:
         """Allocate a matching SoA output buffer."""
-        if kind not in ("v", "vgl", "vgh"):
-            raise ValueError(f"unknown kernel kind {kind!r}")
+        self._coerce_new_output(kind, n)
         return WalkerSoA(self.n_splines, self.dtype)
 
     # -- kernels ---------------------------------------------------------

@@ -23,6 +23,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
+from repro.core.kinds import Kind
 from repro.core.layout_aosoa import BsplineAoSoA
 from repro.core.walker import WalkerTiled
 from repro.obs import OBS
@@ -107,14 +108,15 @@ class NestedEvaluator:
         self.close()
 
     def evaluate(
-        self, kind: str, positions: np.ndarray, out: WalkerTiled
+        self, kind: "Kind | str", positions: np.ndarray, out: WalkerTiled
     ) -> None:
         """Run kernel ``kind`` at every position, tiles split across threads.
 
         Parameters
         ----------
         kind:
-            ``"v"``, ``"vgl"`` or ``"vgh"``.
+            :class:`~repro.core.kinds.Kind` (legacy strings accepted with
+            a deprecation warning).
         positions:
             ``(ns, 3)`` batch of evaluation positions (one walker's random
             sample set, paper Fig. 3 L18).
@@ -123,8 +125,7 @@ class NestedEvaluator:
             results *of the last position* in every tile, matching the
             sequential driver's semantics.
         """
-        if kind not in ("v", "vgl", "vgh"):
-            raise ValueError(f"unknown kernel kind {kind!r}")
+        kind = Kind.coerce(kind)
         if self._closed:
             raise RuntimeError(
                 "NestedEvaluator is closed; create a new evaluator "
@@ -138,9 +139,11 @@ class NestedEvaluator:
             OBS.gauge("nested_threads", self.n_threads)
             OBS.gauge("nested_active_workers", active)
             OBS.gauge("nested_occupancy", active / self.n_threads)
-            OBS.count("nested_evaluations_total", engine="aosoa", kernel=kind)
+            OBS.count(
+                "nested_evaluations_total", engine="aosoa", kernel=kind.value
+            )
         with OBS.span(
-            f"nested:{kind}",
+            f"nested:{kind.value}",
             cat="nested",
             n_positions=len(positions),
             n_threads=self.n_threads,
@@ -156,13 +159,13 @@ class NestedEvaluator:
                 fut.result()  # re-raises worker exceptions
 
     def evaluate_v(self, positions: np.ndarray, out: WalkerTiled) -> None:
-        """Convenience wrapper for :meth:`evaluate` with ``kind="v"``."""
-        self.evaluate("v", positions, out)
+        """Convenience wrapper for :meth:`evaluate` with ``Kind.V``."""
+        self.evaluate(Kind.V, positions, out)
 
     def evaluate_vgl(self, positions: np.ndarray, out: WalkerTiled) -> None:
-        """Convenience wrapper for :meth:`evaluate` with ``kind="vgl"``."""
-        self.evaluate("vgl", positions, out)
+        """Convenience wrapper for :meth:`evaluate` with ``Kind.VGL``."""
+        self.evaluate(Kind.VGL, positions, out)
 
     def evaluate_vgh(self, positions: np.ndarray, out: WalkerTiled) -> None:
-        """Convenience wrapper for :meth:`evaluate` with ``kind="vgh"``."""
-        self.evaluate("vgh", positions, out)
+        """Convenience wrapper for :meth:`evaluate` with ``Kind.VGH``."""
+        self.evaluate(Kind.VGH, positions, out)

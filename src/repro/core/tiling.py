@@ -28,6 +28,8 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.kinds import Kind
+
 __all__ = [
     "OUTPUT_STREAMS",
     "split_table",
@@ -161,10 +163,11 @@ def autotune_tile_size(
         candidates = candidate_tile_sizes(n_splines)
     positions = grid.random_positions(n_samples, rng)
     timings: dict[int, float] = {}
+    kind = kernel if isinstance(kernel, Kind) else Kind(kernel)
     for nb in candidates:
         eng = BsplineAoSoA(grid, coefficients, nb)
-        out = eng.new_output(kernel)
-        kern = getattr(eng, kernel)
+        out = eng.new_output(kind)
+        kern = getattr(eng, kind.value)
         best = float("inf")
         for _ in range(repeats):
             t0 = time.perf_counter()

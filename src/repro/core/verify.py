@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.batched import BsplineBatched
 from repro.core.grid import Grid3D
+from repro.core.kinds import Kind
 from repro.core.layout_aos import BsplineAoS
 from repro.core.layout_aosoa import BsplineAoSoA
 from repro.core.layout_fused import BsplineFused
@@ -129,12 +130,12 @@ def verify_engines(
         "vgh": [reference_vgh(grid, coefficients, *p) for p in positions],
     }
     for name, eng in engines.items():
-        for kernel in ("v", "vgl", "vgh"):
-            out = eng.new_output(kernel)
-            kern = getattr(eng, kernel)
+        for kind in (Kind.V, Kind.VGL, Kind.VGH):
+            kernel = kind.value
+            out = eng.new_output(kind)
             worst = 0.0
             for i, p in enumerate(positions):
-                kern(*p, out)
+                eng.evaluate(kind, p, out)
                 c = out.as_canonical()
                 if kernel == "v":
                     worst = max(worst, float(np.abs(c["v"] - references["v"][i]).max()))
@@ -158,8 +159,8 @@ def verify_engines(
 
     # Batched engine: compare its vgh against the references directly.
     pos_arr = np.asarray(positions)
-    bout = batched.new_output(len(positions))
-    batched.vgh_batch(pos_arr, bout)
+    bout = batched.new_output(Kind.VGH, n=len(positions))
+    batched.evaluate_batch(Kind.VGH, pos_arr, bout)
     worst = 0.0
     for i in range(len(positions)):
         rv, rg, rh = references["vgh"][i]

@@ -27,6 +27,7 @@ from repro.lattice.orbitals import PlaneWaveOrbitalSet
 from repro.lattice.pbc import wigner_seitz_radius
 from repro.obs import OBS
 from repro.perf.timer import SectionTimers
+from repro.qmc.batched_step import CrowdState, batched_sweep
 from repro.qmc.drift_diffusion import sweep
 from repro.qmc.estimators import LocalEnergy
 from repro.qmc.jastrow import make_polynomial_radial
@@ -153,7 +154,10 @@ def build_app(
     timers = SectionTimers()
     if profile:
         spos_proxy = TimedProxy(
-            spos, timers, "bspline", ("vgl", "vgh", "values", "values_batch")
+            spos,
+            timers,
+            "bspline",
+            ("vgl", "vgh", "values", "values_batch", "vgl_batch"),
         )
     else:
         spos_proxy = spos
@@ -210,6 +214,7 @@ def run_profiled(
     checkpoint_every: int | None = None,
     checkpoint_path=None,
     resume=None,
+    step_mode: str = "walker",
 ) -> tuple[float, SectionTimers]:
     """Run drift-diffusion sweeps; returns (total wall seconds, timers).
 
@@ -217,6 +222,14 @@ def run_profiled(
     evaluation (the paper's "measurement stage"), which — when the app
     carries a pseudopotential — drives the V kernel through the
     quadrature spheres.
+
+    ``step_mode="batched"`` advances the walker through the batched
+    population kernels (a crowd of one) — bit-identical trajectory, but
+    the per-component sections (distance tables, Jastrow) are bypassed
+    by fused batched stages, so their profile shares collapse toward
+    zero.  The library default therefore stays ``"walker"``, the mode
+    whose attribution reproduces the paper's Tables II/III; the CLI
+    defaults to ``"batched"`` (the hot path).
 
     The untimed remainder (determinant algebra, particle bookkeeping) is
     recorded as the ``other`` section, matching the paper's "Rest of the
@@ -230,6 +243,10 @@ def run_profiled(
     trajectory continues exactly (timings, being wall clock, simply
     accumulate).
     """
+    if step_mode not in ("batched", "walker"):
+        raise ValueError(
+            f"step_mode must be 'batched' or 'walker', got {step_mode!r}"
+        )
     if checkpoint_every is not None:
         if checkpoint_every <= 0:
             raise ValueError(
@@ -266,10 +283,15 @@ def run_profiled(
             app.timers.add(section, secs)
         if estimator is not None:
             estimator = LocalEnergy(app.wf, pseudopotential=app.pseudopotential)
+    # Built after any resume so the crowd sees the restored configuration.
+    crowd = CrowdState([app.wf], [app.rng]) if step_mode == "batched" else None
     t0 = time.perf_counter()
     for sweep_idx in range(start_sweep, n_sweeps):
         with OBS.span("miniqmc:sweep", cat="miniqmc", sweep=sweep_idx):
-            sweep(app.wf, tau, app.rng)
+            if crowd is not None:
+                batched_sweep(crowd, tau)
+            else:
+                sweep(app.wf, tau, app.rng)
             if estimator is not None:
                 estimator.total()
         OBS.count("miniqmc_sweeps_total")
@@ -327,6 +349,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--layout", default="soa", choices=("aos", "soa"))
     parser.add_argument("--engine", default="fused", choices=("aos", "soa", "fused"))
     parser.add_argument("--measure", action="store_true")
+    parser.add_argument(
+        "--step-mode",
+        default="batched",
+        choices=("batched", "walker"),
+        help="advance walkers through the batched crowd kernels (default) "
+        "or the per-walker sweep; trajectories are bit-identical either "
+        "way (in profiled mode, 'walker' restores the per-component "
+        "attribution of the paper's tables)",
+    )
     parser.add_argument(
         "--walkers",
         type=int,
@@ -387,6 +418,7 @@ def main(argv: list[str] | None = None) -> int:
             checkpoint_every=args.checkpoint_every,
             checkpoint_path=args.checkpoint_path,
             resume=args.resume,
+            step_mode=args.step_mode,
         )
     except CheckpointError as exc:
         print(f"{parser.prog}: error: {exc}", file=sys.stderr)
@@ -421,7 +453,11 @@ def _population_main(args, observe: bool) -> int:
             seed=args.seed,
         )
         result = run_crowd_parallel(
-            spec, n_workers=n_workers, n_sweeps=args.sweeps, tau=args.tau
+            spec,
+            n_workers=n_workers,
+            n_sweeps=args.sweeps,
+            tau=args.tau,
+            step_mode=args.step_mode,
         )
     finally:
         if observe:

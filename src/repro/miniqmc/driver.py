@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.grid import Grid3D
+from repro.core.kinds import Kind
 from repro.core.layout_aos import BsplineAoS
 from repro.core.layout_aosoa import BsplineAoSoA
 from repro.core.layout_fused import BsplineFused
@@ -61,6 +62,15 @@ from repro.resilience.retry import ResilientEvaluator, RetryPolicy
 __all__ = ["DriverResult", "run_kernel_driver", "run_tiled_driver"]
 
 _ENGINES = {"aos": BsplineAoS, "soa": BsplineSoA, "fused": BsplineFused}
+
+
+def _as_kinds(kernels) -> tuple[Kind, ...]:
+    """Normalise a driver ``kernels`` argument to :class:`Kind` members.
+
+    Configuration-style normalisation (silent): the drivers' own defaults
+    are spelled as strings, and result dictionaries keep string keys.
+    """
+    return tuple(k if isinstance(k, Kind) else Kind(k) for k in kernels)
 
 
 @dataclass
@@ -116,7 +126,7 @@ def _driver_fingerprint(config: MiniQmcConfig, engine: str, kernels) -> dict:
         "n_walkers": config.n_walkers,
         "tile_size": config.tile_size,
         "seed": config.seed,
-        "kernels": list(kernels),
+        "kernels": [k.value for k in _as_kinds(kernels)],
     }
 
 
@@ -197,8 +207,9 @@ class _DriverShard:
     def run(self, kern: str) -> dict:
         """Evaluate kernel ``kern`` for every walker of this shard."""
         config = self.config
-        out = self.eng.new_output(kern)
-        kern_fn = getattr(self.eng, kern)
+        kind = Kind(kern)
+        out = self.eng.new_output(kind)
+        kern_fn = getattr(self.eng, kind.value)
         count = 0
         t0 = time.perf_counter()
         for w in self.walkers:
@@ -266,7 +277,8 @@ def _run_sharded(
             (table_spec, payload),
             start_method=start_method,
         ) as pool:
-            for kern in kernels:
+            for kind in _as_kinds(kernels):
+                kern = kind.value
                 t0 = time.perf_counter()
                 shards = pool.broadcast("run", kern)
                 result.seconds[kern] = time.perf_counter() - t0
@@ -336,11 +348,12 @@ def run_kernel_driver(
     else:
         start_ki, start_walker = 0, 0
         rng = np.random.default_rng(config.seed + 1)
-    for ki, kern in enumerate(kernels):
+    for ki, kind in enumerate(_as_kinds(kernels)):
         if ki < start_ki:
             continue  # fully recorded in the restored result
-        out = eng.new_output(kern)
-        kern_fn = getattr(eng, kern)
+        kern = kind.value
+        out = eng.new_output(kind)
+        kern_fn = getattr(eng, kind.value)
         if ki == start_ki and start_walker:
             total = result.seconds.get(kern, 0.0)
             count = result.evals.get(kern, 0)
@@ -451,10 +464,11 @@ def run_tiled_driver(
             "driver_tile_occupancy", min(n_threads, eng.n_tiles) / n_threads
         )
     try:
-        for ki, kern in enumerate(kernels):
+        for ki, kind in enumerate(_as_kinds(kernels)):
             if ki < start_ki:
                 continue
-            out = eng.new_output(kern)
+            kern = kind.value
+            out = eng.new_output(kind)
             if ki == start_ki and start_walker:
                 total = result.seconds.get(kern, 0.0)
                 count = result.evals.get(kern, 0)
@@ -468,9 +482,9 @@ def run_tiled_driver(
                 t0 = time.perf_counter()
                 for _ in range(config.n_iters):
                     if evaluator is not None:
-                        evaluator.evaluate(kern, positions, out)
+                        evaluator.evaluate(kind, positions, out)
                     else:
-                        kern_fn = getattr(eng, kern)
+                        kern_fn = getattr(eng, kind.value)
                         for x, y, z in positions:
                             kern_fn(x, y, z, out)
                 dt = time.perf_counter() - t0

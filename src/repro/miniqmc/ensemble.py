@@ -18,6 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.grid import Grid3D
+from repro.core.kinds import Kind
 from repro.core.layout_fused import BsplineFused
 from repro.core.layout_soa import BsplineSoA
 from repro.core.layout_aos import BsplineAoS
@@ -96,7 +97,7 @@ class WalkerEnsemble:
             self.engine = GuardedEngine(
                 self.engine, guard_policy, reference_table=reference_table
             )
-        self.outputs = [self.engine.new_output("vgh") for _ in range(n_walkers)]
+        self.outputs = [self.engine.new_output(Kind.VGH) for _ in range(n_walkers)]
         seqs = np.random.SeedSequence(seed).spawn(n_walkers)
         self.rngs = [np.random.default_rng(s) for s in seqs]
         self.table_bytes = coefficients.nbytes
@@ -115,8 +116,8 @@ class WalkerEnsemble:
             Size of the walker-level thread pool (the conventional QMC
             parallelization; 1 = sequential walkers).
         """
-        if kernel not in ("v", "vgl", "vgh"):
-            raise ValueError(f"unknown kernel {kernel!r}")
+        kind = kernel if isinstance(kernel, Kind) else Kind(kernel)
+        kernel = kind.value
         kern = getattr(self.engine, kernel)
 
         def one_walker(w: int) -> None:

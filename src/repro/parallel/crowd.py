@@ -35,6 +35,7 @@ from repro.parallel.pool import ProcessCrowdPool
 from repro.parallel.sharding import shard_slices, walker_rng
 from repro.parallel.shared_table import SharedTable
 from repro.qmc.crowd import Crowd
+from repro.qmc.drift_diffusion import sweep
 from repro.qmc.jastrow import make_polynomial_radial
 from repro.qmc.particleset import ParticleSet
 from repro.qmc.slater import SplineOrbitalSet
@@ -89,19 +90,28 @@ def solve_spec_table(spec: CrowdSpec) -> np.ndarray:
 
 
 def build_walker_range(
-    spec: CrowdSpec, table: np.ndarray, lo: int, hi: int
+    spec: CrowdSpec,
+    table: np.ndarray,
+    lo: int,
+    hi: int,
+    spos: SplineOrbitalSet | None = None,
 ) -> tuple[list[SlaterJastrow], list[np.random.Generator]]:
     """Walkers ``lo .. hi-1`` of the population, over ``table``.
 
     All walkers of the range share one :class:`SplineOrbitalSet` (the
     crowd contract); ``table`` may be a private array or a
-    :class:`SharedTable` view — the engine never copies it.
+    :class:`SharedTable` view — the engine never copies it.  Pass an
+    existing ``spos`` to extend a crowd across *calls* too (walkers only
+    batch together when they share the orbital-set object, so callers
+    that grow their population incrementally — e.g. the sharded DMC
+    templates — must reuse one).
     """
     cell = Cell.cubic(spec.box)
-    nx, ny, nz = spec.grid_shape
-    grid = Grid3D(nx, ny, nz, (1.0, 1.0, 1.0))
-    engine = _ENGINES[spec.engine](grid, table)
-    spos = SplineOrbitalSet(cell, grid, engine)
+    if spos is None:
+        nx, ny, nz = spec.grid_shape
+        grid = Grid3D(nx, ny, nz, (1.0, 1.0, 1.0))
+        engine = _ENGINES[spec.engine](grid, table)
+        spos = SplineOrbitalSet(cell, grid, engine)
     rcut = 0.9 * wigner_seitz_radius(cell)
     j1 = make_polynomial_radial(0.4, rcut)
     j2 = make_polynomial_radial(0.6, rcut)
@@ -157,8 +167,8 @@ class _CrowdShard:
         wfs, rngs = build_walker_range(spec, self._table.array, self.lo, self.hi)
         self.crowd = Crowd(wfs, rngs) if wfs else None
 
-    def run(self, n_sweeps: int, tau: float) -> dict:
-        """Advance the shard ``n_sweeps`` lock-step sweeps."""
+    def run(self, n_sweeps: int, tau: float, step_mode: str = "batched") -> dict:
+        """Advance the shard ``n_sweeps`` sweeps (lock-step by default)."""
         if self.crowd is None:
             return {
                 "positions": None,
@@ -169,7 +179,15 @@ class _CrowdShard:
         t0 = time.perf_counter()
         accepted = attempted = 0
         for _ in range(n_sweeps):
-            acc, att = self.crowd.sweep(tau)
+            if step_mode == "walker":
+                acc = att = 0
+                for wf, rng in zip(self.crowd.wfs, self.crowd.rngs):
+                    a, t = sweep(wf, tau, rng)
+                    acc += a
+                    att += t
+                self.crowd.state.refresh_positions()
+            else:
+                acc, att = self.crowd.sweep(tau)
             accepted += acc
             attempted += att
         dt = time.perf_counter() - t0
@@ -209,8 +227,19 @@ def run_crowd_sequential(
     n_sweeps: int,
     tau: float,
     table: np.ndarray | None = None,
+    step_mode: str = "batched",
 ) -> CrowdRunResult:
-    """The single-process reference: one crowd holding every walker."""
+    """The single-process reference: one crowd holding every walker.
+
+    ``step_mode="walker"`` advances each walker with the sequential
+    per-electron sweep instead of the batched kernels — bit-identical to
+    the default, kept as the comparison baseline for the benchmarks and
+    the CLI parity smoke.
+    """
+    if step_mode not in ("batched", "walker"):
+        raise ValueError(
+            f"step_mode must be 'batched' or 'walker', got {step_mode!r}"
+        )
     if table is None:
         table = solve_spec_table(spec)
     wfs, rngs = build_walker_range(spec, table, 0, spec.n_walkers)
@@ -218,9 +247,15 @@ def run_crowd_sequential(
     t0 = time.perf_counter()
     accepted = attempted = 0
     for _ in range(n_sweeps):
-        acc, att = crowd.sweep(tau)
-        accepted += acc
-        attempted += att
+        if step_mode == "walker":
+            for wf, rng in zip(wfs, rngs):
+                a, t = sweep(wf, tau, rng)
+                accepted += a
+                attempted += t
+        else:
+            acc, att = crowd.sweep(tau)
+            accepted += acc
+            attempted += att
     seconds = time.perf_counter() - t0
     return CrowdRunResult(
         positions=np.stack([wf.electrons.positions for wf in wfs]),
@@ -239,15 +274,22 @@ def run_crowd_parallel(
     tau: float,
     table: np.ndarray | None = None,
     start_method: str | None = None,
+    step_mode: str = "batched",
 ) -> CrowdRunResult:
     """Shard the population over ``n_workers`` processes and advance it.
 
     The coefficient table is placed in shared memory once and attached
     zero-copy by every worker; walkers are sharded contiguously and
     gathered back in order, so the result is bit-identical to
-    :func:`run_crowd_sequential` for any ``n_workers``.  All segments
-    and workers are torn down before returning (no ``/dev/shm`` leaks).
+    :func:`run_crowd_sequential` for any ``n_workers`` — and, since the
+    batched and per-walker paths share one trajectory, for either
+    ``step_mode``.  All segments and workers are torn down before
+    returning (no ``/dev/shm`` leaks).
     """
+    if step_mode not in ("batched", "walker"):
+        raise ValueError(
+            f"step_mode must be 'batched' or 'walker', got {step_mode!r}"
+        )
     if table is None:
         table = solve_spec_table(spec)
     shared = SharedTable.create(table)
@@ -260,7 +302,7 @@ def run_crowd_parallel(
             (spec, table_spec),
             start_method=start_method,
         ) as pool:
-            shards = pool.broadcast("run", n_sweeps, tau)
+            shards = pool.broadcast("run", n_sweeps, tau, step_mode)
             pool.merge_metrics()
     finally:
         shared.close()

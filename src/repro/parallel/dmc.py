@@ -35,6 +35,7 @@ from repro.parallel.crowd import CrowdSpec, build_walker_range, solve_spec_table
 from repro.parallel.pool import ProcessCrowdPool
 from repro.parallel.sharding import shard_slices, walker_rng
 from repro.parallel.shared_table import SharedTable
+from repro.qmc.batched_step import CrowdState, batched_sweep
 from repro.qmc.dmc import DmcResult
 from repro.qmc.drift_diffusion import sweep
 from repro.qmc.estimators import LocalEnergy
@@ -96,11 +97,15 @@ class _DmcShard:
         # fixed arbitrary configuration stream (walker 0's) — every task
         # overwrites positions before any physics runs.
         self._wfs, _ = build_walker_range(spec, self._table.array, 0, 1)
+        # Every template shares template 0's orbital set so the shard's
+        # tasks form ONE crowd for the batched step (walkers only batch
+        # together when they share the orbital-set object).
+        self._spos = self._wfs[0].slater.spos
 
     def _template(self, i: int):
         while len(self._wfs) <= i:
             wfs, _ = build_walker_range(
-                self._spec, self._table.array, 0, 1
+                self._spec, self._table.array, 0, 1, spos=self._spos
             )
             self._wfs.append(wfs[0])
         return self._wfs[i]
@@ -119,24 +124,53 @@ class _DmcShard:
             for i, t in enumerate(tasks)
         ]
 
-    def propagate(self, tasks: list[dict], tau: float, ion_charge: float) -> list[dict]:
-        """One drift-diffusion sweep + measurement per task."""
+    def propagate(
+        self,
+        tasks: list[dict],
+        tau: float,
+        ion_charge: float,
+        step_mode: str = "batched",
+    ) -> list[dict]:
+        """One drift-diffusion sweep + measurement per task.
+
+        ``step_mode="batched"`` loads every task into its template and
+        advances the whole shard through the batched population kernels
+        (one crowd — all templates share one orbital set), then measures
+        in task order; measurement consumes no RNG, so this is bitwise
+        identical to the per-task ``"walker"`` loop.
+        """
         t0 = time.perf_counter()
         out = []
-        for i, task in enumerate(tasks):
-            wf = self._load(i, task)
-            rng = restore_rng(task["rng_state"])
-            acc, att = sweep(wf, tau, rng)
-            e = float(LocalEnergy(wf, ion_charge).total())
-            out.append(
-                {
-                    "positions": wf.electrons.positions.copy(),
-                    "rng_state": rng_state(rng),
-                    "e_local": e,
-                    "accepted": acc,
-                    "attempted": att,
-                }
-            )
+        if step_mode == "batched" and tasks:
+            wfs = [self._load(i, t) for i, t in enumerate(tasks)]
+            rngs = [restore_rng(t["rng_state"]) for t in tasks]
+            state = CrowdState(wfs, rngs)
+            batched_sweep(state, tau)
+            for i, wf in enumerate(wfs):
+                out.append(
+                    {
+                        "positions": wf.electrons.positions.copy(),
+                        "rng_state": rng_state(rngs[i]),
+                        "e_local": float(LocalEnergy(wf, ion_charge).total()),
+                        "accepted": int(state.accepts[i]),
+                        "attempted": state.n_electrons,
+                    }
+                )
+        else:
+            for i, task in enumerate(tasks):
+                wf = self._load(i, task)
+                rng = restore_rng(task["rng_state"])
+                acc, att = sweep(wf, tau, rng)
+                e = float(LocalEnergy(wf, ion_charge).total())
+                out.append(
+                    {
+                        "positions": wf.electrons.positions.copy(),
+                        "rng_state": rng_state(rng),
+                        "e_local": e,
+                        "accepted": acc,
+                        "attempted": att,
+                    }
+                )
         if OBS.enabled and tasks:
             OBS.count("dmc_shard_walkers_propagated_total", len(tasks))
             OBS.observe("dmc_shard_propagate_seconds", time.perf_counter() - t0)
@@ -203,12 +237,17 @@ def run_dmc_sharded(
     resume=None,
     guard: GuardConfig | None = None,
     start_method: str | None = None,
+    step_mode: str = "batched",
 ) -> DmcResult:
     """Run DMC with propagation sharded over ``n_workers`` processes.
 
     Parameters mirror :func:`repro.qmc.dmc.run_dmc` where they overlap;
     the ensemble itself is described by ``spec`` (the parent builds the
     initial population deterministically from per-walker streams).
+    ``step_mode`` selects batched shard propagation (default) or the
+    per-walker sweep; both are bit-identical, so — like the worker
+    count — the mode is deliberately not part of the checkpoint
+    contract.
 
     Guard policy note: workers recompute derived state before every
     sweep, so the ``"recompute"`` non-finite-energy policy has nothing
@@ -218,6 +257,10 @@ def run_dmc_sharded(
     Returns the same :class:`~repro.qmc.dmc.DmcResult` shape as the
     sequential driver.
     """
+    if step_mode not in ("batched", "walker"):
+        raise ValueError(
+            f"step_mode must be 'batched' or 'walker', got {step_mode!r}"
+        )
     if n_generations <= 0:
         raise ValueError(f"n_generations must be positive, got {n_generations}")
     if checkpoint_every is not None:
@@ -322,7 +365,9 @@ def run_dmc_sharded(
 
             for gen in range(start_gen, n_generations):
                 t_gen = time.perf_counter() if OBS.enabled else 0.0
-                results = _scatter(pool, states, "propagate", tau, ion_charge)
+                results = _scatter(
+                    pool, states, "propagate", tau, ion_charge, step_mode
+                )
                 weights: list[float | None] = []
                 for s, r in zip(states, results):
                     e_old = s.e_local

@@ -20,9 +20,15 @@ from repro.parallel.crowd import CrowdSpec, build_walker_range, solve_spec_table
 from repro.parallel.pool import ProcessCrowdPool
 from repro.parallel.sharding import shard_slices
 from repro.parallel.shared_table import SharedTable
+from repro.qmc.batched_step import CrowdState, batched_sweep
+from repro.qmc.estimators import LocalEnergy
 from repro.qmc.vmc import run_vmc
 
 __all__ = ["VmcPopulationResult", "run_vmc_population"]
+
+# Must match run_vmc's default recompute cadence: the two step modes are
+# compared bit-for-bit, and recompute timing is part of the trajectory.
+_RECOMPUTE_EVERY = 20
 
 
 @dataclass
@@ -48,9 +54,39 @@ class VmcPopulationResult:
         )
 
 
-def _run_walker_range(wfs, rngs, n_steps, n_warmup, tau, ion_charge) -> dict:
-    """Sequentially run VMC over already-built walkers; shared by the
-    in-process path and the worker shards."""
+def _run_walker_range(
+    wfs, rngs, n_steps, n_warmup, tau, ion_charge, step_mode="batched"
+) -> dict:
+    """Run VMC over already-built walkers; shared by the in-process path
+    and the worker shards.
+
+    ``step_mode="batched"`` advances the whole range in lock step through
+    the batched population kernels — each electron move across every
+    walker of the shard is one orbital call.  ``"walker"`` runs the
+    sequential :func:`repro.qmc.vmc.run_vmc` per walker.  Trajectories
+    and energy traces are bit-identical between the modes (walkers only
+    consume their private streams; measurement draws none).
+    """
+    if step_mode == "batched" and wfs:
+        state = CrowdState(wfs, rngs)
+        estimators = [LocalEnergy(wf, ion_charge) for wf in wfs]
+        traces: list[list[float]] = [[] for _ in wfs]
+        accepted = attempted = 0
+        for step in range(n_warmup + n_steps):
+            acc, att = batched_sweep(state, tau)
+            accepted += acc
+            attempted += att
+            if (step + 1) % _RECOMPUTE_EVERY == 0:
+                for wf in wfs:
+                    wf.recompute()
+            if step >= n_warmup:
+                for trace, est in zip(traces, estimators):
+                    trace.append(est.total())
+        return {
+            "energies": np.asarray(traces, dtype=np.float64),
+            "accepted": accepted,
+            "attempted": attempted,
+        }
     energies, accepted, attempted = [], 0, 0
     for wf, rng in zip(wfs, rngs):
         result = run_vmc(
@@ -60,6 +96,8 @@ def _run_walker_range(wfs, rngs, n_steps, n_warmup, tau, ion_charge) -> dict:
             n_warmup=n_warmup,
             tau=tau,
             ion_charge=ion_charge,
+            recompute_every=_RECOMPUTE_EVERY,
+            step_mode="walker",
         )
         energies.append(result.energies)
         sweeps = n_steps + n_warmup
@@ -85,10 +123,10 @@ class _VmcShard:
             spec, self._table.array, shard.start, shard.stop
         )
 
-    def run(self, n_steps, n_warmup, tau, ion_charge) -> dict:
+    def run(self, n_steps, n_warmup, tau, ion_charge, step_mode="batched") -> dict:
         t0 = time.perf_counter()
         out = _run_walker_range(
-            self.wfs, self.rngs, n_steps, n_warmup, tau, ion_charge
+            self.wfs, self.rngs, n_steps, n_warmup, tau, ion_charge, step_mode
         )
         if OBS.enabled and self.wfs:
             OBS.count("vmc_shard_walkers_total", len(self.wfs))
@@ -117,19 +155,30 @@ def run_vmc_population(
     table: np.ndarray | None = None,
     processes: bool = True,
     start_method: str | None = None,
+    step_mode: str = "batched",
 ) -> VmcPopulationResult:
     """Run VMC over ``spec.n_walkers`` walkers, sharded over processes.
 
     ``processes=False`` (or ``n_workers == 0``) runs the same walker loop
     in the calling process — the bit-identity reference the tests compare
-    1/2/4-worker runs against.
+    1/2/4-worker runs against.  ``step_mode`` selects the batched
+    lock-step shard kernels (default) or the sequential per-walker sweep;
+    both are bit-identical for any worker count.
     """
+    if step_mode not in ("batched", "walker"):
+        raise ValueError(
+            f"step_mode must be 'batched' or 'walker', got {step_mode!r}"
+        )
     if table is None:
         table = solve_spec_table(spec)
     t0 = time.perf_counter()
     if not processes or n_workers == 0:
         wfs, rngs = build_walker_range(spec, table, 0, spec.n_walkers)
-        shards = [_run_walker_range(wfs, rngs, n_steps, n_warmup, tau, ion_charge)]
+        shards = [
+            _run_walker_range(
+                wfs, rngs, n_steps, n_warmup, tau, ion_charge, step_mode
+            )
+        ]
         n_workers = 0
     else:
         shared = SharedTable.create(table)
@@ -141,7 +190,9 @@ def run_vmc_population(
                 (spec, table_spec),
                 start_method=start_method,
             ) as pool:
-                shards = pool.broadcast("run", n_steps, n_warmup, tau, ion_charge)
+                shards = pool.broadcast(
+                    "run", n_steps, n_warmup, tau, ion_charge, step_mode
+                )
                 pool.merge_metrics()
         finally:
             shared.close()

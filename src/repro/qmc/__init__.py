@@ -7,6 +7,7 @@ factors, Slater determinants with Sherman-Morrison updates (paper Eqs.
 (paper Sec. III's three-stage generation loop).
 """
 
+from repro.qmc.batched_step import CrowdState, batched_sweep
 from repro.qmc.crowd import Crowd
 from repro.qmc.delayed import DelayedDeterminant
 from repro.qmc.determinant import DiracDeterminant
@@ -38,6 +39,8 @@ from repro.qmc.wavefunction import SlaterJastrow
 __all__ = [
     "ParticleSet",
     "Crowd",
+    "CrowdState",
+    "batched_sweep",
     "DelayedDeterminant",
     "DistanceTableAA",
     "DistanceTableAB",

@@ -4,29 +4,25 @@ The paper closes by planning "to extend this AoSoA design to parallelize
 other parts of QMCPACK" — the design that eventually shipped is the
 *crowd*: a set of walkers advanced in lock step so the expensive orbital
 evaluations of the same electron index across all walkers become one
-batched kernel call.  This module implements that driver on top of
-:meth:`repro.qmc.slater.SplineOrbitalSet.vgl_batch`:
+batched kernel call.  This class is a thin facade over the batched
+population step (:mod:`repro.qmc.batched_step`), which does per sweep:
 
-for each electron index e:
-    1. every walker drafts a drift-diffusion proposal for its electron e
-       (its own stream, its own drift);
-    2. ONE batched VGH call evaluates the orbitals at all trial
-       positions (plus, at the start of the sweep, all current
-       positions for the drifts);
-    3. each walker finishes its Metropolis decision independently with
-       its precomputed VGL slice.
+* ONE batched VGH call over every walker's every committed electron
+  position (the drift cache), then per electron index
+* ONE batched VGH call at all trial positions plus batched distance rows
+  and Jastrow radials, with each walker finishing its Metropolis
+  decision independently from its own stream.
 
-Per-walker trajectories are mathematically identical to running the
+Per-walker trajectories are *bitwise* identical to running the
 sequential :func:`repro.qmc.drift_diffusion.sweep` on each walker (the
-streams are consumed in the same order); only the evaluation schedule
-changes — the crowd's point.
+streams are consumed in the same order and every batched operation is
+row-wise batch-invariant); only the evaluation schedule changes — the
+crowd's point.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.qmc.drift_diffusion import limited_drift, log_greens_ratio
+from repro.qmc.batched_step import CrowdState, batched_sweep
 from repro.qmc.wavefunction import SlaterJastrow
 
 __all__ = ["Crowd"]
@@ -46,29 +42,19 @@ class Crowd:
     """
 
     def __init__(self, wavefunctions: list[SlaterJastrow], rngs: list):
-        if not wavefunctions:
-            raise ValueError("a crowd needs at least one walker")
-        if len(rngs) != len(wavefunctions):
-            raise ValueError("need exactly one rng per walker")
-        spos = wavefunctions[0].slater.spos
-        n_el = len(wavefunctions[0].electrons)
-        for wf in wavefunctions[1:]:
-            if wf.slater.spos is not spos:
-                raise ValueError(
-                    "crowd walkers must share one orbital set (the shared "
-                    "read-only table)"
-                )
-            if len(wf.electrons) != n_el:
-                raise ValueError("crowd walkers must have equal electron counts")
-        self.wfs = wavefunctions
-        self.rngs = list(rngs)
-        self.spos = spos
-        self.n_electrons = n_el
-        #: Batched kernel calls performed (for instrumentation).
-        self.n_batched_calls = 0
+        self.state = CrowdState(wavefunctions, rngs)
+        self.wfs = self.state.wfs
+        self.rngs = self.state.rngs
+        self.spos = self.state.spos
+        self.n_electrons = self.state.n_electrons
 
     def __len__(self) -> int:
         return len(self.wfs)
+
+    @property
+    def n_batched_calls(self) -> int:
+        """Batched kernel calls performed (for instrumentation)."""
+        return self.state.n_batched_calls
 
     def sweep(self, tau: float) -> tuple[int, int]:
         """One lock-step drift-diffusion pass over all electrons.
@@ -78,41 +64,7 @@ class Crowd:
         (accepted, attempted):
             Summed over the crowd.
         """
-        accepted = 0
-        sqrt_tau = np.sqrt(tau)
-        nw = len(self.wfs)
-        for e in range(self.n_electrons):
-            # 1. per-walker proposals (drift from committed state).
-            r_old = np.array([wf.electrons[e] for wf in self.wfs])
-            drifts = np.array(
-                [limited_drift(wf.grad(e), tau) for wf in self.wfs]
-            )
-            chi = np.array([rng.standard_normal(3) for rng in self.rngs])
-            r_new = r_old + tau * drifts + chi * sqrt_tau
-
-            # 2. one batched orbital evaluation for the whole crowd.
-            v, g, lap = self.spos.vgl_batch(r_new)
-            self.n_batched_calls += 1
-
-            # 3. independent Metropolis decisions.
-            for w, wf in enumerate(self.wfs):
-                ratio, grad_new = wf.ratio_grad_precomputed(
-                    e, r_new[w], (v[w], g[w], lap[w])
-                )
-                if ratio == 0.0:
-                    wf.reject_move(e)
-                    continue
-                log_acc = 2.0 * np.log(abs(ratio))
-                drift_new = limited_drift(grad_new, tau)
-                log_acc += log_greens_ratio(
-                    r_old[w], r_new[w], drifts[w], drift_new, tau
-                )
-                if log_acc >= 0.0 or self.rngs[w].random() < np.exp(log_acc):
-                    wf.accept_move(e)
-                    accepted += 1
-                else:
-                    wf.reject_move(e)
-        return accepted, nw * self.n_electrons
+        return batched_sweep(self.state, tau)
 
     def run(self, n_sweeps: int, tau: float) -> float:
         """Run several sweeps; returns the overall acceptance ratio."""

@@ -156,6 +156,17 @@ class DistanceTableAB:
         self._temp_for = i
         return self._temp_dist
 
+    def stage_row(self, i: int, dist: np.ndarray, disp: np.ndarray) -> None:
+        """Stage a row precomputed elsewhere (the batched crowd driver).
+
+        Equivalent to :meth:`propose_row` when the caller's row math is
+        the same as :meth:`_compute_row`'s — batched drivers compute all
+        walkers' rows in one shot and hand each table its slice.
+        """
+        self._temp_dist[...] = dist
+        self._temp_disp[...] = disp
+        self._temp_for = i
+
     @property
     def temp_dist(self) -> np.ndarray:
         """The staged trial-distance row (view)."""
@@ -261,6 +272,16 @@ class DistanceTableAA:
         self._temp_dist[...] = dist
         self._temp_for = i
         return self._temp_dist
+
+    def stage_row(self, i: int, dist: np.ndarray, disp: np.ndarray) -> None:
+        """Stage a row precomputed elsewhere (the batched crowd driver).
+
+        The caller must already have zeroed the self entry ``i`` in both
+        ``dist`` and ``disp``, exactly as :meth:`propose_row` does.
+        """
+        self._temp_dist[...] = dist
+        self._temp_disp[...] = disp
+        self._temp_for = i
 
     @property
     def temp_dist(self) -> np.ndarray:

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.obs import OBS
+from repro.qmc.batched_step import CrowdState, batched_sweep
 from repro.qmc.drift_diffusion import sweep
 from repro.qmc.estimators import LocalEnergy
 from repro.qmc.rng import WalkerRngPool
@@ -65,12 +66,15 @@ class DmcWalker:
     def clone(self, rng: np.random.Generator) -> "DmcWalker":
         """A branching copy: same configuration, fresh random stream.
 
-        The clone gets its own wavefunction object rebuilt from the
-        parent's electron positions (derived state is recomputed rather
-        than deep-copied, trading O(N^3) per clone for simplicity and
-        guaranteed consistency).
+        The clone gets its own mutable state (particles, tables,
+        determinant inverses) but *shares* the parent's orbital set —
+        the read-only coefficient table every walker in the ensemble
+        reads.  Sharing keeps branching O(walker state) instead of
+        O(spline table) and keeps the whole ensemble in one crowd for
+        the batched population step.
         """
-        wf_new = copy.deepcopy(self.wf)
+        spos = self.wf.slater.spos
+        wf_new = copy.deepcopy(self.wf, {id(spos): spos})
         return DmcWalker(wf=wf_new, rng=rng, e_local=self.e_local)
 
 
@@ -180,7 +184,10 @@ def _resume_dmc(
         if i < len(walkers):
             wf = walkers[i].wf
         else:
-            wf = copy.deepcopy(walkers[0].wf)
+            # Extra walkers share the template's orbital set (read-only),
+            # like branching clones do.
+            spos0 = walkers[0].wf.slater.spos
+            wf = copy.deepcopy(walkers[0].wf, {id(spos0): spos0})
         try:
             wf.electrons.load_positions(positions[i], wrap=False)
             wf.ions.load_positions(ion_positions[i], wrap=False)
@@ -209,6 +216,28 @@ def _resume_dmc(
     )
 
 
+def _crowd_groups(walkers: list[DmcWalker]) -> list[list[DmcWalker]]:
+    """Partition an ensemble into crowds that can step batched together.
+
+    Walkers sharing one orbital-set object, electron count and Jastrow
+    structure form one lock-step group; walker order is preserved inside
+    each group (streams are private, so cross-group order is free).
+    Branching clones share their parent's orbital set, so a standard
+    ensemble stays a single crowd for its whole life.
+    """
+    groups: dict[tuple, list[DmcWalker]] = {}
+    for w in walkers:
+        wf = w.wf
+        key = (
+            id(wf.slater.spos),
+            len(wf.electrons),
+            wf.j1 is not None,
+            wf.j2 is not None,
+        )
+        groups.setdefault(key, []).append(w)
+    return list(groups.values())
+
+
 def run_dmc(
     walkers: list[DmcWalker],
     pool: WalkerRngPool,
@@ -224,6 +253,7 @@ def run_dmc(
     guard: GuardConfig | None = None,
     estimator_factory=None,
     on_generation=None,
+    step_mode: str = "batched",
 ) -> DmcResult:
     """Propagate a DMC ensemble; returns traces for analysis.
 
@@ -275,7 +305,19 @@ def run_dmc(
         ``hook(gen, walkers)`` called after each completed generation
         (after any checkpoint write); exceptions propagate, which is how
         the resilience tests simulate a mid-run kill.
+    step_mode:
+        ``"batched"`` (default) propagates each generation through the
+        batched population step: walkers are grouped by shared orbital
+        set and advanced in lock step with one kernel call per electron
+        move (:mod:`repro.qmc.batched_step`).  ``"walker"`` keeps the
+        sequential per-walker sweep.  Both produce bit-identical
+        trajectories (each walker's private stream is consumed in the
+        same order), so the mode is not part of the checkpoint contract.
     """
+    if step_mode not in ("batched", "walker"):
+        raise ValueError(
+            f"step_mode must be 'batched' or 'walker', got {step_mode!r}"
+        )
     if not walkers:
         raise ValueError("need at least one walker")
     if checkpoint_every is not None:
@@ -350,13 +392,24 @@ def run_dmc(
 
     for gen in range(start_gen, n_generations):
         t_gen = time.perf_counter() if OBS.enabled else 0.0
+        # (i) drift-diffusion propagation.  The batched mode advances
+        # each shared-orbital-set group in lock step; since every walker
+        # consumes only its private stream, the result is bit-identical
+        # to sweeping walkers one at a time.
+        if step_mode == "batched":
+            for group in _crowd_groups(walkers):
+                state = CrowdState([w.wf for w in group], [w.rng for w in group])
+                acc, att = batched_sweep(state, tau)
+                accepted += acc
+                attempted += att
+        else:
+            for w in walkers:
+                acc, att = sweep(w.wf, tau, w.rng)
+                accepted += acc
+                attempted += att
+        # (ii) measurement, in walker order.
         weights: list[float | None] = []
         for w in walkers:
-            # (i) drift-diffusion propagation.
-            acc, att = sweep(w.wf, tau, w.rng)
-            accepted += acc
-            attempted += att
-            # (ii) measurement.
             e_old = w.e_local
             if not measure(w):
                 weights.append(None)  # dropped: no branching copies at all

@@ -24,16 +24,23 @@ def limited_drift(grad_logpsi: np.ndarray, tau: float) -> np.ndarray:
     """Umrigar-limited drift velocity ``v_bar * tau`` has bounded norm.
 
     For small ``tau * v^2`` this reduces smoothly to the bare gradient.
+
+    Accepts a single ``(3,)`` gradient or a batch ``(..., 3)`` of them;
+    the math is elementwise along the last axis either way, so the
+    per-walker and crowd step paths produce the same bits from the same
+    inputs.
     """
-    v2 = float(grad_logpsi @ grad_logpsi)
-    if v2 < 1e-300:
-        return np.asarray(grad_logpsi, dtype=np.float64)
+    g = np.asarray(grad_logpsi, dtype=np.float64)
+    v2 = (g * g).sum(axis=-1)
     # Stable form of (sqrt(1 + 2 tau v^2) - 1) / (tau v^2): the naive
     # expression suffers catastrophic cancellation for tiny tau*v^2 and
     # can exceed 1 by rounding; this one is algebraically identical and
     # always in (0, 1].
     scale = 2.0 / (1.0 + np.sqrt(1.0 + 2.0 * tau * v2))
-    return scale * np.asarray(grad_logpsi, dtype=np.float64)
+    # Multiplying by exactly 1.0 is a bitwise identity, so the tiny-v2
+    # guard folds into the same multiply for scalars and batches alike.
+    scale = np.where(v2 < 1e-300, 1.0, scale)
+    return scale[..., np.newaxis] * g
 
 
 def log_greens_ratio(
@@ -42,12 +49,16 @@ def log_greens_ratio(
     drift_old: np.ndarray,
     drift_new: np.ndarray,
     tau: float,
-) -> float:
+):
     """log [ G(r' -> r) / G(r -> r') ] for the drift-diffusion kernel.
 
     With ``G(a -> b) = exp(-|b - a - tau v(a)|^2 / 2 tau)``, the forward
     and reverse displacement residuals give the detailed-balance factor
     of the Metropolis-Hastings acceptance.
+
+    All arguments broadcast along leading axes: single ``(3,)`` vectors
+    return a float, ``(nw, 3)`` batches return an ``(nw,)`` array with
+    identical per-row bits.
 
     Parameters
     ----------
@@ -56,7 +67,8 @@ def log_greens_ratio(
     """
     fwd = r_new - r_old - tau * drift_old
     rev = r_old - r_new - tau * drift_new
-    return float((fwd @ fwd - rev @ rev) / (2.0 * tau))
+    out = ((fwd * fwd).sum(axis=-1) - (rev * rev).sum(axis=-1)) / (2.0 * tau)
+    return float(out) if np.ndim(out) == 0 else out
 
 
 def sweep(

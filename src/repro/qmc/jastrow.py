@@ -77,15 +77,20 @@ class _JastrowBase:
     def _row_terms(
         self, dist_row: np.ndarray, exclude: int | None
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        """u, u', u'' over one distance row plus the valid-pair mask.
+        """u, u', u'' over distance rows plus the valid-pair mask.
 
         ``exclude`` masks the self entry of AA rows; zero-distance entries
         are masked as well (they can only be the self entry anyway).
+
+        ``dist_row`` may be one row ``(n,)`` or a stack ``(nw, n)`` of
+        same-index rows from a whole crowd — every operation is
+        elementwise or last-axis, so stacked rows produce the same bits
+        as one-at-a-time rows.
         """
         mask = dist_row > 0.0
         if exclude is not None:
             mask = mask.copy()
-            mask[exclude] = False
+            mask[..., exclude] = False
         v, dv, d2v = self.u.evaluate_vgl(dist_row)
         v = np.where(mask, v, 0.0)
         dv = np.where(mask, dv, 0.0)
@@ -97,18 +102,22 @@ class _JastrowBase:
         dist_row: np.ndarray,
         disp_row: np.ndarray,
         exclude: int | None,
-    ) -> tuple[np.ndarray, float]:
-        """(grad_i J, lap_i J) from one row; handles both layouts."""
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(grad_i J, lap_i J) from rows; handles both layouts.
+
+        Accepts one row (``dist (n,)``, ``disp (n, 3)`` aos / ``(3, n)``
+        soa) or a crowd stack with a leading walker axis; gradients come
+        back ``(..., 3)`` and Laplacians ``(...)`` (0-d for one row —
+        the public per-electron methods convert to float).
+        """
         _, dv, d2v, mask = self._row_terms(dist_row, exclude)
         safe_r = np.where(mask, dist_row, 1.0)
         w = dv / safe_r  # u'(r)/r per pair, zero where masked
         if self.layout == "aos":
-            grad = -(w[:, np.newaxis] * disp_row).sum(axis=0)
+            grad = -(w[..., :, np.newaxis] * disp_row).sum(axis=-2)
         else:
-            grad = -np.array(
-                [np.dot(w, disp_row[0]), np.dot(w, disp_row[1]), np.dot(w, disp_row[2])]
-            )
-        lap = -float(np.sum(d2v + 2.0 * w))
+            grad = -(w[..., np.newaxis, :] * disp_row).sum(axis=-1)
+        lap = -(d2v + 2.0 * w).sum(axis=-1)
         return grad, lap
 
 
@@ -157,6 +166,20 @@ class TwoBodyJastrow(_JastrowBase):
         self._usum_temp = float(v_new.sum())
         return float(np.exp(-(self._usum_temp - self._usum[i])))
 
+    def stage(
+        self, i: int, urow_new: np.ndarray, urow_old: np.ndarray
+    ) -> None:
+        """Stage precomputed u-rows for particle ``i`` (batched drivers).
+
+        Equivalent to :meth:`ratio`'s caching when ``urow_new`` /
+        ``urow_old`` come from the same :meth:`_row_terms` math over the
+        staged and committed rows; the ratio itself is assembled by the
+        batched caller.
+        """
+        self._urow_temp[...] = urow_new
+        self._urow_old[...] = urow_old
+        self._usum_temp = float(urow_new.sum())
+
     def accept_move(self, i: int) -> None:
         """Commit the staged move's cached u-sums (table committed separately)."""
         delta = self._urow_temp - self._urow_old
@@ -175,7 +198,10 @@ class TwoBodyJastrow(_JastrowBase):
 
     def grad_lap(self, i: int) -> tuple[np.ndarray, float]:
         """(grad_i J2, lap_i J2) from the committed table."""
-        return self._grad_lap_from_row(self.table.row(i), self.table.disp_row(i), i)
+        g, lap = self._grad_lap_from_row(
+            self.table.row(i), self.table.disp_row(i), i
+        )
+        return g, float(lap)
 
 
 class OneBodyJastrow(_JastrowBase):
@@ -213,6 +239,10 @@ class OneBodyJastrow(_JastrowBase):
         self._usum_temp = float(v_new.sum())
         return float(np.exp(-(self._usum_temp - self._usum[i])))
 
+    def stage(self, i: int, usum_temp: float) -> None:
+        """Stage a precomputed trial u-sum for electron ``i`` (batched drivers)."""
+        self._usum_temp = float(usum_temp)
+
     def accept_move(self, i: int) -> None:
         """Commit the staged move's cached u-sum."""
         self._usum[i] = self._usum_temp
@@ -231,4 +261,7 @@ class OneBodyJastrow(_JastrowBase):
 
     def grad_lap(self, i: int) -> tuple[np.ndarray, float]:
         """(grad_i J1, lap_i J1) from the committed table."""
-        return self._grad_lap_from_row(self.table.row(i), self.table.disp_row(i), None)
+        g, lap = self._grad_lap_from_row(
+            self.table.row(i), self.table.disp_row(i), None
+        )
+        return g, float(lap)

@@ -75,11 +75,15 @@ class ParticleSet:
         """The staged trial position (wrapped), or None."""
         return None if self._staged is None else self._staged.copy()
 
-    def propose(self, i: int, new_pos: np.ndarray) -> np.ndarray:
+    def propose(self, i: int, new_pos: np.ndarray, wrap: bool = True) -> np.ndarray:
         """Stage a trial position for particle ``i``; returns it wrapped.
 
         Raises if another move is already staged — the particle-by-particle
         protocol never has two in flight.
+
+        ``wrap=False`` stages the position verbatim (a private copy) —
+        for batched drivers that wrap a whole crowd's proposals in one
+        call and hand each walker its already-wrapped row.
         """
         if self._active is not None:
             raise RuntimeError(
@@ -88,9 +92,12 @@ class ParticleSet:
             )
         if not 0 <= i < len(self):
             raise IndexError(f"particle index {i} out of range [0, {len(self)})")
-        wrapped = self.cell.wrap_cart(np.asarray(new_pos, dtype=np.float64))
+        pos = np.asarray(new_pos, dtype=np.float64)
+        # wrap_cart allocates; the verbatim path must copy too so the
+        # staged state never aliases a caller-owned batch row.
+        pos = self.cell.wrap_cart(pos) if wrap else np.array(pos)
         self._active = i
-        self._staged = wrapped.reshape(3)
+        self._staged = pos.reshape(3)
         return self._staged.copy()
 
     def accept(self) -> None:

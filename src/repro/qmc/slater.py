@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.core.coeffs import solve_coefficients_3d
 from repro.core.grid import Grid3D
+from repro.core.kinds import Kind
 from repro.core.layout_fused import BsplineFused
 from repro.core.layout_soa import BsplineSoA
 from repro.core.layout_aos import BsplineAoS
@@ -47,8 +48,10 @@ class SplineOrbitalSet:
     grid:
         Fractional-coordinate grid (its ``lengths`` must be the unit box).
     engine:
-        Any object exposing the ``vgh(x, y, z, out)`` / ``new_output``
-        kernel API from :mod:`repro.core`.
+        Any :class:`repro.core.Engine` exposing a coefficient table
+        ``P``; all evaluations run through a
+        :class:`~repro.core.batched.BsplineBatched` built over that
+        table (single positions are batches of one).
 
     Notes
     -----
@@ -74,8 +77,21 @@ class SplineOrbitalSet:
         self.n_orbitals = engine.n_splines
         self._B = np.linalg.inv(cell.lattice)  # cart -> frac Jacobian (rows a)
         self._M = self._B @ self._B.T  # Laplacian metric
-        self._out = engine.new_output("vgh")
-        self._vout = engine.new_output("v")
+
+    def _get_batched(self):
+        """The lazily-built batched engine over the same table.
+
+        Every evaluation — single-position and batched alike — routes
+        through this one engine, so the per-walker and crowd step paths
+        produce bit-identical orbitals by construction (NumPy reductions
+        along the last axes are row-wise batch-invariant; see
+        :mod:`repro.core.batched`).
+        """
+        from repro.core.batched import BsplineBatched
+
+        if not hasattr(self, "_batched"):
+            self._batched = BsplineBatched(self.grid, self.engine.P)
+        return self._batched
 
     @classmethod
     def from_orbital_functions(
@@ -126,9 +142,7 @@ class SplineOrbitalSet:
 
     def values(self, cart_pos: np.ndarray) -> np.ndarray:
         """Orbital values at one Cartesian position; ``(N,)`` float64."""
-        f = self._frac(np.asarray(cart_pos, dtype=np.float64))
-        self.engine.v(f[0], f[1], f[2], self._vout)
-        return self._vout.v.astype(np.float64)
+        return self.values_batch(cart_pos)[0]
 
     def values_batch(self, cart_positions: np.ndarray) -> np.ndarray:
         """Orbital values at many positions at once; ``(ns, N)`` float64.
@@ -138,14 +152,11 @@ class SplineOrbitalSet:
         pseudopotential quadrature, where one electron needs orbital
         values at 6-12 sphere points simultaneously.
         """
-        from repro.core.batched import BsplineBatched
-
-        if not hasattr(self, "_batched"):
-            self._batched = BsplineBatched(self.grid, self.engine.P)
+        batched = self._get_batched()
         cart_positions = np.atleast_2d(np.asarray(cart_positions, dtype=np.float64))
         frac = self.cell.wrap_frac(self.cell.cart_to_frac(cart_positions))
-        out = self._batched.new_output(len(frac))
-        self._batched.v_batch(frac, out)
+        out = batched.new_output(Kind.V, n=len(frac))
+        batched.v_batch(frac, out)
         return out.v.astype(np.float64)
 
     def vgl_batch(
@@ -159,14 +170,11 @@ class SplineOrbitalSet:
         (:mod:`repro.qmc.crowd`), which advances many walkers' same-index
         electrons through one batched kernel call.
         """
-        from repro.core.batched import BsplineBatched
-
-        if not hasattr(self, "_batched"):
-            self._batched = BsplineBatched(self.grid, self.engine.P)
+        batched = self._get_batched()
         cart_positions = np.atleast_2d(np.asarray(cart_positions, dtype=np.float64))
         frac = self.cell.wrap_frac(self.cell.cart_to_frac(cart_positions))
-        out = self._batched.new_output(len(frac))
-        self._batched.vgh_batch(frac, out)
+        out = batched.new_output(Kind.VGH, n=len(frac))
+        batched.vgh_batch(frac, out)
         v = out.v.astype(np.float64)
         g_cart = np.einsum("af,sfn->san", self._B, out.g.astype(np.float64))
         h = out.h.astype(np.float64)  # (ns, 6, N): xx, xy, xz, yy, yz, zz
@@ -184,24 +192,16 @@ class SplineOrbitalSet:
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Values, Cartesian gradients and Laplacians at one position.
 
+        A batch-of-one through :meth:`vgl_batch`, so per-walker and crowd
+        drivers see the same bits.
+
         Returns
         -------
         (v, g, lap):
             ``v`` ``(N,)``, ``g`` ``(3, N)``, ``lap`` ``(N,)`` — float64.
         """
-        f = self._frac(np.asarray(cart_pos, dtype=np.float64))
-        self.engine.vgh(f[0], f[1], f[2], self._out)
-        c = self._out.as_canonical()
-        g_cart = self._B @ c["g"]
-        hf = c["h"]  # (3, 3, N) fractional Hessian
-        M = self._M
-        lap = (
-            M[0, 0] * hf[0, 0]
-            + M[1, 1] * hf[1, 1]
-            + M[2, 2] * hf[2, 2]
-            + 2.0 * (M[0, 1] * hf[0, 1] + M[0, 2] * hf[0, 2] + M[1, 2] * hf[1, 2])
-        )
-        return c["v"], g_cart, lap
+        v, g, lap = self.vgl_batch(cart_pos)
+        return v[0], g[0], lap[0]
 
     def vgh(
         self, cart_pos: np.ndarray
@@ -210,9 +210,12 @@ class SplineOrbitalSet:
 
         Returns ``(v (N,), g (3, N), h (3, 3, N))``.
         """
-        f = self._frac(np.asarray(cart_pos, dtype=np.float64))
-        self.engine.vgh(f[0], f[1], f[2], self._out)
-        c = self._out.as_canonical()
+        batched = self._get_batched()
+        cart = np.atleast_2d(np.asarray(cart_pos, dtype=np.float64))
+        frac = self.cell.wrap_frac(self.cell.cart_to_frac(cart))
+        out = batched.new_output(Kind.VGH, n=len(frac))
+        batched.vgh_batch(frac, out)
+        c = out.as_canonical(0)
         g_cart = self._B @ c["g"]
         h_cart = np.einsum("af,fgn,bg->abn", self._B, c["h"], self._B)
         return c["v"], g_cart, h_cart
@@ -323,8 +326,19 @@ class SlaterDet:
 
     def grad_lap(self, e: int) -> tuple[np.ndarray, float]:
         """(grad D / D, lap D / D) at electron ``e``'s committed position."""
-        det, row = self._locate(e)
         v, g, lap = self.spos.vgl(self.electrons[e])
+        return self.grad_lap_from_vgl(e, g, lap)
+
+    def grad_lap_from_vgl(
+        self, e: int, g: np.ndarray, lap: np.ndarray
+    ) -> tuple[np.ndarray, float]:
+        """Like :meth:`grad_lap` but with precomputed orbital gradients.
+
+        The entry point for batched drivers, which evaluate the committed
+        positions of a whole crowd in one kernel call and hand each
+        walker its slice.
+        """
+        det, row = self._locate(e)
         return det.grad_lap(row, g, lap)
 
     def recompute(self) -> None:

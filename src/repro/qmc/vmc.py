@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.obs import OBS
+from repro.qmc.batched_step import CrowdState, batched_sweep
 from repro.qmc.drift_diffusion import sweep
 from repro.qmc.estimators import LocalEnergy
 from repro.qmc.wavefunction import SlaterJastrow
@@ -78,6 +79,7 @@ def run_vmc(
     checkpoint_path=None,
     resume=None,
     guard: GuardConfig | None = None,
+    step_mode: str = "batched",
 ) -> VmcResult:
     """Run VMC on one walker and return its energy trace.
 
@@ -111,7 +113,18 @@ def run_vmc(
         ``"recompute"`` rebuilds derived state and re-measures once
         (keeping the bad sample only if still bad under ``"ignore"``
         semantics), ``"drop"`` skips the sample.
+    step_mode:
+        ``"batched"`` (default) advances the walker through the batched
+        population-step kernels (:mod:`repro.qmc.batched_step`, a crowd
+        of one); ``"walker"`` uses the sequential per-electron loop.
+        Both produce bit-identical trajectories, so the mode is not part
+        of the checkpoint contract — a checkpoint from either mode
+        resumes under either mode.
     """
+    if step_mode not in ("batched", "walker"):
+        raise ValueError(
+            f"step_mode must be 'batched' or 'walker', got {step_mode!r}"
+        )
     if checkpoint_every is not None:
         if checkpoint_every <= 0:
             raise ValueError(
@@ -180,9 +193,16 @@ def run_vmc(
         energies = []
         accepted = attempted = 0
 
+    # Built after any resume so the SoA position cache sees the restored
+    # configuration.
+    crowd = CrowdState([wf], [rng]) if step_mode == "batched" else None
+
     for step in range(start_step, n_warmup + n_steps):
         t_step = time.perf_counter() if OBS.enabled else 0.0
-        acc, att = sweep(wf, tau, rng)
+        if crowd is not None:
+            acc, att = batched_sweep(crowd, tau)
+        else:
+            acc, att = sweep(wf, tau, rng)
         if OBS.enabled:
             dt = time.perf_counter() - t_step
             OBS.count("vmc_steps_total")

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.kinds import Kind
 from repro.obs import OBS
 
 __all__ = ["RetryPolicy", "RetryExhausted", "retry_with_backoff", "ResilientEvaluator"]
@@ -148,16 +149,17 @@ class ResilientEvaluator:
         self.retries = 0
         self.fallbacks = 0
 
-    def evaluate(self, kind: str, positions: np.ndarray, out) -> None:
+    def evaluate(self, kind: "Kind | str", positions: np.ndarray, out) -> None:
         """Nested evaluation with retry, then single-threaded degradation."""
+        kind = Kind.coerce(kind)
 
         def count_retry(attempt, exc):
             self.retries += 1
-            OBS.count("nested_retries_total", kernel=kind)
+            OBS.count("nested_retries_total", kernel=kind.value)
             OBS.event(
                 "retry:nested_worker",
                 cat="resilience",
-                kernel=kind,
+                kernel=kind.value,
                 attempt=attempt,
                 error=type(exc).__name__,
             )
@@ -171,8 +173,10 @@ class ResilientEvaluator:
             )
         except RetryExhausted:
             self.fallbacks += 1
-            OBS.count("nested_fallbacks_total", kernel=kind)
-            OBS.event("retry:single_thread_fallback", cat="resilience", kernel=kind)
+            OBS.count("nested_fallbacks_total", kernel=kind.value)
+            OBS.event(
+                "retry:single_thread_fallback", cat="resilience", kernel=kind.value
+            )
             self.engine.eval_tiles(
                 kind, range(self.engine.n_tiles), positions, out
             )

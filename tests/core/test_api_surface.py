@@ -1,0 +1,48 @@
+"""The curated API reference cannot silently drift from the packages.
+
+``docs/API.md`` is the map of the public surface; these tests pin it to
+the actual ``__all__`` of the core packages in both directions a doc can
+rot: a symbol exported but never documented, and an ``__all__`` entry
+that does not actually resolve.
+"""
+
+import importlib
+from pathlib import Path
+
+import pytest
+
+DOC = Path(__file__).resolve().parents[2] / "docs" / "API.md"
+PACKAGES = ("repro.core", "repro.qmc", "repro.parallel")
+
+
+@pytest.fixture(scope="module")
+def api_doc() -> str:
+    return DOC.read_text()
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_every_public_symbol_is_documented(package, api_doc):
+    mod = importlib.import_module(package)
+    missing = [name for name in mod.__all__ if name not in api_doc]
+    assert not missing, (
+        f"{package} exports symbols absent from docs/API.md: {missing} — "
+        f"document them (or drop them from __all__)"
+    )
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_entries_resolve(package):
+    mod = importlib.import_module(package)
+    unresolved = [name for name in mod.__all__ if not hasattr(mod, name)]
+    assert not unresolved, f"{package}.__all__ names missing attributes: {unresolved}"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_no_duplicate_all_entries(package):
+    mod = importlib.import_module(package)
+    seen, dupes = set(), []
+    for name in mod.__all__:
+        if name in seen:
+            dupes.append(name)
+        seen.add(name)
+    assert not dupes, f"{package}.__all__ lists duplicates: {dupes}"

@@ -19,6 +19,7 @@ from repro.core import (
     BsplineFused,
     BsplineSoA,
     Grid3D,
+    Kind,
     refimpl,
     solve_coefficients_3d,
 )
@@ -50,8 +51,11 @@ def make_case(shape, n_splines):
 
 
 def canonical(engine, kind, x, y, z):
-    out = engine.new_output(kind)
-    getattr(engine, kind)(x, y, z, out)
+    # Kind(value) is the silent normalization path; every engine speaks
+    # the unified evaluate() protocol.
+    k = Kind(kind)
+    out = engine.new_output(k)
+    engine.evaluate(k, (x, y, z), out)
     return out.as_canonical()
 
 

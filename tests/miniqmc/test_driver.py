@@ -94,12 +94,12 @@ class TestTiledDriver:
 
     def test_tiled_outputs_match_flat(self, cfg, table):
         # Not just timing: the driver's engines agree numerically.
-        from repro.core import BsplineAoSoA, BsplineSoA, Grid3D
+        from repro.core import BsplineAoSoA, BsplineSoA, Grid3D, Kind
 
         grid = Grid3D(10, 10, 10)
         flat = BsplineSoA(grid, table)
         tiled = BsplineAoSoA(grid, table, 8)
-        of, ot = flat.new_output("vgh"), tiled.new_output("vgh")
+        of, ot = flat.new_output(Kind.VGH), tiled.new_output(Kind.VGH)
         flat.vgh(0.31, 0.62, 0.13, of)
         tiled.vgh(0.31, 0.62, 0.13, ot)
         np.testing.assert_allclose(

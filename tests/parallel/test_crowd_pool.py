@@ -70,3 +70,44 @@ class TestResultShape:
             == spec.n_walkers * n_el
         )
         assert obs.registry.gauge("crowd_pool_workers").value == 2
+
+
+class TestStepModeParity:
+    """The batched default and the per-walker fallback share one trajectory."""
+
+    def test_sequential_walker_mode_matches_batched(
+        self, spec, table, reference
+    ):
+        walk = run_crowd_sequential(
+            spec, n_sweeps=N_SWEEPS, tau=TAU, table=table, step_mode="walker"
+        )
+        np.testing.assert_array_equal(walk.positions, reference.positions)
+        np.testing.assert_array_equal(walk.log_values, reference.log_values)
+        assert walk.accepted == reference.accepted
+        assert walk.attempted == reference.attempted
+
+    def test_parallel_walker_mode_matches_batched(
+        self, spec, table, reference, shm_sentinel
+    ):
+        par = run_crowd_parallel(
+            spec,
+            n_workers=2,
+            n_sweeps=N_SWEEPS,
+            tau=TAU,
+            table=table,
+            step_mode="walker",
+        )
+        np.testing.assert_array_equal(par.positions, reference.positions)
+        np.testing.assert_array_equal(par.log_values, reference.log_values)
+        assert par.accepted == reference.accepted
+
+    def test_rejects_unknown_step_mode(self, spec, table):
+        with pytest.raises(ValueError, match="step_mode"):
+            run_crowd_sequential(
+                spec, n_sweeps=1, tau=TAU, table=table, step_mode="turbo"
+            )
+        with pytest.raises(ValueError, match="step_mode"):
+            run_crowd_parallel(
+                spec, n_workers=1, n_sweeps=1, tau=TAU, table=table,
+                step_mode="turbo",
+            )

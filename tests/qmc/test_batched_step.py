@@ -1,0 +1,198 @@
+"""Bitwise identity of the batched population step vs the per-walker path.
+
+The tentpole contract: ``step_mode="batched"`` and ``step_mode="walker"``
+must produce *bit-identical* trajectories — same positions, same energy
+traces, same acceptance counts, same branching decisions.  Everything
+here uses ``assert_array_equal`` / ``==``, never tolerances.
+"""
+
+import numpy as np
+import pytest
+
+from repro.lattice import Cell, PlaneWaveOrbitalSet, wigner_seitz_radius
+from repro.qmc import (
+    ParticleSet,
+    SlaterJastrow,
+    SplineOrbitalSet,
+    WalkerRngPool,
+    make_polynomial_radial,
+    run_vmc,
+    sweep,
+)
+from repro.qmc.batched_step import CrowdState, _ufunc_equal, batched_sweep
+from repro.qmc.dmc import _crowd_groups, build_dmc_ensemble, run_dmc
+from tests.qmc.test_wavefunction import build_wf
+
+
+def build_population(n_walkers=3, n_orb=2, seed=7, layout="soa", with_jastrow=True):
+    """Walkers sharing one orbital set, plus matched private streams."""
+    cell = Cell.cubic(6.0)
+    pw = PlaneWaveOrbitalSet(cell, n_orb)
+    spos = SplineOrbitalSet.from_orbital_functions(
+        cell, pw, (8, 8, 8), engine="fused", dtype=np.float64
+    )
+    rcut = 0.9 * wigner_seitz_radius(cell)
+    wfs, rngs = [], []
+    for w in range(n_walkers):
+        wrng = np.random.default_rng(seed + 100 * w)
+        ions = ParticleSet("ion", cell, cell.frac_to_cart(wrng.random((2, 3))))
+        electrons = ParticleSet.random("e", cell, 2 * n_orb, wrng)
+        j1 = make_polynomial_radial(0.4, rcut) if with_jastrow else None
+        j2 = make_polynomial_radial(0.6, rcut) if with_jastrow else None
+        wfs.append(SlaterJastrow(electrons, ions, spos, j1, j2, layout=layout))
+        rngs.append(np.random.default_rng(5000 + w))
+    return wfs, rngs
+
+
+def assert_walkers_bitwise_equal(wfs_a, wfs_b):
+    for wa, wb in zip(wfs_a, wfs_b):
+        np.testing.assert_array_equal(
+            wa.electrons.positions, wb.electrons.positions
+        )
+        assert wa.log_value == wb.log_value
+
+
+class TestBatchedSweepIdentity:
+    @pytest.mark.parametrize("layout", ["soa", "aos"])
+    def test_sweeps_match_per_walker_bitwise(self, layout):
+        wfs_b, rngs_b = build_population(3, layout=layout)
+        wfs_s, rngs_s = build_population(3, layout=layout)
+        state = CrowdState(wfs_b, rngs_b)
+        acc_total = 0
+        for _ in range(3):
+            acc, _ = batched_sweep(state, 0.25)
+            acc_total += acc
+        acc_seq = 0
+        for wf, rng in zip(wfs_s, rngs_s):
+            for _ in range(3):
+                a, _ = sweep(wf, 0.25, rng)
+                acc_seq += a
+        assert acc_total == acc_seq
+        assert_walkers_bitwise_equal(wfs_b, wfs_s)
+
+    def test_no_drift_mode_matches(self):
+        wfs_b, rngs_b = build_population(2)
+        wfs_s, rngs_s = build_population(2)
+        state = CrowdState(wfs_b, rngs_b)
+        acc_b, _ = batched_sweep(state, 0.3, use_drift=False)
+        acc_s = sum(
+            sweep(wf, 0.3, rng, use_drift=False)[0]
+            for wf, rng in zip(wfs_s, rngs_s)
+        )
+        assert acc_b == acc_s
+        assert_walkers_bitwise_equal(wfs_b, wfs_s)
+
+    def test_bare_slater_matches(self):
+        wfs_b, rngs_b = build_population(2, with_jastrow=False)
+        wfs_s, rngs_s = build_population(2, with_jastrow=False)
+        state = CrowdState(wfs_b, rngs_b)
+        batched_sweep(state, 0.2)
+        for wf, rng in zip(wfs_s, rngs_s):
+            sweep(wf, 0.2, rng)
+        assert_walkers_bitwise_equal(wfs_b, wfs_s)
+
+    def test_rng_streams_consumed_identically(self):
+        wfs_b, rngs_b = build_population(2)
+        wfs_s, rngs_s = build_population(2)
+        batched_sweep(CrowdState(wfs_b, rngs_b), 0.25)
+        for wf, rng in zip(wfs_s, rngs_s):
+            sweep(wf, 0.25, rng)
+        # Post-sweep draws must agree too: same number of variates used.
+        for rb, rs in zip(rngs_b, rngs_s):
+            assert rb.random() == rs.random()
+
+    def test_state_positions_track_walkers(self):
+        wfs, rngs = build_population(2)
+        state = CrowdState(wfs, rngs)
+        batched_sweep(state, 0.25)
+        for w, wf in enumerate(wfs):
+            np.testing.assert_array_equal(
+                state.positions[w], wf.electrons.positions
+            )
+
+
+class TestVmcStepModes:
+    def test_vmc_traces_bitwise_identical(self):
+        results = {}
+        for mode in ("batched", "walker"):
+            rng = np.random.default_rng(20170401)
+            wf = build_wf(rng, n_orb=2)
+            results[mode] = run_vmc(
+                wf, rng, n_steps=8, n_warmup=2, tau=0.3, step_mode=mode
+            )
+        np.testing.assert_array_equal(
+            results["batched"].energies, results["walker"].energies
+        )
+        assert results["batched"].acceptance == results["walker"].acceptance
+
+    def test_rejects_unknown_step_mode(self):
+        rng = np.random.default_rng(1)
+        wf = build_wf(rng, n_orb=2)
+        with pytest.raises(ValueError, match="step_mode"):
+            run_vmc(wf, rng, n_steps=1, step_mode="turbo")
+
+
+class TestDmcStepModes:
+    def test_dmc_traces_bitwise_identical(self):
+        traces = {}
+        for mode in ("batched", "walker"):
+            pool = WalkerRngPool(2017)
+            walkers = build_dmc_ensemble(pool, 3, n_orbitals=2, grid_shape=(8, 8, 8))
+            r = run_dmc(walkers, pool, n_generations=5, tau=0.02, step_mode=mode)
+            traces[mode] = r
+        np.testing.assert_array_equal(
+            traces["batched"].energy_trace, traces["walker"].energy_trace
+        )
+        np.testing.assert_array_equal(
+            traces["batched"].population_trace, traces["walker"].population_trace
+        )
+        np.testing.assert_array_equal(
+            traces["batched"].e_trial_trace, traces["walker"].e_trial_trace
+        )
+        assert traces["batched"].acceptance == traces["walker"].acceptance
+
+    def test_branching_clones_stay_in_one_crowd(self):
+        pool = WalkerRngPool(11)
+        walkers = build_dmc_ensemble(pool, 2, n_orbitals=2, grid_shape=(8, 8, 8))
+        clone = walkers[0].clone(pool.next_rng())
+        assert clone.wf.slater.spos is walkers[0].wf.slater.spos
+        groups = _crowd_groups(walkers + [clone])
+        assert len(groups) == 1
+        assert len(groups[0]) == 3
+
+    def test_rejects_unknown_step_mode(self):
+        pool = WalkerRngPool(3)
+        walkers = build_dmc_ensemble(pool, 1, n_orbitals=2, grid_shape=(8, 8, 8))
+        with pytest.raises(ValueError, match="step_mode"):
+            run_dmc(walkers, pool, n_generations=1, step_mode="turbo")
+
+
+class TestCrowdStateValidation:
+    def test_rejects_mixed_jastrow_structure(self):
+        wfs, rngs = build_population(2)
+        bare = build_population(1, with_jastrow=False)[0][0]
+        # Rebuild the bare walker on the shared orbital set.
+        cell = wfs[0].electrons.cell
+        rng = np.random.default_rng(0)
+        ions = ParticleSet("ion", cell, cell.frac_to_cart(rng.random((2, 3))))
+        electrons = ParticleSet.random("e", cell, len(wfs[0].electrons), rng)
+        bare = SlaterJastrow(electrons, ions, wfs[0].slater.spos)
+        with pytest.raises(ValueError, match="Jastrow structure"):
+            CrowdState([wfs[0], bare], rngs)
+
+    def test_equal_radials_are_shared(self):
+        # build_population gives each walker its own (identical) radials;
+        # the crowd must still detect value equality and batch them.
+        wfs, rngs = build_population(2)
+        state = CrowdState(wfs, rngs)
+        assert state._share_j1 and state._share_j2
+
+    def test_ufunc_equal_semantics(self):
+        rcut = 2.0
+        a = make_polynomial_radial(0.4, rcut)
+        b = make_polynomial_radial(0.4, rcut)
+        c = make_polynomial_radial(0.5, rcut)
+        assert _ufunc_equal(a, a)
+        assert _ufunc_equal(a, b)
+        assert not _ufunc_equal(a, c)
+        assert not _ufunc_equal(a, object())

@@ -12,6 +12,7 @@ from repro.core import (
     BsplineAoSoA,
     BsplineBatched,
     Grid3D,
+    Kind,
     NestedEvaluator,
     solve_coefficients_3d,
 )
@@ -108,9 +109,9 @@ class TestEngineInteroperability:
         batched.vgh_batch(positions, b_out)
 
         tiled = BsplineAoSoA(grid, P, 8)
-        t_out = tiled.new_output("vgh")
+        t_out = tiled.new_output(Kind.VGH)
         with NestedEvaluator(tiled, 3) as nested:
-            nested.evaluate("vgh", positions, t_out)
+            nested.evaluate(Kind.VGH, positions, t_out)
         # Nested leaves the last position's results in the tiles.
         np.testing.assert_allclose(
             t_out.as_canonical()["v"], b_out.v[-1], atol=1e-9
