@@ -37,6 +37,21 @@ def _dmc_main(argv: list[str]) -> int:
     parser.add_argument("--seed", type=int, default=2017)
     parser.add_argument("--n-orbitals", type=int, default=4)
     parser.add_argument(
+        "--tile-size",
+        type=int,
+        default=None,
+        metavar="NB",
+        help="splines per batched contraction tile (default: auto-tuned "
+        "from detected cache sizes; traces are bit-identical either way)",
+    )
+    parser.add_argument(
+        "--chunk",
+        type=int,
+        default=None,
+        metavar="NS",
+        help="positions per batched gather chunk (default: auto-tuned)",
+    )
+    parser.add_argument(
         "--processes",
         type=int,
         default=None,
@@ -90,6 +105,8 @@ def _dmc_main(argv: list[str]) -> int:
                 n_walkers=args.walkers,
                 n_orbitals=args.n_orbitals,
                 seed=args.seed,
+                tile_size=args.tile_size,
+                chunk_size=args.chunk,
             )
             result = run_dmc_sharded(
                 spec,
@@ -108,7 +125,11 @@ def _dmc_main(argv: list[str]) -> int:
             # loads into.
             pool = WalkerRngPool(args.seed)
             walkers = build_dmc_ensemble(
-                pool, args.walkers, n_orbitals=args.n_orbitals
+                pool,
+                args.walkers,
+                n_orbitals=args.n_orbitals,
+                tile_size=args.tile_size,
+                chunk_size=args.chunk,
             )
             result = run_dmc(
                 walkers,

@@ -22,7 +22,11 @@ Public surface:
 * Nested threading (Opt C): :class:`NestedEvaluator`,
   :func:`partition_tiles`.
 * Tiling arithmetic and auto-tuning: :mod:`repro.core.tiling`.
-* Reference oracle: :mod:`repro.core.refimpl`.
+* Batched-path cache planning: :func:`pad_table_3d` (ghost-padded
+  tables), :func:`detect_caches` / :func:`plan_tiles` and their result
+  types :class:`CacheInfo` / :class:`TilePlan` (:mod:`repro.core.tune`).
+* Reference oracles: :mod:`repro.core.refimpl` (single-position),
+  :mod:`repro.core.batched_reference` (pre-padding batched path).
 """
 
 from repro.core.alloc import aligned_empty, aligned_zeros, is_aligned
@@ -36,6 +40,7 @@ from repro.core.basis import (
 )
 from repro.core.coeffs import (
     pad_spline_count,
+    pad_table_3d,
     solve_coefficients_1d,
     solve_coefficients_3d,
 )
@@ -49,6 +54,7 @@ from repro.core.layout_fused import BsplineFused
 from repro.core.layout_soa import BsplineSoA
 from repro.core.nested import NestedEvaluator, partition_tiles
 from repro.core.spline1d import CubicBspline1D
+from repro.core.tune import CacheInfo, TilePlan, detect_caches, plan_tiles
 from repro.core.tiling import (
     autotune_tile_size,
     candidate_tile_sizes,
@@ -68,6 +74,11 @@ __all__ = [
     "solve_coefficients_1d",
     "solve_coefficients_3d",
     "pad_spline_count",
+    "pad_table_3d",
+    "CacheInfo",
+    "TilePlan",
+    "detect_caches",
+    "plan_tiles",
     "BsplineAoS",
     "BsplineSoA",
     "BsplineAoSoA",

@@ -8,30 +8,57 @@ Batching amortizes per-call overhead and turns the evaluation into a few
 large tensor contractions; it is the evolution of this paper's work that
 QMCPACK eventually shipped as multi-walker APIs.
 
-The batched engine is SoA-layout (batch-major outputs) and validated
-against the per-position engines.  Two output-correctness contracts:
+The memory path applies the paper's Opt A/Opt B ideas to the batch axis:
+
+* **Ghost-padded table.**  The coefficient table is extended with a
+  3-point periodic halo per grid axis (:func:`repro.core.coeffs.pad_table_3d`),
+  so the 4x4x4 stencil needs no modulo arithmetic and no broadcast
+  triple-index gather — one flat fancy-index against a precomputed
+  64-entry offset cube pulls each position's neighbourhood.  The
+  constructor accepts either the raw ``(nx, ny, nz, N)`` table (padded
+  internally, once) or a pre-padded ``(nx+3, ny+3, nz+3, N)`` one —
+  the zero-copy path for tables attached through
+  :class:`repro.parallel.SharedTable`.
+* **Cache-sized chunks and spline tiles.**  Positions stream through
+  ``chunk``-sized gathers and the contraction cores walk the spline
+  axis in ``tile``-wide views (the paper's Nb), both picked by the
+  cache-aware auto-tuner (:mod:`repro.core.tune`) unless overridden via
+  ``chunk_size``/``tile_size``.  Ghost values are exact copies and the
+  z->y->x einsum order is untouched, so results are **bitwise
+  identical** to the unpadded, untiled PR4 path
+  (:mod:`repro.core.batched_reference`) for every (chunk, tile).
+
+Two output-correctness contracts:
 
 * **Stream validity.**  Each kernel records which output streams it
   wrote in :attr:`BatchedOutput.valid` and poisons (fills with NaN) any
   stream a *previous* kernel call left behind that this call does not
   refresh — reusing one output buffer across ``vgh_batch`` →
   ``vgl_batch`` → ``v_batch`` can therefore never silently serve stale
-  numbers.
-* **Chunking.**  Peak temporary memory of an unchunked call is
-  ``64 * ns * N`` elements; construct the engine with
-  ``max_batch_bytes`` to stream arbitrarily large position batches
-  through bounded temporaries (bitwise-identical results — each
-  position's contraction is independent).
+  numbers.  Poisoning happens exactly **once per kernel call**, before
+  the chunk loop — a chunked call fills a stale stream with NaN a
+  single time, never per chunk, and the streams it does write are only
+  ever written (per-chunk, disjoint slices), never re-poisoned.
+* **Chunking.**  Every position's contraction is independent, so any
+  chunk size is bitwise-identical to the unchunked path.  The legacy
+  ``max_batch_bytes`` cap keeps its exact semantics: ``chunk =
+  max_batch_bytes // (64 * N * itemsize)`` positions per gather.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import time
+
 import numpy as np
 
 from repro.core.basis import bspline_weights_batch
+from repro.core.coeffs import pad_table_3d
 from repro.core.grid import Grid3D
 from repro.core.kinds import Kind
+from repro.core.tune import TilePlan, plan_tiles
 from repro.core.walker import HESS_COMPONENTS
+from repro.obs import OBS
 
 __all__ = ["BatchedOutput", "BsplineBatched"]
 
@@ -121,21 +148,32 @@ class BsplineBatched:
     grid:
         The interpolation grid.
     coefficients:
-        ``(nx, ny, nz, N)`` table, shared and read-only.
+        ``(nx, ny, nz, N)`` table, shared and read-only — ghost-padded
+        internally (one copy at construction) — **or** an already
+        padded ``(nx+3, ny+3, nz+3, N)`` table from
+        :func:`repro.core.coeffs.pad_table_3d`, adopted zero-copy (the
+        shared-memory path: the parent pads once, workers attach).
     max_batch_bytes:
-        Optional cap on the peak temporary allocation of one kernel
-        call.  The 4x4x4 neighbourhood gather is the dominant temporary
-        (``64 * ns * N`` elements); with a cap set, positions stream
-        through chunks small enough to respect it instead of being
-        gathered all at once.  Results are bitwise-identical to the
-        unchunked path.  ``None`` (default) never chunks.
+        Legacy cap on the gather temporary of one kernel call: positions
+        stream through chunks of ``max_batch_bytes // (64 * N *
+        itemsize)`` (>= 1).  Mutually exclusive with ``chunk_size``.
+    chunk_size:
+        Positions per gather pass.  ``None`` lets the cache-aware
+        auto-tuner (:mod:`repro.core.tune`) pick.
+    tile_size:
+        Splines per contraction-core pass (the paper's Nb), applied as
+        views of the chunk's gathered blocks.  ``None`` auto-tunes
+        (full ``N`` unless the table is very wide); values above ``N``
+        are clamped.
 
     Notes
     -----
-    The 4x4x4 neighbourhoods of a (chunk of a) batch are gathered into
-    one ``(ns, 4, 4, 4, N)`` array (a copy — batching trades memory for
-    dispatch), then contracted axis by axis with the per-position weight
-    matrices.
+    The 4x4x4 neighbourhoods of each chunk are gathered with one flat
+    fancy-index into the padded table (``(chunk, 64, N)`` reshaped to
+    ``(chunk, 4, 4, 4, N)``), then contracted axis by axis with the
+    per-position weight matrices — every (chunk, tile) produces the
+    same bits (see the module docstring).  The resolved decision is
+    exposed as :attr:`plan` and reported through the obs layer.
     """
 
     layout = "batched"
@@ -145,29 +183,93 @@ class BsplineBatched:
         grid: Grid3D,
         coefficients: np.ndarray,
         max_batch_bytes: int | None = None,
+        chunk_size: int | None = None,
+        tile_size: int | None = None,
     ):
         if coefficients.ndim != 4:
             raise ValueError(
                 f"coefficients must be (nx, ny, nz, N), got {coefficients.shape}"
             )
-        if coefficients.shape[:3] != grid.shape:
+        if coefficients.shape[:3] == grid.shape:
+            padded = pad_table_3d(coefficients)
+            unpadded = coefficients
+        elif coefficients.shape[:3] == grid.padded_shape:
+            padded = coefficients
+            nx, ny, nz = grid.shape
+            unpadded = padded[1 : nx + 1, 1 : ny + 1, 1 : nz + 1]
+        else:
             raise ValueError(
-                f"grid {grid.shape} does not match table {coefficients.shape[:3]}"
+                f"grid {grid.shape} (padded {grid.padded_shape}) does not "
+                f"match table {coefficients.shape[:3]}"
             )
         self.grid = grid
-        self.P = coefficients
+        #: The unpadded table view — the engine-protocol ``P`` attribute.
+        self.P = unpadded
+        self._padded = padded
         self.n_splines = coefficients.shape[3]
         self.dtype = coefficients.dtype
+        # Flat (nxp*nyp*nzp, N) alias of the padded table plus the 64
+        # stencil offsets: lower-bound index i0 maps to padded rows
+        # i0..i0+3 (halo of 1 before), so base + cube covers the stencil
+        # with plain addition — no modulo.
+        nxp, nyp, nzp = padded.shape[:3]
+        self._row_strides = (nyp * nzp, nzp)
+        self._flat = padded.reshape(nxp * nyp * nzp, self.n_splines)
+        off = np.arange(4, dtype=np.int64)
+        self._cube = (
+            (off[:, None] * nyp + off[None, :])[:, :, None] * nzp
+            + off[None, None, :]
+        ).ravel()
+
         if max_batch_bytes is not None:
+            if chunk_size is not None:
+                raise ValueError(
+                    "pass either max_batch_bytes or chunk_size, not both"
+                )
             if max_batch_bytes <= 0:
                 raise ValueError(
                     f"max_batch_bytes must be positive, got {max_batch_bytes}"
                 )
             per_position = 64 * self.n_splines * self.dtype.itemsize
-            self._chunk = max(1, int(max_batch_bytes) // per_position)
+            chunk = max(1, int(max_batch_bytes) // per_position)
+            plan = dataclasses.replace(
+                plan_tiles(
+                    self.n_splines, self.dtype.itemsize,
+                    chunk=chunk, tile=tile_size,
+                ),
+                source="max_batch_bytes",
+            )
         else:
-            self._chunk = None
+            plan = plan_tiles(
+                self.n_splines,
+                self.dtype.itemsize,
+                chunk=chunk_size,
+                tile=tile_size,
+            )
         self.max_batch_bytes = max_batch_bytes
+        #: The resolved :class:`repro.core.tune.TilePlan`.
+        self.plan: TilePlan = plan
+        self._chunk = plan.chunk
+        self._tile = plan.tile
+        # The satellite fix: kernel methods resolved once per Kind, and
+        # a reusable (1, 3) staging row, instead of a fresh allocation
+        # plus getattr-string dispatch on every single-position call.
+        self._kernels = {
+            Kind.V: self.v_batch,
+            Kind.VGL: self.vgl_batch,
+            Kind.VGH: self.vgh_batch,
+        }
+        self._pos1 = np.empty((1, 3), dtype=np.float64)
+        if OBS.enabled:
+            OBS.gauge(
+                "batched_chunk_positions", plan.chunk, source=plan.source
+            )
+            OBS.gauge("batched_tile_splines", plan.tile, source=plan.source)
+            OBS.gauge(
+                "batched_working_set_bytes",
+                plan.working_set_bytes,
+                source=plan.source,
+            )
 
     def new_output(
         self, kind: "Kind | str | int" = Kind.VGH, n: int | None = None
@@ -198,17 +300,15 @@ class BsplineBatched:
 
     def evaluate(self, kind: "Kind | str", pos, out: BatchedOutput) -> BatchedOutput:
         """Evaluate one position through the batched kernels (batch of 1)."""
-        kind = Kind.coerce(kind)
-        positions = np.asarray(pos, dtype=np.float64).reshape(1, 3)
-        getattr(self, f"{kind.value}_batch")(positions, out)
+        self._pos1[0] = pos
+        self._kernels[Kind.coerce(kind)](self._pos1, out)
         return out
 
     def evaluate_batch(
         self, kind: "Kind | str", positions, out: BatchedOutput
     ) -> BatchedOutput:
         """Evaluate ``(ns, 3)`` positions, retaining every position's result."""
-        kind = Kind.coerce(kind)
-        getattr(self, f"{kind.value}_batch")(positions, out)
+        self._kernels[Kind.coerce(kind)](positions, out)
         return out
 
     # -- shared plumbing -----------------------------------------------------
@@ -233,6 +333,10 @@ class BsplineBatched:
         ``vgl_batch`` — the untouched stream is filled with NaN and
         dropped from :attr:`BatchedOutput.valid`.  Fresh (all-zero)
         buffers pay nothing: only streams marked valid are rewritten.
+
+        Called exactly once per kernel call, *before* the chunk loop —
+        chunked calls poison a stale stream one single time, not once
+        per chunk (the fill count is part of the tested contract).
         """
         for name in out.valid:
             if name not in written:
@@ -244,17 +348,43 @@ class BsplineBatched:
         for lo in range(0, n_positions, step):
             yield slice(lo, min(lo + step, n_positions))
 
+    def _tiles(self):
+        """Spline-axis slices of width ``tile`` (one full slice if untiled).
+
+        Never yields a width-1 slice: numpy's einsum dispatches a length-1
+        axis to a different inner loop whose accumulation order differs by
+        an ulp, which would break the bitwise-identity contract.  A tile of
+        1 is widened to 2 and a trailing orphan column is absorbed into the
+        final tile instead of getting its own.
+        """
+        n = self.n_splines
+        if self._tile >= n:
+            yield slice(None)
+            return
+        t = max(self._tile, 2)
+        lo = 0
+        while lo < n:
+            hi = lo + t
+            if n - hi == 1:
+                hi = n
+            yield slice(lo, min(hi, n))
+            lo = hi
+
     def _gather(self, positions: np.ndarray):
-        """Blocks ``(ns, 4, 4, 4, N)`` + per-axis weight triples."""
+        """Blocks ``(ns, 4, 4, 4, N)`` + per-axis weight triples.
+
+        One flat fancy-index against the ghost-padded table: ``base`` is
+        each position's lower-bound row in the flattened padded array
+        and ``_cube`` the 64 stencil offsets — no modulo wrap, no
+        broadcast triple-index.  Ghost rows are exact copies, so the
+        gathered bits equal the modulo path's.
+        """
         idx, frac = self.grid.locate_batch(positions)
-        offsets = np.arange(-1, 3)
-        nx, ny, nz = self.grid.shape
-        ix = (idx[:, 0:1] + offsets) % nx  # (ns, 4)
-        jy = (idx[:, 1:2] + offsets) % ny
-        kz = (idx[:, 2:3] + offsets) % nz
-        blocks = self.P[
-            ix[:, :, None, None], jy[:, None, :, None], kz[:, None, None, :]
-        ]  # (ns, 4, 4, 4, N)
+        sy, sz = self._row_strides
+        base = idx[:, 0] * sy + idx[:, 1] * sz + idx[:, 2]
+        blocks = self._flat[base[:, None] + self._cube[None, :]].reshape(
+            len(positions), 4, 4, 4, self.n_splines
+        )
         weights = []
         for axis in range(3):
             a = bspline_weights_batch(frac[:, axis], 0).astype(self.dtype)
@@ -266,41 +396,49 @@ class BsplineBatched:
 
     # -- kernels -------------------------------------------------------------
 
+    def _run(self, kern: str, positions: np.ndarray, out: BatchedOutput) -> None:
+        """Shared kernel loop: poison once, then stream cache-sized chunks."""
+        self._begin(out, _KERNEL_STREAMS[kern])
+        observe = OBS.enabled
+        for sl in self._chunks(len(positions)):
+            t0 = time.perf_counter() if observe else 0.0
+            if kern == "v":
+                self._v_core(positions[sl], out.v[sl])
+            elif kern == "vgl":
+                self._vgh_core(positions[sl], out.v[sl], out.g[sl], out.l[sl], None)
+            else:
+                self._vgh_core(
+                    positions[sl], out.v[sl], out.g[sl], out.l[sl], out.h[sl]
+                )
+            if observe:
+                OBS.observe(
+                    "batched_chunk_seconds",
+                    time.perf_counter() - t0,
+                    kernel=kern,
+                )
+        out.valid = frozenset(_KERNEL_STREAMS[kern])
+
     def v_batch(self, positions: np.ndarray, out: BatchedOutput) -> None:
         """Kernel ``V`` for the whole batch into ``out.v``."""
-        positions = self._check(positions, out)
-        self._begin(out, _KERNEL_STREAMS["v"])
-        for sl in self._chunks(len(positions)):
-            self._v_core(positions[sl], out.v[sl])
-        out.valid = frozenset(_KERNEL_STREAMS["v"])
+        self._run("v", self._check(positions, out), out)
 
     def vgl_batch(self, positions: np.ndarray, out: BatchedOutput) -> None:
         """Kernel ``VGL`` for the whole batch."""
-        positions = self._check(positions, out)
-        self._begin(out, _KERNEL_STREAMS["vgl"])
-        for sl in self._chunks(len(positions)):
-            self._vgh_core(
-                positions[sl], out.v[sl], out.g[sl], out.l[sl], None
-            )
-        out.valid = frozenset(_KERNEL_STREAMS["vgl"])
+        self._run("vgl", self._check(positions, out), out)
 
     def vgh_batch(self, positions: np.ndarray, out: BatchedOutput) -> None:
         """Kernel ``VGH`` for the whole batch (fills ``l`` too, for free)."""
-        positions = self._check(positions, out)
-        self._begin(out, _KERNEL_STREAMS["vgh"])
-        for sl in self._chunks(len(positions)):
-            self._vgh_core(
-                positions[sl], out.v[sl], out.g[sl], out.l[sl], out.h[sl]
-            )
-        out.valid = frozenset(_KERNEL_STREAMS["vgh"])
+        self._run("vgh", self._check(positions, out), out)
 
     # -- contraction cores (one chunk; outputs are array views) --------------
 
     def _v_core(self, positions: np.ndarray, v: np.ndarray) -> None:
         blocks, ((ax, _, _), (ay, _, _), (az, _, _)) = self._gather(positions)
-        tz = np.einsum("sabcn,sc->sabn", blocks, az)
-        ty = np.einsum("sabn,sb->san", tz, ay)
-        np.einsum("san,sa->sn", ty, ax, out=v)
+        for ts in self._tiles():
+            b = blocks[..., ts]
+            tz = np.einsum("sabcn,sc->sabn", b, az)
+            ty = np.einsum("sabn,sb->san", tz, ay)
+            np.einsum("san,sa->sn", ty, ax, out=v[:, ts])
 
     def _vgh_core(
         self,
@@ -313,27 +451,29 @@ class BsplineBatched:
         blocks, ((ax, dax, d2ax), (ay, day, d2ay), (az, daz, d2az)) = self._gather(
             positions
         )
-        tz0 = np.einsum("sabcn,sc->sabn", blocks, az)
-        tz1 = np.einsum("sabcn,sc->sabn", blocks, daz)
-        tz2 = np.einsum("sabcn,sc->sabn", blocks, d2az)
-        u00 = np.einsum("sabn,sb->san", tz0, ay)
-        u10 = np.einsum("sabn,sb->san", tz0, day)
-        u20 = np.einsum("sabn,sb->san", tz0, d2ay)
-        u01 = np.einsum("sabn,sb->san", tz1, ay)
-        u11 = np.einsum("sabn,sb->san", tz1, day)
-        u02 = np.einsum("sabn,sb->san", tz2, ay)
-        v[...] = np.einsum("san,sa->sn", u00, ax)
-        g[:, 0] = np.einsum("san,sa->sn", u00, dax)
-        g[:, 1] = np.einsum("san,sa->sn", u10, ax)
-        g[:, 2] = np.einsum("san,sa->sn", u01, ax)
-        hxx = np.einsum("san,sa->sn", u00, d2ax)
-        hyy = np.einsum("san,sa->sn", u20, ax)
-        hzz = np.einsum("san,sa->sn", u02, ax)
-        l[...] = hxx + hyy + hzz
-        if h is not None:
-            h[:, 0] = hxx
-            h[:, 1] = np.einsum("san,sa->sn", u10, dax)
-            h[:, 2] = np.einsum("san,sa->sn", u01, dax)
-            h[:, 3] = hyy
-            h[:, 4] = np.einsum("san,sa->sn", u11, ax)
-            h[:, 5] = hzz
+        for ts in self._tiles():
+            b = blocks[..., ts]
+            tz0 = np.einsum("sabcn,sc->sabn", b, az)
+            tz1 = np.einsum("sabcn,sc->sabn", b, daz)
+            tz2 = np.einsum("sabcn,sc->sabn", b, d2az)
+            u00 = np.einsum("sabn,sb->san", tz0, ay)
+            u10 = np.einsum("sabn,sb->san", tz0, day)
+            u20 = np.einsum("sabn,sb->san", tz0, d2ay)
+            u01 = np.einsum("sabn,sb->san", tz1, ay)
+            u11 = np.einsum("sabn,sb->san", tz1, day)
+            u02 = np.einsum("sabn,sb->san", tz2, ay)
+            v[:, ts] = np.einsum("san,sa->sn", u00, ax)
+            g[:, 0, ts] = np.einsum("san,sa->sn", u00, dax)
+            g[:, 1, ts] = np.einsum("san,sa->sn", u10, ax)
+            g[:, 2, ts] = np.einsum("san,sa->sn", u01, ax)
+            hxx = np.einsum("san,sa->sn", u00, d2ax)
+            hyy = np.einsum("san,sa->sn", u20, ax)
+            hzz = np.einsum("san,sa->sn", u02, ax)
+            l[:, ts] = hxx + hyy + hzz
+            if h is not None:
+                h[:, 0, ts] = hxx
+                h[:, 1, ts] = np.einsum("san,sa->sn", u10, dax)
+                h[:, 2, ts] = np.einsum("san,sa->sn", u01, dax)
+                h[:, 3, ts] = hyy
+                h[:, 4, ts] = np.einsum("san,sa->sn", u11, ax)
+                h[:, 5, ts] = hzz

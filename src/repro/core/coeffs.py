@@ -30,7 +30,15 @@ __all__ = [
     "solve_coefficients_3d",
     "interpolation_matrix_eigenvalues",
     "pad_spline_count",
+    "pad_table_3d",
 ]
+
+#: Ghost layers added by :func:`pad_table_3d` before/after each grid axis.
+#: The tricubic stencil spans ``i0-1 .. i0+2`` around the lower-bound index
+#: ``i0 in [0, n)``, so one wrapped row before and two after make every
+#: stencil a contiguous slice of the padded table.
+HALO_BEFORE = 1
+HALO_AFTER = 2
 
 
 def interpolation_matrix_eigenvalues(n: int) -> np.ndarray:
@@ -116,6 +124,40 @@ def solve_coefficients_3d(
     coeffs = solve_coefficients_1d(coeffs, axis=1)
     coeffs = solve_coefficients_1d(coeffs, axis=2)
     return np.ascontiguousarray(coeffs, dtype=dtype)
+
+
+def pad_table_3d(coefficients: np.ndarray) -> np.ndarray:
+    """Ghost-pad a coefficient table with a 3-point periodic halo per axis.
+
+    Returns a C-contiguous ``(nx+3, ny+3, nz+3, N)`` copy whose ghost
+    layers replicate the periodic wrap: one layer before each grid axis
+    (row ``n-1``) and two after (rows ``0`` and ``1``).  The 4x4x4
+    tricubic stencil around a lower-bound index ``i0 in [0, n)`` — which
+    spans unpadded rows ``i0-1 .. i0+2`` with modulo wrap — then maps to
+    the *contiguous* padded rows ``i0 .. i0+3``, so the batched gather
+    needs no modulo arithmetic and no broadcast triple-index fancy
+    indexing (the strided-gather pathology the paper's Opt A/Opt B
+    remove from the single-position engines).
+
+    Ghost values are exact bit-copies of the wrapped rows, so any
+    evaluation against the padded table is bitwise identical to the
+    modulo-wrap path.  Build the padded table **once** (it is read-only
+    afterwards, like ``P`` itself) and share it across processes through
+    :class:`repro.parallel.SharedTable`; :class:`repro.core.BsplineBatched`
+    accepts either the raw or the padded shape.
+
+    Parameters
+    ----------
+    coefficients:
+        ``(nx, ny, nz, N)`` coefficient table (any dtype).
+    """
+    coefficients = np.asarray(coefficients)
+    if coefficients.ndim != 4:
+        raise ValueError(
+            f"expected (nx, ny, nz, N) table, got shape {coefficients.shape}"
+        )
+    halo = (HALO_BEFORE, HALO_AFTER)
+    return np.pad(coefficients, (halo, halo, halo, (0, 0)), mode="wrap")
 
 
 def pad_spline_count(n_splines: int, lanes: int = 16) -> int:

@@ -69,6 +69,17 @@ class Grid3D:
         return (self.nx, self.ny, self.nz)
 
     @property
+    def padded_shape(self) -> tuple[int, int, int]:
+        """Grid dimensions of a ghost-padded coefficient table.
+
+        :func:`repro.core.coeffs.pad_table_3d` adds a 3-point periodic
+        halo per axis (one layer before, two after), so a padded table
+        over this grid is ``(nx+3, ny+3, nz+3, N)``.  The two shapes can
+        never collide, which lets the batched engine accept either.
+        """
+        return (self.nx + 3, self.ny + 3, self.nz + 3)
+
+    @property
     def npoints(self) -> int:
         """Total number of grid points ``nx*ny*nz`` (paper's ``Ng`` as a count)."""
         return self.nx * self.ny * self.nz

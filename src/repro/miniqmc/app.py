@@ -116,6 +116,8 @@ def build_app(
     seed: int = 2017,
     profile: bool = True,
     with_pseudopotential: bool = False,
+    tile_size: int | None = None,
+    chunk_size: int | None = None,
 ) -> AppInstance:
     """Assemble a miniQMC problem on a cubic cell.
 
@@ -136,13 +138,22 @@ def build_app(
     with_pseudopotential:
         Attach a nonlocal pseudopotential channel, whose quadrature is
         the application's consumer of the V kernel (paper Sec. IV).
+    tile_size, chunk_size:
+        Batched-kernel knobs (splines per contraction tile, positions
+        per gather chunk); ``None`` auto-tunes.  Trajectories are
+        bitwise invariant to either.
     """
     pool = WalkerRngPool(seed)
     rng = pool.next_rng()
     cell = Cell.cubic(box)
     orbitals = PlaneWaveOrbitalSet(cell, n_orbitals)
     spos = SplineOrbitalSet.from_orbital_functions(
-        cell, orbitals, grid_shape, engine=engine
+        cell,
+        orbitals,
+        grid_shape,
+        engine=engine,
+        tile_size=tile_size,
+        chunk_size=chunk_size,
     )
     n_ions = max(n_orbitals // 2, 2)
     ions = ParticleSet("ion", cell, cell.frac_to_cart(rng.random((n_ions, 3))))
@@ -350,6 +361,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--engine", default="fused", choices=("aos", "soa", "fused"))
     parser.add_argument("--measure", action="store_true")
     parser.add_argument(
+        "--tile-size",
+        type=int,
+        default=None,
+        metavar="NB",
+        help="splines per batched contraction tile (default: auto-tuned "
+        "from detected cache sizes; results are bit-identical either way)",
+    )
+    parser.add_argument(
+        "--chunk",
+        type=int,
+        default=None,
+        metavar="NS",
+        help="positions per batched gather chunk (default: auto-tuned)",
+    )
+    parser.add_argument(
         "--step-mode",
         default="batched",
         choices=("batched", "walker"),
@@ -408,6 +434,8 @@ def main(argv: list[str] | None = None) -> int:
         layout=args.layout,
         engine=args.engine,
         seed=args.seed,
+        tile_size=args.tile_size,
+        chunk_size=args.chunk,
     )
     try:
         total, timers = run_profiled(
@@ -451,6 +479,8 @@ def _population_main(args, observe: bool) -> int:
             n_orbitals=args.n_orbitals,
             engine=args.engine,
             seed=args.seed,
+            tile_size=args.tile_size,
+            chunk_size=args.chunk,
         )
         result = run_crowd_parallel(
             spec,

@@ -49,11 +49,15 @@ class MiniQmcConfig:
         Walkers; on this single-core host walkers are sequential
         repetitions, which measures the same per-eval cost.
     tile_size:
-        Nb for tiled runs (None = untiled).
+        Nb for tiled runs (None = untiled); also the spline-tile width
+        of the batched engine.
     dtype:
         Table precision (paper: float32).
     seed:
         RNG seed for positions and coefficients.
+    chunk_size:
+        Positions per batched gather chunk (``engine="batched"``
+        drivers); ``None`` lets the cache-aware auto-tuner decide.
     """
 
     n_splines: int
@@ -64,6 +68,7 @@ class MiniQmcConfig:
     tile_size: int | None = None
     dtype: type = np.float32
     seed: int = 2017
+    chunk_size: int | None = None
 
     @property
     def n_grid_points(self) -> int:

@@ -40,6 +40,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.batched import BsplineBatched
+from repro.core.coeffs import pad_table_3d
 from repro.core.grid import Grid3D
 from repro.core.kinds import Kind
 from repro.core.layout_aos import BsplineAoS
@@ -125,6 +127,7 @@ def _driver_fingerprint(config: MiniQmcConfig, engine: str, kernels) -> dict:
         "n_iters": config.n_iters,
         "n_walkers": config.n_walkers,
         "tile_size": config.tile_size,
+        "chunk_size": config.chunk_size,
         "seed": config.seed,
         "kernels": [k.value for k in _as_kinds(kernels)],
     }
@@ -197,6 +200,14 @@ class _DriverShard:
         self.grid = Grid3D(nx, ny, nz)
         if payload["engine"].startswith("aosoa"):
             self.eng = BsplineAoSoA(self.grid, self._table.array, config.tile_size)
+        elif payload["engine"] == "batched":
+            # The parent shared a ghost-padded table; adopt it zero-copy.
+            self.eng = BsplineBatched(
+                self.grid,
+                self._table.array,
+                chunk_size=config.chunk_size,
+                tile_size=config.tile_size,
+            )
         else:
             self.eng = _ENGINES[payload["engine"]](self.grid, self._table.array)
         self.engine_name = payload["engine"]
@@ -208,8 +219,12 @@ class _DriverShard:
         """Evaluate kernel ``kern`` for every walker of this shard."""
         config = self.config
         kind = Kind(kern)
-        out = self.eng.new_output(kind)
-        kern_fn = getattr(self.eng, kind.value)
+        batched = isinstance(self.eng, BsplineBatched)
+        if batched:
+            out = self.eng.new_output(kind, n=config.n_samples)
+        else:
+            out = self.eng.new_output(kind)
+            kern_fn = getattr(self.eng, kind.value)
         count = 0
         t0 = time.perf_counter()
         for w in self.walkers:
@@ -218,8 +233,11 @@ class _DriverShard:
             )
             positions = self.grid.random_positions(config.n_samples, rng)
             for _ in range(config.n_iters):
-                for x, y, z in positions:
-                    kern_fn(x, y, z, out)
+                if batched:
+                    self.eng.evaluate_batch(kind, positions, out)
+                else:
+                    for x, y, z in positions:
+                        kern_fn(x, y, z, out)
             count += config.n_iters * config.n_samples
         dt = time.perf_counter() - t0
         if OBS.enabled and count:
@@ -267,7 +285,11 @@ def _run_sharded(
     from repro.parallel.shared_table import SharedTable
 
     result = DriverResult(config=config, engine=engine_name)
-    shared = SharedTable.create(P)
+    # The batched engine wants the ghost-padded table in the shared
+    # segment so every worker attaches the halo zero-copy.
+    shared = SharedTable.create(
+        pad_table_3d(P) if engine_name == "batched" else P
+    )
     table_spec = dict(shared.spec, n_workers=processes)
     payload = {"config": config, "engine": engine_name, "n_workers": processes}
     try:
@@ -309,7 +331,11 @@ def run_kernel_driver(
     config:
         Problem and batch sizes.
     engine:
-        ``"aos"``, ``"soa"`` or ``"fused"``.
+        ``"aos"``, ``"soa"``, ``"fused"`` or ``"batched"``.  The
+        batched engine evaluates each walker's whole sample batch in
+        one call through the ghost-padded, cache-tiled path
+        (:mod:`repro.core.batched`), honouring ``config.tile_size`` /
+        ``config.chunk_size`` (``None`` auto-tunes).
     kernels:
         Which kernels to time.
     coefficients:
@@ -327,7 +353,7 @@ def run_kernel_driver(
         keeps the sequential in-process loop.  Mutually exclusive with
         checkpointing.
     """
-    if engine not in _ENGINES:
+    if engine not in _ENGINES and engine != "batched":
         raise ValueError(f"unknown engine {engine!r}")
     _checkpoint_args_ok(checkpoint_every, checkpoint_path)
     P = coefficients if coefficients is not None else random_coefficients(config)
@@ -340,7 +366,13 @@ def run_kernel_driver(
         return _run_sharded(config, engine, kernels, P, processes)
     nx, ny, nz = config.grid_shape
     grid = Grid3D(nx, ny, nz)
-    eng = _ENGINES[engine](grid, P)
+    if engine == "batched":
+        eng = BsplineBatched(
+            grid, P, chunk_size=config.chunk_size, tile_size=config.tile_size
+        )
+    else:
+        eng = _ENGINES[engine](grid, P)
+    batched = engine == "batched"
     result = DriverResult(config=config, engine=engine)
     fingerprint = _driver_fingerprint(config, engine, kernels)
     if resume is not None:
@@ -352,8 +384,11 @@ def run_kernel_driver(
         if ki < start_ki:
             continue  # fully recorded in the restored result
         kern = kind.value
-        out = eng.new_output(kind)
-        kern_fn = getattr(eng, kind.value)
+        if batched:
+            out = eng.new_output(kind, n=config.n_samples)
+        else:
+            out = eng.new_output(kind)
+            kern_fn = getattr(eng, kind.value)
         if ki == start_ki and start_walker:
             total = result.seconds.get(kern, 0.0)
             count = result.evals.get(kern, 0)
@@ -366,8 +401,11 @@ def run_kernel_driver(
             positions = grid.random_positions(config.n_samples, rng)
             t0 = time.perf_counter()
             for _ in range(config.n_iters):
-                for x, y, z in positions:
-                    kern_fn(x, y, z, out)
+                if batched:
+                    eng.evaluate_batch(kind, positions, out)
+                else:
+                    for x, y, z in positions:
+                        kern_fn(x, y, z, out)
             dt = time.perf_counter() - t0
             total += dt
             n_batch = config.n_iters * config.n_samples

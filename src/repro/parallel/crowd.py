@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.coeffs import solve_coefficients_3d
+from repro.core.coeffs import pad_table_3d, solve_coefficients_3d
 from repro.core.grid import Grid3D
 from repro.core.layout_fused import BsplineFused
 from repro.core.layout_soa import BsplineSoA
@@ -68,12 +68,23 @@ class CrowdSpec:
     grid_shape: tuple[int, int, int] = (12, 12, 12)
     engine: str = "fused"
     seed: int = 2017
+    #: Batched-kernel knobs (splines per tile / positions per chunk);
+    #: ``None`` lets the cache-aware auto-tuner decide.  Results are
+    #: bitwise identical for any setting.
+    tile_size: int | None = None
+    chunk_size: int | None = None
 
     def __post_init__(self) -> None:
         if self.n_walkers <= 0:
             raise ValueError(f"n_walkers must be positive, got {self.n_walkers}")
         if self.engine not in _ENGINES:
             raise ValueError(f"unknown engine {self.engine!r}")
+        if self.tile_size is not None and self.tile_size <= 0:
+            raise ValueError(f"tile_size must be positive, got {self.tile_size}")
+        if self.chunk_size is not None and self.chunk_size <= 0:
+            raise ValueError(
+                f"chunk_size must be positive, got {self.chunk_size}"
+            )
 
 
 def solve_spec_table(spec: CrowdSpec) -> np.ndarray:
@@ -100,18 +111,33 @@ def build_walker_range(
 
     All walkers of the range share one :class:`SplineOrbitalSet` (the
     crowd contract); ``table`` may be a private array or a
-    :class:`SharedTable` view — the engine never copies it.  Pass an
-    existing ``spos`` to extend a crowd across *calls* too (walkers only
-    batch together when they share the orbital-set object, so callers
-    that grow their population incrementally — e.g. the sharded DMC
-    templates — must reuse one).
+    :class:`SharedTable` view — the engine never copies it.  A
+    ghost-padded ``(nx+3, ny+3, nz+3, N)`` table (what
+    :func:`run_crowd_parallel` shares, so workers attach the halo
+    zero-copy) is detected by shape: the single-position engine gets the
+    central view, the batched engine adopts the padded table directly.
+    Pass an existing ``spos`` to extend a crowd across *calls* too
+    (walkers only batch together when they share the orbital-set object,
+    so callers that grow their population incrementally — e.g. the
+    sharded DMC templates — must reuse one).
     """
     cell = Cell.cubic(spec.box)
     if spos is None:
         nx, ny, nz = spec.grid_shape
         grid = Grid3D(nx, ny, nz, (1.0, 1.0, 1.0))
+        padded = None
+        if table.shape[:3] == grid.padded_shape:
+            padded = table
+            table = table[1 : nx + 1, 1 : ny + 1, 1 : nz + 1]
         engine = _ENGINES[spec.engine](grid, table)
-        spos = SplineOrbitalSet(cell, grid, engine)
+        spos = SplineOrbitalSet(
+            cell,
+            grid,
+            engine,
+            tile_size=spec.tile_size,
+            chunk_size=spec.chunk_size,
+            padded_table=padded,
+        )
     rcut = 0.9 * wigner_seitz_radius(cell)
     j1 = make_polynomial_radial(0.4, rcut)
     j2 = make_polynomial_radial(0.6, rcut)
@@ -292,7 +318,9 @@ def run_crowd_parallel(
         )
     if table is None:
         table = solve_spec_table(spec)
-    shared = SharedTable.create(table)
+    # Pad once in the parent: workers then attach the ghost halo
+    # zero-copy instead of each paying the pad copy themselves.
+    shared = SharedTable.create(pad_table_3d(table))
     table_spec = dict(shared.spec, n_workers=n_workers)
     t0 = time.perf_counter()
     try:

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.coeffs import pad_table_3d
 from repro.lattice.cell import Cell
 from repro.obs import OBS
 from repro.parallel.crowd import CrowdSpec, build_walker_range, solve_spec_table
@@ -309,7 +310,9 @@ def run_dmc_sharded(
         return False
 
     table = solve_spec_table(spec)
-    shared = SharedTable.create(table)
+    # Pad in the parent so every worker attaches the ghost halo
+    # zero-copy (build_walker_range detects the padded shape).
+    shared = SharedTable.create(pad_table_3d(table))
     table_spec = dict(shared.spec, n_workers=n_workers)
     try:
         with ProcessCrowdPool(

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.coeffs import pad_table_3d
 from repro.obs import OBS
 from repro.parallel.crowd import CrowdSpec, build_walker_range, solve_spec_table
 from repro.parallel.pool import ProcessCrowdPool
@@ -181,7 +182,9 @@ def run_vmc_population(
         ]
         n_workers = 0
     else:
-        shared = SharedTable.create(table)
+        # Pad in the parent so every worker attaches the ghost halo
+        # zero-copy (build_walker_range detects the padded shape).
+        shared = SharedTable.create(pad_table_3d(table))
         table_spec = dict(shared.spec, n_workers=n_workers)
         try:
             with ProcessCrowdPool(

@@ -90,9 +90,20 @@ class CrowdState:
         on Jastrow structure.
     rngs:
         One private stream per walker.
+    tile_size, chunk_size:
+        Batched-kernel knobs forwarded to the shared orbital set's
+        :meth:`~repro.qmc.slater.SplineOrbitalSet.configure_batched`
+        when either is given; ``None`` leaves the set's plan alone.
+        Per-walker trajectories are bitwise invariant to either knob.
     """
 
-    def __init__(self, wavefunctions: list[SlaterJastrow], rngs: list):
+    def __init__(
+        self,
+        wavefunctions: list[SlaterJastrow],
+        rngs: list,
+        tile_size: int | None = None,
+        chunk_size: int | None = None,
+    ):
         if not wavefunctions:
             raise ValueError("a crowd needs at least one walker")
         if len(rngs) != len(wavefunctions):
@@ -120,6 +131,9 @@ class CrowdState:
                     "crowd walkers must agree on Jastrow structure "
                     "(every walker has j1 or none does; likewise j2)"
                 )
+
+        if tile_size is not None or chunk_size is not None:
+            spos.configure_batched(tile_size=tile_size, chunk_size=chunk_size)
 
         self.wfs = list(wavefunctions)
         self.rngs = list(rngs)

@@ -39,10 +39,22 @@ class Crowd:
         Fig. 3) and have equal electron counts.
     rngs:
         One private stream per walker.
+    tile_size, chunk_size:
+        Optional batched-kernel knobs (see
+        :class:`~repro.qmc.batched_step.CrowdState`); trajectories are
+        bitwise invariant to either.
     """
 
-    def __init__(self, wavefunctions: list[SlaterJastrow], rngs: list):
-        self.state = CrowdState(wavefunctions, rngs)
+    def __init__(
+        self,
+        wavefunctions: list[SlaterJastrow],
+        rngs: list,
+        tile_size: int | None = None,
+        chunk_size: int | None = None,
+    ):
+        self.state = CrowdState(
+            wavefunctions, rngs, tile_size=tile_size, chunk_size=chunk_size
+        )
         self.wfs = self.state.wfs
         self.rngs = self.state.rngs
         self.spos = self.state.spos

@@ -104,6 +104,39 @@ class DelayedDeterminant:
         self._staged = (e, phi_row, r)
         return r
 
+    def ratio_grad(
+        self, e: int, phi_row: np.ndarray, dphi_rows: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        """Ratio plus grad log(det) at the trial position.
+
+        Same contract as :meth:`DiracDeterminant.ratio_grad`, against the
+        effective column ``Ainv_eff[:, e]`` — one extra O(N j + j^2)
+        correction while moves are pending, no flush required.
+        """
+        phi_row = np.asarray(phi_row, dtype=np.float64)
+        if phi_row.shape != (self.n,):
+            raise ValueError(f"expected ({self.n},) orbital row, got {phi_row.shape}")
+        col = self._effective_column(e)
+        r = float(phi_row @ col)
+        self._staged = (e, phi_row, r)
+        grad = np.asarray(dphi_rows, dtype=np.float64) @ col
+        if r != 0.0:
+            grad = grad / r
+        return r, grad
+
+    def grad_lap(
+        self, e: int, dphi_rows: np.ndarray, d2phi_row: np.ndarray
+    ) -> tuple[np.ndarray, float]:
+        """(grad D / D, lap D / D) at the committed position of ``e``.
+
+        Same contract as :meth:`DiracDeterminant.grad_lap`; uses the
+        effective column so pending delayed rows are included.
+        """
+        col = self._effective_column(e)
+        g = np.asarray(dphi_rows, dtype=np.float64) @ col
+        l = float(np.asarray(d2phi_row, dtype=np.float64) @ col)
+        return g, l
+
     def accept_move(self, e: int) -> None:
         """Append the staged row to the delay window; flush when full."""
         if self._staged is None or self._staged[0] != e:
@@ -160,8 +193,20 @@ class DelayedDeterminant:
             np.abs(self.A @ self.effective_inverse() - np.eye(self.n)).max()
         )
 
-    def recompute(self) -> None:
-        """Discard delayed state; rebuild the inverse from the matrix."""
+    def recompute(self, phi_matrix: np.ndarray | None = None) -> None:
+        """Discard delayed state; rebuild the inverse from the matrix.
+
+        With ``phi_matrix`` given the stored matrix is replaced first —
+        the same signature :meth:`DiracDeterminant.recompute` offers, so
+        :class:`~repro.qmc.slater.SlaterDet` can refresh either kind.
+        """
+        if phi_matrix is not None:
+            A = np.array(phi_matrix, dtype=np.float64)
+            if A.shape != (self.n, self.n):
+                raise ValueError(f"expected {(self.n, self.n)}, got {A.shape}")
+            if not np.isfinite(A).all():
+                raise ValueError("Slater matrix contains non-finite entries")
+            self.A = A
         self._rows.clear()
         self._W.clear()
         self._staged = None

@@ -485,6 +485,8 @@ def build_dmc_ensemble(
     box: float = 6.0,
     grid_shape: tuple[int, int, int] = (12, 12, 12),
     engine: str = "fused",
+    tile_size: int | None = None,
+    chunk_size: int | None = None,
 ) -> list[DmcWalker]:
     """A small, fully deterministic DMC ensemble (CLI and test harnesses).
 
@@ -492,7 +494,9 @@ def build_dmc_ensemble(
     cubic cell and a private stream from ``pool``.  Two calls with pools
     in the same state build bit-identical ensembles — the property the
     checkpoint/resume CLI relies on to reconstruct walker *structure*
-    before loading checkpointed positions into it.
+    before loading checkpointed positions into it.  ``tile_size`` /
+    ``chunk_size`` tune the shared batched kernels without changing any
+    trajectory bit.
     """
     from repro.lattice.cell import Cell
     from repro.lattice.orbitals import PlaneWaveOrbitalSet
@@ -504,7 +508,13 @@ def build_dmc_ensemble(
     cell = Cell.cubic(box)
     orbitals = PlaneWaveOrbitalSet(cell, n_orbitals)
     spos = SplineOrbitalSet.from_orbital_functions(
-        cell, orbitals, grid_shape, engine=engine, dtype=np.float64
+        cell,
+        orbitals,
+        grid_shape,
+        engine=engine,
+        dtype=np.float64,
+        tile_size=tile_size,
+        chunk_size=chunk_size,
     )
     rcut = 0.9 * wigner_seitz_radius(cell)
     walkers = []

@@ -52,6 +52,16 @@ class SplineOrbitalSet:
         ``P``; all evaluations run through a
         :class:`~repro.core.batched.BsplineBatched` built over that
         table (single positions are batches of one).
+    tile_size, chunk_size:
+        Batched-engine knobs (splines per contraction tile, positions
+        per gather chunk); ``None`` lets the cache-aware auto-tuner
+        (:mod:`repro.core.tune`) decide.
+    padded_table:
+        Optional ghost-padded ``(nx+3, ny+3, nz+3, N)`` table from
+        :func:`repro.core.coeffs.pad_table_3d`; when given, the batched
+        engine adopts it zero-copy instead of re-padding ``engine.P`` —
+        the shared-memory path, where the parent process pads once and
+        workers attach.
 
     Notes
     -----
@@ -65,18 +75,50 @@ class SplineOrbitalSet:
       fractional Hessian (see :meth:`vgl`).
     """
 
-    def __init__(self, cell: Cell, grid: Grid3D, engine):
+    def __init__(
+        self,
+        cell: Cell,
+        grid: Grid3D,
+        engine,
+        tile_size: int | None = None,
+        chunk_size: int | None = None,
+        padded_table: np.ndarray | None = None,
+    ):
         if tuple(grid.lengths) != (1.0, 1.0, 1.0):
             raise ValueError(
                 "SplineOrbitalSet grids live in fractional coordinates; "
                 f"grid lengths must be (1,1,1), got {grid.lengths}"
             )
+        if padded_table is not None:
+            expected = grid.padded_shape + (engine.n_splines,)
+            if padded_table.shape != expected:
+                raise ValueError(
+                    f"padded table shape {padded_table.shape} does not "
+                    f"match expected {expected}"
+                )
         self.cell = cell
         self.grid = grid
         self.engine = engine
         self.n_orbitals = engine.n_splines
+        self.tile_size = tile_size
+        self.chunk_size = chunk_size
+        self._padded_table = padded_table
         self._B = np.linalg.inv(cell.lattice)  # cart -> frac Jacobian (rows a)
         self._M = self._B @ self._B.T  # Laplacian metric
+
+    def configure_batched(
+        self, tile_size: int | None = None, chunk_size: int | None = None
+    ) -> None:
+        """Re-plan the batched engine with explicit (tile, chunk) knobs.
+
+        Drops the cached engine so the next evaluation rebuilds it with
+        the new plan — results stay bitwise identical for any setting
+        (see :mod:`repro.core.batched`); only the cache behaviour moves.
+        """
+        self.tile_size = tile_size
+        self.chunk_size = chunk_size
+        if hasattr(self, "_batched"):
+            del self._batched
 
     def _get_batched(self):
         """The lazily-built batched engine over the same table.
@@ -90,7 +132,17 @@ class SplineOrbitalSet:
         from repro.core.batched import BsplineBatched
 
         if not hasattr(self, "_batched"):
-            self._batched = BsplineBatched(self.grid, self.engine.P)
+            table = (
+                self._padded_table
+                if self._padded_table is not None
+                else self.engine.P
+            )
+            self._batched = BsplineBatched(
+                self.grid,
+                table,
+                chunk_size=self.chunk_size,
+                tile_size=self.tile_size,
+            )
         return self._batched
 
     @classmethod
@@ -102,6 +154,7 @@ class SplineOrbitalSet:
         engine: str = "fused",
         dtype: np.dtype | type = np.float32,
         tile_size: int | None = None,
+        chunk_size: int | None = None,
     ) -> "SplineOrbitalSet":
         """Sample analytic orbitals on the grid, solve, and wrap an engine.
 
@@ -119,7 +172,10 @@ class SplineOrbitalSet:
         dtype:
             Coefficient-table dtype (paper default: single precision).
         tile_size:
-            Nb for the ``"aosoa"`` engine (ignored otherwise).
+            Spline tile width (Nb) for the batched contraction cores;
+            ``None`` auto-tunes.
+        chunk_size:
+            Positions per batched gather chunk; ``None`` auto-tunes.
         """
         if engine == "aosoa":
             raise ValueError(
@@ -135,7 +191,7 @@ class SplineOrbitalSet:
             eng = _ENGINES[engine](grid, P)
         except KeyError:
             raise ValueError(f"unknown engine {engine!r}") from None
-        return cls(cell, grid, eng)
+        return cls(cell, grid, eng, tile_size=tile_size, chunk_size=chunk_size)
 
     def _frac(self, cart_pos: np.ndarray) -> np.ndarray:
         return self.cell.wrap_frac(self.cell.cart_to_frac(cart_pos))
@@ -234,9 +290,23 @@ class SlaterDet:
     electrons:
         The electron :class:`~repro.qmc.particleset.ParticleSet`; its
         size must be exactly ``2 * spos.n_orbitals``.
+    delay:
+        Opt-in delayed (rank-k) inverse updates: with ``delay=k`` each
+        spin uses a :class:`~repro.qmc.delayed.DelayedDeterminant` that
+        accumulates up to ``k`` accepted rows before one Woodbury flush
+        (``k=1`` degenerates to per-move updates).  ``None`` (default)
+        keeps the paper's per-move Sherman-Morrison
+        :class:`~repro.qmc.determinant.DiracDeterminant`.  Ratios and
+        derivatives agree move for move to rounding (different
+        operation order, so equality is ``allclose``, not bitwise).
     """
 
-    def __init__(self, spos: SplineOrbitalSet, electrons: ParticleSet):
+    def __init__(
+        self,
+        spos: SplineOrbitalSet,
+        electrons: ParticleSet,
+        delay: int | None = None,
+    ):
         n = spos.n_orbitals
         if len(electrons) != 2 * n:
             raise ValueError(
@@ -246,10 +316,19 @@ class SlaterDet:
         self.spos = spos
         self.electrons = electrons
         self.n_orbitals = n
-        self.dets = [
-            DiracDeterminant(self._build_matrix(0)),
-            DiracDeterminant(self._build_matrix(1)),
-        ]
+        self.delay = delay
+        if delay is None:
+            self.dets = [
+                DiracDeterminant(self._build_matrix(0)),
+                DiracDeterminant(self._build_matrix(1)),
+            ]
+        else:
+            from repro.qmc.delayed import DelayedDeterminant
+
+            self.dets = [
+                DelayedDeterminant(self._build_matrix(0), delay=delay),
+                DelayedDeterminant(self._build_matrix(1), delay=delay),
+            ]
         self._staged_vgl: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
         self._staged_for: int | None = None
 

@@ -198,3 +198,139 @@ class TestValidation:
         single = fused.new_output("vgh")
         fused.vgh(0.5, 0.5, 0.5, single)
         np.testing.assert_allclose(out.v[0], single.v, atol=1e-10)
+
+
+class _FillCounter(np.ndarray):
+    """ndarray that counts ``.fill`` calls (poison-once contract probe)."""
+
+    def fill(self, value):
+        self.fill_calls = getattr(self, "fill_calls", 0) + 1
+        super().fill(value)
+
+
+class TestTiling:
+    """Spline-axis tiling must be invisible in the bits."""
+
+    @pytest.mark.parametrize("tile", [2, 5, 8, 16, 24, 100])
+    def test_tiled_matches_untiled_bitwise(
+        self, small_grid, small_table, positions, tile
+    ):
+        plain = BsplineBatched(small_grid, small_table)
+        tiled = BsplineBatched(small_grid, small_table, tile_size=tile)
+        a = plain.new_output("vgh", n=len(positions))
+        b = tiled.new_output("vgh", n=len(positions))
+        plain.vgh_batch(positions, a)
+        tiled.vgh_batch(positions, b)
+        for stream in ("v", "g", "l", "h"):
+            np.testing.assert_array_equal(
+                getattr(b, stream), getattr(a, stream)
+            )
+
+    def test_width_one_tiles_are_never_emitted(self, small_grid, small_table):
+        # einsum's length-1-axis inner loop sums in a different order, so
+        # the iterator widens tile=1 and absorbs trailing orphan columns.
+        eng = BsplineBatched(small_grid, small_table, tile_size=1)
+        widths = [
+            len(range(*ts.indices(eng.n_splines))) for ts in eng._tiles()
+        ]
+        assert all(w >= 2 for w in widths)
+        assert sum(widths) == eng.n_splines
+
+        odd = BsplineBatched(
+            small_grid, small_table[..., :21], tile_size=5
+        )  # 21 = 4*5 + 1: naive slicing would leave a width-1 orphan
+        widths = [
+            len(range(*ts.indices(odd.n_splines))) for ts in odd._tiles()
+        ]
+        assert widths == [5, 5, 5, 6]
+
+    def test_plan_is_exposed(self, small_grid, small_table):
+        eng = BsplineBatched(small_grid, small_table)
+        assert eng.plan.n_splines == small_table.shape[3]
+        assert eng.plan.source in ("auto", "override")
+
+
+class TestPaddedConstructor:
+    def test_accepts_prepadded_table(self, small_grid, small_table, positions):
+        from repro.core import pad_table_3d
+
+        raw = BsplineBatched(small_grid, small_table)
+        pre = BsplineBatched(small_grid, pad_table_3d(small_table))
+        np.testing.assert_array_equal(pre.P, small_table)
+        a = raw.new_output("vgh", n=len(positions))
+        b = pre.new_output("vgh", n=len(positions))
+        raw.vgh_batch(positions, a)
+        pre.vgh_batch(positions, b)
+        for stream in ("v", "g", "l", "h"):
+            np.testing.assert_array_equal(
+                getattr(b, stream), getattr(a, stream)
+            )
+
+    def test_prepadded_table_is_adopted_without_copy(
+        self, small_grid, small_table
+    ):
+        from repro.core import pad_table_3d
+
+        padded = pad_table_3d(small_table)
+        eng = BsplineBatched(small_grid, padded)
+        assert eng.P.base is not None
+        assert eng.P.base.base is padded or eng.P.base is padded
+
+    def test_rejects_wrong_padded_shape(self, small_grid, small_table):
+        bad = np.zeros(
+            (small_table.shape[0] + 1,) + small_table.shape[1:],
+            dtype=small_table.dtype,
+        )
+        with pytest.raises(ValueError, match="does not match"):
+            BsplineBatched(small_grid, bad)
+
+
+class TestChunkedPoisoning:
+    def test_chunked_vgl_after_vgh_poisons_h_exactly_once(
+        self, small_grid, small_table, positions
+    ):
+        eng = BsplineBatched(small_grid, small_table, chunk_size=2)
+        out = eng.new_output("vgh", n=len(positions))
+        eng.vgh_batch(positions, out)
+        assert "h" in out.valid
+
+        out.h = out.h.view(_FillCounter)
+        eng.vgl_batch(positions, out)
+        assert out.h.fill_calls == 1  # once per call, not once per chunk
+        assert "h" not in out.valid
+        assert np.isnan(np.asarray(out.h)).all()
+
+    def test_fresh_output_is_never_filled(
+        self, small_grid, small_table, positions
+    ):
+        eng = BsplineBatched(small_grid, small_table, chunk_size=2)
+        out = eng.new_output("vgl", n=len(positions))
+        out.h = out.h.view(_FillCounter)
+        eng.vgl_batch(positions, out)
+        assert getattr(out.h, "fill_calls", 0) == 0
+
+
+class TestEvaluateDispatch:
+    def test_kernel_methods_resolved_once(self, batched):
+        from repro.core.kinds import Kind
+
+        assert set(batched._kernels) == {Kind.V, Kind.VGL, Kind.VGH}
+        assert batched._kernels[Kind.VGH].__func__ is (
+            BsplineBatched.vgh_batch
+        )
+
+    def test_scratch_position_buffer_is_reused(self, batched):
+        buf = batched._pos1
+        out = batched.new_output("v")
+        batched.evaluate("v", (0.25, 0.5, 0.75), out)
+        assert batched._pos1 is buf
+
+    def test_evaluate_matches_batch_of_one_bitwise(self, batched, positions):
+        single = batched.new_output("vgh")
+        batch = batched.new_output("vgh", n=1)
+        batched.evaluate("vgh", positions[0], single)
+        batched.vgh_batch(positions[:1], batch)
+        for stream in ("v", "g", "l", "h"):
+            np.testing.assert_array_equal(
+                getattr(single, stream), getattr(batch, stream)
+            )

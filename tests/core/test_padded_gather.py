@@ -1,0 +1,142 @@
+"""Property tests: the ghost-padded gather equals the modulo-wrap gather.
+
+The tentpole invariant of the padded/tiled batched path: for ANY
+position — in particular ones sitting exactly on or straddling a
+periodic boundary, where the old gather wraps and the new one reads
+ghost rows — every kernel's every output stream is **bitwise** equal to
+the frozen pre-padding oracle (:class:`repro.core.batched_reference.
+ReferenceBatched`), for both table dtypes and any (chunk, tile).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BsplineBatched, Grid3D
+from repro.core.batched_reference import ReferenceBatched
+from repro.core.coeffs import pad_table_3d
+from repro.core.kinds import Kind
+
+GRID = Grid3D(6, 5, 7, (2.0, 1.5, 2.5))
+N_SPLINES = 9
+
+_KERNELS = ["v", "vgl", "vgh"]
+_STREAMS = {"v": ("v",), "vgl": ("v", "g", "l"), "vgh": ("v", "g", "l", "h")}
+
+
+def _table(dtype):
+    rng = np.random.default_rng(91)
+    nx, ny, nz = GRID.shape
+    return rng.standard_normal((nx, ny, nz, N_SPLINES)).astype(dtype)
+
+
+_TABLES = {np.float32: _table(np.float32), np.float64: _table(np.float64)}
+
+# Coordinates that land on/next to every periodic seam of each axis: the
+# origin, both box edges, one spacing in from each edge, and epsilon
+# offsets across the wrap — the cases where stencil rows i0-1 or i0+2
+# leave [0, n) and the gathers diverge unless the halo is exact.
+def _boundary_coords(axis):
+    length = GRID.lengths[axis]
+    delta = GRID.deltas[axis]
+    eps = 1e-9
+    return st.sampled_from(
+        [
+            0.0,
+            eps,
+            -eps,
+            delta,
+            delta * 0.5,
+            length - delta,
+            length - delta * 0.5,
+            length - eps,
+            length,
+            length + eps,
+            -delta * 0.25,
+            length * 2 - eps,
+        ]
+    )
+
+
+positions_strategy = st.lists(
+    st.tuples(_boundary_coords(0), _boundary_coords(1), _boundary_coords(2)),
+    min_size=1,
+    max_size=8,
+).map(lambda rows: np.array(rows, dtype=np.float64))
+
+
+@settings(max_examples=40, deadline=None)
+@given(positions=positions_strategy)
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+@pytest.mark.parametrize("kern", _KERNELS)
+def test_padded_gather_matches_modulo_wrap(kern, dtype, positions):
+    P = _TABLES[dtype]
+    ref = ReferenceBatched(GRID, P)
+    eng = BsplineBatched(GRID, P, chunk_size=3, tile_size=4)
+
+    out_ref = ref.new_output(Kind(kern), n=len(positions))
+    out_new = eng.new_output(Kind(kern), n=len(positions))
+    getattr(ref, f"{kern}_batch")(positions, out_ref)
+    getattr(eng, f"{kern}_batch")(positions, out_new)
+    for stream in _STREAMS[kern]:
+        np.testing.assert_array_equal(
+            getattr(out_new, stream),
+            getattr(out_ref, stream),
+            err_msg=f"{kern}/{stream} diverged for dtype {dtype}",
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    positions=positions_strategy,
+    chunk=st.integers(min_value=1, max_value=9),
+    tile=st.integers(min_value=1, max_value=N_SPLINES + 2),
+)
+def test_any_chunk_tile_is_bitwise_invariant(positions, chunk, tile):
+    P = _TABLES[np.float32]
+    ref = ReferenceBatched(GRID, P)
+    eng = BsplineBatched(GRID, P, chunk_size=chunk, tile_size=tile)
+    out_ref = ref.new_output(Kind.VGH, n=len(positions))
+    out_new = eng.new_output(Kind.VGH, n=len(positions))
+    ref.vgh_batch(positions, out_ref)
+    eng.vgh_batch(positions, out_new)
+    for stream in ("v", "g", "l", "h"):
+        np.testing.assert_array_equal(
+            getattr(out_new, stream), getattr(out_ref, stream)
+        )
+
+
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+def test_prepadded_table_matches_raw_table(dtype):
+    """Padded-shape construction (the shared-memory path) = raw-shape."""
+    P = _TABLES[dtype]
+    rng = np.random.default_rng(7)
+    positions = GRID.random_positions(17, rng)
+    raw = BsplineBatched(GRID, P, chunk_size=5)
+    pre = BsplineBatched(GRID, pad_table_3d(P), chunk_size=5)
+    out_raw = raw.new_output(Kind.VGH, n=17)
+    out_pre = pre.new_output(Kind.VGH, n=17)
+    raw.vgh_batch(positions, out_raw)
+    pre.vgh_batch(positions, out_pre)
+    for stream in ("v", "g", "l", "h"):
+        np.testing.assert_array_equal(
+            getattr(out_pre, stream), getattr(out_raw, stream)
+        )
+
+
+def test_ghost_rows_are_exact_copies():
+    P = _TABLES[np.float64]
+    padded = pad_table_3d(P)
+    nx, ny, nz = GRID.shape
+    assert padded.shape == (nx + 3, ny + 3, nz + 3, N_SPLINES)
+    core = padded[1 : nx + 1, 1 : ny + 1, 1 : nz + 1]
+    np.testing.assert_array_equal(core, P)
+    # One layer before = wrapped last row; two after = rows 0 and 1.
+    np.testing.assert_array_equal(padded[0, 1 : ny + 1, 1 : nz + 1], P[-1])
+    np.testing.assert_array_equal(padded[nx + 1, 1 : ny + 1, 1 : nz + 1], P[0])
+    np.testing.assert_array_equal(padded[nx + 2, 1 : ny + 1, 1 : nz + 1], P[1])
+    np.testing.assert_array_equal(padded[1 : nx + 1, 0, 1 : nz + 1], P[:, -1])
+    np.testing.assert_array_equal(
+        padded[1 : nx + 1, 1 : ny + 1, 0], P[:, :, -1]
+    )

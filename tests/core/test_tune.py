@@ -1,0 +1,143 @@
+"""Tests for the cache-aware (chunk, tile) planner (repro.core.tune)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CacheInfo, TilePlan, detect_caches, plan_tiles
+from repro.core.tune import (
+    CHUNK_MAX,
+    CHUNK_MIN,
+    MiB,
+    TILE_MIN,
+    _parse_size,
+    gather_bytes,
+    plan_budget_bytes,
+    working_set_bytes,
+)
+
+
+class TestCacheDetection:
+    def test_detect_returns_positive_sizes(self):
+        info = detect_caches()
+        assert info.l2_bytes > 0
+        assert info.llc_bytes >= info.l2_bytes
+        assert info.source in ("env", "sysfs", "default")
+
+    def test_env_override_wins(self, monkeypatch):
+        from repro.core import tune
+
+        monkeypatch.setenv("REPRO_L2_BYTES", str(512 * 1024))
+        monkeypatch.setenv("REPRO_LLC_BYTES", str(8 * MiB))
+        tune._detect_caches_cached.cache_clear()
+        try:
+            info = detect_caches()
+            assert info.l2_bytes == 512 * 1024
+            assert info.llc_bytes == 8 * MiB
+            assert info.source == "env"
+        finally:
+            tune._detect_caches_cached.cache_clear()
+
+    def test_parse_size_sysfs_formats(self):
+        assert _parse_size("2048K") == 2048 * 1024
+        assert _parse_size("260M") == 260 * MiB
+        assert _parse_size("48K\n") == 48 * 1024
+        assert _parse_size("") is None
+        assert _parse_size("garbage") is None
+
+
+class TestBudget:
+    def test_budget_bounds(self):
+        # Small caches: the 4*L2 floor of 4 MiB wins.
+        tiny = CacheInfo(l2_bytes=256 * 1024, llc_bytes=4 * MiB, source="env")
+        assert plan_budget_bytes(tiny) == 2 * MiB  # max(llc/4, 2MiB) caps it
+        # Huge LLC: the cap is llc/4-limited only until 4*L2 is smaller.
+        big = CacheInfo(l2_bytes=2 * MiB, llc_bytes=260 * MiB, source="env")
+        assert plan_budget_bytes(big) == 8 * MiB  # min(8 MiB, 65 MiB)
+
+
+class TestPlanTiles:
+    def test_auto_plan_is_within_clamps(self):
+        plan = plan_tiles(256, 4)
+        assert CHUNK_MIN <= plan.chunk <= CHUNK_MAX
+        assert 1 <= plan.tile <= 256
+        assert plan.source == "auto"
+        assert plan.working_set_bytes == working_set_bytes(
+            plan.chunk, plan.tile, 4
+        )
+
+    def test_explicit_knobs_taken_verbatim(self):
+        plan = plan_tiles(512, 8, chunk=48, tile=128)
+        assert plan.chunk == 48
+        assert plan.tile == 128
+        assert plan.source == "override"
+
+    def test_tile_clamped_to_n_splines(self):
+        plan = plan_tiles(24, 8, tile=1000)
+        assert plan.tile == 24
+
+    def test_default_tile_is_full_width_for_normal_tables(self):
+        caches = CacheInfo(l2_bytes=2 * MiB, llc_bytes=64 * MiB, source="env")
+        plan = plan_tiles(512, 4, caches=caches)
+        assert plan.tile == 512
+
+    def test_very_wide_table_blocks_spline_axis(self):
+        # 64 * CHUNK_MIN * n * itemsize must overflow the budget: with an
+        # 8 MiB budget and float64 that needs n > 1024.
+        caches = CacheInfo(l2_bytes=2 * MiB, llc_bytes=64 * MiB, source="env")
+        plan = plan_tiles(4096, 8, caches=caches)
+        assert plan.tile < 4096
+        assert plan.tile % TILE_MIN == 0
+        assert gather_bytes(CHUNK_MIN, plan.tile, 8) <= plan.budget_bytes
+
+    def test_budget_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCHED_BUDGET_BYTES", str(1 * MiB))
+        plan = plan_tiles(128, 4)
+        assert plan.budget_bytes == 1 * MiB
+
+    def test_explicit_budget_argument(self):
+        plan = plan_tiles(128, 4, budget_bytes=2 * MiB)
+        assert plan.budget_bytes == 2 * MiB
+        # chunk = 2 MiB // (64 * 128 * 4) = 64
+        assert plan.chunk == 64
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="n_splines"):
+            plan_tiles(0, 4)
+        with pytest.raises(ValueError, match="chunk"):
+            plan_tiles(64, 4, chunk=0)
+        with pytest.raises(ValueError, match="tile"):
+            plan_tiles(64, 4, tile=-1)
+
+    def test_plan_is_frozen(self):
+        plan = plan_tiles(64, 4)
+        assert isinstance(plan, TilePlan)
+        with pytest.raises(AttributeError):
+            plan.chunk = 1
+
+
+class TestEnginePlanIntegration:
+    def test_engine_exposes_plan(self, small_grid, small_table):
+        from repro.core import BsplineBatched
+
+        eng = BsplineBatched(small_grid, small_table, chunk_size=8, tile_size=8)
+        assert eng.plan.chunk == 8
+        assert eng.plan.tile == 8
+        assert eng.plan.source == "override"
+
+    def test_max_batch_bytes_marks_plan_source(self, small_grid, small_table):
+        from repro.core import BsplineBatched
+
+        per_pos = 64 * small_table.shape[3] * small_table.itemsize
+        eng = BsplineBatched(small_grid, small_table, max_batch_bytes=3 * per_pos)
+        assert eng._chunk == 3
+        assert eng.plan.source == "max_batch_bytes"
+
+    def test_max_batch_bytes_and_chunk_size_conflict(
+        self, small_grid, small_table
+    ):
+        from repro.core import BsplineBatched
+
+        with pytest.raises(ValueError, match="not both"):
+            BsplineBatched(
+                small_grid, small_table, max_batch_bytes=1 << 20, chunk_size=4
+            )

@@ -146,3 +146,41 @@ class TestProcessSharding:
         tc = replace(cfg, tile_size=8)
         with pytest.raises(ValueError, match="worker processes"):
             run_tiled_driver(tc, n_threads=2, coefficients=table, processes=2)
+
+
+class TestBatchedEngine:
+    """``engine="batched"`` runs the padded/tiled batch kernels."""
+
+    def test_runs_and_reports(self, cfg, table):
+        res = run_kernel_driver(cfg, "batched", coefficients=table)
+        assert res.engine == "batched"
+        assert set(res.seconds) == {"v", "vgl", "vgh"}
+        for kern in ("v", "vgl", "vgh"):
+            assert res.evals[kern] == cfg.n_walkers * cfg.n_iters * cfg.n_samples
+            assert res.throughputs[kern] > 0
+
+    def test_chunk_and_tile_knobs(self, cfg, table):
+        c = replace(cfg, tile_size=8, chunk_size=2)
+        res = run_kernel_driver(c, "batched", kernels=("vgh",), coefficients=table)
+        assert res.evals["vgh"] == c.n_walkers * c.n_iters * c.n_samples
+
+    @pytest.mark.parametrize("n_processes", [1, 2])
+    def test_sharded_eval_counts_match_sequential(self, cfg, table, n_processes):
+        c = replace(cfg, n_walkers=3)
+        seq = run_kernel_driver(c, "batched", kernels=("vgh",), coefficients=table)
+        par = run_kernel_driver(
+            c,
+            "batched",
+            kernels=("vgh",),
+            coefficients=table,
+            processes=n_processes,
+        )
+        assert par.evals == seq.evals
+        assert par.seconds["vgh"] > 0
+
+    def test_fingerprint_includes_chunk_size(self, cfg):
+        from repro.miniqmc.driver import _driver_fingerprint
+
+        a = _driver_fingerprint(replace(cfg, chunk_size=None), "batched", ("v",))
+        b = _driver_fingerprint(replace(cfg, chunk_size=2), "batched", ("v",))
+        assert a != b

@@ -163,3 +163,65 @@ class TestPropertyBased:
         np.testing.assert_allclose(
             delayed.effective_inverse(), np.linalg.inv(delayed.A), atol=1e-6
         )
+
+
+class TestDerivativeParityWithDirac:
+    """ratio_grad / grad_lap / recompute(matrix) vs the per-move baseline."""
+
+    def drive(self, seed, delay, n_moves=10, n=8):
+        A = random_matrix(seed, n)
+        delayed = DelayedDeterminant(A.copy(), delay=delay)
+        dirac = DiracDeterminant(A.copy())
+        rng = np.random.default_rng(seed + 7)
+        for _ in range(n_moves):
+            e = int(rng.integers(0, n))
+            phi = rng.standard_normal(n) + 3.0 * np.eye(n)[e]
+            dphi = rng.standard_normal((3, n))
+            r_d, g_d = delayed.ratio_grad(e, phi, dphi)
+            r_s, g_s = dirac.ratio_grad(e, phi, dphi)
+            assert np.isclose(r_d, r_s, atol=1e-9)
+            np.testing.assert_allclose(g_d, g_s, atol=1e-9)
+            if abs(r_s) > 0.05 and rng.random() < 0.7:
+                delayed.accept_move(e)
+                dirac.accept_move(e)
+            else:
+                delayed.reject_move(e)
+                dirac.reject_move(e)
+        return delayed, dirac, rng
+
+    @pytest.mark.parametrize("delay", [1, 3, 8])
+    def test_ratio_grad_matches_dirac(self, delay):
+        self.drive(11, delay)
+
+    @pytest.mark.parametrize("delay", [1, 3, 8])
+    def test_grad_lap_matches_dirac(self, delay):
+        delayed, dirac, rng = self.drive(23, delay)
+        for e in range(delayed.n):
+            dphi = rng.standard_normal((3, delayed.n))
+            d2phi = rng.standard_normal(delayed.n)
+            g_d, l_d = delayed.grad_lap(e, dphi, d2phi)
+            g_s, l_s = dirac.grad_lap(e, dphi, d2phi)
+            np.testing.assert_allclose(g_d, g_s, atol=1e-9)
+            assert np.isclose(l_d, l_s, atol=1e-9)
+
+    def test_ratio_grad_validates_row_shape(self):
+        d = DelayedDeterminant(random_matrix(5), delay=2)
+        with pytest.raises(ValueError, match="orbital row"):
+            d.ratio_grad(0, np.zeros(3), np.zeros((3, 8)))
+
+    def test_recompute_accepts_new_matrix(self):
+        d = DelayedDeterminant(random_matrix(3), delay=4)
+        B = random_matrix(4)
+        d.recompute(B)
+        fresh = DiracDeterminant(B.copy())
+        assert np.isclose(d.log_det, fresh.log_det)
+        np.testing.assert_allclose(d.effective_inverse(), fresh.Ainv, atol=1e-10)
+
+    def test_recompute_rejects_bad_matrix(self):
+        d = DelayedDeterminant(random_matrix(3), delay=4)
+        with pytest.raises(ValueError):
+            d.recompute(np.zeros((3, 4)))
+        bad = random_matrix(3)
+        bad[0, 0] = np.nan
+        with pytest.raises(ValueError):
+            d.recompute(bad)
