@@ -1,0 +1,270 @@
+"""PR6 benchmark: fleet supervision — recovery latency (MTTR) and overhead.
+
+Measures the :mod:`repro.fleet` layer on live sharded DMC runs:
+
+* **steady-state supervision overhead** — the same run with and without
+  a :class:`~repro.fleet.FleetConfig` (heartbeats + per-call deadlines,
+  no faults); the PR's acceptance target is < 2% wall-time overhead;
+* **MTTR** — mean time to recovery when a worker is SIGKILL'd
+  mid-generation by a scheduled
+  :meth:`~repro.resilience.faults.FaultInjector.sigkill_worker` fault
+  (detection -> restarted -> shard replayed);
+* **multi-node extrapolation** — the measured MTTR folded into the
+  strong-scaling model (:func:`repro.hwsim.recovery_overhead_curve`):
+  expected node failures grow with the fleet while the run shrinks
+  along the Opt-C curve.
+
+Every timed or faulted run is gated on **bit-identity** first: its
+energy/population traces must equal the unfaulted sequential run's
+exactly (``np.testing.assert_array_equal``) — supervision and recovery
+are pure orchestration, never physics.
+
+Run directly (pytest-free, writes BENCH_pr6.json at the repo root):
+
+    PYTHONPATH=src python benchmarks/bench_pr6.py [--quick|--tiny] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.fleet import FleetConfig
+from repro.hwsim import KNL, recovery_overhead_curve
+from repro.parallel import CrowdSpec, run_dmc_sharded
+from repro.resilience.faults import FaultInjector
+
+# (n_walkers, n_orbitals, n_generations, reps)
+FULL_CFG = (8, 4, 20, 3)
+QUICK_CFG = (5, 2, 6, 2)
+TINY_CFG = (3, 2, 3, 1)
+
+N_WORKERS = 2
+TAU = 0.04
+SEED = 23
+OVERHEAD_TARGET = 0.02  # < 2% steady-state supervision overhead
+MODEL_SINGLE_NODE_HOURS = 2.0  # nominal production run extrapolated over
+MODEL_NODE_MTBF_HOURS = 2000.0
+
+
+def host_metadata() -> dict:
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+
+
+def _assert_traces_equal(run, reference, context: str) -> None:
+    np.testing.assert_array_equal(
+        run.energy_trace, reference.energy_trace, err_msg=f"{context}: energy"
+    )
+    np.testing.assert_array_equal(
+        run.population_trace,
+        reference.population_trace,
+        err_msg=f"{context}: population",
+    )
+    assert run.acceptance == reference.acceptance, f"{context}: acceptance"
+
+
+def _timed_run(spec, gens, reps, fleet=None, injector=None):
+    """Best-of-``reps`` wall seconds for one sharded run; returns
+    (best_seconds, last_result)."""
+    best, result = np.inf, None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        result = run_dmc_sharded(
+            spec,
+            n_workers=N_WORKERS,
+            n_generations=gens,
+            tau=TAU,
+            fleet=fleet,
+            injector=injector,
+        )
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def bench_overhead(spec, reference, gens, reps) -> dict:
+    """Supervised-vs-plain wall time on an unfaulted run (bit-gated)."""
+    plain_s, plain = _timed_run(spec, gens, reps)
+    _assert_traces_equal(plain, reference, "plain parallel")
+    sup_s, supervised = _timed_run(
+        spec, gens, reps, fleet=FleetConfig(worker_timeout=60.0)
+    )
+    _assert_traces_equal(supervised, reference, "supervised")
+    assert supervised.fleet["restarts"] == 0
+    return {
+        "n_workers": N_WORKERS,
+        "generations": gens,
+        "plain_seconds": plain_s,
+        "supervised_seconds": sup_s,
+        "overhead": sup_s / plain_s - 1.0,
+        "bit_identical": True,
+    }
+
+
+def bench_mttr(spec, reference, gens, reps) -> dict:
+    """Recovery latency under an injected mid-run SIGKILL (bit-gated)."""
+    mttr, restarts = [], 0
+    for rep in range(max(reps, 1)):
+        injector = FaultInjector(seed=100 + rep)
+        injector.sigkill_worker(worker=1, generation=gens // 2)
+        faulted = run_dmc_sharded(
+            spec,
+            n_workers=N_WORKERS,
+            n_generations=gens,
+            tau=TAU,
+            fleet=FleetConfig(worker_timeout=60.0),
+            injector=injector,
+        )
+        _assert_traces_equal(faulted, reference, f"faulted rep {rep}")
+        assert faulted.fleet["restarts"] >= 1
+        restarts += faulted.fleet["restarts"]
+        mttr.extend(faulted.fleet["mttr_seconds"])
+    return {
+        "faulted_runs": max(reps, 1),
+        "fault": {"kind": "sigkill", "worker": 1, "generation": gens // 2},
+        "restarts": restarts,
+        "mttr_samples": mttr,
+        "mttr_mean_seconds": float(np.mean(mttr)),
+        "mttr_min_seconds": float(np.min(mttr)),
+        "mttr_max_seconds": float(np.max(mttr)),
+        "bit_identical": True,
+    }
+
+
+def bench_recovery_model(mttr_seconds: float) -> dict:
+    """Fold the measured MTTR into the KNL strong-scaling model."""
+    points = recovery_overhead_curve(
+        KNL,
+        mttr_seconds=mttr_seconds,
+        single_node_run_seconds=MODEL_SINGLE_NODE_HOURS * 3600.0,
+        node_mtbf_hours=MODEL_NODE_MTBF_HOURS,
+    )
+    return {
+        "machine": "KNL",
+        "single_node_run_hours": MODEL_SINGLE_NODE_HOURS,
+        "node_mtbf_hours": MODEL_NODE_MTBF_HOURS,
+        "mttr_seconds": mttr_seconds,
+        "points": [dataclasses.asdict(p) for p in points],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--quick", action="store_true", help="small run, no overhead target"
+    )
+    mode.add_argument(
+        "--tiny",
+        action="store_true",
+        help="one tiny config for CI smoke runs: the bit-identity gates and "
+        "MTTR only, no overhead target",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_pr6.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    if args.tiny:
+        (walkers, orbitals, gens, reps), label = TINY_CFG, "tiny"
+    elif args.quick:
+        (walkers, orbitals, gens, reps), label = QUICK_CFG, "quick"
+    else:
+        (walkers, orbitals, gens, reps), label = FULL_CFG, "full"
+
+    spec = CrowdSpec(n_walkers=walkers, n_orbitals=orbitals, seed=SEED)
+    t0 = time.perf_counter()
+    reference = run_dmc_sharded(spec, n_workers=1, n_generations=gens, tau=TAU)
+
+    overhead = bench_overhead(spec, reference, gens, reps)
+    mttr = bench_mttr(spec, reference, gens, reps)
+    model = bench_recovery_model(mttr["mttr_mean_seconds"])
+
+    report = {
+        "benchmark": "pr6-fleet-supervision",
+        "mode": label,
+        "host": host_metadata(),
+        "note": (
+            "Supervised = the same sharded DMC run under a FleetSupervisor "
+            "(heartbeats + per-call deadlines); MTTR measured under an "
+            "injected mid-generation SIGKILL.  Every run passed "
+            "np.testing.assert_array_equal against the unfaulted "
+            "sequential traces before its numbers were recorded."
+        ),
+        "spec": {
+            "n_walkers": walkers,
+            "n_orbitals": orbitals,
+            "generations": gens,
+            "tau": TAU,
+            "seed": SEED,
+            "reps": reps,
+        },
+        "overhead": overhead,
+        "mttr": mttr,
+        "recovery_model": model,
+        "target": {
+            "overhead": OVERHEAD_TARGET,
+            "applies_to": "full mode (steady-state supervision, no faults)",
+        },
+    }
+    if not (args.quick or args.tiny):
+        report["target"]["measured_overhead"] = overhead["overhead"]
+        report["target"]["meets_target"] = (
+            overhead["overhead"] < OVERHEAD_TARGET
+        )
+
+    report["total_seconds"] = time.perf_counter() - t0
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+
+    print(
+        f"supervision overhead: {overhead['overhead'] * 100:+.2f}% "
+        f"(plain {overhead['plain_seconds']:.3f}s, "
+        f"supervised {overhead['supervised_seconds']:.3f}s)  bit-identical",
+        file=sys.stderr,
+    )
+    print(
+        f"MTTR over {mttr['restarts']} recoveries: "
+        f"mean {mttr['mttr_mean_seconds'] * 1000:.1f} ms "
+        f"(min {mttr['mttr_min_seconds'] * 1000:.1f}, "
+        f"max {mttr['mttr_max_seconds'] * 1000:.1f})  bit-identical",
+        file=sys.stderr,
+    )
+    for p in model["points"]:
+        print(
+            f"model {p['n_nodes']:2d} KNL nodes: "
+            f"{p['expected_failures']:.4f} expected failures, "
+            f"recovery overhead {p['recovery_overhead'] * 100:.4f}%, "
+            f"effective reduction {p['effective_time_reduction']:.2f}x",
+            file=sys.stderr,
+        )
+    if "meets_target" in report["target"]:
+        t = report["target"]
+        print(
+            f"supervision overhead {t['measured_overhead'] * 100:.2f}% "
+            f"(target < {OVERHEAD_TARGET * 100:.0f}%): "
+            + ("PASS" if t["meets_target"] else "FAIL"),
+            file=sys.stderr,
+        )
+        if not t["meets_target"]:
+            return 1
+    print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,10 @@ fault-tolerant driver: ``--checkpoint-every N --checkpoint-path DIR``
 makes the run restartable, and after a kill the same command plus
 ``--resume DIR`` continues from the last checkpoint — the combined
 energy/population trace is bit-identical to the uninterrupted run.
+With ``--processes K``, ``--elastic``/``--worker-timeout`` put the
+worker fleet under a supervisor (:mod:`repro.fleet`): crashed or hung
+workers are restarted and replayed, and the pool may grow/shrink
+between generations — all without disturbing the trace.
 """
 
 from __future__ import annotations
@@ -68,9 +72,47 @@ def _dmc_main(argv: list[str]) -> int:
         "(default) or the per-walker sweep; trajectories are "
         "bit-identical either way",
     )
+    parser.add_argument(
+        "--elastic",
+        action="store_true",
+        help="supervise the worker fleet and let it grow/shrink between "
+        "generations under the latency budget (requires --processes; "
+        "traces stay bit-identical at any size)",
+    )
+    parser.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        metavar="K",
+        help="upper bound for --elastic growth (default: the host's CPU "
+        "count)",
+    )
+    parser.add_argument(
+        "--worker-timeout",
+        type=float,
+        default=None,
+        metavar="SEC",
+        help="per-call reply deadline; a worker that misses it is treated "
+        "as hung, restarted, and its generation replayed (requires "
+        "--processes)",
+    )
+    parser.add_argument(
+        "--latency-budget",
+        type=float,
+        default=None,
+        metavar="SEC",
+        help="target seconds per generation for --elastic scaling",
+    )
     parser.add_argument("--checkpoint-every", type=int, default=None, metavar="N")
     parser.add_argument("--checkpoint-path", default=None, metavar="DIR")
-    parser.add_argument("--resume", default=None, metavar="DIR")
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help="resume from a checkpoint directory; with --processes, "
+        "'auto' resumes from --checkpoint-path when a checkpoint exists "
+        "and starts fresh otherwise",
+    )
     parser.add_argument(
         "--on-bad-energy",
         default="raise",
@@ -92,6 +134,19 @@ def _dmc_main(argv: list[str]) -> int:
     args = parser.parse_args(argv)
     if args.checkpoint_every is not None and args.checkpoint_path is None:
         parser.error("--checkpoint-every requires --checkpoint-path")
+    fleet_flags = (
+        args.elastic
+        or args.max_workers is not None
+        or args.worker_timeout is not None
+        or args.latency_budget is not None
+    )
+    if fleet_flags and args.processes is None:
+        parser.error(
+            "--elastic/--max-workers/--worker-timeout/--latency-budget "
+            "require --processes"
+        )
+    if args.resume == "auto" and args.checkpoint_path is None:
+        parser.error("--resume auto requires --checkpoint-path")
     observe = args.metrics_out is not None or args.trace_out is not None
     if observe:
         OBS.reset()
@@ -101,6 +156,19 @@ def _dmc_main(argv: list[str]) -> int:
         if args.processes is not None:
             from repro.parallel import CrowdSpec, run_dmc_sharded
 
+            fleet = None
+            if fleet_flags:
+                from repro.fleet import FleetConfig
+
+                try:
+                    fleet = FleetConfig(
+                        elastic=args.elastic,
+                        max_workers=args.max_workers,
+                        worker_timeout=args.worker_timeout,
+                        latency_budget=args.latency_budget,
+                    )
+                except ValueError as exc:
+                    parser.error(str(exc))
             spec = CrowdSpec(
                 n_walkers=args.walkers,
                 n_orbitals=args.n_orbitals,
@@ -118,6 +186,7 @@ def _dmc_main(argv: list[str]) -> int:
                 resume=args.resume,
                 guard=GuardConfig(on_nonfinite_energy=args.on_bad_energy),
                 step_mode=args.step_mode,
+                fleet=fleet,
             )
         else:
             # The ensemble is rebuilt deterministically from the seed; on
@@ -158,6 +227,17 @@ def _dmc_main(argv: list[str]) -> int:
             f"guard interventions: {result.rescues} rescues, "
             f"{result.truncations} truncations, "
             f"{result.dropped_walkers} dropped walkers"
+        )
+    if result.fleet is not None:
+        mttr = result.fleet["mttr_seconds"]
+        mttr_txt = (
+            f", mean MTTR {sum(mttr) / len(mttr):.3f} s" if mttr else ""
+        )
+        print(
+            f"fleet: {result.fleet['restarts']} restarts, "
+            f"{result.fleet['rebalances']} rebalances, "
+            f"{result.fleet['scale_events']} scale events, "
+            f"{result.fleet['final_workers']} final workers{mttr_txt}"
         )
     if observe:
         OBS.write(metrics_out=args.metrics_out, trace_out=args.trace_out)

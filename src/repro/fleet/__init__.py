@@ -1,0 +1,46 @@
+"""Elastic, self-healing fleet execution over the process pool.
+
+:mod:`repro.parallel` makes a population run *fast* on a healthy set of
+workers; this package makes long runs survive the workers not staying
+healthy — the orchestration layer kernel libraries in the QMCPACK
+lineage deliberately leave to the driver:
+
+* :class:`~repro.fleet.supervisor.FleetSupervisor` — heartbeats and
+  per-call deadlines detect crashed (SIGKILL, OOM) and hung workers;
+  the failed slot is restarted, its state rebuilt deterministically,
+  and the in-flight work replayed **bit-identically**;
+* :class:`~repro.fleet.supervisor.FleetConfig` — the policy knobs:
+  deadlines, restart budgets, elastic min/max bounds, latency and RSS
+  budgets, rebalance threshold;
+* :mod:`~repro.fleet.rebalance` — deterministic planning of DMC walker
+  migrations when branching skews the shards;
+* :func:`~repro.fleet.dmc.run_dmc_supervised` — the supervised twin of
+  :func:`repro.parallel.run_dmc_sharded` (also reachable via its
+  ``fleet=`` parameter and the CLIs' ``--elastic`` /
+  ``--worker-timeout`` flags).
+
+Everything observable lands in the OBS registry: restarts, recovery
+latency (MTTR), scale events, migrated walkers/bytes, the live worker
+count.
+"""
+
+from repro.fleet.dmc import run_dmc_supervised
+from repro.fleet.rebalance import (
+    Move,
+    RebalancePlan,
+    balanced_sizes,
+    plan_rebalance,
+    shard_imbalance,
+)
+from repro.fleet.supervisor import FleetConfig, FleetSupervisor
+
+__all__ = [
+    "FleetConfig",
+    "FleetSupervisor",
+    "run_dmc_supervised",
+    "Move",
+    "RebalancePlan",
+    "balanced_sizes",
+    "plan_rebalance",
+    "shard_imbalance",
+]

@@ -1,0 +1,170 @@
+"""Deterministic DMC shard rebalancing plans.
+
+After branching, shard populations skew: a walker that branched into
+three copies leaves its home shard three walkers heavier, and the
+heaviest shard paces the whole generation (every other worker idles at
+the gather barrier).  This module plans walker migrations between
+shards — pure arithmetic on the per-walker ``home`` assignments, no
+processes involved, so plans are unit-testable and **deterministic**:
+the same homes always produce the same plan.
+
+Bit-identity note: walker trajectories are pure functions of their
+(positions, ions, rng-state) task dicts, and results are gathered back
+in *global walker order* regardless of which shard computed them — so
+any assignment of walkers to shards yields the same traces.  Migration
+is therefore purely a load-balancing decision; the plan never has to
+trade determinism for balance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Move",
+    "RebalancePlan",
+    "balanced_sizes",
+    "shard_imbalance",
+    "plan_rebalance",
+]
+
+
+@dataclass(frozen=True)
+class Move:
+    """Reassign one walker: global index, source shard, destination.
+
+    ``src`` is ``-1`` for a walker that had no home yet (a fresh clone);
+    a non-negative ``src`` — including a shard index beyond the current
+    shard count, i.e. a shard removed by elastic shrink — is a real
+    migration of resident walker state.
+    """
+
+    walker: int
+    src: int
+    dst: int
+
+
+@dataclass(frozen=True)
+class RebalancePlan:
+    """The full outcome of one planning pass.
+
+    ``sizes_before`` counts only walkers whose home was a live shard;
+    ``sizes_after`` is what applying ``moves`` yields.  ``moves`` lists
+    fresh-clone placements (``src == -1``) and migrations alike, in the
+    deterministic order they were planned.
+    """
+
+    n_shards: int
+    sizes_before: tuple[int, ...]
+    sizes_after: tuple[int, ...]
+    moves: tuple[Move, ...]
+
+    @property
+    def migrations(self) -> tuple[Move, ...]:
+        """Moves of resident walker state (excludes fresh-clone placement)."""
+        return tuple(m for m in self.moves if m.src >= 0)
+
+
+def balanced_sizes(total: int, n_shards: int) -> list[int]:
+    """The target shard sizes: same split as contiguous ``shard_slices``
+    (the first ``total % n_shards`` shards carry one extra walker)."""
+    if n_shards <= 0:
+        raise ValueError(f"n_shards must be positive, got {n_shards}")
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total}")
+    base, extra = divmod(total, n_shards)
+    return [base + (1 if s < extra else 0) for s in range(n_shards)]
+
+
+def shard_imbalance(sizes) -> float:
+    """Straggler excess of the heaviest shard over the fair share.
+
+    ``0.0`` means perfectly balanced; ``1.0`` means the heaviest shard
+    carries twice its fair share (the generation takes ~2x as long as a
+    balanced one).  Empty populations are balanced by definition.
+    """
+    sizes = list(sizes)
+    total = sum(sizes)
+    if not sizes or total == 0:
+        return 0.0
+    fair = total / len(sizes)
+    return (max(sizes) - fair) / fair
+
+
+def plan_rebalance(
+    homes, n_shards: int, threshold: float | None = 0.25
+) -> RebalancePlan:
+    """Plan walker moves so no shard is the straggler.
+
+    Parameters
+    ----------
+    homes:
+        Per-walker home shard, in global walker order.  ``-1`` (or any
+        index outside ``0..n_shards-1``, e.g. after an elastic shrink)
+        marks a walker that *must* be (re)assigned.
+    n_shards:
+        Live shard count (>= 1).
+    threshold:
+        Migrate resident walkers only when :func:`shard_imbalance`
+        exceeds this after the mandatory placements; ``None`` disables
+        migration entirely (placement-only).  ``0.0`` always balances
+        fully.
+
+    The plan is deterministic: mandatory placements go to the
+    most-deficit shard (lowest index on ties) in walker order; balance
+    migrations then move the highest-indexed walkers of the
+    lowest-indexed surplus shard to the lowest-indexed deficit shard
+    until every shard is at its target size.
+    """
+    if n_shards <= 0:
+        raise ValueError(f"n_shards must be positive, got {n_shards}")
+    if threshold is not None and threshold < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold}")
+    homes = [int(h) for h in homes]
+    target = balanced_sizes(len(homes), n_shards)
+    members: list[list[int]] = [[] for _ in range(n_shards)]
+    pending: list[int] = []  # walkers needing a home, in global order
+    for i, h in enumerate(homes):
+        if 0 <= h < n_shards:
+            members[h].append(i)
+        else:
+            pending.append(i)
+    sizes = [len(m) for m in members]
+    sizes_before = tuple(sizes)
+    new_homes = list(homes)
+    moves: list[Move] = []
+
+    def move(walker: int, src: int, dst: int) -> None:
+        moves.append(Move(walker=walker, src=src, dst=dst))
+        new_homes[walker] = dst
+        members[dst].append(walker)
+        sizes[dst] += 1
+
+    # 1) Mandatory placement: fresh clones and evacuees from removed
+    #    shards go to the most-deficit shard (lowest index on ties).
+    for i in pending:
+        deficits = [target[s] - sizes[s] for s in range(n_shards)]
+        dst = max(range(n_shards), key=lambda s: (deficits[s], -s))
+        src = homes[i] if homes[i] >= 0 else -1
+        move(i, src, dst)
+
+    # 2) Optional balancing: migrate resident walkers only when the
+    #    post-placement skew is worth the shipping.
+    if threshold is not None and shard_imbalance(sizes) > threshold:
+        while True:
+            surplus = [s for s in range(n_shards) if sizes[s] > target[s]]
+            if not surplus:
+                break
+            src = surplus[0]
+            dst = next(s for s in range(n_shards) if sizes[s] < target[s])
+            walker = max(members[src])
+            members[src].remove(walker)
+            sizes[src] -= 1
+            move(walker, src, dst)
+
+    return RebalancePlan(
+        n_shards=n_shards,
+        sizes_before=sizes_before,
+        sizes_after=tuple(sizes),
+        moves=tuple(moves),
+    )

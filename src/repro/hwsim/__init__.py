@@ -14,7 +14,12 @@ on; this package replaces them with:
 
 from repro.hwsim.appmodel import AppWorkload, MiniQmcProfileModel
 from repro.hwsim.cache import CacheStats, SetAssociativeCache
-from repro.hwsim.cluster import StrongScalingPoint, strong_scaling_curve
+from repro.hwsim.cluster import (
+    RecoveryOverheadPoint,
+    StrongScalingPoint,
+    recovery_overhead_curve,
+    strong_scaling_curve,
+)
 from repro.hwsim.hierarchy import CacheHierarchy, LevelStats
 from repro.hwsim.hostcal import (
     HostProfile,
@@ -76,6 +81,8 @@ __all__ = [
     "LevelStats",
     "StrongScalingPoint",
     "strong_scaling_curve",
+    "RecoveryOverheadPoint",
+    "recovery_overhead_curve",
     "TraceBuilder",
     "ValidationCase",
     "validate_all",

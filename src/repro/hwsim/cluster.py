@@ -20,7 +20,12 @@ from dataclasses import dataclass
 from repro.hwsim.machine import MachineSpec
 from repro.hwsim.perfmodel import BsplinePerfModel
 
-__all__ = ["StrongScalingPoint", "strong_scaling_curve"]
+__all__ = [
+    "StrongScalingPoint",
+    "strong_scaling_curve",
+    "RecoveryOverheadPoint",
+    "recovery_overhead_curve",
+]
 
 
 @dataclass(frozen=True)
@@ -66,6 +71,90 @@ def strong_scaling_curve(
                 tile_size=s["nb_nested"],
                 time_reduction=reduction,
                 parallel_efficiency=reduction / nodes,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class RecoveryOverheadPoint:
+    """Modeled cost of worker recovery at one node count.
+
+    ``expected_failures`` is the mean failure count over the run
+    (exponential failures, node-hours / MTBF); ``recovery_overhead`` is
+    the fraction of run time spent re-doing work after those failures;
+    ``effective_time_reduction`` is the strong-scaling reduction after
+    paying it.
+    """
+
+    n_nodes: int
+    run_seconds: float
+    expected_failures: float
+    recovery_overhead: float
+    time_reduction: float
+    effective_time_reduction: float
+
+
+def recovery_overhead_curve(
+    machine: MachineSpec,
+    mttr_seconds: float,
+    single_node_run_seconds: float,
+    node_mtbf_hours: float = 2000.0,
+    kernel: str = "vgh",
+    n_splines: int = 2048,
+    node_counts: tuple[int, ...] = (1, 2, 4, 8, 16),
+) -> list[RecoveryOverheadPoint]:
+    """Extrapolate measured recovery cost to the multi-node machine model.
+
+    The fleet supervisor's MTTR is measured on one host (the
+    ``bench_pr6`` driver); this folds it into the strong-scaling model:
+    at ``n`` nodes the run shrinks along the Opt-C curve, but the
+    failure rate grows with the node count — the classic checkpoint/
+    restart tension.  Expected failures over a run of length ``T`` on
+    ``n`` nodes are ``n * T / MTBF``; each costs one MTTR (restart +
+    deterministic replay of the in-flight generation), so the overhead
+    fraction is ``failures * mttr / T``, and the *effective* time
+    reduction divides the ideal one by ``1 + overhead``.
+
+    Parameters
+    ----------
+    machine:
+        The modeled machine (e.g. :data:`~repro.hwsim.KNL`).
+    mttr_seconds:
+        Measured mean time to recovery of one worker failure.
+    single_node_run_seconds:
+        Wall time of the whole run on one node.
+    node_mtbf_hours:
+        Mean time between failures of a single node (2000 h ~ a
+        commodity cluster node's hardware failure rate).
+    """
+    if mttr_seconds < 0:
+        raise ValueError(f"mttr_seconds must be >= 0, got {mttr_seconds}")
+    if single_node_run_seconds <= 0:
+        raise ValueError(
+            f"single_node_run_seconds must be positive, got "
+            f"{single_node_run_seconds}"
+        )
+    if node_mtbf_hours <= 0:
+        raise ValueError(f"node_mtbf_hours must be positive, got {node_mtbf_hours}")
+    scaling = strong_scaling_curve(machine, kernel, n_splines, node_counts)
+    points = []
+    for p in scaling:
+        # time_reduction is 1.0 at one node, so this is the 1-node time
+        # shrunk along the strong-scaling curve.
+        run_seconds = single_node_run_seconds / p.time_reduction
+        expected_failures = p.n_nodes * run_seconds / (node_mtbf_hours * 3600.0)
+        overhead = (
+            expected_failures * mttr_seconds / run_seconds if run_seconds else 0.0
+        )
+        points.append(
+            RecoveryOverheadPoint(
+                n_nodes=p.n_nodes,
+                run_seconds=run_seconds,
+                expected_failures=expected_failures,
+                recovery_overhead=overhead,
+                time_reduction=p.time_reduction,
+                effective_time_reduction=p.time_reduction / (1.0 + overhead),
             )
         )
     return points

@@ -400,6 +400,31 @@ def main(argv: list[str] | None = None) -> int:
         help="shard the population over K worker processes sharing one "
         "coefficient table (implies --walkers; default K=1)",
     )
+    parser.add_argument(
+        "--elastic",
+        action="store_true",
+        help="supervise the population workers (crash/hang recovery); "
+        "elastic *resizing* applies to the sharded DMC driver "
+        "(python -m repro dmc --processes K --elastic) — crowd shards "
+        "are fixed at start",
+    )
+    parser.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        metavar="K",
+        help="accepted for CLI symmetry with 'python -m repro dmc'; crowd "
+        "shards never resize, so this only bounds the supervisor",
+    )
+    parser.add_argument(
+        "--worker-timeout",
+        type=float,
+        default=None,
+        metavar="SEC",
+        help="per-call reply deadline for population workers; a worker "
+        "that misses it is restarted and its shard re-run "
+        "(bit-identical)",
+    )
     parser.add_argument("--checkpoint-every", type=int, default=None, metavar="N")
     parser.add_argument("--checkpoint-path", default=None, metavar="DIR")
     parser.add_argument("--resume", default=None, metavar="DIR")
@@ -418,6 +443,16 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.checkpoint_every is not None and args.checkpoint_path is None:
         parser.error("--checkpoint-every requires --checkpoint-path")
+    fleet_flags = (
+        args.elastic
+        or args.max_workers is not None
+        or args.worker_timeout is not None
+    )
+    if fleet_flags and args.walkers is None and args.processes is None:
+        parser.error(
+            "--elastic/--max-workers/--worker-timeout require population "
+            "mode (--walkers/--processes)"
+        )
     observe = args.metrics_out is not None or args.trace_out is not None
     if args.walkers is not None or args.processes is not None:
         if args.checkpoint_every is not None or args.resume is not None:
@@ -470,6 +505,20 @@ def _population_main(args, observe: bool) -> int:
 
     n_walkers = args.walkers if args.walkers is not None else 8
     n_workers = args.processes if args.processes is not None else 1
+    fleet = None
+    if args.elastic or args.max_workers is not None or args.worker_timeout is not None:
+        from repro.fleet import FleetConfig
+
+        # Crowd shards are stateful (walkers live worker-side), so the
+        # supervisor provides recovery only — never elastic resizing.
+        try:
+            fleet = FleetConfig(
+                max_workers=args.max_workers,
+                worker_timeout=args.worker_timeout,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     if observe:
         OBS.reset()
         OBS.enable()
@@ -488,6 +537,7 @@ def _population_main(args, observe: bool) -> int:
             n_sweeps=args.sweeps,
             tau=args.tau,
             step_mode=args.step_mode,
+            fleet=fleet,
         )
     finally:
         if observe:

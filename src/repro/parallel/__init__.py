@@ -25,7 +25,7 @@ from repro.parallel.crowd import (
     solve_spec_table,
 )
 from repro.parallel.dmc import run_dmc_sharded
-from repro.parallel.pool import ProcessCrowdPool, WorkerError
+from repro.parallel.pool import ProcessCrowdPool, WorkerError, WorkerTimeout
 from repro.parallel.sharding import shard_slices, walker_rng, walker_seed_sequence
 from repro.parallel.shared_table import SharedTable
 from repro.parallel.vmc import VmcPopulationResult, run_vmc_population
@@ -34,6 +34,7 @@ __all__ = [
     "SharedTable",
     "ProcessCrowdPool",
     "WorkerError",
+    "WorkerTimeout",
     "shard_slices",
     "walker_seed_sequence",
     "walker_rng",

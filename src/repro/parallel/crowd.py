@@ -301,6 +301,8 @@ def run_crowd_parallel(
     table: np.ndarray | None = None,
     start_method: str | None = None,
     step_mode: str = "batched",
+    fleet=None,
+    injector=None,
 ) -> CrowdRunResult:
     """Shard the population over ``n_workers`` processes and advance it.
 
@@ -311,10 +313,20 @@ def run_crowd_parallel(
     batched and per-walker paths share one trajectory, for either
     ``step_mode``.  All segments and workers are torn down before
     returning (no ``/dev/shm`` leaks).
+
+    Passing a :class:`repro.fleet.FleetConfig` as ``fleet`` supervises
+    the shards: a crashed or hung worker is restarted and its
+    (deterministic) shard re-run, preserving bit-identity.  Crowd
+    shards are stateful, so supervision covers recovery only — elastic
+    resizing is a DMC feature.  ``injector`` requires ``fleet``.
     """
     if step_mode not in ("batched", "walker"):
         raise ValueError(
             f"step_mode must be 'batched' or 'walker', got {step_mode!r}"
+        )
+    if injector is not None and fleet is None:
+        raise ValueError(
+            "injector requires fleet supervision (pass fleet=FleetConfig(...))"
         )
     if table is None:
         table = solve_spec_table(spec)
@@ -324,14 +336,29 @@ def run_crowd_parallel(
     table_spec = dict(shared.spec, n_workers=n_workers)
     t0 = time.perf_counter()
     try:
-        with ProcessCrowdPool(
-            n_workers,
-            _init_crowd_shard,
-            (spec, table_spec),
-            start_method=start_method,
-        ) as pool:
-            shards = pool.broadcast("run", n_sweeps, tau, step_mode)
-            pool.merge_metrics()
+        if fleet is not None:
+            from repro.fleet import FleetSupervisor
+
+            with FleetSupervisor(
+                n_workers,
+                _init_crowd_shard,
+                (spec, table_spec),
+                config=fleet,
+                stateful=True,
+                start_method=start_method,
+            ) as supervisor:
+                supervisor.arm_injector(injector)
+                shards = supervisor.broadcast("run", n_sweeps, tau, step_mode)
+                supervisor.merge_metrics()
+        else:
+            with ProcessCrowdPool(
+                n_workers,
+                _init_crowd_shard,
+                (spec, table_spec),
+                start_method=start_method,
+            ) as pool:
+                shards = pool.broadcast("run", n_sweeps, tau, step_mode)
+                pool.merge_metrics()
     finally:
         shared.close()
         shared.unlink()

@@ -20,6 +20,15 @@ rng-state) triple.  Two consequences the tests pin down:
   checkpoints recompute mid-run state), checkpoint/resume here is
   bit-identical to the uninterrupted run at *any* ``checkpoint_every``,
   and a resumed run may even use a different worker count.
+
+A third consequence powers :mod:`repro.fleet`: because the parent's
+walker arrays *are* the in-memory checkpoint, a worker that crashes or
+hangs mid-generation loses nothing — restart it, re-ship its tasks,
+and the generation replays bit-identically.  The generation loop is
+therefore factored over an **executor** protocol: the plain
+:class:`_PoolExecutor` here (contiguous shards, bare pool) and the
+supervised, elastic, rebalancing executor in :mod:`repro.fleet.dmc`
+run the *same* loop and produce the same traces.
 """
 
 from __future__ import annotations
@@ -44,6 +53,7 @@ from repro.qmc.particleset import ParticleSet
 from repro.qmc.rng import WalkerRngPool
 from repro.resilience.checkpoint import (
     CheckpointError,
+    has_checkpoint,
     load_checkpoint,
     restore_rng,
     rng_state,
@@ -58,12 +68,20 @@ _CHECKPOINT_KIND = "dmc-sharded"
 
 @dataclass
 class _WalkerState:
-    """The parent's authoritative view of one walker: arrays, no objects."""
+    """The parent's authoritative view of one walker: arrays, no objects.
+
+    ``home`` is the walker's current shard assignment — pure scheduling
+    state used by the fleet executor's rebalancer.  It is deliberately
+    excluded from :meth:`task` and from checkpoints: the physics is a
+    function of the task triple only, which is what keeps traces
+    identical across worker counts, rebalances and restarts.
+    """
 
     positions: np.ndarray
     ion_positions: np.ndarray
     rng_state: dict
     e_local: float = 0.0
+    home: int = -1
 
     def clone(self, rng: np.random.Generator) -> "_WalkerState":
         """Branching copy: same configuration, fresh stream (pool-drawn)."""
@@ -72,6 +90,7 @@ class _WalkerState:
             ion_positions=self.ion_positions.copy(),
             rng_state=rng_state(rng),
             e_local=self.e_local,
+            home=self.home,
         )
 
     def task(self) -> dict:
@@ -224,44 +243,63 @@ def _scatter(pool: ProcessCrowdPool, states: list[_WalkerState], method: str, *a
     return merged
 
 
-def run_dmc_sharded(
-    spec: CrowdSpec,
-    n_workers: int = 1,
-    n_generations: int = 20,
-    tau: float = 0.05,
-    target_population: int | None = None,
-    feedback: float = 1.0,
-    max_population_factor: int = 4,
-    ion_charge: float = 4.0,
-    checkpoint_every: int | None = None,
-    checkpoint_path=None,
-    resume=None,
-    guard: GuardConfig | None = None,
-    start_method: str | None = None,
-    step_mode: str = "batched",
-) -> DmcResult:
-    """Run DMC with propagation sharded over ``n_workers`` processes.
+class _PoolExecutor:
+    """The plain executor: contiguous shards over an unsupervised pool."""
 
-    Parameters mirror :func:`repro.qmc.dmc.run_dmc` where they overlap;
-    the ensemble itself is described by ``spec`` (the parent builds the
-    initial population deterministically from per-walker streams).
-    ``step_mode`` selects batched shard propagation (default) or the
-    per-walker sweep; both are bit-identical, so — like the worker
-    count — the mode is deliberately not part of the checkpoint
-    contract.
+    def __init__(self, pool: ProcessCrowdPool, step_mode: str):
+        self._pool = pool
+        self._step_mode = step_mode
 
-    Guard policy note: workers recompute derived state before every
-    sweep, so the ``"recompute"`` non-finite-energy policy has nothing
-    further to rebuild — it behaves like ``"drop"`` here.  ``"raise"``
-    and ``"ignore"`` behave as in ``run_dmc``.
+    def measure(self, states: list[_WalkerState], ion_charge: float) -> list[float]:
+        return _scatter(self._pool, states, "measure", ion_charge)
 
-    Returns the same :class:`~repro.qmc.dmc.DmcResult` shape as the
-    sequential driver.
-    """
-    if step_mode not in ("batched", "walker"):
-        raise ValueError(
-            f"step_mode must be 'batched' or 'walker', got {step_mode!r}"
+    def propagate(
+        self, states: list[_WalkerState], gen: int, tau: float, ion_charge: float
+    ) -> list[dict]:
+        return _scatter(
+            self._pool, states, "propagate", tau, ion_charge, self._step_mode
         )
+
+    def generation_end(
+        self, gen: int, states: list[_WalkerState], seconds: float
+    ) -> None:
+        pass
+
+    def finish(self) -> None:
+        self._pool.merge_metrics()
+
+    def summary(self) -> dict | None:
+        return None
+
+
+def _run_dmc_loop(
+    executor,
+    spec: CrowdSpec,
+    *,
+    n_generations: int,
+    tau: float,
+    target_population: int | None,
+    feedback: float,
+    max_population_factor: int,
+    ion_charge: float,
+    checkpoint_every: int | None,
+    checkpoint_path,
+    resume,
+    guard: GuardConfig | None,
+) -> DmcResult:
+    """The shared DMC generation loop, parameterized by an executor.
+
+    The executor provides ``measure(states, ion_charge)``,
+    ``propagate(states, gen, tau, ion_charge)`` (results in global
+    walker order), ``generation_end(gen, states, seconds)`` (scheduling
+    hook — heartbeats, autoscaling), ``finish()`` and ``summary()``.
+    Everything trace-affecting lives *here*, which is why the plain and
+    the supervised executors are bit-identical by construction.
+
+    ``resume="auto"`` resumes from ``checkpoint_path`` when a complete
+    checkpoint exists there and starts fresh otherwise — the idiom for
+    restart-in-a-loop deployments.
+    """
     if n_generations <= 0:
         raise ValueError(f"n_generations must be positive, got {n_generations}")
     if checkpoint_every is not None:
@@ -271,6 +309,10 @@ def run_dmc_sharded(
             )
         if checkpoint_path is None:
             raise ValueError("checkpoint_every requires checkpoint_path")
+    if isinstance(resume, str) and resume == "auto":
+        if checkpoint_path is None:
+            raise ValueError("resume='auto' requires checkpoint_path")
+        resume = checkpoint_path if has_checkpoint(checkpoint_path) else None
     target = target_population or spec.n_walkers
     params = {
         "tau": tau,
@@ -306,9 +348,223 @@ def run_dmc_sharded(
                 f"non-finite local energy {e_local!r} "
                 f"(policy 'raise'; use 'drop' to continue)"
             )
-        dropped += 1  # "drop" and "recompute" (see docstring)
+        dropped += 1  # "drop" and "recompute" (see run_dmc_sharded docstring)
         return False
 
+    if resume is not None:
+        ckpt = load_checkpoint(resume, expect_kind=_CHECKPOINT_KIND)
+        saved = ckpt.manifest["params"]
+        for key in params:
+            if saved.get(key) != params[key]:
+                raise CheckpointError(
+                    f"checkpoint parameter mismatch for {key!r}: "
+                    f"saved {saved.get(key)!r}, requested {params[key]!r}"
+                )
+        n_saved = int(ckpt.manifest["n_walkers"])
+        states = [
+            _WalkerState(
+                positions=ckpt.arrays["positions"][i].copy(),
+                ion_positions=ckpt.arrays["ion_positions"][i].copy(),
+                rng_state=ckpt.manifest["walker_rng_states"][i],
+                e_local=float(ckpt.arrays["e_local"][i]),
+            )
+            for i in range(n_saved)
+        ]
+        clone_pool = WalkerRngPool.from_state(ckpt.manifest["pool_state"])
+        start_gen = int(ckpt.manifest["generation"])
+        e_trial = float(ckpt.arrays["e_trial"])
+        accepted = int(ckpt.manifest["accepted"])
+        attempted = int(ckpt.manifest["attempted"])
+        energy_trace = list(ckpt.arrays["energy_trace"])
+        pop_trace = [int(p) for p in ckpt.arrays["population_trace"]]
+        et_trace = list(ckpt.arrays["e_trial_trace"])
+    else:
+        states = _initial_population(spec)
+        energies = executor.measure(states, ion_charge)
+        healthy = []
+        for s, e in zip(states, energies):
+            s.e_local = e
+            if keep(e):
+                healthy.append(s)
+        if not healthy:
+            raise GuardViolation("no walker with finite local energy at start")
+        states = healthy
+        e_trial = float(np.mean([s.e_local for s in states]))
+        start_gen = 0
+        accepted = attempted = 0
+        energy_trace, pop_trace, et_trace = [], [], []
+
+    for gen in range(start_gen, n_generations):
+        t_gen = time.perf_counter()
+        results = executor.propagate(states, gen, tau, ion_charge)
+        weights: list[float | None] = []
+        for s, r in zip(states, results):
+            e_old = s.e_local
+            s.positions = r["positions"]
+            s.rng_state = r["rng_state"]
+            s.e_local = r["e_local"]
+            accepted += r["accepted"]
+            attempted += r["attempted"]
+            if not keep(s.e_local):
+                weights.append(None)
+                continue
+            weights.append(
+                float(np.exp(-tau * (0.5 * (s.e_local + e_old) - e_trial)))
+            )
+        new_states: list[_WalkerState] = []
+        cap = pop_guard.cap
+        for s, wt in zip(states, weights):
+            if wt is None:
+                continue
+            # The branching uniform comes from the walker's own
+            # stream (as in run_dmc), restored parent-side.
+            rng = restore_rng(s.rng_state)
+            n_copies = int(wt + rng.random())
+            s.rng_state = rng_state(rng)
+            for c in range(n_copies):
+                if len(new_states) >= cap:
+                    break
+                if c == 0:
+                    new_states.append(s)
+                else:
+                    new_states.append(s.clone(clone_pool.next_rng()))
+                    OBS.count("dmc_branch_clones_total")
+        states = pop_guard.enforce(new_states, states, clone_pool)
+        e_est = float(np.mean([s.e_local for s in states]))
+        e_trial = e_est - feedback * np.log(len(states) / target)
+        energy_trace.append(e_est)
+        pop_trace.append(len(states))
+        et_trace.append(e_trial)
+        dt = time.perf_counter() - t_gen
+        if OBS.enabled:
+            OBS.count("dmc_generations_total")
+            OBS.observe("dmc_generation_seconds", dt)
+            OBS.gauge("dmc_population", len(states))
+            OBS.gauge("dmc_e_trial", e_trial)
+            OBS.complete(
+                "dmc:generation",
+                t_gen,
+                dt,
+                cat="qmc",
+                generation=gen,
+                population=len(states),
+            )
+        if checkpoint_every is not None and (gen + 1) % checkpoint_every == 0:
+            save_checkpoint(
+                checkpoint_path,
+                {
+                    "kind": _CHECKPOINT_KIND,
+                    "generation": gen + 1,
+                    "accepted": accepted,
+                    "attempted": attempted,
+                    "n_walkers": len(states),
+                    "pool_state": clone_pool.state,
+                    "walker_rng_states": [s.rng_state for s in states],
+                    "params": params,
+                },
+                {
+                    "positions": np.stack([s.positions for s in states]),
+                    "ion_positions": np.stack(
+                        [s.ion_positions for s in states]
+                    ),
+                    "e_local": np.asarray(
+                        [s.e_local for s in states], dtype=np.float64
+                    ),
+                    "e_trial": np.asarray(e_trial, dtype=np.float64),
+                    "energy_trace": np.asarray(energy_trace, dtype=np.float64),
+                    "population_trace": np.asarray(pop_trace, dtype=np.int64),
+                    "e_trial_trace": np.asarray(et_trace, dtype=np.float64),
+                },
+            )
+        # Scheduling hook (heartbeats, rebalance accounting, autoscale)
+        # runs after all trace-affecting work for the generation.
+        executor.generation_end(gen, states, dt)
+    executor.finish()
+    return DmcResult(
+        energy_trace=np.asarray(energy_trace),
+        population_trace=np.asarray(pop_trace),
+        e_trial_trace=np.asarray(et_trace),
+        acceptance=accepted / max(attempted, 1),
+        rescues=pop_guard.rescues,
+        truncations=pop_guard.truncations,
+        dropped_walkers=dropped,
+        fleet=executor.summary(),
+    )
+
+
+def run_dmc_sharded(
+    spec: CrowdSpec,
+    n_workers: int = 1,
+    n_generations: int = 20,
+    tau: float = 0.05,
+    target_population: int | None = None,
+    feedback: float = 1.0,
+    max_population_factor: int = 4,
+    ion_charge: float = 4.0,
+    checkpoint_every: int | None = None,
+    checkpoint_path=None,
+    resume=None,
+    guard: GuardConfig | None = None,
+    start_method: str | None = None,
+    step_mode: str = "batched",
+    fleet=None,
+    injector=None,
+) -> DmcResult:
+    """Run DMC with propagation sharded over ``n_workers`` processes.
+
+    Parameters mirror :func:`repro.qmc.dmc.run_dmc` where they overlap;
+    the ensemble itself is described by ``spec`` (the parent builds the
+    initial population deterministically from per-walker streams).
+    ``step_mode`` selects batched shard propagation (default) or the
+    per-walker sweep; both are bit-identical, so — like the worker
+    count — the mode is deliberately not part of the checkpoint
+    contract.  ``resume="auto"`` resumes from ``checkpoint_path`` if a
+    checkpoint exists there, else starts fresh.
+
+    Passing a :class:`repro.fleet.FleetConfig` as ``fleet`` delegates to
+    :func:`repro.fleet.run_dmc_supervised`: the same loop under a
+    supervisor with crash/hang recovery, optional elastic scaling and
+    shard rebalancing — still bit-identical.  ``injector`` (a
+    :class:`~repro.resilience.faults.FaultInjector` carrying process
+    faults) requires ``fleet``.
+
+    Guard policy note: workers recompute derived state before every
+    sweep, so the ``"recompute"`` non-finite-energy policy has nothing
+    further to rebuild — it behaves like ``"drop"`` here.  ``"raise"``
+    and ``"ignore"`` behave as in ``run_dmc``.
+
+    Returns the same :class:`~repro.qmc.dmc.DmcResult` shape as the
+    sequential driver.
+    """
+    if step_mode not in ("batched", "walker"):
+        raise ValueError(
+            f"step_mode must be 'batched' or 'walker', got {step_mode!r}"
+        )
+    if fleet is not None:
+        from repro.fleet.dmc import run_dmc_supervised
+
+        return run_dmc_supervised(
+            spec,
+            n_workers=n_workers,
+            n_generations=n_generations,
+            tau=tau,
+            target_population=target_population,
+            feedback=feedback,
+            max_population_factor=max_population_factor,
+            ion_charge=ion_charge,
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
+            resume=resume,
+            guard=guard,
+            start_method=start_method,
+            step_mode=step_mode,
+            fleet=fleet,
+            injector=injector,
+        )
+    if injector is not None:
+        raise ValueError(
+            "injector requires fleet supervision (pass fleet=FleetConfig(...))"
+        )
     table = solve_spec_table(spec)
     # Pad in the parent so every worker attaches the ghost halo
     # zero-copy (build_walker_range detects the padded shape).
@@ -321,145 +577,20 @@ def run_dmc_sharded(
             (spec, table_spec),
             start_method=start_method,
         ) as pool:
-            if resume is not None:
-                ckpt = load_checkpoint(resume, expect_kind=_CHECKPOINT_KIND)
-                saved = ckpt.manifest["params"]
-                for key in params:
-                    if saved.get(key) != params[key]:
-                        raise CheckpointError(
-                            f"checkpoint parameter mismatch for {key!r}: "
-                            f"saved {saved.get(key)!r}, requested {params[key]!r}"
-                        )
-                n_saved = int(ckpt.manifest["n_walkers"])
-                states = [
-                    _WalkerState(
-                        positions=ckpt.arrays["positions"][i].copy(),
-                        ion_positions=ckpt.arrays["ion_positions"][i].copy(),
-                        rng_state=ckpt.manifest["walker_rng_states"][i],
-                        e_local=float(ckpt.arrays["e_local"][i]),
-                    )
-                    for i in range(n_saved)
-                ]
-                clone_pool = WalkerRngPool.from_state(ckpt.manifest["pool_state"])
-                start_gen = int(ckpt.manifest["generation"])
-                e_trial = float(ckpt.arrays["e_trial"])
-                accepted = int(ckpt.manifest["accepted"])
-                attempted = int(ckpt.manifest["attempted"])
-                energy_trace = list(ckpt.arrays["energy_trace"])
-                pop_trace = [int(p) for p in ckpt.arrays["population_trace"]]
-                et_trace = list(ckpt.arrays["e_trial_trace"])
-            else:
-                states = _initial_population(spec)
-                energies = _scatter(pool, states, "measure", ion_charge)
-                healthy = []
-                for s, e in zip(states, energies):
-                    s.e_local = e
-                    if keep(e):
-                        healthy.append(s)
-                if not healthy:
-                    raise GuardViolation(
-                        "no walker with finite local energy at start"
-                    )
-                states = healthy
-                e_trial = float(np.mean([s.e_local for s in states]))
-                start_gen = 0
-                accepted = attempted = 0
-                energy_trace, pop_trace, et_trace = [], [], []
-
-            for gen in range(start_gen, n_generations):
-                t_gen = time.perf_counter() if OBS.enabled else 0.0
-                results = _scatter(
-                    pool, states, "propagate", tau, ion_charge, step_mode
-                )
-                weights: list[float | None] = []
-                for s, r in zip(states, results):
-                    e_old = s.e_local
-                    s.positions = r["positions"]
-                    s.rng_state = r["rng_state"]
-                    s.e_local = r["e_local"]
-                    accepted += r["accepted"]
-                    attempted += r["attempted"]
-                    if not keep(s.e_local):
-                        weights.append(None)
-                        continue
-                    weights.append(
-                        float(np.exp(-tau * (0.5 * (s.e_local + e_old) - e_trial)))
-                    )
-                new_states: list[_WalkerState] = []
-                cap = pop_guard.cap
-                for s, wt in zip(states, weights):
-                    if wt is None:
-                        continue
-                    # The branching uniform comes from the walker's own
-                    # stream (as in run_dmc), restored parent-side.
-                    rng = restore_rng(s.rng_state)
-                    n_copies = int(wt + rng.random())
-                    s.rng_state = rng_state(rng)
-                    for c in range(n_copies):
-                        if len(new_states) >= cap:
-                            break
-                        if c == 0:
-                            new_states.append(s)
-                        else:
-                            new_states.append(s.clone(clone_pool.next_rng()))
-                            OBS.count("dmc_branch_clones_total")
-                states = pop_guard.enforce(new_states, states, clone_pool)
-                e_est = float(np.mean([s.e_local for s in states]))
-                e_trial = e_est - feedback * np.log(len(states) / target)
-                energy_trace.append(e_est)
-                pop_trace.append(len(states))
-                et_trace.append(e_trial)
-                if OBS.enabled:
-                    dt = time.perf_counter() - t_gen
-                    OBS.count("dmc_generations_total")
-                    OBS.observe("dmc_generation_seconds", dt)
-                    OBS.gauge("dmc_population", len(states))
-                    OBS.gauge("dmc_e_trial", e_trial)
-                    OBS.complete(
-                        "dmc:generation",
-                        t_gen,
-                        dt,
-                        cat="qmc",
-                        generation=gen,
-                        population=len(states),
-                    )
-                if checkpoint_every is not None and (gen + 1) % checkpoint_every == 0:
-                    save_checkpoint(
-                        checkpoint_path,
-                        {
-                            "kind": _CHECKPOINT_KIND,
-                            "generation": gen + 1,
-                            "accepted": accepted,
-                            "attempted": attempted,
-                            "n_walkers": len(states),
-                            "pool_state": clone_pool.state,
-                            "walker_rng_states": [s.rng_state for s in states],
-                            "params": params,
-                        },
-                        {
-                            "positions": np.stack([s.positions for s in states]),
-                            "ion_positions": np.stack(
-                                [s.ion_positions for s in states]
-                            ),
-                            "e_local": np.asarray(
-                                [s.e_local for s in states], dtype=np.float64
-                            ),
-                            "e_trial": np.asarray(e_trial, dtype=np.float64),
-                            "energy_trace": np.asarray(energy_trace, dtype=np.float64),
-                            "population_trace": np.asarray(pop_trace, dtype=np.int64),
-                            "e_trial_trace": np.asarray(et_trace, dtype=np.float64),
-                        },
-                    )
-            pool.merge_metrics()
+            return _run_dmc_loop(
+                _PoolExecutor(pool, step_mode),
+                spec,
+                n_generations=n_generations,
+                tau=tau,
+                target_population=target_population,
+                feedback=feedback,
+                max_population_factor=max_population_factor,
+                ion_charge=ion_charge,
+                checkpoint_every=checkpoint_every,
+                checkpoint_path=checkpoint_path,
+                resume=resume,
+                guard=guard,
+            )
     finally:
         shared.close()
         shared.unlink()
-    return DmcResult(
-        energy_trace=np.asarray(energy_trace),
-        population_trace=np.asarray(pop_trace),
-        e_trial_trace=np.asarray(et_trace),
-        acceptance=accepted / max(attempted, 1),
-        rescues=pop_guard.rescues,
-        truncations=pop_guard.truncations,
-        dropped_walkers=dropped,
-    )

@@ -157,6 +157,8 @@ def run_vmc_population(
     processes: bool = True,
     start_method: str | None = None,
     step_mode: str = "batched",
+    fleet=None,
+    injector=None,
 ) -> VmcPopulationResult:
     """Run VMC over ``spec.n_walkers`` walkers, sharded over processes.
 
@@ -165,10 +167,23 @@ def run_vmc_population(
     1/2/4-worker runs against.  ``step_mode`` selects the batched
     lock-step shard kernels (default) or the sequential per-walker sweep;
     both are bit-identical for any worker count.
+
+    Passing a :class:`repro.fleet.FleetConfig` as ``fleet`` runs the
+    shards under a :class:`~repro.fleet.supervisor.FleetSupervisor`: a
+    worker that crashes or hangs is restarted and its (deterministic)
+    shard re-run, so the merged energies still match the sequential
+    reference bit for bit.  VMC shards are stateful, so supervision here
+    means crash recovery — elastic resizing is a DMC-only feature.
+    ``injector`` (process faults, fired at the run's single broadcast)
+    requires ``fleet``.
     """
     if step_mode not in ("batched", "walker"):
         raise ValueError(
             f"step_mode must be 'batched' or 'walker', got {step_mode!r}"
+        )
+    if injector is not None and fleet is None:
+        raise ValueError(
+            "injector requires fleet supervision (pass fleet=FleetConfig(...))"
         )
     if table is None:
         table = solve_spec_table(spec)
@@ -187,16 +202,33 @@ def run_vmc_population(
         shared = SharedTable.create(pad_table_3d(table))
         table_spec = dict(shared.spec, n_workers=n_workers)
         try:
-            with ProcessCrowdPool(
-                n_workers,
-                _init_vmc_shard,
-                (spec, table_spec),
-                start_method=start_method,
-            ) as pool:
-                shards = pool.broadcast(
-                    "run", n_steps, n_warmup, tau, ion_charge, step_mode
-                )
-                pool.merge_metrics()
+            if fleet is not None:
+                from repro.fleet import FleetSupervisor
+
+                with FleetSupervisor(
+                    n_workers,
+                    _init_vmc_shard,
+                    (spec, table_spec),
+                    config=fleet,
+                    stateful=True,
+                    start_method=start_method,
+                ) as supervisor:
+                    supervisor.arm_injector(injector)
+                    shards = supervisor.broadcast(
+                        "run", n_steps, n_warmup, tau, ion_charge, step_mode
+                    )
+                    supervisor.merge_metrics()
+            else:
+                with ProcessCrowdPool(
+                    n_workers,
+                    _init_vmc_shard,
+                    (spec, table_spec),
+                    start_method=start_method,
+                ) as pool:
+                    shards = pool.broadcast(
+                        "run", n_steps, n_warmup, tau, ion_charge, step_mode
+                    )
+                    pool.merge_metrics()
         finally:
             shared.close()
             shared.unlink()

@@ -97,6 +97,10 @@ class DmcResult:
         truncations) over the run — nonzero means the run needed help.
     dropped_walkers:
         Walkers discarded by the non-finite-energy ``"drop"`` policy.
+    fleet:
+        Supervision outcome when the run was driven by
+        :func:`repro.fleet.run_dmc_supervised` (restart/rebalance/scale
+        counts, MTTR samples, final worker count); ``None`` otherwise.
     """
 
     energy_trace: np.ndarray
@@ -106,6 +110,7 @@ class DmcResult:
     rescues: int = field(default=0)
     truncations: int = field(default=0)
     dropped_walkers: int = field(default=0)
+    fleet: dict | None = field(default=None)
 
     @property
     def energy_mean(self) -> float:

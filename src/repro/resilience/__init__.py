@@ -26,12 +26,13 @@ three layers the drivers wire through:
 from repro.resilience.checkpoint import (
     CHECKPOINT_VERSION,
     CheckpointError,
+    has_checkpoint,
     load_checkpoint,
     restore_rng,
     rng_state,
     save_checkpoint,
 )
-from repro.resilience.faults import FaultInjector, SimulatedFault
+from repro.resilience.faults import FaultInjector, ProcessFault, SimulatedFault
 from repro.resilience.guards import (
     GuardConfig,
     GuardedEngine,
@@ -52,9 +53,11 @@ __all__ = [
     "CheckpointError",
     "save_checkpoint",
     "load_checkpoint",
+    "has_checkpoint",
     "rng_state",
     "restore_rng",
     "FaultInjector",
+    "ProcessFault",
     "SimulatedFault",
     "GuardConfig",
     "GuardViolation",

@@ -40,6 +40,7 @@ __all__ = [
     "Checkpoint",
     "save_checkpoint",
     "load_checkpoint",
+    "has_checkpoint",
     "rng_state",
     "restore_rng",
     "set_rng_state",
@@ -168,6 +169,19 @@ def save_checkpoint(
             "checkpoint:save", t0, dt, cat="resilience", kind=kind, bytes=size
         )
     return path
+
+
+def has_checkpoint(path: str | os.PathLike) -> bool:
+    """Whether ``path`` holds a complete checkpoint (manifest + arrays).
+
+    Writes are atomic at the directory level, so either both files exist
+    or the checkpoint does not — the predicate behind ``resume="auto"``
+    (resume if a checkpoint exists, start fresh otherwise).
+    """
+    path = os.fspath(path)
+    return os.path.isfile(os.path.join(path, _MANIFEST)) and os.path.isfile(
+        os.path.join(path, _ARRAYS)
+    )
 
 
 def load_checkpoint(

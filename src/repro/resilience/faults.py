@@ -19,18 +19,53 @@ Three fault families match the production failure modes the guardrails
   faults, which retries absorb) or forever (hard faults, which force the
   single-threaded fallback), and
   :meth:`FaultInjector.kill_at_generation` builds the mid-run kill hook
-  the checkpoint/resume tests use.
+  the checkpoint/resume tests use;
+* **dying worker processes** — :meth:`FaultInjector.sigkill_worker` and
+  :meth:`FaultInjector.hang_worker` schedule *process-level* faults
+  (a worker SIGKILLs itself, or stalls past its deadline, at a chosen
+  generation); the fleet supervisor (:mod:`repro.fleet`) arms them on
+  the live pool and must recover bit-identically.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
-__all__ = ["SimulatedFault", "FaultInjector"]
+__all__ = ["SimulatedFault", "ProcessFault", "FaultInjector"]
 
 
 class SimulatedFault(RuntimeError):
     """An injected failure — raised by wrappers built on a FaultInjector."""
+
+
+@dataclass(frozen=True)
+class ProcessFault:
+    """A scheduled process-level fault: which worker, when, what.
+
+    ``kind`` is ``"sigkill"`` (the worker kills itself at its next
+    dispatched call of generation ``generation`` — the parent sees EOF,
+    like a real OOM-kill) or ``"hang"`` (the worker sleeps ``seconds``
+    before serving that call — a stall only a deadline catches).
+    Population drivers with a single broadcast (VMC, crowd) treat the
+    whole run as generation 0.
+    """
+
+    kind: str
+    generation: int
+    worker: int
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("sigkill", "hang"):
+            raise ValueError(f"unknown process-fault kind {self.kind!r}")
+        if self.generation < 0:
+            raise ValueError(f"generation must be >= 0, got {self.generation}")
+        if self.worker < 0:
+            raise ValueError(f"worker must be >= 0, got {self.worker}")
+        if self.seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {self.seconds}")
 
 
 class FaultInjector:
@@ -48,6 +83,8 @@ class FaultInjector:
         self._rng = np.random.default_rng(seed)
         #: Audit trail: one ``(kind, detail)`` tuple per injected fault.
         self.log: list[tuple[str, dict]] = []
+        #: Scheduled process-level faults, armed by the fleet supervisor.
+        self.process_faults: list[ProcessFault] = []
 
     # -- data corruption ----------------------------------------------------
 
@@ -163,3 +200,40 @@ class FaultInjector:
                 raise SimulatedFault(f"injected kill after generation {gen}")
 
         return hook
+
+    # -- dying worker processes ----------------------------------------------
+
+    def sigkill_worker(self, worker: int, generation: int) -> ProcessFault:
+        """Schedule worker ``worker`` to SIGKILL itself at ``generation``.
+
+        The fault fires on the worker's next dispatched call of that
+        generation: the process dies without replying, the parent sees
+        EOF — indistinguishable from a real OOM-kill or segfault.
+        """
+        fault = ProcessFault(kind="sigkill", generation=generation, worker=worker)
+        self.process_faults.append(fault)
+        self.log.append(
+            ("sigkill_worker", {"worker": worker, "generation": generation})
+        )
+        return fault
+
+    def hang_worker(
+        self, worker: int, generation: int, seconds: float = 60.0
+    ) -> ProcessFault:
+        """Schedule worker ``worker`` to stall ``seconds`` at ``generation``.
+
+        The worker sleeps before serving the call, then proceeds — a
+        stuck-but-alive worker that only a reply deadline
+        (``worker_timeout``) can detect.
+        """
+        fault = ProcessFault(
+            kind="hang", generation=generation, worker=worker, seconds=seconds
+        )
+        self.process_faults.append(fault)
+        self.log.append(
+            (
+                "hang_worker",
+                {"worker": worker, "generation": generation, "seconds": seconds},
+            )
+        )
+        return fault

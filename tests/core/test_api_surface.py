@@ -12,7 +12,7 @@ from pathlib import Path
 import pytest
 
 DOC = Path(__file__).resolve().parents[2] / "docs" / "API.md"
-PACKAGES = ("repro.core", "repro.qmc", "repro.parallel")
+PACKAGES = ("repro.core", "repro.qmc", "repro.parallel", "repro.fleet")
 
 
 @pytest.fixture(scope="module")

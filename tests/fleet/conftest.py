@@ -1,0 +1,50 @@
+"""Fixtures for the fleet-supervision tests.
+
+Same hygiene rules as ``tests/parallel``: no test may leak a
+shared-memory segment or leave the global ``OBS`` enabled.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.obs import OBS
+
+_SHM_DIR = Path("/dev/shm")
+
+
+def shm_segments() -> set[str]:
+    """Names of live shared-memory segments (empty on non-Linux hosts)."""
+    if not _SHM_DIR.is_dir():
+        return set()
+    return {p.name for p in _SHM_DIR.iterdir()}
+
+
+@pytest.fixture
+def shm_sentinel():
+    """Fail the test if it leaks any shared-memory segment."""
+    before = shm_segments()
+    yield
+    leaked = shm_segments() - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+
+
+@pytest.fixture
+def obs():
+    """The global ``OBS``, enabled and empty; disabled and wiped after."""
+    OBS.reset()
+    OBS.enable()
+    try:
+        yield OBS
+    finally:
+        OBS.disable()
+        OBS.reset()
+
+
+@pytest.fixture(autouse=True)
+def _obs_stays_off():
+    """Guard: no test in this package may leak an enabled OBS."""
+    yield
+    assert not OBS.enabled, "test left the global OBS enabled"

@@ -1,0 +1,111 @@
+"""Rebalance planning: deterministic, pure arithmetic, no processes."""
+
+import pytest
+
+from repro.fleet import (
+    Move,
+    balanced_sizes,
+    plan_rebalance,
+    shard_imbalance,
+)
+
+
+class TestBalancedSizes:
+    def test_matches_contiguous_shard_split(self):
+        # Same convention as shard_slices: the remainder lands on the
+        # lowest-indexed shards.
+        assert balanced_sizes(5, 2) == [3, 2]
+        assert balanced_sizes(6, 3) == [2, 2, 2]
+        assert balanced_sizes(7, 3) == [3, 2, 2]
+        assert balanced_sizes(0, 4) == [0, 0, 0, 0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            balanced_sizes(4, 0)
+        with pytest.raises(ValueError, match="total"):
+            balanced_sizes(-1, 2)
+
+
+class TestShardImbalance:
+    def test_balanced_is_zero(self):
+        assert shard_imbalance([3, 3, 3]) == 0.0
+
+    def test_straggler_excess(self):
+        # Heaviest shard carries double its fair share -> imbalance 1.0.
+        assert shard_imbalance([4, 0]) == pytest.approx(1.0)
+        assert shard_imbalance([4, 2, 2]) == pytest.approx(0.5)
+        assert shard_imbalance([3, 2, 2]) == pytest.approx(2 / 7)
+
+    def test_empty_population_is_balanced(self):
+        assert shard_imbalance([]) == 0.0
+        assert shard_imbalance([0, 0]) == 0.0
+
+
+class TestPlanRebalance:
+    def test_fresh_walkers_fill_shards_deterministically(self):
+        plan = plan_rebalance([-1, -1, -1, -1], n_shards=2)
+        assert plan.sizes_before == (0, 0)
+        assert plan.sizes_after == (2, 2)
+        # Ties break to the lowest shard, walkers placed in global order.
+        assert plan.moves == (
+            Move(walker=0, src=-1, dst=0),
+            Move(walker=1, src=-1, dst=1),
+            Move(walker=2, src=-1, dst=0),
+            Move(walker=3, src=-1, dst=1),
+        )
+        assert plan.migrations == ()
+
+    def test_evacuates_walkers_from_removed_shards(self):
+        # Shard 2 was removed by an elastic shrink: its walkers must be
+        # re-homed, and those moves count as real migrations.
+        plan = plan_rebalance([0, 0, 1, 1, 2, 2], n_shards=2)
+        assert plan.sizes_before == (2, 2)
+        assert plan.sizes_after == (3, 3)
+        assert plan.moves == (
+            Move(walker=4, src=2, dst=0),
+            Move(walker=5, src=2, dst=1),
+        )
+        assert plan.migrations == plan.moves
+
+    def test_migrates_from_skewed_shard_above_threshold(self):
+        # Imbalance (4-2.5)/2.5 = 0.6 > 0.25: the highest-indexed walker
+        # of the surplus shard moves to the deficit shard.
+        plan = plan_rebalance([0, 0, 0, 0, 1], n_shards=2, threshold=0.25)
+        assert plan.sizes_before == (4, 1)
+        assert plan.sizes_after == (3, 2)
+        assert plan.moves == (Move(walker=3, src=0, dst=1),)
+
+    def test_threshold_tolerates_mild_skew(self):
+        plan = plan_rebalance([0, 0, 0, 0, 1], n_shards=2, threshold=1.0)
+        assert plan.moves == ()
+        assert plan.sizes_after == (4, 1)
+
+    def test_threshold_none_places_but_never_migrates(self):
+        plan = plan_rebalance([0, 0, 0, 0, -1], n_shards=2, threshold=None)
+        # The fresh walker still gets a home (mandatory) ...
+        assert plan.moves == (Move(walker=4, src=-1, dst=1),)
+        # ... but the 4-vs-1 skew is left alone.
+        assert plan.sizes_after == (4, 1)
+
+    def test_threshold_zero_always_balances_fully(self):
+        plan = plan_rebalance([0, 0, 0, 1, 1, 1, 1, 1], n_shards=2, threshold=0.0)
+        assert plan.sizes_after == (4, 4)
+        assert plan.moves == (Move(walker=7, src=1, dst=0),)
+
+    def test_plan_is_deterministic(self):
+        homes = [0, 1, 0, 0, -1, 3, 0, 1]
+        a = plan_rebalance(homes, n_shards=3)
+        b = plan_rebalance(homes, n_shards=3)
+        assert a == b
+        assert sorted(a.sizes_after, reverse=True) == balanced_sizes(len(homes), 3)
+
+    def test_single_shard_takes_everything(self):
+        plan = plan_rebalance([-1, 5, 0], n_shards=1)
+        assert plan.sizes_after == (3,)
+        assert all(m.dst == 0 for m in plan.moves)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            plan_rebalance([0], n_shards=0)
+        with pytest.raises(ValueError, match="threshold"):
+            plan_rebalance([0], n_shards=1, threshold=-0.1)

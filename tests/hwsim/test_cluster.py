@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.hwsim import BDW, KNL, strong_scaling_curve
+from repro.hwsim import BDW, KNL, recovery_overhead_curve, strong_scaling_curve
 
 
 class TestStrongScaling:
@@ -40,3 +40,62 @@ class TestStrongScaling:
         knl = strong_scaling_curve(KNL, "vgh", 2048, node_counts=(4,))[0]
         bdw = strong_scaling_curve(BDW, "vgh", 2048, node_counts=(4,))[0]
         assert bdw.parallel_efficiency < knl.parallel_efficiency
+
+
+class TestRecoveryOverhead:
+    def test_one_node_run_is_the_reference(self):
+        pts = recovery_overhead_curve(
+            KNL, mttr_seconds=0.5, single_node_run_seconds=3600.0
+        )
+        assert pts[0].n_nodes == 1
+        assert np.isclose(pts[0].run_seconds, 3600.0)
+        assert np.isclose(pts[0].time_reduction, 1.0)
+
+    def test_run_shrinks_along_the_scaling_curve(self):
+        pts = recovery_overhead_curve(
+            KNL, mttr_seconds=0.5, single_node_run_seconds=3600.0
+        )
+        runs = [p.run_seconds for p in pts]
+        assert all(a > b for a, b in zip(runs, runs[1:]))
+
+    def test_effective_reduction_pays_for_recovery(self):
+        pts = recovery_overhead_curve(
+            KNL, mttr_seconds=30.0, single_node_run_seconds=3600.0
+        )
+        for p in pts:
+            assert 0.0 < p.effective_time_reduction <= p.time_reduction
+            assert np.isclose(
+                p.effective_time_reduction,
+                p.time_reduction / (1.0 + p.recovery_overhead),
+            )
+
+    def test_zero_mttr_recovers_the_ideal_curve(self):
+        pts = recovery_overhead_curve(
+            KNL, mttr_seconds=0.0, single_node_run_seconds=3600.0
+        )
+        for p in pts:
+            assert p.recovery_overhead == 0.0
+            assert p.effective_time_reduction == p.time_reduction
+
+    def test_expected_failures_follow_node_hours(self):
+        pts = recovery_overhead_curve(
+            KNL,
+            mttr_seconds=1.0,
+            single_node_run_seconds=3600.0,
+            node_mtbf_hours=100.0,
+        )
+        for p in pts:
+            assert np.isclose(
+                p.expected_failures,
+                p.n_nodes * p.run_seconds / (100.0 * 3600.0),
+            )
+        # 1 node-hour at MTBF=100h: 0.01 failures expected.
+        assert np.isclose(pts[0].expected_failures, 0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="mttr_seconds"):
+            recovery_overhead_curve(KNL, -1.0, 100.0)
+        with pytest.raises(ValueError, match="single_node_run_seconds"):
+            recovery_overhead_curve(KNL, 1.0, 0.0)
+        with pytest.raises(ValueError, match="node_mtbf_hours"):
+            recovery_overhead_curve(KNL, 1.0, 100.0, node_mtbf_hours=0.0)

@@ -10,7 +10,7 @@ from pathlib import Path
 import pytest
 
 from repro.obs import OBS
-from repro.parallel import ProcessCrowdPool, WorkerError
+from repro.parallel import ProcessCrowdPool, WorkerError, WorkerTimeout
 
 
 class _Echo:
@@ -148,6 +148,112 @@ class TestErrors:
             while shm_path.exists() and time.monotonic() < deadline:
                 time.sleep(0.25)
             assert not shm_path.exists(), "crashed run leaked its table segment"
+
+
+class TestStructuredErrors:
+    def test_worker_error_carries_structured_fields(self):
+        with ProcessCrowdPool(2, _init_echo) as pool:
+            with pytest.raises(WorkerError) as exc_info:
+                pool.broadcast("boom")
+        err = exc_info.value
+        assert err.worker_id == 0
+        assert err.method == "boom"
+        assert "RuntimeError: worker kaboom" in err.remote_traceback
+        assert err.exitcode is None
+
+    def test_dead_worker_raises_named_error_not_pipe_error(self):
+        with ProcessCrowdPool(2, _init_echo) as pool:
+            pool.arm_chaos(0, "sigkill")
+            with pytest.raises(WorkerError, match="worker 0 died without replying"):
+                pool.broadcast("whoami")
+            err = None
+            try:
+                pool.broadcast("whoami")  # now the pipe is already broken
+            except WorkerError as e:
+                err = e
+            assert err is not None and err.worker_id == 0
+            assert err.exitcode == -9
+
+    def test_failures_are_counted_per_worker(self, obs):
+        with ProcessCrowdPool(2, _init_echo) as pool:
+            pool.arm_chaos(1, "sigkill")
+            with pytest.raises(WorkerError):
+                pool.broadcast("whoami")
+        counter = obs.registry.counter("worker_failures_total", worker="1")
+        assert counter.value >= 1
+
+    def test_hang_surfaces_as_timeout_and_close_never_wedges(self):
+        pool = ProcessCrowdPool(2, _init_echo)
+        try:
+            pool.arm_chaos(0, "hang", seconds=30.0)
+            pool.start_call(0, "whoami")
+            with pytest.raises(WorkerTimeout, match="deadline"):
+                pool.finish_call(0, timeout=0.3, method="whoami")
+        finally:
+            t0 = time.monotonic()
+            pool.close(timeout=2.0)
+        # The sleeping worker was killed, not waited out.
+        assert time.monotonic() - t0 < 10.0
+        assert not any(proc.is_alive() for proc in pool._procs)
+
+    def test_rejects_unknown_chaos_kind(self):
+        with ProcessCrowdPool(1, _init_echo) as pool:
+            with pytest.raises(ValueError, match="chaos kind"):
+                pool.arm_chaos(0, "meteor")
+
+
+class TestLifecycle:
+    def test_ping_round_trips(self):
+        with ProcessCrowdPool(2, _init_echo) as pool:
+            assert pool.ping(0) is True
+            assert pool.alive(0) and pool.alive(1)
+
+    def test_restart_worker_rebuilds_state_from_initializer(self):
+        with ProcessCrowdPool(2, _init_echo) as pool:
+            pool.broadcast("bump")
+            old_pid = pool.pids[1]
+            pool.restart_worker(1)
+            assert pool.pids[1] != old_pid
+            # Worker 1's state was rebuilt (bias reset); worker 0 kept its.
+            assert pool.broadcast("bump") == [2, 1]
+
+    def test_restart_replaces_a_sigkilled_worker(self):
+        with ProcessCrowdPool(2, _init_echo) as pool:
+            pool.arm_chaos(0, "sigkill")
+            with pytest.raises(WorkerError):
+                pool.broadcast("whoami")
+            pool.restart_worker(0)
+            assert pool.broadcast("whoami") == [0, 1]
+
+    def test_add_and_remove_worker(self):
+        with ProcessCrowdPool(1, _init_echo) as pool:
+            assert pool.add_worker() == 1
+            assert len(pool) == 2
+            assert pool.broadcast("whoami") == [0, 1]
+            assert pool.remove_worker() == 1
+            assert len(pool) == 1
+            assert pool.broadcast("whoami") == [0]
+
+    def test_cannot_shrink_below_one_worker(self):
+        with ProcessCrowdPool(1, _init_echo) as pool:
+            with pytest.raises(ValueError, match="below one worker"):
+                pool.remove_worker()
+
+    def test_restart_rejects_unknown_worker(self):
+        with ProcessCrowdPool(1, _init_echo) as pool:
+            with pytest.raises(ValueError, match="no worker"):
+                pool.restart_worker(5)
+
+    def test_start_method_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_START_METHOD", "spawn")
+        with ProcessCrowdPool(1, _init_echo) as pool:
+            assert pool._ctx.get_start_method() == "spawn"
+            assert pool.broadcast("whoami") == [0]
+
+    def test_start_method_env_validation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_START_METHOD", "telepathy")
+        with pytest.raises(ValueError, match="REPRO_START_METHOD"):
+            ProcessCrowdPool(1, _init_echo)
 
 
 class TestMetricsMerge:
