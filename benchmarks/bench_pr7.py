@@ -1,0 +1,294 @@
+"""PR7 benchmark: compiled kernel backends vs the NumPy floor, tier-gated.
+
+Times every *available* registered backend (``repro.backends``) serving
+the batched VGH kernel against the PR5 NumPy einsum path, on the same
+:class:`repro.core.BsplineBatched` engine — the backend swap changes
+only the chunk-level cores, so the comparison isolates compiled-core
+arithmetic from memory layout.
+
+**No number without a gate.**  Before a configuration is timed, the
+backend's engine is checked against the frozen pre-padding oracle
+(:class:`repro.core.batched_reference.ReferenceBatched`) at the
+backend's *declared* conformance tier: ``exact`` rows must be
+``assert_array_equal``-identical, ``allclose`` rows must sit within the
+capability record's per-dtype ``(rtol, atol)``.  A backend that is not
+importable on this host is recorded with its own availability message
+(the fallback story is data, not an error).
+
+The PR's acceptance target: the best compiled backend reaches >= 1.5x
+NumPy VGH throughput on the headline row (N=256 splines, batch=256).
+
+Run directly (pytest-free, writes BENCH_pr7.json at the repo root):
+
+    PYTHONPATH=src python benchmarks/bench_pr7.py [--quick|--tiny] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.backends import TIER_EXACT, get_backend, registered_backends
+from repro.core import BsplineBatched, Grid3D, detect_caches
+from repro.core.batched_reference import ReferenceBatched
+from repro.core.kinds import Kind
+
+# (n_splines, batch, dtype, grid, headline): the headline row carries
+# the >= 1.5x compiled-vs-numpy acceptance target.
+FULL_CONFIGS = (
+    (64, 128, "float32", (24, 24, 24), False),
+    (256, 256, "float32", (32, 32, 32), True),
+    (256, 256, "float64", (32, 32, 32), True),
+)
+QUICK_CONFIGS = ((64, 128, "float32", (16, 16, 16), False),)
+TINY_CONFIGS = ((24, 32, "float32", (12, 10, 14), False),)
+
+TARGET_SPEEDUP = 1.5
+KERNELS = ("v", "vgl", "vgh")
+TARGET_KERNEL = "vgh"
+BASELINE = "numpy"
+
+
+def host_metadata() -> dict:
+    caches = detect_caches()
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "caches": dataclasses.asdict(caches),
+    }
+
+
+def _build_problem(n_splines, batch, dtype, grid_shape):
+    grid = Grid3D(*grid_shape, lengths=(3.0, 3.0, 3.0))
+    rng = np.random.default_rng(20170707 + n_splines + batch)
+    table = rng.standard_normal(grid_shape + (n_splines,)).astype(dtype)
+    positions = grid.random_positions(batch, rng)
+    return grid, table, positions
+
+
+def _gate_at_tier(backend, eng, ref, positions, dtype) -> str:
+    """Assert every kernel stream at the backend's declared tier.
+
+    Returns the gate label recorded in the report row, e.g.
+    ``"exact"`` or ``"allclose(rtol=1e-12, atol=1e-12)"``.
+    """
+    cap = backend.capability
+    rtol, atol = cap.tolerance_for(dtype)
+    for kern in KERNELS:
+        kind = Kind(kern)
+        if kind not in cap.kinds:
+            continue
+        out_ref = ref.new_output(kind, n=len(positions))
+        out_new = eng.new_output(kind, n=len(positions))
+        getattr(ref, f"{kern}_batch")(positions, out_ref)
+        getattr(eng, f"{kern}_batch")(positions, out_new)
+        for stream in out_ref.valid:
+            msg = f"{cap.name}:{kern}/{stream} outside its declared tier"
+            if cap.tier == TIER_EXACT:
+                np.testing.assert_array_equal(
+                    getattr(out_new, stream),
+                    getattr(out_ref, stream),
+                    err_msg=msg,
+                )
+            else:
+                np.testing.assert_allclose(
+                    getattr(out_new, stream),
+                    getattr(out_ref, stream),
+                    rtol=rtol,
+                    atol=atol,
+                    err_msg=msg,
+                )
+    if cap.tier == TIER_EXACT:
+        return "exact"
+    return f"allclose(rtol={rtol:g}, atol={atol:g})"
+
+
+def _time_kernel(engine, kern, positions, reps) -> float:
+    """Best-of-``reps`` seconds for one full-batch kernel call."""
+    out = engine.new_output(Kind(kern), n=len(positions))
+    call = getattr(engine, f"{kern}_batch")
+    call(positions, out)  # warm: page the table in, trigger any JIT/compile
+    best = np.inf
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        call(positions, out)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_backends(configs, reps) -> dict:
+    unavailable = {}
+    candidates = []
+    for name in registered_backends():
+        backend = get_backend(name)
+        err = backend.availability_error()
+        if err is None:
+            candidates.append(backend)
+        else:
+            unavailable[name] = err
+
+    rows = []
+    for n_splines, batch, dtype, grid_shape, headline in configs:
+        grid, table, positions = _build_problem(
+            n_splines, batch, dtype, grid_shape
+        )
+        ref = ReferenceBatched(grid, table)
+        measurements = {}
+        for backend in candidates:
+            if dtype not in backend.capability.dtypes:
+                continue
+            eng = BsplineBatched(grid, table, backend=backend)
+            gate = _gate_at_tier(backend, eng, ref, positions, dtype)
+            timings = {}
+            for kern in KERNELS:
+                if Kind(kern) not in backend.capability.kinds:
+                    continue
+                seconds = _time_kernel(eng, kern, positions, reps)
+                timings[kern] = {
+                    "seconds": seconds,
+                    "evals_per_sec": batch / seconds,
+                }
+            measurements[backend.name] = {
+                "tier": backend.capability.tier,
+                "gate": gate,
+                "kernels": timings,
+            }
+        base = measurements[BASELINE]["kernels"][TARGET_KERNEL]["seconds"]
+        for name, m in measurements.items():
+            t = m["kernels"].get(TARGET_KERNEL)
+            if t is not None:
+                t["speedup_vs_numpy"] = base / t["seconds"]
+        rows.append(
+            {
+                "n_splines": n_splines,
+                "batch": batch,
+                "dtype": dtype,
+                "grid": list(grid_shape),
+                "headline": headline,
+                "backends": measurements,
+            }
+        )
+    return {"reps": reps, "rows": rows, "unavailable_backends": unavailable}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--quick", action="store_true", help="small sizes, no speedup target"
+    )
+    mode.add_argument(
+        "--tiny",
+        action="store_true",
+        help="one tiny config for CI smoke runs: the tier gates and "
+        "availability report only, no speedup target",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_pr7.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    if args.tiny:
+        configs, reps, label = TINY_CONFIGS, 2, "tiny"
+    elif args.quick:
+        configs, reps, label = QUICK_CONFIGS, 3, "quick"
+    else:
+        configs, reps, label = FULL_CONFIGS, 5, "full"
+
+    t0 = time.perf_counter()
+    section = bench_backends(configs, reps)
+    compiled = [
+        name
+        for name, m in section["rows"][0]["backends"].items()
+        if name != BASELINE
+    ]
+    report = {
+        "benchmark": "pr7-kernel-backends",
+        "mode": label,
+        "host": host_metadata(),
+        "note": (
+            "All backends run on one BsplineBatched engine (same padded "
+            "table, chunks and tiles) — only the chunk-level cores differ. "
+            "Every (backend, config) row passed its declared conformance "
+            "tier against the frozen pre-padding oracle before timing; "
+            "unavailable backends are reported, not silently dropped."
+        ),
+        "backends": section,
+        "target": {
+            "kernel": TARGET_KERNEL,
+            "speedup": TARGET_SPEEDUP,
+            "baseline": BASELINE,
+            "applies_to": "best compiled backend on headline rows",
+        },
+    }
+
+    headline = [r for r in section["rows"] if r["headline"]]
+    if headline and not (args.quick or args.tiny):
+        if compiled:
+            best = max(
+                r["backends"][name]["kernels"][TARGET_KERNEL][
+                    "speedup_vs_numpy"
+                ]
+                for r in headline
+                for name in compiled
+                if name in r["backends"]
+            )
+            report["target"]["best_headline_speedup"] = best
+            report["target"]["meets_target"] = best >= TARGET_SPEEDUP
+        else:
+            report["target"]["meets_target"] = None
+            report["target"]["note"] = (
+                "no compiled backend available on this host; the numpy "
+                "floor served every row (see unavailable_backends)"
+            )
+
+    report["total_seconds"] = time.perf_counter() - t0
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+
+    for row in section["rows"]:
+        for name, m in row["backends"].items():
+            t = m["kernels"][TARGET_KERNEL]
+            rel = (
+                f"  {t['speedup_vs_numpy']:.2f}x vs numpy"
+                if name != BASELINE
+                else ""
+            )
+            print(
+                f"N={row['n_splines']:4d} batch={row['batch']:4d} "
+                f"{row['dtype']:8s} {name:6s} vgh "
+                f"{t['evals_per_sec']:10.1f} ev/s  "
+                f"gate={m['gate']}{rel}",
+                file=sys.stderr,
+            )
+    for name, err in section["unavailable_backends"].items():
+        print(f"unavailable: {name}: {err}", file=sys.stderr)
+    if report["target"].get("meets_target") is not None:
+        t = report["target"]
+        print(
+            f"best compiled headline vgh speedup "
+            f"{t['best_headline_speedup']:.2f}x "
+            f"(target >= {TARGET_SPEEDUP:.1f}x): "
+            + ("PASS" if t["meets_target"] else "FAIL"),
+            file=sys.stderr,
+        )
+        if not t["meets_target"]:
+            return 1
+    print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

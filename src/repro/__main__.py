@@ -56,6 +56,17 @@ def _dmc_main(argv: list[str]) -> int:
         help="positions per batched gather chunk (default: auto-tuned)",
     )
     parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="kernel backend for the batched B-spline cores: 'auto' "
+        "(best available compiled backend, falling back to numpy), a "
+        "registered name (numpy, numba, cc), or unset for the "
+        "REPRO_BACKEND env var / exact-tier numpy default; validated "
+        "up front — an unavailable explicit backend is a clean error, "
+        "not a mid-run crash",
+    )
+    parser.add_argument(
         "--processes",
         type=int,
         default=None,
@@ -147,6 +158,21 @@ def _dmc_main(argv: list[str]) -> int:
         )
     if args.resume == "auto" and args.checkpoint_path is None:
         parser.error("--resume auto requires --checkpoint-path")
+    backend = args.backend
+    if backend is not None:
+        # Strict parent-side validation: resolve (and conformance-gate)
+        # the request here so a typo or missing toolchain surfaces as
+        # one actionable line.  'auto' resolves to a concrete name so
+        # every worker lands on the same backend instead of each
+        # re-running auto selection.  Workers still resolve the name
+        # themselves with the degrade-to-numpy fallback policy.
+        from repro.backends import BackendConformanceError, BackendUnavailable
+        from repro.backends import resolve_backend
+
+        try:
+            backend = resolve_backend(backend).name
+        except (BackendUnavailable, BackendConformanceError) as exc:
+            parser.error(str(exc))
     observe = args.metrics_out is not None or args.trace_out is not None
     if observe:
         OBS.reset()
@@ -175,6 +201,7 @@ def _dmc_main(argv: list[str]) -> int:
                 seed=args.seed,
                 tile_size=args.tile_size,
                 chunk_size=args.chunk,
+                backend=backend,
             )
             result = run_dmc_sharded(
                 spec,
@@ -199,6 +226,7 @@ def _dmc_main(argv: list[str]) -> int:
                 n_orbitals=args.n_orbitals,
                 tile_size=args.tile_size,
                 chunk_size=args.chunk,
+                backend=backend,
             )
             result = run_dmc(
                 walkers,

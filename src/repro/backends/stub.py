@@ -1,0 +1,80 @@
+"""Template for future device backends (CuPy / torch): copy, fill in, register.
+
+This module is the documented starting point the tentpole promises for
+GPU backends.  It is **not** registered by default and its cores raise
+:class:`NotImplementedError`; its value is the worked-through checklist
+of what a device backend owes the harness:
+
+1. **Capability honesty.**  Declare only the (kinds, dtypes) the device
+   kernels actually serve, put every required import in
+   ``requires`` (so ``auto`` resolution can skip the backend cleanly on
+   CPU-only hosts), and declare the ``allclose`` tier with *measured*
+   per-dtype tolerances — device accumulation order will not match
+   NumPy's, so the ``exact`` tier is off the table.
+2. **Host-side contract.**  ``make_cores`` receives the engine with its
+   ghost-padded ``_flat`` table already built; upload it **once** here
+   (never per chunk) and keep the handle in the returned closures.  The
+   per-call contract is host-in/host-out: ``positions`` arrives as a
+   host ``(ns, 3)`` float64 array and results must land in the provided
+   host output views — copy back before returning, because the engine's
+   stream-poisoning and ``as_canonical()`` read them immediately.
+3. **Conformance before service.**  Register with
+   ``register_backend(MyGpuBackend())`` (eager verification is the
+   default) — the differential harness then proves every (kind, dtype,
+   chunk/tile, seam) case against the frozen oracle before the backend
+   can be named by ``--backend``.  Nothing else to wire: the
+   registry-parametrized conformance suite under ``tests/backends/``
+   picks the new name up automatically.
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import BackendCapability, BackendCores, KernelBackend
+
+__all__ = ["StubDeviceBackend"]
+
+
+class StubDeviceBackend(KernelBackend):
+    """Skeleton device backend; every core raises ``NotImplementedError``.
+
+    Subclass (or copy) this, replace ``cupy`` with the real device
+    module, and implement the two closures in :meth:`make_cores`.
+    """
+
+    capability = BackendCapability(
+        name="stub-device",
+        dtypes=("float32", "float64"),
+        tier="allclose",
+        tolerances=(
+            # Placeholder bounds: measure on real hardware and tighten.
+            ("float64", 1e-12, 1e-12),
+            ("float32", 1e-4, 1e-4),
+        ),
+        requires=("cupy",),
+        install_hint=(
+            "Install a CUDA-enabled `cupy` wheel matching your driver."
+        ),
+        description=(
+            "documented template for device backends; raises "
+            "NotImplementedError until the kernels are filled in"
+        ),
+    )
+
+    def make_cores(self, engine) -> BackendCores:
+        self._check_engine(engine)
+        # A real implementation uploads engine._flat to the device here
+        # and captures the device handle in the closures below.
+
+        def v_core(positions, v):
+            raise NotImplementedError(
+                "StubDeviceBackend is a template: implement the device "
+                "V kernel (see module docstring)"
+            )
+
+        def vgh_core(positions, v, g, l, h):
+            raise NotImplementedError(
+                "StubDeviceBackend is a template: implement the device "
+                "VGH kernel (see module docstring)"
+            )
+
+        return BackendCores(v=v_core, vgh=vgh_core)

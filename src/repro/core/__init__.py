@@ -63,7 +63,12 @@ from repro.core.tiling import (
     split_table,
     Wisdom,
 )
-from repro.core.verify import EngineCheck, VerifyReport, verify_engines
+from repro.core.verify import (
+    EngineCheck,
+    VerifyReport,
+    verify_backend,
+    verify_engines,
+)
 from repro.core.walker import WalkerAoS, WalkerSoA, WalkerTiled
 
 __all__ = [
@@ -106,6 +111,7 @@ __all__ = [
     "input_working_set_bytes",
     "output_working_set_bytes",
     "Wisdom",
+    "verify_backend",
     "verify_engines",
     "VerifyReport",
     "EngineCheck",

@@ -165,6 +165,14 @@ class BsplineBatched:
         views of the chunk's gathered blocks.  ``None`` auto-tunes
         (full ``N`` unless the table is very wide); values above ``N``
         are clamped.
+    backend:
+        Which compiled implementation serves the chunk-level cores: a
+        registered name (``"numpy"``, ``"numba"``, ``"cc"``), ``"auto"``
+        (best available compiled backend, degrading to NumPy with a
+        warning), a :class:`repro.backends.KernelBackend` instance
+        (used as-is — the conformance harness's hook), or ``None`` —
+        the ``REPRO_BACKEND`` environment variable if set, else the
+        exact-tier NumPy path.  See :func:`repro.backends.resolve_backend`.
 
     Notes
     -----
@@ -185,6 +193,7 @@ class BsplineBatched:
         max_batch_bytes: int | None = None,
         chunk_size: int | None = None,
         tile_size: int | None = None,
+        backend=None,
     ):
         if coefficients.ndim != 4:
             raise ValueError(
@@ -260,7 +269,20 @@ class BsplineBatched:
             Kind.VGH: self.vgh_batch,
         }
         self._pos1 = np.empty((1, 3), dtype=np.float64)
+        # Backend dispatch: names/None resolve through the registry
+        # (activation runs the conformance gate once per process); an
+        # already-constructed KernelBackend instance is used as-is —
+        # that is how the conformance harness itself drives a candidate
+        # backend without requiring it to be registered first.
+        from repro.backends import KernelBackend, resolve_backend
+
+        if not isinstance(backend, KernelBackend):
+            backend = resolve_backend(backend)
+        #: The active :class:`repro.backends.KernelBackend`.
+        self.backend = backend
+        self._cores = backend.make_cores(self)
         if OBS.enabled:
+            OBS.count("batched_engine_builds_total", backend=backend.name)
             OBS.gauge(
                 "batched_chunk_positions", plan.chunk, source=plan.source
             )
@@ -370,20 +392,21 @@ class BsplineBatched:
             yield slice(lo, min(hi, n))
             lo = hi
 
-    def _gather(self, positions: np.ndarray):
-        """Blocks ``(ns, 4, 4, 4, N)`` + per-axis weight triples.
+    def _locate_weights(self, positions: np.ndarray):
+        """Flat stencil base rows + per-axis ``(w, dw, d2w)`` weight triples.
 
-        One flat fancy-index against the ghost-padded table: ``base`` is
-        each position's lower-bound row in the flattened padded array
-        and ``_cube`` the 64 stencil offsets — no modulo wrap, no
-        broadcast triple-index.  Ghost rows are exact copies, so the
-        gathered bits equal the modulo path's.
+        ``base`` is each position's lower-bound row in the flattened
+        padded table (int64, contiguous); a backend reads the 4x4x4
+        neighbourhood as rows ``base + a*sy + b*sz .. +3`` with plain
+        addition — no modulo wrap.  The weight matrices are ``(ns, 4)``
+        contiguous arrays in the table dtype, derivative weights
+        pre-scaled by the grid's inverse deltas — the shared front half
+        of every backend's chunk kernel.
         """
         idx, frac = self.grid.locate_batch(positions)
         sy, sz = self._row_strides
-        base = idx[:, 0] * sy + idx[:, 1] * sz + idx[:, 2]
-        blocks = self._flat[base[:, None] + self._cube[None, :]].reshape(
-            len(positions), 4, 4, 4, self.n_splines
+        base = np.ascontiguousarray(
+            idx[:, 0] * sy + idx[:, 1] * sz + idx[:, 2], dtype=np.int64
         )
         weights = []
         for axis in range(3):
@@ -392,22 +415,57 @@ class BsplineBatched:
             d2a = bspline_weights_batch(frac[:, axis], 2).astype(self.dtype)
             inv = self.grid.inv_deltas[axis]
             weights.append((a, da * self.dtype.type(inv), d2a * self.dtype.type(inv * inv)))
+        return base, tuple(weights)
+
+    def _gather(self, positions: np.ndarray):
+        """Blocks ``(ns, 4, 4, 4, N)`` + per-axis weight triples.
+
+        One flat fancy-index against the ghost-padded table: ``base``
+        plus the 64-entry ``_cube`` offset pulls each position's whole
+        neighbourhood — no modulo wrap, no broadcast triple-index.
+        Ghost rows are exact copies, so the gathered bits equal the
+        modulo path's.  (The NumPy cores' front end; compiled backends
+        skip the gather temporary and read the stencil in-loop from
+        :meth:`_locate_weights`'s base rows.)
+        """
+        base, weights = self._locate_weights(positions)
+        blocks = self._flat[base[:, None] + self._cube[None, :]].reshape(
+            len(positions), 4, 4, 4, self.n_splines
+        )
         return blocks, weights
 
     # -- kernels -------------------------------------------------------------
 
     def _run(self, kern: str, positions: np.ndarray, out: BatchedOutput) -> None:
-        """Shared kernel loop: poison once, then stream cache-sized chunks."""
+        """Shared kernel loop: poison once, then stream cache-sized chunks.
+
+        The chunk-level arithmetic is served by the active backend's
+        cores (:class:`repro.backends.BackendCores`): ``v`` for the V
+        kernel, ``vgh`` for both VGL (``h=None``) and VGH.  A backend
+        whose capability record omits the requested kind is refused
+        here with an actionable error rather than producing NaNs.
+        """
+        kind = Kind(kern)
+        if kind not in self.backend.capability.kinds:
+            from repro.backends import BackendUnavailable
+
+            raise BackendUnavailable(
+                f"backend {self.backend.name!r} does not serve kernel "
+                f"{kind.value!r}; it declares "
+                f"{tuple(k.value for k in self.backend.capability.kinds)}"
+            )
         self._begin(out, _KERNEL_STREAMS[kern])
         observe = OBS.enabled
         for sl in self._chunks(len(positions)):
             t0 = time.perf_counter() if observe else 0.0
             if kern == "v":
-                self._v_core(positions[sl], out.v[sl])
+                self._cores.v(positions[sl], out.v[sl])
             elif kern == "vgl":
-                self._vgh_core(positions[sl], out.v[sl], out.g[sl], out.l[sl], None)
+                self._cores.vgh(
+                    positions[sl], out.v[sl], out.g[sl], out.l[sl], None
+                )
             else:
-                self._vgh_core(
+                self._cores.vgh(
                     positions[sl], out.v[sl], out.g[sl], out.l[sl], out.h[sl]
                 )
             if observe:
@@ -415,6 +473,7 @@ class BsplineBatched:
                     "batched_chunk_seconds",
                     time.perf_counter() - t0,
                     kernel=kern,
+                    backend=self.backend.name,
                 )
         out.valid = frozenset(_KERNEL_STREAMS[kern])
 
@@ -430,9 +489,11 @@ class BsplineBatched:
         """Kernel ``VGH`` for the whole batch (fills ``l`` too, for free)."""
         self._run("vgh", self._check(positions, out), out)
 
-    # -- contraction cores (one chunk; outputs are array views) --------------
+    # -- NumPy contraction cores (one chunk; outputs are array views) --------
+    # Served to the engine by repro.backends.NumpyBackend; kept on the
+    # engine so the exact-tier arithmetic has a single home.
 
-    def _v_core(self, positions: np.ndarray, v: np.ndarray) -> None:
+    def _numpy_v_core(self, positions: np.ndarray, v: np.ndarray) -> None:
         blocks, ((ax, _, _), (ay, _, _), (az, _, _)) = self._gather(positions)
         for ts in self._tiles():
             b = blocks[..., ts]
@@ -440,7 +501,7 @@ class BsplineBatched:
             ty = np.einsum("sabn,sb->san", tz, ay)
             np.einsum("san,sa->sn", ty, ax, out=v[:, ts])
 
-    def _vgh_core(
+    def _numpy_vgh_core(
         self,
         positions: np.ndarray,
         v: np.ndarray,

@@ -118,6 +118,7 @@ def build_app(
     with_pseudopotential: bool = False,
     tile_size: int | None = None,
     chunk_size: int | None = None,
+    backend: str | None = None,
 ) -> AppInstance:
     """Assemble a miniQMC problem on a cubic cell.
 
@@ -142,6 +143,11 @@ def build_app(
         Batched-kernel knobs (splines per contraction tile, positions
         per gather chunk); ``None`` auto-tunes.  Trajectories are
         bitwise invariant to either.
+    backend:
+        Kernel backend for the batched B-spline cores (``None`` =
+        env/NumPy default, ``"auto"``, or a registered name).  Exact-tier
+        backends keep trajectories bitwise invariant; allclose-tier
+        backends shift them within the declared tolerance.
     """
     pool = WalkerRngPool(seed)
     rng = pool.next_rng()
@@ -154,6 +160,7 @@ def build_app(
         engine=engine,
         tile_size=tile_size,
         chunk_size=chunk_size,
+        backend=backend,
     )
     n_ions = max(n_orbitals // 2, 2)
     ions = ParticleSet("ion", cell, cell.frac_to_cart(rng.random((n_ions, 3))))
@@ -425,6 +432,14 @@ def main(argv: list[str] | None = None) -> int:
         "that misses it is restarted and its shard re-run "
         "(bit-identical)",
     )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="kernel backend for the batched B-spline cores: 'auto', a "
+        "registered name (numpy, numba, cc), or unset for the "
+        "REPRO_BACKEND env var / exact-tier numpy default",
+    )
     parser.add_argument("--checkpoint-every", type=int, default=None, metavar="N")
     parser.add_argument("--checkpoint-path", default=None, metavar="DIR")
     parser.add_argument("--resume", default=None, metavar="DIR")
@@ -443,6 +458,17 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.checkpoint_every is not None and args.checkpoint_path is None:
         parser.error("--checkpoint-every requires --checkpoint-path")
+    if args.backend is not None:
+        # Validate up front (and pin 'auto' to a concrete name so every
+        # population worker lands on the same backend); workers still
+        # re-resolve with the degrade-to-numpy fallback policy.
+        from repro.backends import BackendConformanceError, BackendUnavailable
+        from repro.backends import resolve_backend
+
+        try:
+            args.backend = resolve_backend(args.backend).name
+        except (BackendUnavailable, BackendConformanceError) as exc:
+            parser.error(str(exc))
     fleet_flags = (
         args.elastic
         or args.max_workers is not None
@@ -471,6 +497,7 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         tile_size=args.tile_size,
         chunk_size=args.chunk,
+        backend=args.backend,
     )
     try:
         total, timers = run_profiled(
@@ -530,6 +557,7 @@ def _population_main(args, observe: bool) -> int:
             seed=args.seed,
             tile_size=args.tile_size,
             chunk_size=args.chunk,
+            backend=args.backend,
         )
         result = run_crowd_parallel(
             spec,

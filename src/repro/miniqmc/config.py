@@ -58,6 +58,10 @@ class MiniQmcConfig:
     chunk_size:
         Positions per batched gather chunk (``engine="batched"``
         drivers); ``None`` lets the cache-aware auto-tuner decide.
+    backend:
+        Kernel backend for the batched drivers (``None`` = env/NumPy
+        default, ``"auto"``, or a registered name such as ``"numba"``
+        or ``"cc"``); see :func:`repro.backends.resolve_backend`.
     """
 
     n_splines: int
@@ -69,6 +73,7 @@ class MiniQmcConfig:
     dtype: type = np.float32
     seed: int = 2017
     chunk_size: int | None = None
+    backend: str | None = None
 
     @property
     def n_grid_points(self) -> int:

@@ -128,6 +128,7 @@ def _driver_fingerprint(config: MiniQmcConfig, engine: str, kernels) -> dict:
         "n_walkers": config.n_walkers,
         "tile_size": config.tile_size,
         "chunk_size": config.chunk_size,
+        "backend": config.backend,
         "seed": config.seed,
         "kernels": [k.value for k in _as_kinds(kernels)],
     }
@@ -202,11 +203,19 @@ class _DriverShard:
             self.eng = BsplineAoSoA(self.grid, self._table.array, config.tile_size)
         elif payload["engine"] == "batched":
             # The parent shared a ghost-padded table; adopt it zero-copy.
+            # Fleet-worker backend policy: resolve here, degrading to
+            # NumPy (warned + counted) if this process can't serve it.
+            backend = None
+            if config.backend is not None:
+                from repro.backends import resolve_backend
+
+                backend = resolve_backend(config.backend, fallback=True)
             self.eng = BsplineBatched(
                 self.grid,
                 self._table.array,
                 chunk_size=config.chunk_size,
                 tile_size=config.tile_size,
+                backend=backend,
             )
         else:
             self.eng = _ENGINES[payload["engine"]](self.grid, self._table.array)
@@ -368,7 +377,11 @@ def run_kernel_driver(
     grid = Grid3D(nx, ny, nz)
     if engine == "batched":
         eng = BsplineBatched(
-            grid, P, chunk_size=config.chunk_size, tile_size=config.tile_size
+            grid,
+            P,
+            chunk_size=config.chunk_size,
+            tile_size=config.tile_size,
+            backend=config.backend,
         )
     else:
         eng = _ENGINES[engine](grid, P)

@@ -73,6 +73,12 @@ class CrowdSpec:
     #: bitwise identical for any setting.
     tile_size: int | None = None
     chunk_size: int | None = None
+    #: Kernel backend for the batched engine (``None`` = env/NumPy
+    #: default, ``"auto"``, or a registered name).  Workers resolve the
+    #: name independently; one that cannot serve it degrades to NumPy
+    #: with a warning and a ``backend_fallback_total`` count rather
+    #: than killing the run (see :func:`build_walker_range`).
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.n_walkers <= 0:
@@ -84,6 +90,11 @@ class CrowdSpec:
         if self.chunk_size is not None and self.chunk_size <= 0:
             raise ValueError(
                 f"chunk_size must be positive, got {self.chunk_size}"
+            )
+        if self.backend is not None and not isinstance(self.backend, str):
+            raise ValueError(
+                "CrowdSpec.backend must be a registered backend name "
+                f"(specs must stay picklable), got {self.backend!r}"
             )
 
 
@@ -120,9 +131,22 @@ def build_walker_range(
     (walkers only batch together when they share the orbital-set object,
     so callers that grow their population incrementally — e.g. the
     sharded DMC templates — must reuse one).
+
+    The spec's ``backend`` is resolved *here*, in whichever process the
+    shard lives in, with the fleet-worker fallback policy: a worker
+    that cannot serve the requested backend (missing JIT/toolchain on a
+    heterogeneous node) degrades to the exact-tier NumPy path with a
+    warning and a ``backend_fallback_total`` count instead of killing
+    the run.  Strict validation is the parent's job (the CLIs call
+    :func:`repro.backends.resolve_backend` without fallback first).
     """
     cell = Cell.cubic(spec.box)
     if spos is None:
+        backend = None
+        if spec.backend is not None:
+            from repro.backends import resolve_backend
+
+            backend = resolve_backend(spec.backend, fallback=True)
         nx, ny, nz = spec.grid_shape
         grid = Grid3D(nx, ny, nz, (1.0, 1.0, 1.0))
         padded = None
@@ -137,6 +161,7 @@ def build_walker_range(
             tile_size=spec.tile_size,
             chunk_size=spec.chunk_size,
             padded_table=padded,
+            backend=backend,
         )
     rcut = 0.9 * wigner_seitz_radius(cell)
     j1 = make_polynomial_radial(0.4, rcut)

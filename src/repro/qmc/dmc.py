@@ -492,6 +492,7 @@ def build_dmc_ensemble(
     engine: str = "fused",
     tile_size: int | None = None,
     chunk_size: int | None = None,
+    backend: str | None = None,
 ) -> list[DmcWalker]:
     """A small, fully deterministic DMC ensemble (CLI and test harnesses).
 
@@ -501,7 +502,9 @@ def build_dmc_ensemble(
     checkpoint/resume CLI relies on to reconstruct walker *structure*
     before loading checkpointed positions into it.  ``tile_size`` /
     ``chunk_size`` tune the shared batched kernels without changing any
-    trajectory bit.
+    trajectory bit; ``backend`` selects the kernel backend (exact-tier
+    backends keep bit-identity, allclose-tier backends shift the
+    trajectory within their declared tolerance).
     """
     from repro.lattice.cell import Cell
     from repro.lattice.orbitals import PlaneWaveOrbitalSet
@@ -520,6 +523,7 @@ def build_dmc_ensemble(
         dtype=np.float64,
         tile_size=tile_size,
         chunk_size=chunk_size,
+        backend=backend,
     )
     rcut = 0.9 * wigner_seitz_radius(cell)
     walkers = []

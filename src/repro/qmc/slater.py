@@ -37,6 +37,9 @@ _ENGINES = {
     "fused": BsplineFused,
 }
 
+#: configure_batched sentinel: "argument not given" (None is meaningful).
+_UNSET = object()
+
 
 class SplineOrbitalSet:
     """N B-spline orbitals evaluated at Cartesian positions.
@@ -56,6 +59,10 @@ class SplineOrbitalSet:
         Batched-engine knobs (splines per contraction tile, positions
         per gather chunk); ``None`` lets the cache-aware auto-tuner
         (:mod:`repro.core.tune`) decide.
+    backend:
+        Kernel-backend selector forwarded to the batched engine —
+        ``None`` (env/NumPy default), ``"auto"``, or a registered name;
+        see :func:`repro.backends.resolve_backend`.
     padded_table:
         Optional ghost-padded ``(nx+3, ny+3, nz+3, N)`` table from
         :func:`repro.core.coeffs.pad_table_3d`; when given, the batched
@@ -83,6 +90,7 @@ class SplineOrbitalSet:
         tile_size: int | None = None,
         chunk_size: int | None = None,
         padded_table: np.ndarray | None = None,
+        backend=None,
     ):
         if tuple(grid.lengths) != (1.0, 1.0, 1.0):
             raise ValueError(
@@ -102,21 +110,31 @@ class SplineOrbitalSet:
         self.n_orbitals = engine.n_splines
         self.tile_size = tile_size
         self.chunk_size = chunk_size
+        self.backend = backend
         self._padded_table = padded_table
         self._B = np.linalg.inv(cell.lattice)  # cart -> frac Jacobian (rows a)
         self._M = self._B @ self._B.T  # Laplacian metric
 
     def configure_batched(
-        self, tile_size: int | None = None, chunk_size: int | None = None
+        self,
+        tile_size: int | None = None,
+        chunk_size: int | None = None,
+        backend=_UNSET,
     ) -> None:
         """Re-plan the batched engine with explicit (tile, chunk) knobs.
 
         Drops the cached engine so the next evaluation rebuilds it with
         the new plan — results stay bitwise identical for any setting
         (see :mod:`repro.core.batched`); only the cache behaviour moves.
+        ``backend`` switches the kernel backend when given (omitting it
+        keeps the current selection — unlike the tuner knobs, a backend
+        choice changes numerics at the allclose tier, so it never
+        resets implicitly).
         """
         self.tile_size = tile_size
         self.chunk_size = chunk_size
+        if backend is not _UNSET:
+            self.backend = backend
         if hasattr(self, "_batched"):
             del self._batched
 
@@ -142,6 +160,7 @@ class SplineOrbitalSet:
                 table,
                 chunk_size=self.chunk_size,
                 tile_size=self.tile_size,
+                backend=self.backend,
             )
         return self._batched
 
@@ -155,6 +174,7 @@ class SplineOrbitalSet:
         dtype: np.dtype | type = np.float32,
         tile_size: int | None = None,
         chunk_size: int | None = None,
+        backend: str | None = None,
     ) -> "SplineOrbitalSet":
         """Sample analytic orbitals on the grid, solve, and wrap an engine.
 
@@ -176,6 +196,9 @@ class SplineOrbitalSet:
             ``None`` auto-tunes.
         chunk_size:
             Positions per batched gather chunk; ``None`` auto-tunes.
+        backend:
+            Kernel-backend selector for the batched engine (``None``,
+            ``"auto"``, or a registered name).
         """
         if engine == "aosoa":
             raise ValueError(
@@ -191,7 +214,14 @@ class SplineOrbitalSet:
             eng = _ENGINES[engine](grid, P)
         except KeyError:
             raise ValueError(f"unknown engine {engine!r}") from None
-        return cls(cell, grid, eng, tile_size=tile_size, chunk_size=chunk_size)
+        return cls(
+            cell,
+            grid,
+            eng,
+            tile_size=tile_size,
+            chunk_size=chunk_size,
+            backend=backend,
+        )
 
     def _frac(self, cart_pos: np.ndarray) -> np.ndarray:
         return self.cell.wrap_frac(self.cell.cart_to_frac(cart_pos))

@@ -7,12 +7,19 @@ that does not actually resolve.
 """
 
 import importlib
+import re
 from pathlib import Path
 
 import pytest
 
 DOC = Path(__file__).resolve().parents[2] / "docs" / "API.md"
-PACKAGES = ("repro.core", "repro.qmc", "repro.parallel", "repro.fleet")
+PACKAGES = (
+    "repro.core",
+    "repro.qmc",
+    "repro.parallel",
+    "repro.fleet",
+    "repro.backends",
+)
 
 
 @pytest.fixture(scope="module")
@@ -35,6 +42,28 @@ def test_all_entries_resolve(package):
     mod = importlib.import_module(package)
     unresolved = [name for name in mod.__all__ if not hasattr(mod, name)]
     assert not unresolved, f"{package}.__all__ names missing attributes: {unresolved}"
+
+
+def test_documented_backends_exist_in_registry(api_doc):
+    """Every backend the docs name must actually be registered.
+
+    The "Choose a kernel backend" section lists backends as table rows
+    whose first cell is the registry name in backticks; a doc row for a
+    backend that was renamed or removed is a lie readers will paste into
+    ``--backend``.
+    """
+    from repro.backends import registered_backends
+
+    parts = api_doc.split("## Choose a kernel backend", 1)
+    assert len(parts) == 2, "docs/API.md lost its backend section"
+    section = parts[1].split("\n## ", 1)[0]
+    documented = re.findall(r"^\|\s*`([a-z][\w-]*)`", section, re.MULTILINE)
+    assert documented, "backend section documents no backends"
+    registry = set(registered_backends())
+    ghosts = [name for name in documented if name not in registry]
+    assert not ghosts, (
+        f"docs/API.md documents backends not in the registry: {ghosts}"
+    )
 
 
 @pytest.mark.parametrize("package", PACKAGES)
