@@ -1,0 +1,403 @@
+"""PR8 benchmark: cross-request micro-batching in the serving layer.
+
+Drives a live ``repro.serve`` server (``ServerThread``: real sockets,
+real worker processes, real shared-memory tables) with a fleet of
+concurrent tenants and measures what coalescing buys: the *coalesced*
+mode (``max_batch=32``, a small wait window) against a *baseline*
+server with ``max_batch=1`` — identical protocol, identical worker
+count, identical payloads — so the only difference is whether
+compatible requests ride the same fused kernel call.
+
+The workload is the QMC inner loop's natural request shape: each
+request carries **one walker position** (a proposed drift-diffusion
+move needing orbital values before accept/reject).  Tenants are
+pipelined NDJSON clients keeping a few requests in flight, the way an
+async driver would — that is what gives the batching window something
+to coalesce.
+
+**No number without a gate.**  Every response from every mode is
+checked ``assert_array_equal``-identical to a direct in-process
+``BsplineBatched`` call with the same inputs — through JSON, the table
+cache, shared memory, and whatever micro-batch each request happened
+to share (the PR5 contract: a position's result is bitwise independent
+of batch composition).  Verification runs after the clock stops so the
+timed loop measures serving, not the harness; a single mismatched bit
+fails the whole benchmark.
+
+The PR's acceptance target: the coalesced server reaches >= 2x the
+baseline's requests/sec at equal worker count, with >= 8 concurrent
+tenants.  The report carries p50/p99 client latency and the server's
+own batch-formation counters for both modes.
+
+Run directly (pytest-free, writes BENCH_pr8.json at the repo root):
+
+    PYTHONPATH=src python benchmarks/bench_pr8.py [--quick|--tiny] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import platform
+import socket
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import BsplineBatched, Grid3D, detect_caches
+from repro.core.kinds import Kind
+from repro.obs import OBS
+from repro.serve import ServeClient, ServeConfig, ServerThread
+from repro.serve.cache import SystemKey, solve_system_table
+from repro.serve.protocol import decode_array, decode_line, encode_array, encode_line
+
+WORKERS = 2
+KIND = "vgh"
+TARGET_SPEEDUP = 2.0
+
+# (n_tenants, requests_per_tenant, pipeline_depth, repeats, system)
+FULL_CONFIG = (
+    8,
+    60,
+    8,
+    3,
+    {"n_orbitals": 4, "box": 6.0, "grid_shape": [12, 12, 12]},
+)
+QUICK_CONFIG = (
+    8,
+    24,
+    8,
+    1,
+    {"n_orbitals": 4, "box": 6.0, "grid_shape": [12, 12, 12]},
+)
+TINY_CONFIG = (
+    8,
+    8,
+    4,
+    1,
+    {"n_orbitals": 2, "box": 6.0, "grid_shape": [8, 8, 8]},
+)
+
+MODES = {
+    "baseline": {"max_batch": 1, "max_wait_us": 0.0},
+    "coalesced": {"max_batch": 32, "max_wait_us": 4000.0},
+}
+
+
+def host_metadata() -> dict:
+    caches = detect_caches()
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "caches": dataclasses.asdict(caches),
+    }
+
+
+def _build_payloads(n_tenants: int, n_requests: int) -> list[list[np.ndarray]]:
+    """One (1, 3) fractional position per request, deterministic."""
+    return [
+        [
+            np.random.default_rng(20170707 + 1000 * t + r).random((1, 3))
+            for r in range(n_requests)
+        ]
+        for t in range(n_tenants)
+    ]
+
+
+def _references(system: dict, payloads) -> list[list[dict]]:
+    """Direct-engine results every served byte must equal exactly.
+
+    Each payload is evaluated in its own kernel call — the strictest
+    possible reading of the coalescing contract, since the server will
+    fuse them into batches of whatever composition the load produced.
+    """
+    key = SystemKey(
+        system["n_orbitals"], system["box"], system["grid_shape"], "float64"
+    )
+    table = solve_system_table(key)
+    nx, ny, nz = key.grid_shape
+    engine = BsplineBatched(Grid3D(nx, ny, nz, (1.0, 1.0, 1.0)), table)
+    kind = Kind(KIND)
+    refs = []
+    for tenant_payloads in payloads:
+        rows = []
+        for positions in tenant_payloads:
+            out = engine.new_output(kind, n=len(positions))
+            engine.evaluate_batch(kind, positions, out)
+            rows.append(
+                {s: np.array(getattr(out, s)) for s in kind.streams}
+            )
+        refs.append(rows)
+    return refs
+
+
+def _tenant_loop(address, tenant, system, payloads, depth, latencies, inbox):
+    """Pipelined NDJSON client: keep ``depth`` requests in flight.
+
+    Records wire latency per request id and stashes raw responses in
+    ``inbox`` for post-run bit verification (responses may arrive out
+    of order — the server schedules lines concurrently).
+    """
+    n_requests = len(payloads)
+    sock = socket.create_connection(address)
+    try:
+        stream = sock.makefile("rwb")
+        sent_at = [0.0] * n_requests
+        next_send = received = 0
+        while received < n_requests:
+            while next_send < n_requests and next_send - received < depth:
+                request = {
+                    "id": next_send,
+                    "op": "eval",
+                    "tenant": tenant,
+                    "kind": KIND,
+                    "system": system,
+                    "positions": encode_array(payloads[next_send]),
+                }
+                sent_at[next_send] = time.perf_counter()
+                stream.write(encode_line(request))
+                stream.flush()
+                next_send += 1
+            response = decode_line(stream.readline())
+            latencies.append(time.perf_counter() - sent_at[response["id"]])
+            inbox.append(response)
+            received += 1
+        stream.close()
+    finally:
+        sock.close()
+
+
+def _verify_responses(inboxes, refs) -> int:
+    """Bit-gate every response against its direct reference.
+
+    Returns the number of responses that reported riding a coalesced
+    batch (``meta.coalesced > 1``), as seen from the client side.
+    """
+    streams = Kind(KIND).streams
+    coalesced_seen = 0
+    for tenant, inbox in enumerate(inboxes):
+        ids_seen = set()
+        for response in inbox:
+            if not response.get("ok"):
+                raise AssertionError(
+                    f"tenant {tenant} got an error response: {response}"
+                )
+            rid = response["id"]
+            ids_seen.add(rid)
+            served = response["result"]["streams"]
+            for name in streams:
+                np.testing.assert_array_equal(
+                    decode_array(served[name]),
+                    refs[tenant][rid][name],
+                    err_msg=(
+                        f"served bytes differ from the direct engine "
+                        f"(tenant {tenant}, request {rid}, stream {name})"
+                    ),
+                )
+            if response.get("meta", {}).get("coalesced", 1) > 1:
+                coalesced_seen += 1
+        if ids_seen != set(range(len(refs[tenant]))):
+            raise AssertionError(
+                f"tenant {tenant} is missing responses: got {sorted(ids_seen)}"
+            )
+    return coalesced_seen
+
+
+def _metric(metrics: dict, name: str):
+    for key, entry in metrics.items():
+        if key == name or key.startswith(name + "{"):
+            return entry
+    return None
+
+
+def run_mode(mode_name, knobs, config, system) -> dict:
+    """Time one server mode; returns its result row (already bit-gated)."""
+    n_tenants, n_requests, depth, repeats, _ = config
+    payloads = _build_payloads(n_tenants, n_requests)
+    refs = _references(system, payloads)
+    server_config = ServeConfig(
+        workers=WORKERS,
+        max_batch=knobs["max_batch"],
+        max_wait_us=knobs["max_wait_us"],
+        table_cache=4,
+    )
+    runs = []
+    with ServerThread(server_config) as server:
+        # Warm the table cache and worker engines off the clock, then
+        # zero the (process-global) metrics so counters are per-mode.
+        with ServeClient(server.address) as client:
+            client.evaluate(payloads[0][0], kind=KIND, system=system)
+        OBS.reset()
+
+        for _ in range(repeats):
+            latencies: list[list[float]] = [[] for _ in range(n_tenants)]
+            inboxes: list[list[dict]] = [[] for _ in range(n_tenants)]
+            failures: list[BaseException] = []
+            barrier = threading.Barrier(n_tenants + 1)
+
+            def tenant_main(t):
+                try:
+                    barrier.wait()
+                    _tenant_loop(
+                        server.address,
+                        f"tenant-{t}",
+                        system,
+                        payloads[t],
+                        depth,
+                        latencies[t],
+                        inboxes[t],
+                    )
+                except BaseException as exc:  # noqa: BLE001 — re-raised below
+                    failures.append(exc)
+
+            threads = [
+                threading.Thread(target=tenant_main, args=(t,))
+                for t in range(n_tenants)
+            ]
+            for thread in threads:
+                thread.start()
+            barrier.wait()
+            t0 = time.perf_counter()
+            for thread in threads:
+                thread.join()
+            wall = time.perf_counter() - t0
+            if failures:
+                raise failures[0]
+
+            coalesced_seen = _verify_responses(inboxes, refs)  # the gate
+            flat = np.array(sorted(sum(latencies, [])))
+            runs.append(
+                {
+                    "wall_seconds": wall,
+                    "requests_per_sec": n_tenants * n_requests / wall,
+                    "p50_ms": float(np.percentile(flat, 50) * 1e3),
+                    "p99_ms": float(np.percentile(flat, 99) * 1e3),
+                    "client_coalesced_responses": coalesced_seen,
+                }
+            )
+
+        with ServeClient(server.address) as client:
+            metrics = client.stats()["metrics"]
+
+    batches = _metric(metrics, "serve_batches_total")
+    coalesced = _metric(metrics, "serve_coalesced_requests_total")
+    batch_size = _metric(metrics, "serve_batch_size")
+    total_requests = repeats * n_tenants * n_requests
+    return {
+        "max_batch": knobs["max_batch"],
+        "max_wait_us": knobs["max_wait_us"],
+        "workers": WORKERS,
+        "requests_total": total_requests,
+        "best_requests_per_sec": max(r["requests_per_sec"] for r in runs),
+        "runs": runs,
+        "server_batches_total": batches["value"] if batches else 0,
+        "server_coalesced_requests_total": (
+            coalesced["value"] if coalesced else 0
+        ),
+        "server_mean_batch_size": (
+            batch_size["mean"] if batch_size else None
+        ),
+        "gate": "assert_array_equal vs direct engine, every response",
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--quick", action="store_true", help="shorter run, no speedup target"
+    )
+    mode.add_argument(
+        "--tiny",
+        action="store_true",
+        help="CI smoke: tiny system, few requests — the bit-gate and the "
+        "coalescing counters only, no speedup target",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_pr8.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    if args.tiny:
+        config, label = TINY_CONFIG, "tiny"
+    elif args.quick:
+        config, label = QUICK_CONFIG, "quick"
+    else:
+        config, label = FULL_CONFIG, "full"
+    n_tenants, n_requests, depth, repeats, system = config
+
+    t0 = time.perf_counter()
+    results = {
+        name: run_mode(name, knobs, config, system)
+        for name, knobs in MODES.items()
+    }
+    speedup = (
+        results["coalesced"]["best_requests_per_sec"]
+        / results["baseline"]["best_requests_per_sec"]
+    )
+
+    report = {
+        "benchmark": "pr8-serving-coalescing",
+        "mode": label,
+        "host": host_metadata(),
+        "note": (
+            "Both modes run the identical server (workers, protocol, table "
+            "cache, payloads); only the micro-batching window differs. "
+            "Every response in every mode was verified bitwise against a "
+            "direct in-process engine call before any number was recorded. "
+            "Latency is client wire latency under pipelining (depth "
+            f"{depth}), so it includes queueing at the client's own depth."
+        ),
+        "workload": {
+            "kind": KIND,
+            "tenants": n_tenants,
+            "requests_per_tenant": n_requests,
+            "positions_per_request": 1,
+            "pipeline_depth": depth,
+            "repeats": repeats,
+            "system": system,
+        },
+        "modes": results,
+        "target": {
+            "metric": "requests_per_sec",
+            "speedup": TARGET_SPEEDUP,
+            "baseline": "same server, max_batch=1",
+            "measured_speedup": speedup,
+        },
+    }
+    if label == "full":
+        report["target"]["meets_target"] = speedup >= TARGET_SPEEDUP
+
+    # Coalescing must actually have happened for the comparison to mean
+    # anything — a zero counter here is a broken benchmark, not a result.
+    if results["coalesced"]["server_coalesced_requests_total"] == 0:
+        print("FAIL: the coalesced mode never formed a multi-request batch")
+        return 1
+
+    report["total_seconds"] = time.perf_counter() - t0
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    for name, row in results.items():
+        best = row["best_requests_per_sec"]
+        p50 = min(r["p50_ms"] for r in row["runs"])
+        p99 = min(r["p99_ms"] for r in row["runs"])
+        print(
+            f"{name:10s} max_batch={row['max_batch']:2d}: "
+            f"{best:8.0f} req/s  p50={p50:6.2f}ms  p99={p99:6.2f}ms  "
+            f"coalesced={row['server_coalesced_requests_total']}"
+        )
+    print(f"speedup: {speedup:.2f}x (target >= {TARGET_SPEEDUP}x, {label})")
+    print(f"wrote {args.out} in {report['total_seconds']:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -279,6 +279,14 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "dmc":
         return _dmc_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.serve.server import main as serve_main
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "serve-client":
+        from repro.serve.client import main as serve_client_main
+
+        return serve_client_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce the tables/figures of Mathuriya et al. "
@@ -287,7 +295,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "target",
         help="one of: " + ", ".join(ALL_TARGETS) + ", all, list, "
-        "dmc (restartable live DMC run; see 'dmc --help')",
+        "dmc (restartable live DMC run; see 'dmc --help'), "
+        "serve / serve-client (the QMC service; see 'serve --help')",
     )
     args = parser.parse_args(argv)
 
@@ -295,6 +304,8 @@ def main(argv: list[str] | None = None) -> int:
         for name, (_, desc) in ALL_TARGETS.items():
             print(f"  {name:10s} {desc}")
         print("  dmc        restartable live DMC run (--checkpoint-every/--resume)")
+        print("  serve      multi-tenant QMC service with cross-request batching")
+        print("  serve-client  talk to a running serve instance")
         return 0
     if args.target == "all":
         for name, (func, _) in ALL_TARGETS.items():

@@ -198,15 +198,26 @@ class Histogram:
             "max": None if self.count == 0 else self.max,
             "samples": list(self._samples),
             "seen": self._seen,
+            "stride": self._stride,
         }
 
     def merge_state(self, state: dict) -> None:
         """Fold another histogram's state into this one.
 
-        Aggregates (count/sum/min/max) combine exactly; retained samples
-        are concatenated and re-decimated against this histogram's cap,
-        so merged quantiles keep the same bounded-memory resolution
-        contract as a single-process run.
+        Aggregates (count/sum/min/max) combine exactly.  Retained
+        samples carry *weight*: a buffer decimated to stride ``s`` keeps
+        one sample per ``s`` observations, so the two buffers are first
+        brought to a **common stride** (the finer one is decimated the
+        same way ``observe`` would have) before concatenating and
+        re-applying the cap.  Merging buffers of unequal stride
+        as-is would over-weight whichever histogram retained at the
+        finer stride and skew every merged quantile toward its values.
+
+        The retention phase is re-based afterwards (``_seen`` becomes
+        ``len(samples) * stride``), so subsequent :meth:`observe` calls
+        keep exactly one retained sample per ``stride`` observations —
+        the documented resolution contract — instead of drifting on a
+        stale pre-merge phase.
         """
         with self._lock:
             self.count += int(state["count"])
@@ -215,11 +226,21 @@ class Histogram:
                 self.min = float(state["min"])
             if state["max"] is not None and state["max"] > self.max:
                 self.max = float(state["max"])
-            self._samples.extend(float(s) for s in state["samples"])
+            other = [float(s) for s in state["samples"]]
+            other_stride = int(state.get("stride", 1))
+            # Equalize strides (both are powers of two by construction:
+            # they only ever double from 1).
+            while self._stride < other_stride:
+                self._samples = self._samples[::2]
+                self._stride *= 2
+            while other_stride < self._stride:
+                other = other[::2]
+                other_stride *= 2
+            self._samples.extend(other)
             while len(self._samples) >= self._max_samples:
                 self._samples = self._samples[::2]
                 self._stride *= 2
-            self._seen += int(state["seen"])
+            self._seen = len(self._samples) * self._stride
 
 
 _METRIC_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}

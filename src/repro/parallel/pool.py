@@ -398,7 +398,10 @@ class ProcessCrowdPool:
         The old process is killed if still alive (it may be hung); the
         replacement rebuilds its state from ``initializer(worker, ...)``
         — deterministic, so a restarted shard is indistinguishable from
-        the original.
+        the original.  ``timeout`` also bounds the replacement's own
+        "ready" handshake: an initializer that hangs gets the process
+        killed and :class:`WorkerTimeout` raised, so recovery itself can
+        never wedge on a sick replacement.
         """
         if self._closed:
             raise RuntimeError("pool is closed")
@@ -415,10 +418,21 @@ class ProcessCrowdPool:
         conn, proc = self._spawn(worker)
         self._conns[worker] = conn
         self._procs[worker] = proc
-        self._recv(worker, timeout=None, method="initializer")  # "ready"
+        try:
+            self._recv(worker, timeout=timeout, method="initializer")  # "ready"
+        except WorkerTimeout:
+            if proc.is_alive():
+                proc.kill()
+            proc.join(timeout=1.0)
+            raise
 
     def add_worker(self, timeout: float = 10.0) -> int:
-        """Grow the pool by one worker; returns the new worker id."""
+        """Grow the pool by one worker; returns the new worker id.
+
+        ``timeout`` bounds the new worker's initializer handshake; a
+        hung initializer is killed and raises :class:`WorkerTimeout`,
+        leaving the pool at its previous size.
+        """
         if self._closed:
             raise RuntimeError("pool is closed")
         w = self.n_workers
@@ -427,11 +441,13 @@ class ProcessCrowdPool:
         self._procs.append(proc)
         self.n_workers += 1
         try:
-            self._recv(w, timeout=None, method="initializer")  # "ready"
+            self._recv(w, timeout=timeout, method="initializer")  # "ready"
         except BaseException:
             self._conns.pop()
             self._procs.pop()
             self.n_workers -= 1
+            if proc.is_alive():
+                proc.kill()
             proc.join(timeout)
             raise
         return w

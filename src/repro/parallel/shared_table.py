@@ -29,6 +29,19 @@ import numpy as np
 __all__ = ["SharedTable"]
 
 
+def _stage_copy(shm: shared_memory.SharedMemory, array: np.ndarray) -> None:
+    """Copy ``array`` into the fresh segment (separate so tests can make
+    the staging step fail and assert ``create`` cleans up after itself)."""
+    staging = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+    try:
+        staging[...] = array
+    finally:
+        # Drop the view even when the copy raises: a surviving export
+        # over ``shm.buf`` would turn the caller's cleanup ``close()``
+        # into a BufferError and leak the segment after all.
+        del staging
+
+
 class SharedTable:
     """A NumPy array placed once in shared memory, attached zero-copy.
 
@@ -60,13 +73,21 @@ class SharedTable:
     @classmethod
     def create(cls, array: np.ndarray) -> "SharedTable":
         """Copy ``array`` into a fresh shared segment; returns the owner
-        handle.  The one copy this class ever makes."""
+        handle.  The one copy this class ever makes.  If staging the
+        copy fails, the just-created segment is closed *and unlinked*
+        before the error propagates — ``create`` never leaks a
+        ``/dev/shm`` segment nobody owns.
+        """
         array = np.ascontiguousarray(array)
         if array.nbytes == 0:
             raise ValueError("refusing to share an empty array")
         shm = shared_memory.SharedMemory(create=True, size=array.nbytes)
-        staging = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
-        staging[...] = array
+        try:
+            _stage_copy(shm, array)
+        except BaseException:
+            shm.close()
+            shm.unlink()
+            raise
         return cls(shm, array.shape, array.dtype, owner=True)
 
     @classmethod
@@ -76,9 +97,25 @@ class SharedTable:
         Zero-copy: the returned :attr:`array` maps the owner's pages
         directly.  The attachment is *not* an owner — :meth:`unlink`
         refuses, and the context-manager exit only detaches.
+
+        The segment's actual size is validated against the spec before
+        any array is mapped: a stale or mismatched spec raises a
+        :class:`ValueError` naming the segment and both sizes instead
+        of surfacing as a cryptic numpy ``TypeError`` deep in a worker.
         """
         shm = shared_memory.SharedMemory(name=spec["name"])
-        return cls(shm, tuple(spec["shape"]), np.dtype(spec["dtype"]), owner=False)
+        shape = tuple(int(s) for s in spec["shape"])
+        dtype = np.dtype(spec["dtype"])
+        expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        actual = shm.size
+        if actual < expected:
+            shm.close()
+            raise ValueError(
+                f"shared segment {spec['name']!r} holds {actual} bytes but "
+                f"the spec (shape={shape}, dtype={dtype}) needs {expected} "
+                f"bytes — stale or mismatched table spec"
+            )
+        return cls(shm, shape, dtype, owner=False)
 
     # -- access --------------------------------------------------------------
 

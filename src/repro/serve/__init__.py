@@ -1,0 +1,64 @@
+"""QMC-as-a-service: serve batched orbital evaluations to many tenants.
+
+The paper batches positions *within* one process to fill the B-spline
+kernels; this package batches them *across tenants*.  A long-lived
+asyncio server (``python -m repro serve``) accepts concurrent
+evaluate/VMC/DMC requests over newline-delimited JSON, coalesces
+compatible evaluations into single fused kernel calls inside a bounded
+micro-batching window, and executes them on a persistent worker pool
+over LRU-cached shared-memory coefficient tables — one physical table
+per live system, no matter how many tenants read it.
+
+Coalescing never changes numbers: each position's result is bitwise
+independent of its batch neighbours, so a served response is
+bit-identical to a direct in-process engine call (the gate
+``benchmarks/bench_pr8.py`` asserts on every response).
+
+Modules: :mod:`~repro.serve.protocol` (wire format),
+:mod:`~repro.serve.batching` (the micro-batcher),
+:mod:`~repro.serve.cache` (shared-table LRU),
+:mod:`~repro.serve.worker` (per-process executor state),
+:mod:`~repro.serve.server` (the asyncio server + CLI),
+:mod:`~repro.serve.client` (synchronous client + CLI).
+"""
+
+from repro.serve.batching import BatchItem, MicroBatcher
+from repro.serve.cache import SystemKey, TableCache, solve_system_table
+from repro.serve.client import ServeClient, ServeError, parse_address
+from repro.serve.protocol import (
+    ERROR_CODES,
+    OPS,
+    ProtocolError,
+    decode_array,
+    decode_line,
+    encode_array,
+    encode_line,
+    error_response,
+    ok_response,
+)
+from repro.serve.server import QmcServer, ServeConfig, ServerThread
+from repro.serve.worker import ServeShard
+
+__all__ = [
+    "OPS",
+    "ERROR_CODES",
+    "ProtocolError",
+    "encode_array",
+    "decode_array",
+    "encode_line",
+    "decode_line",
+    "ok_response",
+    "error_response",
+    "SystemKey",
+    "TableCache",
+    "solve_system_table",
+    "BatchItem",
+    "MicroBatcher",
+    "ServeShard",
+    "ServeConfig",
+    "QmcServer",
+    "ServerThread",
+    "ServeClient",
+    "ServeError",
+    "parse_address",
+]

@@ -1,0 +1,119 @@
+"""Cross-request micro-batching: the serving layer's core trick.
+
+Concurrent tenants evaluating the *same* system send small position
+batches that each would under-fill the batched kernels; the
+:class:`MicroBatcher` holds compatible requests (same coefficient
+table, kernel kind, backend — the :func:`batch key <BatchKey>`) for at
+most a short window and fuses them into one
+:meth:`~repro.core.batched.BsplineBatched.evaluate_batch` call.  The
+fusion is **bit-safe**: every position's contraction is independent of
+its batch neighbours (the PR5 contract the conformance tests pin), so a
+request's slice of the fused output is bitwise identical to serving it
+alone — coalescing changes latency and throughput, never numbers.
+
+A batch closes when either
+
+* ``max_batch`` requests have queued for the key, or
+* ``max_wait`` seconds have passed since the key's *first* queued
+  request (the batching window; new arrivals never extend it).
+
+Closing hands the batch to the flush coroutine the server installed
+(lease a worker, dispatch, scatter results back to each request's
+future); meanwhile a fresh window can open for the same key.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+__all__ = ["BatchItem", "MicroBatcher"]
+
+
+@dataclass
+class BatchItem:
+    """One admitted eval request riding a batch: its positions plus the
+    future its response writer awaits."""
+
+    tenant: str
+    positions: object  # (n, 3) float64 ndarray
+    future: asyncio.Future
+    n_positions: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.n_positions = len(self.positions)
+
+
+class MicroBatcher:
+    """Group compatible requests per key inside a bounded time window.
+
+    Parameters
+    ----------
+    flush:
+        ``async flush(key, items)`` — called with every closed batch.
+        Scheduled as a task; multiple batches (different keys, or
+        successive windows of one key) flush concurrently.
+    max_batch:
+        Close a window as soon as this many requests have joined it.
+    max_wait:
+        Seconds after a window's first request before it closes anyway.
+        ``0`` degenerates to no coalescing (every request is its own
+        batch) — the benchmark's baseline mode.
+    """
+
+    def __init__(self, flush, max_batch: int, max_wait: float):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait < 0:
+            raise ValueError(f"max_wait must be >= 0, got {max_wait}")
+        self._flush = flush
+        self.max_batch = int(max_batch)
+        self.max_wait = float(max_wait)
+        self._pending: dict[object, list[BatchItem]] = {}
+        self._timers: dict[object, asyncio.TimerHandle] = {}
+        self._tasks: set[asyncio.Task] = set()
+
+    @property
+    def pending_requests(self) -> int:
+        """Requests currently waiting in open windows."""
+        return sum(len(items) for items in self._pending.values())
+
+    def submit(self, key, item: BatchItem) -> None:
+        """Queue one request under ``key`` (opens a window if none)."""
+        if self.max_batch == 1 or self.max_wait == 0.0:
+            self._spawn(key, [item])
+            return
+        items = self._pending.setdefault(key, [])
+        items.append(item)
+        if len(items) >= self.max_batch:
+            self.flush_key(key)
+        elif len(items) == 1:
+            loop = asyncio.get_running_loop()
+            self._timers[key] = loop.call_later(
+                self.max_wait, self.flush_key, key
+            )
+
+    def flush_key(self, key) -> None:
+        """Close ``key``'s window now and hand its batch to ``flush``."""
+        timer = self._timers.pop(key, None)
+        if timer is not None:
+            timer.cancel()
+        items = self._pending.pop(key, None)
+        if items:
+            self._spawn(key, items)
+
+    def flush_all(self) -> None:
+        """Close every open window (drain path)."""
+        for key in list(self._pending):
+            self.flush_key(key)
+
+    def _spawn(self, key, items: list[BatchItem]) -> None:
+        task = asyncio.get_running_loop().create_task(self._flush(key, items))
+        # Keep a strong reference until done (asyncio only holds weakly).
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def wait_idle(self) -> None:
+        """Await completion of every in-flight flush task (drain path)."""
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)

@@ -1,0 +1,144 @@
+"""Server-side coefficient-table cache over shared memory.
+
+The expensive part of admitting a new tenant system is solving its
+B-spline coefficient table and padding the ghost halo.  The server does
+both exactly once per distinct ``(n_orbitals, box, grid_shape, dtype)``
+system and parks the padded table in a
+:class:`~repro.parallel.shared_table.SharedTable` segment; every serving
+worker attaches the segment zero-copy, so the node holds one physical
+copy of each live table no matter how many tenants share it (the
+paper's one-table-many-readers memory model, promoted to service
+scope).
+
+The cache is a plain LRU: when a ``capacity+1``-th distinct system
+arrives, the least-recently-served table's segment is unlinked and its
+name is queued for workers to detach lazily (workers drop their mapping
+at the next request they serve — a POSIX segment stays readable for
+existing mappings after unlink, so an in-flight batch is never yanked).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.core.coeffs import pad_table_3d, solve_coefficients_3d
+from repro.lattice.cell import Cell
+from repro.lattice.orbitals import PlaneWaveOrbitalSet
+from repro.obs import OBS
+
+from repro.parallel.shared_table import SharedTable
+
+__all__ = ["SystemKey", "solve_system_table", "TableCache"]
+
+
+class SystemKey(tuple):
+    """Normalized identity of a tenant system: what must match for two
+    requests to share one coefficient table (and hence one batch)."""
+
+    __slots__ = ()
+
+    def __new__(cls, n_orbitals: int, box: float, grid_shape, dtype):
+        return super().__new__(
+            cls,
+            (
+                int(n_orbitals),
+                float(box),
+                tuple(int(g) for g in grid_shape),
+                np.dtype(dtype).name,
+            ),
+        )
+
+    @property
+    def n_orbitals(self) -> int:
+        return self[0]
+
+    @property
+    def box(self) -> float:
+        return self[1]
+
+    @property
+    def grid_shape(self) -> tuple[int, int, int]:
+        return self[2]
+
+    @property
+    def dtype(self) -> str:
+        return self[3]
+
+
+def solve_system_table(key: SystemKey) -> np.ndarray:
+    """Solve and ghost-pad the coefficient table for one system key.
+
+    Same construction as :func:`repro.parallel.crowd.solve_spec_table`
+    plus the parent-side pad — workers attach the halo zero-copy and
+    never re-solve or re-pad.
+    """
+    cell = Cell.cubic(key.box)
+    orbitals = PlaneWaveOrbitalSet(cell, key.n_orbitals)
+    nx, ny, nz = key.grid_shape
+    samples = orbitals.values_on_grid(nx, ny, nz)
+    table = solve_coefficients_3d(samples, dtype=np.dtype(key.dtype))
+    return pad_table_3d(table)
+
+
+class TableCache:
+    """LRU of owned :class:`SharedTable` segments, keyed by system.
+
+    ``get`` returns the picklable segment spec workers attach by; a miss
+    solves the table (the only expensive step) and may evict the
+    least-recently-used entry, whose segment *name* is returned to the
+    caller via ``drain_evicted`` so workers can be told to detach.
+    """
+
+    def __init__(self, capacity: int = 8):
+        if capacity < 1:
+            raise ValueError(f"table cache capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._tables: OrderedDict[SystemKey, SharedTable] = OrderedDict()
+        self._evicted: list[str] = []
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __contains__(self, key: SystemKey) -> bool:
+        return key in self._tables
+
+    def get(self, key: SystemKey) -> dict:
+        """The segment spec for ``key``, solving + caching on first use."""
+        table = self._tables.get(key)
+        if table is None:
+            table = SharedTable.create(solve_system_table(key))
+            self._tables[key] = table
+            if OBS.enabled:
+                OBS.count("serve_table_builds_total")
+            while len(self._tables) > self.capacity:
+                _, lru = self._tables.popitem(last=False)
+                self._evicted.append(lru.name)
+                lru.close()
+                try:
+                    lru.unlink()
+                except FileNotFoundError:
+                    pass  # already gone; removal was the goal
+                if OBS.enabled:
+                    OBS.count("serve_table_evictions_total")
+        self._tables.move_to_end(key)
+        if OBS.enabled:
+            OBS.gauge("serve_tables_cached", len(self._tables))
+        return table.spec
+
+    def drain_evicted(self) -> list[str]:
+        """Segment names evicted since the last drain (for worker
+        detach broadcasts); clears the pending list."""
+        evicted, self._evicted = self._evicted, []
+        return evicted
+
+    def close(self) -> None:
+        """Unlink every owned segment (server shutdown)."""
+        while self._tables:
+            _, table = self._tables.popitem(last=False)
+            table.close()
+            try:
+                table.unlink()
+            except FileNotFoundError:
+                pass  # already gone; removal was the goal

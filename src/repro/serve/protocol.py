@@ -1,0 +1,140 @@
+"""The wire protocol of the QMC service: newline-delimited JSON.
+
+One request per line, one response per line, both UTF-8 JSON objects.
+The framing is deliberately the simplest thing that can serve many
+tenants over one socket — readable with ``nc``, testable with a
+five-line client, and fast enough that the batched kernels (not the
+protocol) dominate service time.
+
+Request::
+
+    {"id": <any json>, "op": "eval", "tenant": "team-a", ...op fields}
+
+Response::
+
+    {"id": <echoed>, "ok": true,  "result": {...}, "meta": {...}}
+    {"id": <echoed>, "ok": false, "error": {"code": "...", "message": "..."}}
+
+Responses carry the request's ``id`` verbatim; a client that pipelines
+requests over one connection correlates by id (completion order is not
+guaranteed — coalescing may finish a later request first).
+
+Arrays travel as ``{"dtype", "shape", "data"}`` with ``data`` a flat
+list.  JSON numbers round-trip Python floats exactly (``repr`` based),
+so a served float64 result is **bit-identical** after decoding — the
+property the benchmark's ``assert_array_equal`` gate relies on; float32
+values widen and re-narrow exactly as well.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+__all__ = [
+    "OPS",
+    "ERROR_CODES",
+    "MAX_LINE_BYTES",
+    "ProtocolError",
+    "encode_array",
+    "decode_array",
+    "encode_line",
+    "decode_line",
+    "ok_response",
+    "error_response",
+]
+
+#: Operations the server understands.
+OPS = ("ping", "eval", "vmc", "dmc", "stats")
+
+#: Error codes a response may carry (the protocol's public contract).
+ERROR_CODES = (
+    "bad_request",        # malformed JSON / unknown op / invalid params
+    "backend_unavailable",  # tenant asked for a backend this host can't serve
+    "overloaded",         # admission control: global in-flight cap reached
+    "tenant_limit",       # admission control: per-tenant in-flight cap reached
+    "draining",           # server is shutting down; no new work accepted
+    "worker_timeout",     # the serving worker missed its reply deadline
+    "internal",           # worker crash or unexpected server error
+)
+
+#: Hard cap on one request line (a 4096-position f64 VGH request is ~1 MiB
+#: of JSON; this bounds a hostile or confused client, not a real one).
+MAX_LINE_BYTES = 32 * 1024 * 1024
+
+
+class ProtocolError(Exception):
+    """A request that cannot be served, with its protocol error code."""
+
+    def __init__(self, code: str, message: str):
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown protocol error code {code!r}")
+        super().__init__(message)
+        self.code = code
+
+
+def encode_array(array: np.ndarray) -> dict:
+    """An ndarray as a JSON-ready ``{dtype, shape, data}`` dict."""
+    array = np.asarray(array)
+    return {
+        "dtype": array.dtype.str,
+        "shape": list(array.shape),
+        "data": array.ravel().tolist(),
+    }
+
+
+def decode_array(obj: dict) -> np.ndarray:
+    """Rebuild the ndarray an :func:`encode_array` dict describes."""
+    try:
+        dtype = np.dtype(obj["dtype"])
+        shape = tuple(int(s) for s in obj["shape"])
+        data = obj["data"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError("bad_request", f"malformed array: {exc}") from None
+    array = np.asarray(data, dtype=dtype)
+    if array.size != int(np.prod(shape, dtype=np.int64)):
+        raise ProtocolError(
+            "bad_request",
+            f"array data length {array.size} does not match shape {shape}",
+        )
+    return array.reshape(shape)
+
+
+def encode_line(obj: dict) -> bytes:
+    """One protocol object as a newline-terminated JSON line."""
+    return json.dumps(obj, separators=(",", ":")).encode() + b"\n"
+
+
+def decode_line(line: bytes) -> dict:
+    """Parse one received line; raises :class:`ProtocolError` on junk."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            "bad_request", f"request line exceeds {MAX_LINE_BYTES} bytes"
+        )
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError("bad_request", f"invalid JSON: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError("bad_request", "request must be a JSON object")
+    return obj
+
+
+def ok_response(request_id, result: dict, meta: dict | None = None) -> dict:
+    """A success response echoing ``request_id``."""
+    out = {"id": request_id, "ok": True, "result": result}
+    if meta:
+        out["meta"] = meta
+    return out
+
+
+def error_response(request_id, code: str, message: str) -> dict:
+    """An error response echoing ``request_id`` (``None`` when unknown)."""
+    if code not in ERROR_CODES:
+        code, message = "internal", f"[{code}] {message}"
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }

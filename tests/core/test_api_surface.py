@@ -19,6 +19,7 @@ PACKAGES = (
     "repro.parallel",
     "repro.fleet",
     "repro.backends",
+    "repro.serve",
 )
 
 

@@ -250,3 +250,111 @@ class TestMergeState:
 def test_format_labels():
     assert format_labels({}) == ""
     assert format_labels({"b": "2", "a": "1"}) == "{a=1,b=2}"
+
+
+class TestMergeStrideWeighting:
+    """Regression: merging buffers of unequal stride must not skew quantiles.
+
+    Pre-fix, ``merge_state`` concatenated a worker's retained samples
+    (collected at that worker's stride) with the local ones as if every
+    sample carried equal weight, then re-decimated — so whichever buffer
+    had the *finer* stride was over-weighted, and ``_seen`` kept
+    accumulating raw counts that no longer matched the decimated buffer,
+    drifting subsequent retention off the documented resolution.
+    """
+
+    def test_unequal_strides_do_not_skew_quantiles(self):
+        # 63 zeros at stride 1 merged with 252 ones at stride 4: the
+        # true distribution is 20% zeros, so every quantile above 0.2
+        # is 1.0.  The pre-fix equal-weight concatenation retained
+        # zeros and ones ~1:1 and reported p50 = 0.0.
+        parent = Histogram(max_samples=64)
+        for _ in range(63):
+            parent.observe(0.0)
+        worker = Histogram(max_samples=64)
+        for _ in range(252):
+            worker.observe(1.0)
+        assert worker.state()["stride"] > 1  # the scenario's premise
+        parent.merge_state(worker.state())
+        assert parent.count == 315
+        assert parent.quantile(0.5) == 1.0
+        assert parent.quantile(0.3) == 1.0
+        ones = sum(1 for s in parent._samples if s == 1.0)
+        zeros = len(parent._samples) - ones
+        # Retained weight must reflect the 4:1 data ratio, not ~1:1.
+        assert ones >= 3 * zeros
+
+    def test_merge_is_direction_symmetric_in_weight(self):
+        # Folding fine-into-coarse must weight like coarse-into-fine.
+        fine, coarse = Histogram(max_samples=64), Histogram(max_samples=64)
+        for i in range(60):
+            fine.observe(0.0)
+        for i in range(300):
+            coarse.observe(1.0)
+        a = Histogram(max_samples=64)
+        a.merge_state(fine.state())
+        a.merge_state(coarse.state())
+        b = Histogram(max_samples=64)
+        b.merge_state(coarse.state())
+        b.merge_state(fine.state())
+        assert a.quantile(0.5) == b.quantile(0.5) == 1.0
+
+    def test_post_merge_retention_phase_is_rebased(self):
+        # After a merge the retention must keep one sample per stride —
+        # pre-fix, ``_seen`` summed raw counts and the phase drifted.
+        h = Histogram(max_samples=16)
+        other = Histogram(max_samples=16)
+        for i in range(100):
+            other.observe(float(i))
+        h.merge_state(other.state())
+        assert h._seen == len(h._samples) * h._stride
+        before = len(h._samples)
+        h.observe(123.0)  # phase 0: the very next observation retains
+        assert len(h._samples) == before + 1
+        assert h._samples[-1] == 123.0
+
+    def test_merged_quantiles_match_single_process_within_resolution(self):
+        # The documented resolution contract, as a hypothesis property:
+        # sharding a well-mixed observation stream over workers and
+        # merging must agree with a single-process histogram over the
+        # same observations to within the decimated sampling resolution.
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @settings(max_examples=25, deadline=None)
+        @given(
+            seed=st.integers(0, 2**32 - 1),
+            n=st.integers(200, 4000),
+            n_workers=st.integers(1, 4),
+        )
+        def check(seed, n, n_workers):
+            rng = np.random.default_rng(seed)
+            values = rng.permutation(n).astype(float) / n
+            cuts = sorted(rng.integers(0, n + 1, size=n_workers - 1).tolist())
+            chunks = np.split(values, cuts)
+            cap = 256
+            single = Histogram(max_samples=cap)
+            for v in values:
+                single.observe(v)
+            parent = Histogram(max_samples=cap)
+            for chunk in chunks:
+                shard = Histogram(max_samples=cap)
+                for v in chunk:
+                    shard.observe(v)
+                parent.merge_state(shard.state())
+            assert parent.count == single.count == n
+            assert parent.sum == pytest.approx(single.sum)
+            assert parent.min == single.min and parent.max == single.max
+            assert len(parent._samples) < cap
+            assert parent._stride & (parent._stride - 1) == 0  # power of 2
+            # Quantile agreement: both are stride-decimated estimates of
+            # the same uniform-on-[0,1) data; with >= cap/4 retained
+            # samples each, estimates live within a few sampling widths.
+            m = min(len(parent._samples), len(single._samples))
+            assert m >= cap // 4
+            tol = 8.0 / np.sqrt(m)
+            for q in (0.1, 0.25, 0.5, 0.75, 0.9):
+                assert abs(parent.quantile(q) - q) < tol
+                assert abs(parent.quantile(q) - single.quantile(q)) < 2 * tol
+
+        check()

@@ -8,6 +8,7 @@ the supervision outcome (restarts, MTTR) is reported on the result.
 """
 
 import multiprocessing as mp
+import time
 
 import numpy as np
 import pytest
@@ -218,3 +219,72 @@ class TestStatefulChaos:
                 table=table,
                 injector=injector,
             )
+
+
+# -- hung-initializer recovery (regression: the init handshake must honor
+# -- its deadline; pre-fix, restart_worker/add_worker passed timeout=None
+# -- and a replacement that hung during init wedged recovery forever) ----
+
+
+def _hang_on_flag_init(worker_id: int, flag_dir: str):
+    """Initializer that hangs when its worker's flag file exists.
+
+    The first spawn of each worker finds no flag and comes up normally;
+    arming the fault is just touching ``hang-<worker_id>`` — so the
+    *replacement* (or a grown worker) is the one that hangs, exercising
+    the initializer leg of the recovery path.
+    """
+    import os
+    import time
+
+    if os.path.exists(os.path.join(flag_dir, f"hang-{worker_id}")):
+        time.sleep(60.0)
+
+    class _Idle:
+        def whoami(self):
+            return worker_id
+
+    return _Idle()
+
+
+class TestHungInitializerRecovery:
+    def test_restart_worker_honors_its_deadline(self, tmp_path):
+        from repro.parallel import ProcessCrowdPool, WorkerTimeout
+
+        with ProcessCrowdPool(2, _hang_on_flag_init, (str(tmp_path),)) as pool:
+            assert pool.broadcast("whoami") == [0, 1]
+            (tmp_path / "hang-0").touch()
+            t0 = time.monotonic()
+            with pytest.raises(WorkerTimeout, match="initializer"):
+                pool.restart_worker(0, timeout=0.5)
+            elapsed = time.monotonic() - t0
+            assert elapsed < 10.0, (
+                f"restart_worker ignored its deadline ({elapsed:.1f}s)"
+            )
+            # The stuck replacement was killed, not left hanging around.
+            assert not pool.alive(0)
+            # The rest of the pool still serves.
+            pool.start_call(1, "whoami")
+            assert pool.finish_call(1, timeout=5.0) == 1
+            # Disarm and recover the slot for real.
+            (tmp_path / "hang-0").unlink()
+            pool.restart_worker(0, timeout=10.0)
+            assert pool.broadcast("whoami") == [0, 1]
+
+    def test_add_worker_honors_its_deadline(self, tmp_path):
+        from repro.parallel import ProcessCrowdPool, WorkerTimeout
+
+        with ProcessCrowdPool(1, _hang_on_flag_init, (str(tmp_path),)) as pool:
+            (tmp_path / "hang-1").touch()
+            t0 = time.monotonic()
+            with pytest.raises(WorkerTimeout, match="initializer"):
+                pool.add_worker(timeout=0.5)
+            assert time.monotonic() - t0 < 10.0
+            # The failed growth left the pool at its previous size, with
+            # no zombie replacement process behind it.
+            assert len(pool) == 1
+            assert len(pool._procs) == 1
+            assert pool.broadcast("whoami") == [0]
+            (tmp_path / "hang-1").unlink()
+            assert pool.add_worker(timeout=10.0) == 1
+            assert pool.broadcast("whoami") == [0, 1]

@@ -84,3 +84,54 @@ class TestLifetime:
     def test_refuses_empty_array(self):
         with pytest.raises(ValueError, match="empty"):
             SharedTable.create(np.empty((0, 3)))
+
+
+class TestSpecValidation:
+    """Regression: a stale or mismatched spec must fail loudly and early.
+
+    Pre-fix, ``attach`` mapped ``np.ndarray(shape, dtype, buffer=shm.buf)``
+    unchecked, so an oversized spec surfaced as a cryptic numpy
+    ``TypeError`` deep inside a worker; and ``create`` leaked the fresh
+    segment when the staging copy raised.
+    """
+
+    def test_attach_rejects_oversized_shape(self, array, shm_sentinel):
+        with SharedTable.create(array) as owner:
+            spec = dict(owner.spec, shape=[100, 100, 100, 100])
+            with pytest.raises(ValueError) as exc_info:
+                SharedTable.attach(spec)
+        msg = str(exc_info.value)
+        assert owner.name in msg                      # names the segment
+        assert str(array.nbytes) in msg               # actual bytes
+        assert str(100**4 * array.itemsize) in msg    # expected bytes
+
+    def test_attach_rejects_wider_dtype(self, shm_sentinel):
+        arr = np.arange(24, dtype=np.float32).reshape(2, 3, 4)
+        with SharedTable.create(arr) as owner:
+            spec = dict(owner.spec, dtype="<f8")  # f4 segment, f8 spec
+            with pytest.raises(ValueError, match="stale or mismatched"):
+                SharedTable.attach(spec)
+
+    def test_attach_failure_does_not_leak_an_attachment(self, array):
+        # After the rejected attach, the owner must still be able to
+        # close and unlink cleanly (no dangling attachment keeps a
+        # mapping alive inside this process).
+        owner = SharedTable.create(array)
+        spec = dict(owner.spec, shape=[10**6])
+        with pytest.raises(ValueError):
+            SharedTable.attach(spec)
+        owner.close()
+        owner.unlink()
+
+    def test_create_unlinks_segment_when_staging_fails(
+        self, array, monkeypatch, shm_sentinel
+    ):
+        import repro.parallel.shared_table as mod
+
+        def exploding_stage(shm, arr):
+            raise RuntimeError("staging exploded on purpose")
+
+        monkeypatch.setattr(mod, "_stage_copy", exploding_stage)
+        with pytest.raises(RuntimeError, match="staging exploded"):
+            SharedTable.create(array)
+        # shm_sentinel asserts no /dev/shm segment was left behind.

@@ -1,0 +1,81 @@
+"""Fixtures for the serving-layer tests.
+
+Systems are deliberately tiny (2-4 orbitals on an 8-12 point grid): the
+contracts under test are bitwise and structural, not statistical, and
+server spin-up (forking the worker pool) dominates wall time anyway.
+
+``make_server`` is a factory so each test picks its own knobs (window
+length, cache capacity, admission caps); everything it creates is
+stopped at teardown even when the test fails, so no worker processes or
+``/dev/shm`` segments outlive a test.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.obs import OBS
+from repro.serve import ServeConfig, ServerThread
+
+_SHM_DIR = Path("/dev/shm")
+
+
+def shm_segments() -> set[str]:
+    """Names of live shared-memory segments (empty on non-Linux hosts)."""
+    if not _SHM_DIR.is_dir():
+        return set()
+    return {p.name for p in _SHM_DIR.iterdir()}
+
+
+@pytest.fixture
+def shm_sentinel():
+    """Fail the test if it leaks any shared-memory segment."""
+    before = shm_segments()
+    yield
+    leaked = shm_segments() - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+
+
+@pytest.fixture(autouse=True, scope="package")
+def _obs_restored():
+    """Guard: the package must leave the global OBS as it found it.
+
+    (Per-test guards would misfire here: a live server legitimately
+    keeps OBS enabled for its whole lifetime, which can span tests when
+    a fixture is module-scoped.)
+    """
+    enabled_before = OBS.enabled
+    yield
+    assert OBS.enabled == enabled_before, "serve tests changed OBS state"
+    OBS.reset()
+
+
+#: The tiny tenant system most tests evaluate against.
+TINY_SYSTEM = {"n_orbitals": 2, "box": 6.0, "grid_shape": [8, 8, 8]}
+
+_DEFAULTS = dict(
+    workers=2,
+    max_batch=8,
+    max_wait_us=5000.0,
+    table_cache=4,
+    worker_timeout=60.0,
+    drain_timeout=20.0,
+)
+
+
+@pytest.fixture
+def make_server():
+    """Factory: ``make_server(**config_overrides) -> ServerThread``."""
+    created: list[ServerThread] = []
+
+    def make(**overrides) -> ServerThread:
+        config = ServeConfig(**{**_DEFAULTS, **overrides})
+        server = ServerThread(config)
+        created.append(server)
+        return server
+
+    yield make
+    for server in created:
+        server.stop()

@@ -1,0 +1,175 @@
+"""The micro-batcher: window lifecycle, keying, drain — no server needed.
+
+Each test drives the batcher on a private event loop with a recording
+flush, pinning the coalescing rules the server relies on: same key
+coalesces, different keys never do, a full window closes immediately,
+``max_batch=1`` (the benchmark baseline) never holds anything back.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.serve.batching import BatchItem, MicroBatcher
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_item(n: int = 1, tenant: str = "t") -> BatchItem:
+    return BatchItem(
+        tenant, np.zeros((n, 3)), asyncio.get_running_loop().create_future()
+    )
+
+
+class Recorder:
+    def __init__(self):
+        self.batches: list[tuple[object, list[BatchItem]]] = []
+
+    async def flush(self, key, items):
+        self.batches.append((key, items))
+        for item in items:
+            if not item.future.done():
+                item.future.set_result(None)
+
+
+class TestWindowLifecycle:
+    def test_requests_coalesce_within_the_window(self):
+        async def scenario():
+            rec = Recorder()
+            batcher = MicroBatcher(rec.flush, max_batch=8, max_wait=0.01)
+            items = [make_item(n=i + 1) for i in range(3)]
+            for item in items:
+                batcher.submit("k", item)
+            assert rec.batches == []  # window still open
+            await asyncio.gather(*(i.future for i in items))
+            assert len(rec.batches) == 1
+            key, batch = rec.batches[0]
+            assert key == "k" and batch == items
+            return batcher
+
+        run(scenario())
+
+    def test_full_window_closes_without_waiting(self):
+        async def scenario():
+            rec = Recorder()
+            # A window the test would time out waiting for — closing
+            # must come from hitting max_batch, not the timer.
+            batcher = MicroBatcher(rec.flush, max_batch=2, max_wait=60.0)
+            a, b = make_item(), make_item()
+            batcher.submit("k", a)
+            batcher.submit("k", b)
+            await asyncio.wait_for(asyncio.gather(a.future, b.future), 5.0)
+            assert len(rec.batches) == 1
+            assert batcher.pending_requests == 0
+
+        run(scenario())
+
+    def test_successive_windows_for_one_key(self):
+        async def scenario():
+            rec = Recorder()
+            batcher = MicroBatcher(rec.flush, max_batch=2, max_wait=60.0)
+            items = [make_item() for _ in range(4)]
+            for item in items:
+                batcher.submit("k", item)
+            await asyncio.wait_for(
+                asyncio.gather(*(i.future for i in items)), 5.0
+            )
+            assert [len(b) for _, b in rec.batches] == [2, 2]
+
+        run(scenario())
+
+    def test_different_keys_never_coalesce(self):
+        async def scenario():
+            rec = Recorder()
+            batcher = MicroBatcher(rec.flush, max_batch=8, max_wait=0.01)
+            a, b = make_item(), make_item()
+            batcher.submit(("table-1", "vgh"), a)
+            batcher.submit(("table-2", "vgh"), b)
+            await asyncio.gather(a.future, b.future)
+            assert sorted(k for k, _ in rec.batches) == [
+                ("table-1", "vgh"),
+                ("table-2", "vgh"),
+            ]
+            assert all(len(batch) == 1 for _, batch in rec.batches)
+
+        run(scenario())
+
+    def test_max_batch_one_never_waits(self):
+        async def scenario():
+            rec = Recorder()
+            batcher = MicroBatcher(rec.flush, max_batch=1, max_wait=60.0)
+            item = make_item()
+            batcher.submit("k", item)
+            await asyncio.wait_for(item.future, 5.0)
+            assert len(rec.batches) == 1
+
+        run(scenario())
+
+    def test_zero_wait_never_waits(self):
+        async def scenario():
+            rec = Recorder()
+            batcher = MicroBatcher(rec.flush, max_batch=8, max_wait=0.0)
+            item = make_item()
+            batcher.submit("k", item)
+            await asyncio.wait_for(item.future, 5.0)
+            assert len(rec.batches) == 1
+
+        run(scenario())
+
+
+class TestDrain:
+    def test_flush_all_closes_every_open_window(self):
+        async def scenario():
+            rec = Recorder()
+            batcher = MicroBatcher(rec.flush, max_batch=8, max_wait=60.0)
+            a, b = make_item(), make_item()
+            batcher.submit("k1", a)
+            batcher.submit("k2", b)
+            batcher.flush_all()
+            await asyncio.wait_for(asyncio.gather(a.future, b.future), 5.0)
+            assert len(rec.batches) == 2
+            assert batcher.pending_requests == 0
+
+        run(scenario())
+
+    def test_wait_idle_awaits_inflight_flushes(self):
+        async def scenario():
+            started = asyncio.Event()
+            release = asyncio.Event()
+            done = []
+
+            async def slow_flush(key, items):
+                started.set()
+                await release.wait()
+                done.append(key)
+
+            batcher = MicroBatcher(slow_flush, max_batch=1, max_wait=0.0)
+            batcher.submit("k", make_item())
+            await started.wait()
+            waiter = asyncio.ensure_future(batcher.wait_idle())
+            await asyncio.sleep(0.01)
+            assert not waiter.done()  # flush still running
+            release.set()
+            await asyncio.wait_for(waiter, 5.0)
+            assert done == ["k"]
+
+        run(scenario())
+
+
+class TestValidation:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            MicroBatcher(lambda *a: None, max_batch=0, max_wait=1.0)
+        with pytest.raises(ValueError, match="max_wait"):
+            MicroBatcher(lambda *a: None, max_batch=1, max_wait=-1.0)
+
+    def test_batch_item_counts_positions(self):
+        async def scenario():
+            assert make_item(n=5).n_positions == 5
+
+        run(scenario())

@@ -1,0 +1,110 @@
+"""The table cache: system identity, LRU lifetime, segment hygiene."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.coeffs import pad_table_3d
+from repro.parallel.crowd import CrowdSpec, solve_spec_table
+from repro.parallel.shared_table import SharedTable
+from repro.serve.cache import SystemKey, TableCache, solve_system_table
+
+
+class TestSystemKey:
+    def test_normalizes_representations(self):
+        a = SystemKey(4, 6, [12, 12, 12], "float64")
+        b = SystemKey(np.int64(4), 6.0, (12, 12, 12), np.float64)
+        assert a == b and hash(a) == hash(b)
+
+    def test_distinguishes_every_field(self):
+        base = SystemKey(4, 6.0, (12, 12, 12), "float64")
+        assert SystemKey(2, 6.0, (12, 12, 12), "float64") != base
+        assert SystemKey(4, 7.0, (12, 12, 12), "float64") != base
+        assert SystemKey(4, 6.0, (12, 12, 8), "float64") != base
+        assert SystemKey(4, 6.0, (12, 12, 12), "float32") != base
+
+    def test_accessors(self):
+        key = SystemKey(4, 6.0, (12, 10, 8), "float32")
+        assert key.n_orbitals == 4
+        assert key.box == 6.0
+        assert key.grid_shape == (12, 10, 8)
+        assert key.dtype == "float32"
+
+
+class TestSolveSystemTable:
+    def test_matches_crowd_solver_bitwise(self):
+        """The served table is exactly the crowd path's padded table."""
+        key = SystemKey(2, 6.0, (8, 8, 8), "float64")
+        spec = CrowdSpec(n_walkers=1, n_orbitals=2, box=6.0, grid_shape=(8, 8, 8))
+        np.testing.assert_array_equal(
+            solve_system_table(key), pad_table_3d(solve_spec_table(spec))
+        )
+
+    def test_is_ghost_padded(self):
+        key = SystemKey(2, 6.0, (8, 10, 12), "float64")
+        assert solve_system_table(key).shape == (11, 13, 15, 2)
+
+    def test_dtype_follows_key(self):
+        key = SystemKey(2, 6.0, (8, 8, 8), "float32")
+        assert solve_system_table(key).dtype == np.float32
+
+
+class TestTableCache:
+    KEY_A = SystemKey(2, 6.0, (8, 8, 8), "float64")
+    KEY_B = SystemKey(2, 6.0, (10, 10, 10), "float64")
+    KEY_C = SystemKey(2, 6.0, (12, 12, 12), "float64")
+
+    def test_get_returns_attachable_spec(self, shm_sentinel):
+        cache = TableCache(capacity=2)
+        try:
+            spec = cache.get(self.KEY_A)
+            with SharedTable.attach(spec) as view:
+                np.testing.assert_array_equal(
+                    view.array, solve_system_table(self.KEY_A)
+                )
+        finally:
+            cache.close()
+
+    def test_hit_does_not_resolve(self, shm_sentinel):
+        cache = TableCache(capacity=2)
+        try:
+            assert cache.get(self.KEY_A) == cache.get(self.KEY_A)
+            assert len(cache) == 1
+        finally:
+            cache.close()
+
+    def test_lru_evicts_least_recently_served(self, shm_sentinel):
+        cache = TableCache(capacity=2)
+        try:
+            name_a = cache.get(self.KEY_A)["name"]
+            cache.get(self.KEY_B)
+            cache.get(self.KEY_A)  # refresh A; B is now LRU
+            name_b = cache.get(self.KEY_B)["name"]  # hit, refreshes B
+            name_c = cache.get(self.KEY_C)["name"]  # evicts A, not B
+            assert self.KEY_A not in cache
+            assert self.KEY_B in cache and self.KEY_C in cache
+            assert cache.drain_evicted() == [name_a]
+            assert cache.drain_evicted() == []  # drained exactly once
+            # The evicted segment really is gone.
+            with pytest.raises(FileNotFoundError):
+                SharedTable.attach(
+                    {"name": name_a, "shape": [11, 11, 11, 2], "dtype": "<f8"}
+                )
+            assert name_b != name_c
+        finally:
+            cache.close()
+
+    def test_close_unlinks_every_segment(self, shm_sentinel):
+        cache = TableCache(capacity=4)
+        spec_a = cache.get(self.KEY_A)
+        spec_b = cache.get(self.KEY_B)
+        cache.close()
+        for spec in (spec_a, spec_b):
+            with pytest.raises(FileNotFoundError):
+                SharedTable.attach(spec)
+        assert len(cache) == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            TableCache(capacity=0)

@@ -1,0 +1,118 @@
+"""The wire protocol: framing, array codec bit-exactness, error shapes.
+
+The load-bearing property is the float round trip: the serving layer's
+whole "bit-identical to a direct engine call" gate rests on JSON float
+serialization reproducing every float64 bit pattern (Python emits
+``repr`` shortest-round-trip decimals) and float32 values widening and
+re-narrowing exactly.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve import protocol
+from repro.serve.protocol import ProtocolError
+
+
+class TestArrayCodec:
+    def test_float64_round_trip_is_bit_identical(self):
+        rng = np.random.default_rng(11)
+        array = rng.standard_normal((7, 3, 5)) * 10.0 ** rng.integers(
+            -200, 200, size=(7, 3, 5)
+        )
+        # Through actual JSON text, exactly as the wire does it.
+        decoded = protocol.decode_array(
+            json.loads(json.dumps(protocol.encode_array(array)))
+        )
+        assert decoded.dtype == array.dtype
+        np.testing.assert_array_equal(
+            decoded.view(np.uint64), array.view(np.uint64)
+        )
+
+    def test_float32_round_trip_is_bit_identical(self):
+        rng = np.random.default_rng(12)
+        array = rng.standard_normal((64,)).astype(np.float32)
+        decoded = protocol.decode_array(
+            json.loads(json.dumps(protocol.encode_array(array)))
+        )
+        assert decoded.dtype == np.float32
+        np.testing.assert_array_equal(
+            decoded.view(np.uint32), array.view(np.uint32)
+        )
+
+    def test_shape_is_preserved(self):
+        array = np.arange(24, dtype=np.float64).reshape(2, 3, 4)
+        assert protocol.decode_array(protocol.encode_array(array)).shape == (
+            2,
+            3,
+            4,
+        )
+
+    def test_length_mismatch_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError, match="does not match shape"):
+            protocol.decode_array(
+                {"dtype": "<f8", "shape": [2, 3], "data": [1.0, 2.0]}
+            )
+
+    def test_malformed_array_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError, match="malformed array"):
+            protocol.decode_array({"dtype": "<f8"})
+        with pytest.raises(ProtocolError, match="malformed array"):
+            protocol.decode_array(
+                {"dtype": "not-a-dtype", "shape": [1], "data": [0.0]}
+            )
+
+
+class TestFraming:
+    def test_line_round_trip(self):
+        obj = {"id": 7, "op": "ping", "tenant": "t"}
+        line = protocol.encode_line(obj)
+        assert line.endswith(b"\n") and b"\n" not in line[:-1]
+        assert protocol.decode_line(line) == obj
+
+    def test_invalid_json_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError, match="invalid JSON"):
+            protocol.decode_line(b"{nope}\n")
+
+    def test_non_object_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError, match="must be a JSON object"):
+            protocol.decode_line(b"[1, 2, 3]\n")
+
+    def test_oversized_line_is_a_protocol_error(self):
+        line = b'{"id": "' + b"x" * protocol.MAX_LINE_BYTES + b'"}\n'
+        with pytest.raises(ProtocolError, match="exceeds"):
+            protocol.decode_line(line)
+
+
+class TestResponses:
+    def test_ok_response_echoes_id(self):
+        response = protocol.ok_response("req-9", {"pong": True})
+        assert response == {"id": "req-9", "ok": True, "result": {"pong": True}}
+
+    def test_ok_response_carries_meta_only_when_present(self):
+        assert "meta" not in protocol.ok_response(1, {})
+        assert protocol.ok_response(1, {}, {"coalesced": 3})["meta"] == {
+            "coalesced": 3
+        }
+
+    def test_error_response_shape(self):
+        response = protocol.error_response(4, "overloaded", "busy")
+        assert response["ok"] is False
+        assert response["error"] == {"code": "overloaded", "message": "busy"}
+
+    def test_unknown_code_degrades_to_internal(self):
+        response = protocol.error_response(None, "no-such-code", "boom")
+        assert response["error"]["code"] == "internal"
+        assert "no-such-code" in response["error"]["message"]
+
+    def test_protocol_error_rejects_unknown_codes(self):
+        with pytest.raises(ValueError, match="unknown protocol error code"):
+            ProtocolError("not-a-code", "boom")
+
+    def test_every_documented_code_is_constructible(self):
+        for code in protocol.ERROR_CODES:
+            assert ProtocolError(code, "x").code == code

@@ -1,0 +1,392 @@
+"""End-to-end server tests: bit-gates, coalescing, admission, recovery.
+
+The central contract is the **serving bit-gate**: whatever a tenant
+receives over the wire must be ``assert_array_equal`` to a direct
+in-process call with the same inputs — through JSON, shared memory, a
+worker process, and (crucially) regardless of which other requests
+happened to share its micro-batch.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.batched import BsplineBatched
+from repro.core.grid import Grid3D
+from repro.core.kinds import Kind
+from repro.parallel.crowd import CrowdSpec
+from repro.parallel.vmc import run_vmc_population
+from repro.serve import ServeClient, ServeError
+from repro.serve.cache import SystemKey, solve_system_table
+
+from .conftest import TINY_SYSTEM
+
+
+def direct_eval(system: dict, kind: Kind, positions: np.ndarray) -> dict:
+    """The in-process reference the served bytes must equal exactly."""
+    key = SystemKey(
+        system["n_orbitals"],
+        system["box"],
+        system["grid_shape"],
+        system.get("dtype", "float64"),
+    )
+    table = solve_system_table(key)
+    nx, ny, nz = key.grid_shape
+    engine = BsplineBatched(Grid3D(nx, ny, nz, (1.0, 1.0, 1.0)), table)
+    out = engine.new_output(kind, n=len(positions))
+    engine.evaluate_batch(kind, positions, out)
+    return {stream: getattr(out, stream) for stream in kind.streams}
+
+
+@pytest.fixture(scope="module")
+def server():
+    """One shared server for the read-only tests in this module."""
+    from repro.serve import ServeConfig, ServerThread
+
+    config = ServeConfig(
+        workers=2,
+        max_batch=8,
+        max_wait_us=20000.0,
+        table_cache=4,
+        worker_timeout=60.0,
+        drain_timeout=20.0,
+    )
+    with ServerThread(config) as st:
+        yield st
+
+
+class TestBasics:
+    def test_ping(self, server):
+        with ServeClient(server.address) as client:
+            assert client.ping() is True
+
+    def test_stats_reports_config_and_metrics(self, server):
+        with ServeClient(server.address) as client:
+            client.ping()
+            stats = client.stats()
+        assert stats["workers"] == 2
+        assert stats["max_batch"] == 8
+        assert stats["draining"] is False
+        assert stats["default_backend"] == "numpy"
+        assert any(
+            "serve_requests_total" in name for name in stats["metrics"]
+        )
+
+    def test_unknown_op_is_a_clean_error(self, server):
+        with ServeClient(server.address) as client:
+            with pytest.raises(ServeError, match="unknown op") as excinfo:
+                client.request("launch")
+            assert excinfo.value.code == "bad_request"
+            assert client.ping()  # connection survives the error
+
+    def test_garbage_line_is_a_clean_error(self, server):
+        with ServeClient(server.address) as client:
+            client._file.write(b"this is not json\n")
+            client._file.flush()
+            import json
+
+            response = json.loads(client._file.readline())
+            assert response["ok"] is False
+            assert response["error"]["code"] == "bad_request"
+            assert client.ping()
+
+    @pytest.mark.parametrize(
+        "field, value, match",
+        [
+            ("kind", "gradient-only", "kind"),
+            ("positions", [[0.5, 0.5]], "positions"),
+            ("positions", [[0.5, 0.5, 1.5]], "fractional"),
+            ("positions", [[0.5, float("nan"), 0.5]], "finite"),
+            ("system", {"n_orbitals": 0}, "n_orbitals"),
+            ("system", {"grid_shape": [8, 8]}, "grid_shape"),
+            ("system", {"dtype": "int32"}, "dtype"),
+            ("backend", 7, "backend"),
+        ],
+    )
+    def test_invalid_eval_fields_are_bad_requests(
+        self, server, field, value, match
+    ):
+        request = {
+            "system": dict(TINY_SYSTEM),
+            "kind": "v",
+            "positions": [[0.5, 0.5, 0.5]],
+        }
+        request[field] = value
+        with ServeClient(server.address) as client:
+            with pytest.raises(ServeError, match=match) as excinfo:
+                client.request("eval", **request)
+            assert excinfo.value.code == "bad_request"
+
+    def test_unknown_backend_is_backend_unavailable(self, server):
+        with ServeClient(server.address) as client:
+            with pytest.raises(ServeError) as excinfo:
+                client.evaluate(
+                    [[0.5, 0.5, 0.5]],
+                    kind="v",
+                    system=TINY_SYSTEM,
+                    backend="no-such-backend",
+                )
+            assert excinfo.value.code == "backend_unavailable"
+
+
+class TestServedEvalBitGate:
+    @pytest.mark.parametrize("kind", [Kind.V, Kind.VGL, Kind.VGH])
+    def test_each_kind_matches_direct_call_bitwise(self, server, kind):
+        positions = np.random.default_rng(3).random((6, 3))
+        reference = direct_eval(TINY_SYSTEM, kind, positions)
+        with ServeClient(server.address) as client:
+            streams, _ = client.evaluate(
+                positions, kind=kind.value, system=TINY_SYSTEM
+            )
+        assert set(streams) == set(kind.streams)
+        for name in kind.streams:
+            np.testing.assert_array_equal(streams[name], reference[name])
+
+    def test_float32_table_served_bitwise(self, server):
+        system = dict(TINY_SYSTEM, dtype="float32")
+        positions = np.random.default_rng(4).random((5, 3))
+        reference = direct_eval(system, Kind.VGH, positions)
+        with ServeClient(server.address) as client:
+            streams, _ = client.evaluate(
+                positions, kind="vgh", system=system
+            )
+        assert streams["v"].dtype == np.float32
+        for name in Kind.VGH.streams:
+            np.testing.assert_array_equal(streams[name], reference[name])
+
+
+class TestCoalescing:
+    def test_concurrent_tenants_coalesce_and_stay_bit_identical(self, server):
+        """Eight tenants fire compatible requests together: at least one
+        fused batch must form, and every tenant's slice must equal its
+        solo reference bitwise — coalescing moves latency, not bits."""
+        n_tenants = 8
+        rng = np.random.default_rng(9)
+        payloads = [rng.random((3 + i % 3, 3)) for i in range(n_tenants)]
+        barrier = threading.Barrier(n_tenants)
+        results: list[tuple] = [None] * n_tenants
+
+        def tenant(i: int) -> None:
+            with ServeClient(server.address, tenant=f"tenant-{i}") as client:
+                barrier.wait()
+                results[i] = client.evaluate(
+                    payloads[i], kind="vgh", system=TINY_SYSTEM
+                )
+
+        threads = [
+            threading.Thread(target=tenant, args=(i,))
+            for i in range(n_tenants)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert all(r is not None for r in results)
+        for i, (streams, _) in enumerate(results):
+            reference = direct_eval(TINY_SYSTEM, Kind.VGH, payloads[i])
+            for name in Kind.VGH.streams:
+                np.testing.assert_array_equal(streams[name], reference[name])
+        coalesced = [meta["coalesced"] for _, meta in results]
+        assert max(coalesced) > 1, (
+            f"no cross-request batch formed (coalesced={coalesced})"
+        )
+
+    def test_incompatible_kinds_do_not_share_a_batch(self, server):
+        """A V and a VGH request racing the same window must not fuse —
+        each still equals its own reference."""
+        positions = np.random.default_rng(10).random((4, 3))
+        outcome: dict[str, tuple] = {}
+        barrier = threading.Barrier(2)
+
+        def tenant(kind: str) -> None:
+            with ServeClient(server.address, tenant=kind) as client:
+                barrier.wait()
+                outcome[kind] = client.evaluate(
+                    positions, kind=kind, system=TINY_SYSTEM
+                )
+
+        threads = [
+            threading.Thread(target=tenant, args=(k,)) for k in ("v", "vgh")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert set(outcome["v"][0]) == {"v"}
+        assert set(outcome["vgh"][0]) == {"v", "g", "l", "h"}
+        for kind in ("v", "vgh"):
+            reference = direct_eval(TINY_SYSTEM, Kind(kind), positions)
+            for name in Kind(kind).streams:
+                np.testing.assert_array_equal(
+                    outcome[kind][0][name], reference[name]
+                )
+
+
+class TestServedQmcRuns:
+    def test_vmc_matches_inprocess_population_bitwise(self, server):
+        spec = CrowdSpec(
+            n_walkers=3, n_orbitals=2, grid_shape=(8, 8, 8), seed=41
+        )
+        reference = run_vmc_population(
+            spec, n_steps=4, n_warmup=1, tau=0.3, processes=False
+        )
+        with ServeClient(server.address) as client:
+            served = client.vmc(
+                system=TINY_SYSTEM,
+                n_walkers=3,
+                n_steps=4,
+                n_warmup=1,
+                tau=0.3,
+                seed=41,
+            )
+        np.testing.assert_array_equal(served["energies"], reference.energies)
+
+    def test_dmc_matches_direct_run_bitwise(self, server):
+        from repro.qmc.dmc import build_dmc_ensemble, run_dmc
+        from repro.qmc.rng import WalkerRngPool
+
+        pool = WalkerRngPool(23)
+        walkers = build_dmc_ensemble(
+            pool, 2, n_orbitals=2, box=6.0, grid_shape=(8, 8, 8)
+        )
+        reference = run_dmc(
+            walkers, pool, n_generations=3, tau=0.05, ion_charge=4.0
+        )
+        with ServeClient(server.address) as client:
+            served = client.dmc(
+                system=TINY_SYSTEM, n_walkers=2, n_generations=3, seed=23
+            )
+        np.testing.assert_array_equal(
+            served["energy_trace"], np.asarray(reference.energy_trace)
+        )
+        np.testing.assert_array_equal(
+            served["population_trace"], np.asarray(reference.population_trace)
+        )
+
+
+class TestAdmissionControl:
+    def test_zero_pending_budget_rejects_work_but_serves_pings(
+        self, make_server
+    ):
+        server = make_server(max_pending=0, workers=1)
+        with ServeClient(server.address) as client:
+            assert client.ping()  # health checks bypass admission
+            with pytest.raises(ServeError) as excinfo:
+                client.evaluate([[0.5, 0.5, 0.5]], kind="v", system=TINY_SYSTEM)
+            assert excinfo.value.code == "overloaded"
+            stats = client.stats()
+            rejected = [
+                entry["value"]
+                for name, entry in stats["metrics"].items()
+                if "serve_rejected_total" in name
+                and "reason=overloaded" in name
+            ]
+            assert rejected and rejected[0] >= 1
+
+    def test_zero_tenant_budget_rejects_that_tenant(self, make_server):
+        server = make_server(tenant_inflight=0, workers=1)
+        with ServeClient(server.address, tenant="greedy") as client:
+            with pytest.raises(ServeError) as excinfo:
+                client.evaluate([[0.5, 0.5, 0.5]], kind="v", system=TINY_SYSTEM)
+            assert excinfo.value.code == "tenant_limit"
+            assert "greedy" in str(excinfo.value)
+
+
+class TestLifecycle:
+    def test_lru_eviction_under_live_serving(self, make_server, shm_sentinel):
+        """With a one-entry cache, alternating systems force eviction,
+        re-solve and worker re-attach — every answer stays bit-exact,
+        and shutdown leaves no segments behind."""
+        server = make_server(table_cache=1, workers=1)
+        system_a = dict(TINY_SYSTEM)
+        system_b = dict(TINY_SYSTEM, grid_shape=[10, 10, 10])
+        positions = np.random.default_rng(6).random((4, 3))
+        with ServeClient(server.address) as client:
+            for system in (system_a, system_b, system_a, system_b):
+                streams, _ = client.evaluate(
+                    positions, kind="vgl", system=system
+                )
+                reference = direct_eval(system, Kind.VGL, positions)
+                for name in Kind.VGL.streams:
+                    np.testing.assert_array_equal(
+                        streams[name], reference[name]
+                    )
+            stats = client.stats()
+            assert stats["tables_cached"] == 1
+            evictions = [
+                entry["value"]
+                for name, entry in stats["metrics"].items()
+                if "serve_table_evictions_total" in name
+            ]
+            assert evictions and evictions[0] >= 3
+        server.stop()
+
+    def test_graceful_drain_finishes_inflight_work(self, make_server):
+        """A request racing shutdown either completes normally or is
+        refused with ``draining`` — never dropped on the floor."""
+        server = make_server(workers=1)
+        outcome: dict[str, object] = {}
+
+        def long_request() -> None:
+            try:
+                with ServeClient(server.address) as client:
+                    outcome["vmc"] = client.vmc(
+                        system=TINY_SYSTEM, n_walkers=4, n_steps=40, seed=7
+                    )
+            except (ServeError, ConnectionError) as exc:
+                outcome["error"] = exc
+
+        thread = threading.Thread(target=long_request)
+        thread.start()
+        time.sleep(0.3)  # let the request reach the worker
+        server.stop()
+        thread.join(timeout=60)
+        if "error" in outcome:
+            error = outcome["error"]
+            assert isinstance(error, ServeError) and error.code == "draining"
+        else:
+            assert outcome["vmc"]["energies"].shape == (4, 40)
+
+    def test_shutdown_leaves_no_segments_or_workers(
+        self, make_server, shm_sentinel
+    ):
+        server = make_server(workers=2)
+        with ServeClient(server.address) as client:
+            client.evaluate(
+                [[0.25, 0.5, 0.75]], kind="vgh", system=TINY_SYSTEM
+            )
+        pids = server.server._pool.pids
+        server.stop()
+        import os
+
+        for pid in pids:
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)
+
+
+class TestWorkerRecovery:
+    def test_worker_crash_surfaces_and_next_request_is_served(
+        self, make_server
+    ):
+        """A worker SIGKILLed mid-batch yields one ``internal`` error;
+        the pool replaces the worker and the very next request (same
+        connection) is served correctly — one tenant's crash never
+        poisons the next."""
+        server = make_server(workers=1)
+        positions = np.random.default_rng(8).random((3, 3))
+        with ServeClient(server.address) as client:
+            client.evaluate(positions, kind="v", system=TINY_SYSTEM)
+            server.server._pool.arm_chaos(0, "sigkill")
+            with pytest.raises(ServeError) as excinfo:
+                client.evaluate(positions, kind="v", system=TINY_SYSTEM)
+            assert excinfo.value.code == "internal"
+            streams, _ = client.evaluate(
+                positions, kind="vgh", system=TINY_SYSTEM
+            )
+        reference = direct_eval(TINY_SYSTEM, Kind.VGH, positions)
+        for name in Kind.VGH.streams:
+            np.testing.assert_array_equal(streams[name], reference[name])

@@ -35,8 +35,15 @@ class TestReadme:
         from repro.reproduce import ALL_TARGETS
 
         for target in re.findall(r"python -m repro (\w+)", readme):
-            # "dmc" is the live-run subcommand, not a reproduction target.
-            assert target in ALL_TARGETS or target in ("list", "all", "dmc"), target
+            # "dmc" and "serve"/"serve-client" are live-run subcommands,
+            # not reproduction targets ("serve" also matches the \w+ prefix
+            # of "serve-client").
+            assert target in ALL_TARGETS or target in (
+                "list",
+                "all",
+                "dmc",
+                "serve",
+            ), target
 
 
 class TestPackageDocstring:
