@@ -77,11 +77,26 @@ def _dmc_main(argv: list[str]) -> int:
     )
     parser.add_argument(
         "--step-mode",
-        default="batched",
+        default=None,
         choices=("batched", "walker"),
         help="advance the population through the batched crowd kernels "
         "(default) or the per-walker sweep; trajectories are "
-        "bit-identical either way",
+        "bit-identical either way; unset resolves through --config / "
+        "REPRO_STEP_MODE",
+    )
+    parser.add_argument(
+        "--config",
+        default=None,
+        metavar="FILE",
+        help="JSON RunConfig file (repro.config.RunConfig.as_dict "
+        "layout); explicit flags like --tile-size/--chunk/--backend "
+        "still win",
+    )
+    parser.add_argument(
+        "--no-tune",
+        action="store_true",
+        help="skip the per-host tuned-config DB (rung 3 of the "
+        "resolution order); blocking falls back to the cache heuristic",
     )
     parser.add_argument(
         "--elastic",
@@ -173,6 +188,27 @@ def _dmc_main(argv: list[str]) -> int:
             backend = resolve_backend(backend).name
         except (BackendUnavailable, BackendConformanceError) as exc:
             parser.error(str(exc))
+    from repro.config import TUNE_OFF, RunConfig, load_run_config
+
+    try:
+        run_config = (
+            load_run_config(args.config) if args.config else RunConfig.from_env()
+        )
+    except (OSError, ValueError) as exc:
+        parser.error(str(exc))
+    overrides = {
+        k: v
+        for k, v in (
+            ("tile_size", args.tile_size),
+            ("chunk_size", args.chunk),
+            ("backend", backend),
+        )
+        if v is not None
+    }
+    if args.no_tune:
+        overrides["tune"] = TUNE_OFF
+    if overrides:
+        run_config = run_config.replace(**overrides)
     observe = args.metrics_out is not None or args.trace_out is not None
     if observe:
         OBS.reset()
@@ -199,9 +235,7 @@ def _dmc_main(argv: list[str]) -> int:
                 n_walkers=args.walkers,
                 n_orbitals=args.n_orbitals,
                 seed=args.seed,
-                tile_size=args.tile_size,
-                chunk_size=args.chunk,
-                backend=backend,
+                config=run_config,
             )
             result = run_dmc_sharded(
                 spec,
@@ -224,9 +258,7 @@ def _dmc_main(argv: list[str]) -> int:
                 pool,
                 args.walkers,
                 n_orbitals=args.n_orbitals,
-                tile_size=args.tile_size,
-                chunk_size=args.chunk,
-                backend=backend,
+                config=run_config,
             )
             result = run_dmc(
                 walkers,
@@ -238,6 +270,7 @@ def _dmc_main(argv: list[str]) -> int:
                 resume=args.resume,
                 guard=GuardConfig(on_nonfinite_energy=args.on_bad_energy),
                 step_mode=args.step_mode,
+                config=run_config,
             )
     except CheckpointError as exc:
         print(f"python -m repro dmc: error: {exc}", file=sys.stderr)
@@ -279,6 +312,10 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "dmc":
         return _dmc_main(argv[1:])
+    if argv and argv[0] == "tune":
+        from repro.tune.cli import main as tune_main
+
+        return tune_main(argv[1:])
     if argv and argv[0] == "serve":
         from repro.serve.server import main as serve_main
 
@@ -296,6 +333,7 @@ def main(argv: list[str] | None = None) -> int:
         "target",
         help="one of: " + ", ".join(ALL_TARGETS) + ", all, list, "
         "dmc (restartable live DMC run; see 'dmc --help'), "
+        "tune (the per-host auto-tuner DB; see 'tune --help'), "
         "serve / serve-client (the QMC service; see 'serve --help')",
     )
     args = parser.parse_args(argv)
@@ -304,6 +342,7 @@ def main(argv: list[str] | None = None) -> int:
         for name, (_, desc) in ALL_TARGETS.items():
             print(f"  {name:10s} {desc}")
         print("  dmc        restartable live DMC run (--checkpoint-every/--resume)")
+        print("  tune       measure/show/clear the per-host tuned-config DB")
         print("  serve      multi-tenant QMC service with cross-request batching")
         print("  serve-client  talk to a running serve instance")
         return 0

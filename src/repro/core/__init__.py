@@ -24,7 +24,7 @@ Public surface:
 * Tiling arithmetic and auto-tuning: :mod:`repro.core.tiling`.
 * Batched-path cache planning: :func:`pad_table_3d` (ghost-padded
   tables), :func:`detect_caches` / :func:`plan_tiles` and their result
-  types :class:`CacheInfo` / :class:`TilePlan` (:mod:`repro.core.tune`).
+  types :class:`CacheInfo` / :class:`TilePlan` (:mod:`repro.tune.planner`).
 * Reference oracles: :mod:`repro.core.refimpl` (single-position),
   :mod:`repro.core.batched_reference` (pre-padding batched path).
 """
@@ -54,7 +54,7 @@ from repro.core.layout_fused import BsplineFused
 from repro.core.layout_soa import BsplineSoA
 from repro.core.nested import NestedEvaluator, partition_tiles
 from repro.core.spline1d import CubicBspline1D
-from repro.core.tune import CacheInfo, TilePlan, detect_caches, plan_tiles
+from repro.tune.planner import CacheInfo, TilePlan, detect_caches, plan_tiles
 from repro.core.tiling import (
     autotune_tile_size,
     candidate_tile_sizes,

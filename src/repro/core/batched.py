@@ -22,7 +22,7 @@ The memory path applies the paper's Opt A/Opt B ideas to the batch axis:
 * **Cache-sized chunks and spline tiles.**  Positions stream through
   ``chunk``-sized gathers and the contraction cores walk the spline
   axis in ``tile``-wide views (the paper's Nb), both picked by the
-  cache-aware auto-tuner (:mod:`repro.core.tune`) unless overridden via
+  cache-aware auto-tuner (:mod:`repro.tune.planner`) unless overridden via
   ``chunk_size``/``tile_size``.  Ghost values are exact copies and the
   z->y->x einsum order is untouched, so results are **bitwise
   identical** to the unpadded, untiled PR4 path
@@ -56,7 +56,7 @@ from repro.core.basis import bspline_weights_batch
 from repro.core.coeffs import pad_table_3d
 from repro.core.grid import Grid3D
 from repro.core.kinds import Kind
-from repro.core.tune import TilePlan, plan_tiles
+from repro.tune.planner import TilePlan, plan_tiles
 from repro.core.walker import HESS_COMPONENTS
 from repro.obs import OBS
 
@@ -159,7 +159,7 @@ class BsplineBatched:
         itemsize)`` (>= 1).  Mutually exclusive with ``chunk_size``.
     chunk_size:
         Positions per gather pass.  ``None`` lets the cache-aware
-        auto-tuner (:mod:`repro.core.tune`) pick.
+        auto-tuner (:mod:`repro.tune.planner`) pick.
     tile_size:
         Splines per contraction-core pass (the paper's Nb), applied as
         views of the chunk's gathered blocks.  ``None`` auto-tunes
@@ -173,6 +173,12 @@ class BsplineBatched:
         (used as-is — the conformance harness's hook), or ``None`` —
         the ``REPRO_BACKEND`` environment variable if set, else the
         exact-tier NumPy path.  See :func:`repro.backends.resolve_backend`.
+    config:
+        A :class:`repro.config.RunConfig` supplying defaults for
+        ``chunk_size``/``tile_size``/``backend``; an explicit kwarg
+        still wins.  Pass a config resolved via
+        :meth:`~repro.config.RunConfig.resolved_for` to get tuned-DB
+        blocking; an unresolved config behaves like its raw fields.
 
     Notes
     -----
@@ -194,7 +200,20 @@ class BsplineBatched:
         chunk_size: int | None = None,
         tile_size: int | None = None,
         backend=None,
+        config=None,
     ):
+        # ``config`` (a repro.config.RunConfig) supplies defaults for the
+        # low-level knobs; an explicit kwarg still wins (rung 1 of the
+        # documented resolution order).  The kwargs themselves are NOT
+        # deprecated here — BsplineBatched is the primitive the resolved
+        # config is ultimately spelled in.
+        if config is not None:
+            if chunk_size is None:
+                chunk_size = config.chunk_size
+            if tile_size is None:
+                tile_size = config.tile_size
+            if backend is None:
+                backend = config.backend
         if coefficients.ndim != 4:
             raise ValueError(
                 f"coefficients must be (nx, ny, nz, N), got {coefficients.shape}"
@@ -256,7 +275,7 @@ class BsplineBatched:
                 tile=tile_size,
             )
         self.max_batch_bytes = max_batch_bytes
-        #: The resolved :class:`repro.core.tune.TilePlan`.
+        #: The resolved :class:`repro.tune.planner.TilePlan`.
         self.plan: TilePlan = plan
         self._chunk = plan.chunk
         self._tile = plan.tile

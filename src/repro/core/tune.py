@@ -1,261 +1,32 @@
-"""Cache-aware (chunk, tile) planning for the batched B-spline kernels.
+"""Deprecated alias for :mod:`repro.tune.planner` (moved in PR9).
 
-The batched engine's dominant temporary is the gathered stencil block,
-``chunk x 64 x Nb`` coefficients, plus the z/y contraction temporaries
-and the output slabs.  Left unbounded (the PR4 behaviour: one gather for
-the whole batch), the working set of a production-shaped call — 512
-positions x 64 x 512 splines in double precision is 8 GB-scale traffic
-through ~MB-scale caches — overflows the last-level cache and every
-einsum pass re-streams the blocks from DRAM.  This module picks a
-``(chunk, tile)`` pair so the per-chunk working set stays cache-resident,
-the same arithmetic the paper's Opt B applies to the AoSoA tile size
-(Sec. IV-B), applied to the batched path.
+The cache-budget heuristic grew an empirical, persistent tier and was
+promoted to its own package, :mod:`repro.tune`.  This shim keeps every
+old spelling importable for one release:
 
-Policy (measured on the reproduction host, where it recovers 2.4-3x on
-the VGH kernel at N >= 256):
+* ``from repro.core.tune import plan_tiles``  → still works, warns once;
+* ``from repro.core import plan_tiles``       → unchanged, no warning
+  (the :mod:`repro.core` re-exports are the supported spelling).
 
-* **budget** — the per-chunk byte target: ``min(max(4*L2, 4 MiB),
-  max(LLC/4, 2 MiB))``.  A few L2-sized chunks in flight keep the
-  gather + three einsum passes inside the private cache plus a thin
-  LLC slice; overridable via ``REPRO_BATCHED_BUDGET_BYTES``.
-* **chunk** — positions per gather: ``budget // (64 * tile * itemsize)``
-  clamped to ``[CHUNK_MIN, CHUNK_MAX]``.  Below ~16 positions Python
-  dispatch overhead dominates; above ~256 there is nothing left to win.
-* **tile** — splines per contraction core pass (the paper's Nb): the
-  full ``N`` unless even a ``CHUNK_MIN``-position gather would overflow
-  the budget (very wide tables), in which case the spline axis is
-  blocked too.  Tiles are views of the chunk's gathered blocks, so the
-  z->y->x einsum order — and therefore every output bit — is unchanged.
-
-Cache sizes come from ``/sys/devices/system/cpu`` when readable, with
-``REPRO_L2_BYTES`` / ``REPRO_LLC_BYTES`` environment overrides for
-containers and cross-host reproducibility, and conservative defaults
-otherwise.  The chosen plan is reported through the observability layer
-by :class:`repro.core.BsplineBatched` (gauges ``batched_chunk_positions``,
-``batched_tile_splines``, ``batched_working_set_bytes``).
+New code should import from :mod:`repro.tune` (or, for the full
+empirical tier, :mod:`repro.tune.search`).
 """
 
 from __future__ import annotations
 
-import os
-from dataclasses import dataclass
-from functools import lru_cache
+import warnings
 
-__all__ = ["CacheInfo", "TilePlan", "detect_caches", "plan_tiles"]
+from repro.tune.planner import *  # noqa: F401,F403
+from repro.tune.planner import (  # noqa: F401  (private helpers some tests poke)
+    CHUNK_MAX,
+    CHUNK_MIN,
+    TILE_MIN,
+    __all__,
+)
 
-KiB = 1024
-MiB = 1024 * KiB
-
-#: Position-chunk clamp: below CHUNK_MIN per-chunk Python overhead wins,
-#: above CHUNK_MAX the working set is past every private cache anyway.
-CHUNK_MIN = 16
-CHUNK_MAX = 256
-#: Smallest spline tile worth a separate core pass.
-TILE_MIN = 16
-
-#: Conservative fallbacks when /sys is unreadable and no env override set.
-DEFAULT_L2_BYTES = 1 * MiB
-DEFAULT_LLC_BYTES = 16 * MiB
-
-_SYS_CACHE_DIR = "/sys/devices/system/cpu/cpu0/cache"
-
-
-@dataclass(frozen=True)
-class CacheInfo:
-    """Detected (or configured) cache sizes in bytes.
-
-    ``source`` records where the numbers came from: ``"env"`` (the
-    ``REPRO_L2_BYTES``/``REPRO_LLC_BYTES`` overrides), ``"sysfs"``, or
-    ``"default"`` — so benchmark reports stay honest about provenance.
-    """
-
-    l2_bytes: int
-    llc_bytes: int
-    source: str
-
-
-def _parse_size(text: str) -> int | None:
-    """Parse a sysfs cache size like ``'2048K'`` / ``'260M'`` to bytes."""
-    text = text.strip()
-    if not text:
-        return None
-    mult = 1
-    if text[-1] in "Kk":
-        mult, text = KiB, text[:-1]
-    elif text[-1] in "Mm":
-        mult, text = MiB, text[:-1]
-    try:
-        return int(text) * mult
-    except ValueError:
-        return None
-
-
-def _read_sysfs_caches(root: str = _SYS_CACHE_DIR) -> dict[int, int]:
-    """Data/unified cache size per level from sysfs; empty if unreadable."""
-    sizes: dict[int, int] = {}
-    try:
-        entries = sorted(os.listdir(root))
-    except OSError:
-        return sizes
-    for entry in entries:
-        if not entry.startswith("index"):
-            continue
-        base = os.path.join(root, entry)
-        try:
-            with open(os.path.join(base, "type")) as f:
-                ctype = f.read().strip()
-            if ctype == "Instruction":
-                continue
-            with open(os.path.join(base, "level")) as f:
-                level = int(f.read().strip())
-            with open(os.path.join(base, "size")) as f:
-                size = _parse_size(f.read())
-        except (OSError, ValueError):
-            continue
-        if size:
-            sizes[level] = max(sizes.get(level, 0), size)
-    return sizes
-
-
-@lru_cache(maxsize=None)
-def _detect_caches_cached(env_l2: str | None, env_llc: str | None) -> CacheInfo:
-    l2 = int(env_l2) if env_l2 else None
-    llc = int(env_llc) if env_llc else None
-    source = "env" if (l2 or llc) else None
-    if l2 is None or llc is None:
-        sizes = _read_sysfs_caches()
-        if sizes:
-            if l2 is None:
-                l2 = sizes.get(2)
-            if llc is None:
-                llc = sizes.get(max(sizes))
-            source = source or "sysfs"
-    if l2 is None:
-        l2 = DEFAULT_L2_BYTES
-    if llc is None:
-        llc = DEFAULT_LLC_BYTES
-    return CacheInfo(
-        l2_bytes=l2, llc_bytes=max(llc, l2), source=source or "default"
-    )
-
-
-def detect_caches() -> CacheInfo:
-    """L2 and last-level cache sizes for this host.
-
-    Environment overrides ``REPRO_L2_BYTES`` / ``REPRO_LLC_BYTES`` win
-    over sysfs; the result is cached per override pair (cache sizes do
-    not change under a running process).
-    """
-    return _detect_caches_cached(
-        os.environ.get("REPRO_L2_BYTES") or None,
-        os.environ.get("REPRO_LLC_BYTES") or None,
-    )
-
-
-def gather_bytes(chunk: int, tile: int, itemsize: int) -> int:
-    """Bytes of one gathered stencil block, ``chunk x 64 x tile``."""
-    return 64 * chunk * tile * itemsize
-
-
-def working_set_bytes(chunk: int, tile: int, itemsize: int) -> int:
-    """Peak per-chunk working set of the VGH core at ``(chunk, tile)``.
-
-    Gathered blocks (``64 c t``) + three z-pass temporaries (``16 c t``
-    each) + six y-pass temporaries (``4 c t`` each) + the eleven output
-    streams (v, 3 gradient, laplacian, 6 Hessian components): 147
-    elements per (position, spline) pair.
-    """
-    return (64 + 3 * 16 + 6 * 4 + 11) * chunk * tile * itemsize
-
-
-@dataclass(frozen=True)
-class TilePlan:
-    """A resolved (chunk, tile) decision plus the inputs that drove it.
-
-    Attributes
-    ----------
-    chunk:
-        Positions gathered and contracted per pass.
-    tile:
-        Splines per contraction-core pass (the paper's Nb); ``tile ==
-        n_splines`` means the spline axis is not blocked.
-    n_splines, itemsize:
-        The table geometry the plan was computed for.
-    budget_bytes:
-        The per-chunk byte target the sizes were fitted to.
-    working_set_bytes:
-        Modeled peak per-chunk VGH working set at (chunk, tile).
-    source:
-        ``"auto"`` (cache-derived), ``"override"`` (explicit
-        chunk/tile), or ``"max_batch_bytes"`` (legacy cap semantics).
-    caches:
-        The :class:`CacheInfo` consulted (None for pure overrides).
-    """
-
-    chunk: int
-    tile: int
-    n_splines: int
-    itemsize: int
-    budget_bytes: int
-    working_set_bytes: int
-    source: str
-    caches: CacheInfo | None = None
-
-
-def plan_budget_bytes(caches: CacheInfo) -> int:
-    """The per-chunk byte target for a host's cache hierarchy."""
-    return min(max(4 * caches.l2_bytes, 4 * MiB), max(caches.llc_bytes // 4, 2 * MiB))
-
-
-def plan_tiles(
-    n_splines: int,
-    itemsize: int,
-    chunk: int | None = None,
-    tile: int | None = None,
-    caches: CacheInfo | None = None,
-    budget_bytes: int | None = None,
-) -> TilePlan:
-    """Pick (chunk, tile) for a batched engine over an ``N``-spline table.
-
-    With ``chunk``/``tile`` given they are taken verbatim (clamped to
-    valid ranges) and the plan is marked ``"override"``; otherwise both
-    are derived from the cache budget as described in the module
-    docstring.  ``budget_bytes`` (or ``REPRO_BATCHED_BUDGET_BYTES``)
-    replaces the cache-derived target.
-    """
-    if n_splines <= 0:
-        raise ValueError(f"n_splines must be positive, got {n_splines}")
-    if chunk is not None and chunk <= 0:
-        raise ValueError(f"chunk must be positive, got {chunk}")
-    if tile is not None and tile <= 0:
-        raise ValueError(f"tile must be positive, got {tile}")
-    override = chunk is not None or tile is not None
-    if budget_bytes is None:
-        env = os.environ.get("REPRO_BATCHED_BUDGET_BYTES")
-        budget_bytes = int(env) if env else None
-    if budget_bytes is None:
-        if caches is None:
-            caches = detect_caches()
-        budget_bytes = plan_budget_bytes(caches)
-    if tile is None:
-        if gather_bytes(CHUNK_MIN, n_splines, itemsize) <= budget_bytes:
-            tile = n_splines
-        else:
-            # Even the smallest worthwhile chunk overflows at full N:
-            # block the spline axis down to a budget-sized tile.
-            tile = budget_bytes // (64 * CHUNK_MIN * itemsize)
-            tile = max(TILE_MIN, (tile // TILE_MIN) * TILE_MIN)
-    tile = min(tile, n_splines)
-    if chunk is None:
-        chunk = budget_bytes // (64 * tile * itemsize)
-        chunk = min(max(chunk, CHUNK_MIN), CHUNK_MAX)
-    return TilePlan(
-        chunk=int(chunk),
-        tile=int(tile),
-        n_splines=int(n_splines),
-        itemsize=int(itemsize),
-        budget_bytes=int(budget_bytes),
-        working_set_bytes=working_set_bytes(chunk, tile, itemsize),
-        source="override" if override else "auto",
-        caches=caches,
-    )
+warnings.warn(
+    "repro.core.tune moved to repro.tune.planner in PR9; this alias will be "
+    "removed next release. Import from repro.tune instead.",
+    DeprecationWarning,
+    stacklevel=2,
+)

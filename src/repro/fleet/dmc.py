@@ -174,7 +174,7 @@ def run_dmc_supervised(
     resume=None,
     guard: GuardConfig | None = None,
     start_method: str | None = None,
-    step_mode: str = "batched",
+    step_mode: str | None = None,
     fleet: FleetConfig | None = None,
     injector: FaultInjector | None = None,
 ) -> DmcResult:
@@ -190,8 +190,13 @@ def run_dmc_supervised(
 
     The supervision outcome lands on ``result.fleet`` (restart /
     rebalance / scale counts, MTTR samples, final worker count) and, when
-    observability is on, in the OBS registry.
+    observability is on, in the OBS registry.  ``step_mode=None``
+    resolves through the spec's :class:`~repro.config.RunConfig`, then
+    ``REPRO_STEP_MODE``.
     """
+    from repro.config import effective_step_mode
+
+    step_mode = effective_step_mode(step_mode, spec.config)
     if step_mode not in ("batched", "walker"):
         raise ValueError(
             f"step_mode must be 'batched' or 'walker', got {step_mode!r}"

@@ -36,6 +36,7 @@ from repro.hwsim.machine import (
     PAPER_CORES_USED,
     PAPER_WALKERS,
     MachineSpec,
+    host_machine_spec,
 )
 from repro.hwsim.perfmodel import (
     DEFAULT_CONFIG,
@@ -66,6 +67,7 @@ __all__ = [
     "MACHINES",
     "PAPER_WALKERS",
     "PAPER_CORES_USED",
+    "host_machine_spec",
     "KernelCounts",
     "kernel_counts",
     "STENCIL_POINTS",

@@ -218,6 +218,43 @@ BGQ = MachineSpec(
 #: All four paper machines, keyed by name.
 MACHINES = {m.name: m for m in (BDW, KNC, KNL, BGQ)}
 
+
+def host_machine_spec(
+    l2_bytes: int,
+    llc_bytes: int,
+    cpu_count: int = 1,
+    name: str = "HOST",
+) -> MachineSpec:
+    """A :class:`MachineSpec` describing *this* host, for model-guided tuning.
+
+    The empirical tuner (:mod:`repro.tune.search`) uses the execution-time
+    model only to *rank* candidate blockings before measuring the
+    survivors, so the spec needs the host's real cache hierarchy (the
+    term the ranking is sensitive to) but can carry conservative
+    laptop-class constants everywhere the model needs an absolute number
+    — those cancel in the ranking.  Never used for paper figures.
+    """
+    llc = max(int(llc_bytes), int(l2_bytes))
+    return MachineSpec(
+        name=name,
+        cores=max(int(cpu_count), 1),
+        smt=1,
+        simd_bits=256,
+        freq_ghz=2.5,
+        l1d_bytes=32 * KB,
+        l2_bytes=max(int(l2_bytes), 64 * KB),
+        l2_cores_per_domain=1,
+        llc_bytes=llc,
+        stream_bw=20 * GB,
+        llc_bw=60 * GB,
+        ddr_bw=20 * GB,
+        fma_per_cycle=2,
+        gather_penalty=3.0,
+        smt_efficiency=0.6,
+        accum_budget_bytes=32 * KB,
+        nested_overhead=0.1,
+    )
+
 #: Walkers per node used throughout the paper's experiments (Sec. VI):
 #: one per hardware thread actually used.
 PAPER_WALKERS = {"BDW": 36, "KNC": 240, "KNL": 256, "BGQ": 64}

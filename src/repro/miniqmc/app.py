@@ -119,6 +119,7 @@ def build_app(
     tile_size: int | None = None,
     chunk_size: int | None = None,
     backend: str | None = None,
+    config=None,
 ) -> AppInstance:
     """Assemble a miniQMC problem on a cubic cell.
 
@@ -139,16 +140,43 @@ def build_app(
     with_pseudopotential:
         Attach a nonlocal pseudopotential channel, whose quadrature is
         the application's consumer of the V kernel (paper Sec. IV).
-    tile_size, chunk_size:
-        Batched-kernel knobs (splines per contraction tile, positions
-        per gather chunk); ``None`` auto-tunes.  Trajectories are
-        bitwise invariant to either.
-    backend:
-        Kernel backend for the batched B-spline cores (``None`` =
-        env/NumPy default, ``"auto"``, or a registered name).  Exact-tier
-        backends keep trajectories bitwise invariant; allclose-tier
-        backends shift them within the declared tolerance.
+    config:
+        :class:`repro.config.RunConfig` for the batched B-spline cores
+        (chunk/tile blocking, kernel backend, tune mode).  ``None``
+        consults the ``REPRO_*`` environment, then the tuned DB, then
+        the cache heuristic.  Exact-tier backends keep trajectories
+        bitwise invariant; allclose-tier backends shift them within the
+        declared tolerance.
+    tile_size, chunk_size, backend:
+        .. deprecated:: PR9
+           Pre-config spellings; a non-None value overrides the
+           matching ``config`` field and warns.  Use
+           ``config=RunConfig(...)``.
     """
+    from repro.config import RunConfig, deprecated_kwargs
+
+    deprecated_kwargs(
+        "build_app",
+        tile_size=tile_size is not None,
+        chunk_size=chunk_size is not None,
+        backend=backend is not None,
+    )
+    if config is None:
+        config = RunConfig.from_env(
+            tile_size=tile_size, chunk_size=chunk_size, backend=backend
+        )
+    else:
+        overrides = {
+            k: v
+            for k, v in (
+                ("tile_size", tile_size),
+                ("chunk_size", chunk_size),
+                ("backend", backend),
+            )
+            if v is not None
+        }
+        if overrides:
+            config = config.replace(**overrides)
     pool = WalkerRngPool(seed)
     rng = pool.next_rng()
     cell = Cell.cubic(box)
@@ -158,9 +186,7 @@ def build_app(
         orbitals,
         grid_shape,
         engine=engine,
-        tile_size=tile_size,
-        chunk_size=chunk_size,
-        backend=backend,
+        config=config,
     )
     n_ions = max(n_orbitals // 2, 2)
     ions = ParticleSet("ion", cell, cell.frac_to_cart(rng.random((n_ions, 3))))
@@ -232,7 +258,8 @@ def run_profiled(
     checkpoint_every: int | None = None,
     checkpoint_path=None,
     resume=None,
-    step_mode: str = "walker",
+    step_mode: str | None = None,
+    config=None,
 ) -> tuple[float, SectionTimers]:
     """Run drift-diffusion sweeps; returns (total wall seconds, timers).
 
@@ -247,7 +274,9 @@ def run_profiled(
     by fused batched stages, so their profile shares collapse toward
     zero.  The library default therefore stays ``"walker"``, the mode
     whose attribution reproduces the paper's Tables II/III; the CLI
-    defaults to ``"batched"`` (the hot path).
+    defaults to ``"batched"`` (the hot path).  ``step_mode=None``
+    resolves through ``config.step_mode``, then ``REPRO_STEP_MODE``,
+    then ``"walker"``.
 
     The untimed remainder (determinant algebra, particle bookkeeping) is
     recorded as the ``other`` section, matching the paper's "Rest of the
@@ -261,6 +290,9 @@ def run_profiled(
     trajectory continues exactly (timings, being wall clock, simply
     accumulate).
     """
+    from repro.config import effective_step_mode
+
+    step_mode = effective_step_mode(step_mode, config, default="walker")
     if step_mode not in ("batched", "walker"):
         raise ValueError(
             f"step_mode must be 'batched' or 'walker', got {step_mode!r}"
@@ -384,12 +416,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--step-mode",
-        default="batched",
+        default=None,
         choices=("batched", "walker"),
         help="advance walkers through the batched crowd kernels (default) "
         "or the per-walker sweep; trajectories are bit-identical either "
         "way (in profiled mode, 'walker' restores the per-component "
-        "attribution of the paper's tables)",
+        "attribution of the paper's tables); unset resolves through "
+        "--config / REPRO_STEP_MODE",
     )
     parser.add_argument(
         "--walkers",
@@ -440,6 +473,19 @@ def main(argv: list[str] | None = None) -> int:
         "registered name (numpy, numba, cc), or unset for the "
         "REPRO_BACKEND env var / exact-tier numpy default",
     )
+    parser.add_argument(
+        "--config",
+        default=None,
+        metavar="FILE",
+        help="JSON RunConfig file (repro.config.RunConfig.as_dict layout); "
+        "explicit flags like --tile-size/--chunk/--backend still win",
+    )
+    parser.add_argument(
+        "--no-tune",
+        action="store_true",
+        help="skip the per-host tuned-config DB (rung 3 of the resolution "
+        "order); blocking falls back to the cache heuristic",
+    )
     parser.add_argument("--checkpoint-every", type=int, default=None, metavar="N")
     parser.add_argument("--checkpoint-path", default=None, metavar="DIR")
     parser.add_argument("--resume", default=None, metavar="DIR")
@@ -480,13 +526,19 @@ def main(argv: list[str] | None = None) -> int:
             "mode (--walkers/--processes)"
         )
     observe = args.metrics_out is not None or args.trace_out is not None
+    try:
+        cfg = _cli_run_config(args)
+    except (OSError, ValueError) as exc:
+        parser.error(str(exc))
     if args.walkers is not None or args.processes is not None:
         if args.checkpoint_every is not None or args.resume is not None:
             parser.error(
                 "population mode (--walkers/--processes) does not support "
                 "checkpointing; use the single-walker profiled mode"
             )
-        return _population_main(args, observe)
+        return _population_main(args, observe, cfg)
+    from repro.config import effective_step_mode
+
     if observe:
         OBS.reset()
         OBS.enable()
@@ -495,9 +547,7 @@ def main(argv: list[str] | None = None) -> int:
         layout=args.layout,
         engine=args.engine,
         seed=args.seed,
-        tile_size=args.tile_size,
-        chunk_size=args.chunk,
-        backend=args.backend,
+        config=cfg,
     )
     try:
         total, timers = run_profiled(
@@ -508,7 +558,8 @@ def main(argv: list[str] | None = None) -> int:
             checkpoint_every=args.checkpoint_every,
             checkpoint_path=args.checkpoint_path,
             resume=args.resume,
-            step_mode=args.step_mode,
+            step_mode=effective_step_mode(args.step_mode, cfg),
+            config=cfg,
         )
     except CheckpointError as exc:
         print(f"{parser.prog}: error: {exc}", file=sys.stderr)
@@ -526,7 +577,32 @@ def main(argv: list[str] | None = None) -> int:
     return 0
 
 
-def _population_main(args, observe: bool) -> int:
+def _cli_run_config(args):
+    """Build the CLI's :class:`~repro.config.RunConfig` from its flags.
+
+    ``--config FILE`` seeds the config; individual flags
+    (``--tile-size``/``--chunk``/``--backend``) override it; ``--no-tune``
+    forces rung 3 off.  With no flags at all this is just
+    ``RunConfig.from_env()``.
+    """
+    from repro.config import TUNE_OFF, RunConfig, load_run_config
+
+    cfg = load_run_config(args.config) if args.config else RunConfig.from_env()
+    overrides = {
+        k: v
+        for k, v in (
+            ("tile_size", getattr(args, "tile_size", None)),
+            ("chunk_size", getattr(args, "chunk", None)),
+            ("backend", getattr(args, "backend", None)),
+        )
+        if v is not None
+    }
+    if args.no_tune:
+        overrides["tune"] = TUNE_OFF
+    return cfg.replace(**overrides) if overrides else cfg
+
+
+def _population_main(args, observe: bool, cfg) -> int:
     """The ``--walkers/--processes`` population mode of :func:`main`."""
     from repro.parallel import CrowdSpec, run_crowd_parallel
 
@@ -555,9 +631,7 @@ def _population_main(args, observe: bool) -> int:
             n_orbitals=args.n_orbitals,
             engine=args.engine,
             seed=args.seed,
-            tile_size=args.tile_size,
-            chunk_size=args.chunk,
-            backend=args.backend,
+            config=cfg,
         )
         result = run_crowd_parallel(
             spec,

@@ -168,6 +168,20 @@ def _resume_driver(resume, fingerprint: dict, result: DriverResult):
     )
 
 
+def _batched_run_config(config: MiniQmcConfig):
+    """The batched engine's :class:`~repro.config.RunConfig`, resolved
+    parent-side (rungs 1-4) so process shards inherit identical blocking.
+    """
+    cfg = config.run_config()
+    if not cfg.is_resolved:
+        cfg = cfg.resolved_for(
+            config.n_splines,
+            batch=max(config.n_samples, 1),
+            dtype=config.dtype,
+        )
+    return cfg
+
+
 def _checkpoint_args_ok(checkpoint_every: int | None, checkpoint_path) -> None:
     if checkpoint_every is not None:
         if checkpoint_every <= 0:
@@ -203,20 +217,17 @@ class _DriverShard:
             self.eng = BsplineAoSoA(self.grid, self._table.array, config.tile_size)
         elif payload["engine"] == "batched":
             # The parent shared a ghost-padded table; adopt it zero-copy.
-            # Fleet-worker backend policy: resolve here, degrading to
+            # Blocking comes pre-resolved from the parent; only the
+            # backend resolves here — fleet-worker policy, degrading to
             # NumPy (warned + counted) if this process can't serve it.
-            backend = None
-            if config.backend is not None:
+            cfg = payload["run_config"]
+            if cfg.backend is not None and not hasattr(cfg.backend, "capability"):
                 from repro.backends import resolve_backend
 
-                backend = resolve_backend(config.backend, fallback=True)
-            self.eng = BsplineBatched(
-                self.grid,
-                self._table.array,
-                chunk_size=config.chunk_size,
-                tile_size=config.tile_size,
-                backend=backend,
-            )
+                cfg = cfg.replace(
+                    backend=resolve_backend(cfg.backend, fallback=True)
+                )
+            self.eng = BsplineBatched(self.grid, self._table.array, config=cfg)
         else:
             self.eng = _ENGINES[payload["engine"]](self.grid, self._table.array)
         self.engine_name = payload["engine"]
@@ -300,7 +311,14 @@ def _run_sharded(
         pad_table_3d(P) if engine_name == "batched" else P
     )
     table_spec = dict(shared.spec, n_workers=processes)
-    payload = {"config": config, "engine": engine_name, "n_workers": processes}
+    payload = {
+        "config": config,
+        "engine": engine_name,
+        "n_workers": processes,
+        "run_config": (
+            _batched_run_config(config) if engine_name == "batched" else None
+        ),
+    }
     try:
         with ProcessCrowdPool(
             processes,
@@ -343,8 +361,9 @@ def run_kernel_driver(
         ``"aos"``, ``"soa"``, ``"fused"`` or ``"batched"``.  The
         batched engine evaluates each walker's whole sample batch in
         one call through the ghost-padded, cache-tiled path
-        (:mod:`repro.core.batched`), honouring ``config.tile_size`` /
-        ``config.chunk_size`` (``None`` auto-tunes).
+        (:mod:`repro.core.batched`), with its blocking resolved through
+        ``config.run_config()`` — explicit fields, then ``REPRO_*``
+        env, then the per-host tuned DB, then the cache heuristic.
     kernels:
         Which kernels to time.
     coefficients:
@@ -376,13 +395,7 @@ def run_kernel_driver(
     nx, ny, nz = config.grid_shape
     grid = Grid3D(nx, ny, nz)
     if engine == "batched":
-        eng = BsplineBatched(
-            grid,
-            P,
-            chunk_size=config.chunk_size,
-            tile_size=config.tile_size,
-            backend=config.backend,
-        )
+        eng = BsplineBatched(grid, P, config=_batched_run_config(config))
     else:
         eng = _ENGINES[engine](grid, P)
     batched = engine == "batched"

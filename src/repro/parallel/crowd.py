@@ -17,6 +17,7 @@ is **bit-identical** to the sequential one-process crowd for every
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass
 
@@ -68,19 +69,33 @@ class CrowdSpec:
     grid_shape: tuple[int, int, int] = (12, 12, 12)
     engine: str = "fused"
     seed: int = 2017
-    #: Batched-kernel knobs (splines per tile / positions per chunk);
-    #: ``None`` lets the cache-aware auto-tuner decide.  Results are
-    #: bitwise identical for any setting.
+    #: .. deprecated:: PR9
+    #:    Pre-config spellings of the execution knobs; a non-None value
+    #:    overrides the matching :attr:`config` field and warns.  Use
+    #:    ``config=RunConfig(...)``.
     tile_size: int | None = None
     chunk_size: int | None = None
-    #: Kernel backend for the batched engine (``None`` = env/NumPy
-    #: default, ``"auto"``, or a registered name).  Workers resolve the
-    #: name independently; one that cannot serve it degrades to NumPy
-    #: with a warning and a ``backend_fallback_total`` count rather
-    #: than killing the run (see :func:`build_walker_range`).
     backend: str | None = None
+    #: The execution configuration (:class:`repro.config.RunConfig`).
+    #: ``None`` builds one from the environment at use time.  The run
+    #: entry points resolve it **parent-side** (tuned-DB winner or
+    #: heuristic, concretized to ints) before sharding, so every worker
+    #: inherits the parent's blocking decision bit-identically
+    #: regardless of its own env or tuning DB.  A backend *name* is
+    #: still resolved worker-side with the fallback policy: a worker
+    #: that cannot serve it degrades to NumPy with a warning and a
+    #: ``backend_fallback_total`` count (see :func:`build_walker_range`).
+    config: "RunConfig | None" = None
 
     def __post_init__(self) -> None:
+        from repro.config import deprecated_kwargs
+
+        deprecated_kwargs(
+            "CrowdSpec",
+            tile_size=self.tile_size is not None,
+            chunk_size=self.chunk_size is not None,
+            backend=self.backend is not None,
+        )
         if self.n_walkers <= 0:
             raise ValueError(f"n_walkers must be positive, got {self.n_walkers}")
         if self.engine not in _ENGINES:
@@ -91,11 +106,56 @@ class CrowdSpec:
             raise ValueError(
                 f"chunk_size must be positive, got {self.chunk_size}"
             )
-        if self.backend is not None and not isinstance(self.backend, str):
+        backend = (
+            self.backend
+            if self.backend is not None
+            else self.config.backend
+            if self.config is not None
+            else None
+        )
+        if backend is not None and not isinstance(backend, str):
             raise ValueError(
-                "CrowdSpec.backend must be a registered backend name "
-                f"(specs must stay picklable), got {self.backend!r}"
+                "CrowdSpec backends must be registered backend names "
+                f"(specs must stay picklable), got {backend!r}"
             )
+
+    def run_config(self) -> "RunConfig":
+        """The effective config: deprecated field overrides over ``config``.
+
+        When :attr:`config` is None the environment is consulted (rung 2)
+        — in whichever process calls this, which is why the run entry
+        points resolve parent-side and ship the result.
+        """
+        from repro.config import RunConfig
+
+        cfg = self.config if self.config is not None else RunConfig.from_env()
+        overrides = {
+            k: v
+            for k, v in (
+                ("tile_size", self.tile_size),
+                ("chunk_size", self.chunk_size),
+                ("backend", self.backend),
+            )
+            if v is not None
+        }
+        return cfg.replace(**overrides) if overrides else cfg
+
+    def resolved(self, dtype=np.float64) -> "CrowdSpec":
+        """A copy whose config is fully resolved (concrete chunk/tile).
+
+        The parent calls this once before sharding; the returned spec's
+        deprecated knob fields are folded into :attr:`config`, so a
+        worker unpickling it reconstructs the parent's exact plan
+        without touching its own env or tuning DB.
+        """
+        cfg = self.run_config()
+        if not cfg.is_resolved:
+            cfg = cfg.resolved_for(
+                self.n_orbitals, batch=self.n_walkers, dtype=dtype
+            )
+        return dataclasses.replace(
+            self, tile_size=None, chunk_size=None, backend=None, config=cfg
+        )
 
 
 def solve_spec_table(spec: CrowdSpec) -> np.ndarray:
@@ -142,11 +202,13 @@ def build_walker_range(
     """
     cell = Cell.cubic(spec.box)
     if spos is None:
-        backend = None
-        if spec.backend is not None:
+        cfg = spec.run_config()
+        if cfg.backend is not None and not hasattr(cfg.backend, "capability"):
             from repro.backends import resolve_backend
 
-            backend = resolve_backend(spec.backend, fallback=True)
+            cfg = cfg.replace(
+                backend=resolve_backend(cfg.backend, fallback=True)
+            )
         nx, ny, nz = spec.grid_shape
         grid = Grid3D(nx, ny, nz, (1.0, 1.0, 1.0))
         padded = None
@@ -154,15 +216,7 @@ def build_walker_range(
             padded = table
             table = table[1 : nx + 1, 1 : ny + 1, 1 : nz + 1]
         engine = _ENGINES[spec.engine](grid, table)
-        spos = SplineOrbitalSet(
-            cell,
-            grid,
-            engine,
-            tile_size=spec.tile_size,
-            chunk_size=spec.chunk_size,
-            padded_table=padded,
-            backend=backend,
-        )
+        spos = SplineOrbitalSet(cell, grid, engine, padded_table=padded, config=cfg)
     rcut = 0.9 * wigner_seitz_radius(cell)
     j1 = make_polynomial_radial(0.4, rcut)
     j2 = make_polynomial_radial(0.6, rcut)
@@ -217,6 +271,24 @@ class _CrowdShard:
         self.lo, self.hi = shard.start, shard.stop
         wfs, rngs = build_walker_range(spec, self._table.array, self.lo, self.hi)
         self.crowd = Crowd(wfs, rngs) if wfs else None
+
+    def plan(self) -> dict:
+        """The shard's resolved execution plan (for inheritance tests).
+
+        Reports the chunk/tile/backend the worker's batched engine
+        actually runs with, plus the inherited config — the observable
+        that must match the parent's resolved spec bit for bit.
+        """
+        if self.crowd is None:
+            return {}
+        spos = self.crowd.wfs[0].slater.spos
+        eng = spos._get_batched()
+        return {
+            "chunk": eng.plan.chunk,
+            "tile": eng.plan.tile,
+            "backend": eng.backend.name,
+            "config": spos.config.as_dict(),
+        }
 
     def run(self, n_sweeps: int, tau: float, step_mode: str = "batched") -> dict:
         """Advance the shard ``n_sweeps`` sweeps (lock-step by default)."""
@@ -278,21 +350,25 @@ def run_crowd_sequential(
     n_sweeps: int,
     tau: float,
     table: np.ndarray | None = None,
-    step_mode: str = "batched",
+    step_mode: str | None = None,
 ) -> CrowdRunResult:
     """The single-process reference: one crowd holding every walker.
 
     ``step_mode="walker"`` advances each walker with the sequential
     per-electron sweep instead of the batched kernels — bit-identical to
     the default, kept as the comparison baseline for the benchmarks and
-    the CLI parity smoke.
+    the CLI parity smoke.  ``None`` takes the spec config's mode
+    (default ``"batched"``).
     """
+    if table is None:
+        table = solve_spec_table(spec)
+    spec = spec.resolved(table.dtype)
+    if step_mode is None:
+        step_mode = spec.config.step_mode
     if step_mode not in ("batched", "walker"):
         raise ValueError(
             f"step_mode must be 'batched' or 'walker', got {step_mode!r}"
         )
-    if table is None:
-        table = solve_spec_table(spec)
     wfs, rngs = build_walker_range(spec, table, 0, spec.n_walkers)
     crowd = Crowd(wfs, rngs)
     t0 = time.perf_counter()
@@ -325,7 +401,7 @@ def run_crowd_parallel(
     tau: float,
     table: np.ndarray | None = None,
     start_method: str | None = None,
-    step_mode: str = "batched",
+    step_mode: str | None = None,
     fleet=None,
     injector=None,
 ) -> CrowdRunResult:
@@ -345,16 +421,22 @@ def run_crowd_parallel(
     shards are stateful, so supervision covers recovery only — elastic
     resizing is a DMC feature.  ``injector`` requires ``fleet``.
     """
-    if step_mode not in ("batched", "walker"):
-        raise ValueError(
-            f"step_mode must be 'batched' or 'walker', got {step_mode!r}"
-        )
     if injector is not None and fleet is None:
         raise ValueError(
             "injector requires fleet supervision (pass fleet=FleetConfig(...))"
         )
     if table is None:
         table = solve_spec_table(spec)
+    # Resolve once, parent-side: workers unpickle a spec whose config
+    # already carries concrete chunk/tile ints and never consult their
+    # own env or tuning DB for the blocking decision.
+    spec = spec.resolved(table.dtype)
+    if step_mode is None:
+        step_mode = spec.config.step_mode
+    if step_mode not in ("batched", "walker"):
+        raise ValueError(
+            f"step_mode must be 'batched' or 'walker', got {step_mode!r}"
+        )
     # Pad once in the parent: workers then attach the ghost halo
     # zero-copy instead of each paying the pad copy themselves.
     shared = SharedTable.create(pad_table_3d(table))

@@ -506,7 +506,7 @@ def run_dmc_sharded(
     resume=None,
     guard: GuardConfig | None = None,
     start_method: str | None = None,
-    step_mode: str = "batched",
+    step_mode: str | None = None,
     fleet=None,
     injector=None,
 ) -> DmcResult:
@@ -534,8 +534,12 @@ def run_dmc_sharded(
     and ``"ignore"`` behave as in ``run_dmc``.
 
     Returns the same :class:`~repro.qmc.dmc.DmcResult` shape as the
-    sequential driver.
+    sequential driver.  ``step_mode=None`` resolves through the spec's
+    :class:`~repro.config.RunConfig`, then ``REPRO_STEP_MODE``.
     """
+    from repro.config import effective_step_mode
+
+    step_mode = effective_step_mode(step_mode, spec.config)
     if step_mode not in ("batched", "walker"):
         raise ValueError(
             f"step_mode must be 'batched' or 'walker', got {step_mode!r}"

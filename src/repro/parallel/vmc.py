@@ -156,7 +156,7 @@ def run_vmc_population(
     table: np.ndarray | None = None,
     processes: bool = True,
     start_method: str | None = None,
-    step_mode: str = "batched",
+    step_mode: str | None = None,
     fleet=None,
     injector=None,
 ) -> VmcPopulationResult:
@@ -175,8 +175,12 @@ def run_vmc_population(
     reference bit for bit.  VMC shards are stateful, so supervision here
     means crash recovery — elastic resizing is a DMC-only feature.
     ``injector`` (process faults, fired at the run's single broadcast)
-    requires ``fleet``.
+    requires ``fleet``.  ``step_mode=None`` resolves through the spec's
+    :class:`~repro.config.RunConfig`, then ``REPRO_STEP_MODE``.
     """
+    from repro.config import effective_step_mode
+
+    step_mode = effective_step_mode(step_mode, spec.config)
     if step_mode not in ("batched", "walker"):
         raise ValueError(
             f"step_mode must be 'batched' or 'walker', got {step_mode!r}"

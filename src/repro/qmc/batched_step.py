@@ -90,11 +90,14 @@ class CrowdState:
         on Jastrow structure.
     rngs:
         One private stream per walker.
+    config:
+        Optional :class:`repro.config.RunConfig`; when given, the shared
+        orbital set is reconfigured with it (per-walker trajectories are
+        bitwise invariant to the blocking knobs).
     tile_size, chunk_size:
-        Batched-kernel knobs forwarded to the shared orbital set's
-        :meth:`~repro.qmc.slater.SplineOrbitalSet.configure_batched`
-        when either is given; ``None`` leaves the set's plan alone.
-        Per-walker trajectories are bitwise invariant to either knob.
+        .. deprecated:: PR9
+           Use ``config=RunConfig(...)``; honoured (with a warning) for
+           one release.
     """
 
     def __init__(
@@ -103,6 +106,7 @@ class CrowdState:
         rngs: list,
         tile_size: int | None = None,
         chunk_size: int | None = None,
+        config=None,
     ):
         if not wavefunctions:
             raise ValueError("a crowd needs at least one walker")
@@ -132,8 +136,19 @@ class CrowdState:
                     "(every walker has j1 or none does; likewise j2)"
                 )
 
+        from repro.config import deprecated_kwargs
+
+        deprecated_kwargs(
+            "CrowdState",
+            tile_size=tile_size is not None,
+            chunk_size=chunk_size is not None,
+        )
         if tile_size is not None or chunk_size is not None:
-            spos.configure_batched(tile_size=tile_size, chunk_size=chunk_size)
+            config = (config or spos.config).replace(
+                tile_size=tile_size, chunk_size=chunk_size
+            )
+        if config is not None:
+            spos.configure_batched(config=config)
 
         self.wfs = list(wavefunctions)
         self.rngs = list(rngs)

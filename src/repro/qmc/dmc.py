@@ -258,7 +258,8 @@ def run_dmc(
     guard: GuardConfig | None = None,
     estimator_factory=None,
     on_generation=None,
-    step_mode: str = "batched",
+    step_mode: str | None = None,
+    config=None,
 ) -> DmcResult:
     """Propagate a DMC ensemble; returns traces for analysis.
 
@@ -318,7 +319,16 @@ def run_dmc(
         sequential per-walker sweep.  Both produce bit-identical
         trajectories (each walker's private stream is consumed in the
         same order), so the mode is not part of the checkpoint contract.
+        ``None`` resolves through ``config.step_mode``, then the
+        ``REPRO_STEP_MODE`` environment variable, then ``"batched"``.
+    config:
+        Optional :class:`repro.config.RunConfig`; currently supplies
+        the ``step_mode`` default (the ensemble's kernel knobs are
+        fixed at :func:`build_dmc_ensemble` time).
     """
+    from repro.config import effective_step_mode
+
+    step_mode = effective_step_mode(step_mode, config)
     if step_mode not in ("batched", "walker"):
         raise ValueError(
             f"step_mode must be 'batched' or 'walker', got {step_mode!r}"
@@ -493,6 +503,7 @@ def build_dmc_ensemble(
     tile_size: int | None = None,
     chunk_size: int | None = None,
     backend: str | None = None,
+    config=None,
 ) -> list[DmcWalker]:
     """A small, fully deterministic DMC ensemble (CLI and test harnesses).
 
@@ -500,11 +511,12 @@ def build_dmc_ensemble(
     cubic cell and a private stream from ``pool``.  Two calls with pools
     in the same state build bit-identical ensembles — the property the
     checkpoint/resume CLI relies on to reconstruct walker *structure*
-    before loading checkpointed positions into it.  ``tile_size`` /
-    ``chunk_size`` tune the shared batched kernels without changing any
-    trajectory bit; ``backend`` selects the kernel backend (exact-tier
-    backends keep bit-identity, allclose-tier backends shift the
-    trajectory within their declared tolerance).
+    before loading checkpointed positions into it.  ``config`` (a
+    :class:`repro.config.RunConfig`) carries the batched-kernel knobs:
+    blocking never changes a trajectory bit, while an allclose-tier
+    backend shifts it within its declared tolerance.  The
+    ``tile_size``/``chunk_size``/``backend`` kwargs are the deprecated
+    pre-config spellings, honoured (with a warning) for one release.
     """
     from repro.lattice.cell import Cell
     from repro.lattice.orbitals import PlaneWaveOrbitalSet
@@ -524,6 +536,7 @@ def build_dmc_ensemble(
         tile_size=tile_size,
         chunk_size=chunk_size,
         backend=backend,
+        config=config,
     )
     rcut = 0.9 * wigner_seitz_radius(cell)
     walkers = []

@@ -55,14 +55,18 @@ class SplineOrbitalSet:
         ``P``; all evaluations run through a
         :class:`~repro.core.batched.BsplineBatched` built over that
         table (single positions are batches of one).
-    tile_size, chunk_size:
-        Batched-engine knobs (splines per contraction tile, positions
-        per gather chunk); ``None`` lets the cache-aware auto-tuner
-        (:mod:`repro.core.tune`) decide.
-    backend:
-        Kernel-backend selector forwarded to the batched engine —
-        ``None`` (env/NumPy default), ``"auto"``, or a registered name;
-        see :func:`repro.backends.resolve_backend`.
+    config:
+        A :class:`repro.config.RunConfig` carrying the execution knobs
+        (chunk, tile, backend, tune mode).  ``None`` builds one from
+        the environment (rung 2 of the documented resolution order);
+        unresolved blocking fields are concretized lazily — tuned-DB
+        winner if one is tier-eligible, cache-budget heuristic
+        otherwise.
+    tile_size, chunk_size, backend:
+        .. deprecated:: PR9
+           Pre-config spellings of the same knobs, honoured for one
+           release (a passed value overrides the matching ``config``
+           field and warns).  Use ``config=RunConfig(...)``.
     padded_table:
         Optional ghost-padded ``(nx+3, ny+3, nz+3, N)`` table from
         :func:`repro.core.coeffs.pad_table_3d`; when given, the batched
@@ -91,7 +95,32 @@ class SplineOrbitalSet:
         chunk_size: int | None = None,
         padded_table: np.ndarray | None = None,
         backend=None,
+        config=None,
     ):
+        from repro.config import RunConfig, deprecated_kwargs
+
+        deprecated_kwargs(
+            "SplineOrbitalSet",
+            tile_size=tile_size is not None,
+            chunk_size=chunk_size is not None,
+            backend=backend is not None,
+        )
+        if config is None:
+            config = RunConfig.from_env(
+                tile_size=tile_size, chunk_size=chunk_size, backend=backend
+            )
+        else:
+            overrides = {
+                k: v
+                for k, v in (
+                    ("tile_size", tile_size),
+                    ("chunk_size", chunk_size),
+                    ("backend", backend),
+                )
+                if v is not None
+            }
+            if overrides:
+                config = config.replace(**overrides)
         if tuple(grid.lengths) != (1.0, 1.0, 1.0):
             raise ValueError(
                 "SplineOrbitalSet grids live in fractional coordinates; "
@@ -108,33 +137,64 @@ class SplineOrbitalSet:
         self.grid = grid
         self.engine = engine
         self.n_orbitals = engine.n_splines
-        self.tile_size = tile_size
-        self.chunk_size = chunk_size
-        self.backend = backend
+        #: The resolved-or-resolving :class:`repro.config.RunConfig`.
+        self.config = config
         self._padded_table = padded_table
         self._B = np.linalg.inv(cell.lattice)  # cart -> frac Jacobian (rows a)
         self._M = self._B @ self._B.T  # Laplacian metric
+
+    @property
+    def tile_size(self) -> int | None:
+        """The config's spline-tile width (read-only view)."""
+        return self.config.tile_size
+
+    @property
+    def chunk_size(self) -> int | None:
+        """The config's gather-chunk size (read-only view)."""
+        return self.config.chunk_size
+
+    @property
+    def backend(self):
+        """The config's kernel-backend spec (read-only view)."""
+        return self.config.backend
 
     def configure_batched(
         self,
         tile_size: int | None = None,
         chunk_size: int | None = None,
         backend=_UNSET,
+        config=None,
     ) -> None:
-        """Re-plan the batched engine with explicit (tile, chunk) knobs.
+        """Re-plan the batched engine with an explicit configuration.
 
         Drops the cached engine so the next evaluation rebuilds it with
         the new plan — results stay bitwise identical for any setting
         (see :mod:`repro.core.batched`); only the cache behaviour moves.
-        ``backend`` switches the kernel backend when given (omitting it
-        keeps the current selection — unlike the tuner knobs, a backend
-        choice changes numerics at the allclose tier, so it never
-        resets implicitly).
+        Pass ``config=RunConfig(...)`` (the PR9 spelling) to replace the
+        whole configuration.
+
+        The knob kwargs are the pre-config spelling, honoured one more
+        release with a DeprecationWarning: ``tile_size``/``chunk_size``
+        reset together (``None`` = re-tune), while ``backend`` switches
+        only when given — unlike the tuner knobs, a backend choice
+        changes numerics at the allclose tier, so it never resets
+        implicitly.
         """
-        self.tile_size = tile_size
-        self.chunk_size = chunk_size
-        if backend is not _UNSET:
-            self.backend = backend
+        from repro.config import deprecated_kwargs
+
+        deprecated_kwargs(
+            "SplineOrbitalSet.configure_batched",
+            tile_size=tile_size is not None,
+            chunk_size=chunk_size is not None,
+            backend=backend is not _UNSET,
+        )
+        if config is not None:
+            self.config = config
+        else:
+            changes = {"tile_size": tile_size, "chunk_size": chunk_size}
+            if backend is not _UNSET:
+                changes["backend"] = backend
+            self.config = self.config.replace(**changes)
         if hasattr(self, "_batched"):
             del self._batched
 
@@ -155,13 +215,15 @@ class SplineOrbitalSet:
                 if self._padded_table is not None
                 else self.engine.P
             )
-            self._batched = BsplineBatched(
-                self.grid,
-                table,
-                chunk_size=self.chunk_size,
-                tile_size=self.tile_size,
-                backend=self.backend,
-            )
+            if not self.config.is_resolved:
+                # Rungs 3-4, parent-side, at the natural batch of the
+                # QMC adapter: one sweep over all 2N electrons.
+                self.config = self.config.resolved_for(
+                    self.n_orbitals,
+                    batch=2 * self.n_orbitals,
+                    dtype=table.dtype,
+                )
+            self._batched = BsplineBatched(self.grid, table, config=self.config)
         return self._batched
 
     @classmethod
@@ -175,6 +237,7 @@ class SplineOrbitalSet:
         tile_size: int | None = None,
         chunk_size: int | None = None,
         backend: str | None = None,
+        config=None,
     ) -> "SplineOrbitalSet":
         """Sample analytic orbitals on the grid, solve, and wrap an engine.
 
@@ -191,14 +254,12 @@ class SplineOrbitalSet:
             ``"aos"``, ``"soa"``, ``"fused"`` or ``"aosoa"``.
         dtype:
             Coefficient-table dtype (paper default: single precision).
-        tile_size:
-            Spline tile width (Nb) for the batched contraction cores;
-            ``None`` auto-tunes.
-        chunk_size:
-            Positions per batched gather chunk; ``None`` auto-tunes.
-        backend:
-            Kernel-backend selector for the batched engine (``None``,
-            ``"auto"``, or a registered name).
+        config:
+            :class:`repro.config.RunConfig` for the batched engine.
+        tile_size, chunk_size, backend:
+            .. deprecated:: PR9
+               Use ``config=RunConfig(...)``; honoured (with a warning)
+               for one release.
         """
         if engine == "aosoa":
             raise ValueError(
@@ -221,6 +282,7 @@ class SplineOrbitalSet:
             tile_size=tile_size,
             chunk_size=chunk_size,
             backend=backend,
+            config=config,
         )
 
     def _frac(self, cart_pos: np.ndarray) -> np.ndarray:
@@ -336,7 +398,12 @@ class SlaterDet:
         spos: SplineOrbitalSet,
         electrons: ParticleSet,
         delay: int | None = None,
+        config=None,
     ):
+        # ``config.delay`` is the RunConfig spelling of the same knob; an
+        # explicit ``delay`` kwarg wins (resolution-order rung 1).
+        if delay is None and config is not None:
+            delay = config.delay
         n = spos.n_orbitals
         if len(electrons) != 2 * n:
             raise ValueError(

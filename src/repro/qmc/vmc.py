@@ -79,7 +79,8 @@ def run_vmc(
     checkpoint_path=None,
     resume=None,
     guard: GuardConfig | None = None,
-    step_mode: str = "batched",
+    step_mode: str | None = None,
+    config=None,
 ) -> VmcResult:
     """Run VMC on one walker and return its energy trace.
 
@@ -119,8 +120,17 @@ def run_vmc(
         of one); ``"walker"`` uses the sequential per-electron loop.
         Both produce bit-identical trajectories, so the mode is not part
         of the checkpoint contract — a checkpoint from either mode
-        resumes under either mode.
+        resumes under either mode.  ``None`` resolves through
+        ``config.step_mode``, then ``REPRO_STEP_MODE``, then
+        ``"batched"``.
+    config:
+        Optional :class:`repro.config.RunConfig`; supplies the
+        ``step_mode`` default (kernel knobs are fixed when the
+        wavefunction's orbital set is built).
     """
+    from repro.config import effective_step_mode
+
+    step_mode = effective_step_mode(step_mode, config)
     if step_mode not in ("batched", "walker"):
         raise ValueError(
             f"step_mode must be 'batched' or 'walker', got {step_mode!r}"

@@ -89,6 +89,11 @@ class ServeConfig:
     drain_timeout: float = 30.0
     observe: bool = True
     start_method: str | None = None
+    #: :class:`repro.config.RunConfig` shipped to every worker shard —
+    #: blocking (chunk/tile) and tune mode for the engines workers build
+    #: per cached table.  ``None`` = ``RunConfig.from_env()`` at startup.
+    #: Per-request backends still override its ``backend`` field.
+    run_config: "object | None" = None
 
 
 class QmcServer:
@@ -107,6 +112,15 @@ class QmcServer:
         # resolve_backend only consults REPRO_BACKEND when the spec is
         # None, an explicit name always beats the environment.
         self.default_backend = resolve_backend(config.backend).name
+        # Rungs 1-2 applied parent-side (env read once, here); workers
+        # receive this config verbatim and finish rungs 3-4 per table.
+        from repro.config import RunConfig
+
+        self.run_config = (
+            config.run_config
+            if config.run_config is not None
+            else RunConfig.from_env()
+        )
         self._backend_names: dict[str, str] = {}
         self._cache = TableCache(config.table_cache)
         self._cache_lock = asyncio.Lock()
@@ -154,7 +168,7 @@ class QmcServer:
             lambda: ProcessCrowdPool(
                 cfg.workers,
                 _init_serve_shard,
-                (cfg.observe,),
+                (cfg.observe, self.run_config),
                 start_method=cfg.start_method,
             ),
         )
@@ -656,6 +670,8 @@ class QmcServer:
     # -- vmc / dmc (leased worker, no batching) ------------------------------
 
     def _spec_fields(self, req: dict, key: SystemKey, backend: str) -> dict:
+        # The server's RunConfig with the per-request backend folded in;
+        # the worker rebuilds the CrowdSpec from these fields verbatim.
         return {
             "n_walkers": self._bounded_int(
                 req, "n_walkers", 1, _MAX_WALKERS, 4
@@ -664,7 +680,7 @@ class QmcServer:
             "box": key.box,
             "grid_shape": key.grid_shape,
             "seed": self._bounded_int(req, "seed", 0, 2**63 - 1, 2017),
-            "backend": backend,
+            "config": self.run_config.replace(backend=backend),
         }
 
     async def _op_vmc(self, tenant: str, req: dict):
@@ -751,6 +767,7 @@ class QmcServer:
             "inflight": self._inflight,
             "tables_cached": len(self._cache),
             "default_backend": self.default_backend,
+            "run_config": self.run_config.as_dict(),
             "max_batch": self.config.max_batch,
             "max_wait_us": self.config.max_wait_us,
             "metrics": self._metrics_snapshot() if OBS.enabled else {},
@@ -848,6 +865,19 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="default kernel backend (beats REPRO_BACKEND; strict)",
     )
+    parser.add_argument(
+        "--config",
+        default=None,
+        metavar="FILE",
+        help="JSON RunConfig file shipped to worker shards "
+        "(chunk/tile/tune mode); --backend still wins per request",
+    )
+    parser.add_argument(
+        "--no-tune",
+        action="store_true",
+        help="skip the per-host tuned-config DB in worker shards "
+        "(rung 3); blocking falls back to the cache heuristic",
+    )
     parser.add_argument("--worker-timeout", type=float, default=120.0)
     parser.add_argument("--drain-timeout", type=float, default=30.0)
     parser.add_argument(
@@ -866,6 +896,17 @@ def _build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point for ``python -m repro serve``."""
     args = _build_parser().parse_args(argv)
+    from repro.config import TUNE_OFF, RunConfig, load_run_config
+
+    try:
+        run_config = (
+            load_run_config(args.config) if args.config else RunConfig.from_env()
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.no_tune:
+        run_config = run_config.replace(tune=TUNE_OFF)
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -880,6 +921,7 @@ def main(argv: list[str] | None = None) -> int:
         worker_timeout=args.worker_timeout,
         drain_timeout=args.drain_timeout,
         observe=not args.no_observe,
+        run_config=run_config,
     )
 
     async def amain() -> None:

@@ -40,10 +40,13 @@ __all__ = ["ServeShard"]
 class ServeShard:
     """Per-worker state serving eval/VMC/DMC requests over cached tables."""
 
-    def __init__(self, worker_id: int, observe: bool = False):
+    def __init__(self, worker_id: int, observe: bool = False, config=None):
         self.worker_id = int(worker_id)
         if observe and not OBS.enabled:
             OBS.enable()
+        # The server's RunConfig (rungs 1-2 already applied parent-side);
+        # engines built here finish rungs 3-4 against each table's shape.
+        self._config = config
         self._tables: dict[str, SharedTable] = {}
         self._engines: dict[tuple[str, str | None], BsplineBatched] = {}
 
@@ -62,15 +65,22 @@ class ServeShard:
         key = (table_spec["name"], backend)
         engine = self._engines.get(key)
         if engine is None:
+            from repro.config import RunConfig
+
             table = self._attach(table_spec)
             nx, ny, nz = (int(g) for g in grid_shape)
             grid = Grid3D(nx, ny, nz, (1.0, 1.0, 1.0))
-            resolved = None
+            cfg = self._config if self._config is not None else RunConfig.from_env()
             if backend is not None:
                 from repro.backends import resolve_backend
 
-                resolved = resolve_backend(backend, fallback=True)
-            engine = BsplineBatched(grid, table.array, backend=resolved)
+                cfg = cfg.replace(backend=resolve_backend(backend, fallback=True))
+            if not cfg.is_resolved:
+                n_splines = int(table.array.shape[-1])
+                cfg = cfg.resolved_for(
+                    n_splines, batch=max(n_splines, 1), dtype=table.array.dtype
+                )
+            engine = BsplineBatched(grid, table.array, config=cfg)
             self._engines[key] = engine
         return engine
 
@@ -178,7 +188,7 @@ class ServeShard:
             n_orbitals=spec.n_orbitals,
             box=spec.box,
             grid_shape=spec.grid_shape,
-            backend=spec.backend,
+            config=spec.run_config(),
         )
         result = run_dmc(
             walkers,
@@ -202,6 +212,8 @@ class ServeShard:
         self.release(list(self._tables))
 
 
-def _init_serve_shard(worker_id: int, observe: bool = False) -> ServeShard:
+def _init_serve_shard(
+    worker_id: int, observe: bool = False, config=None
+) -> ServeShard:
     """Module-level initializer (picklable under ``spawn``)."""
-    return ServeShard(worker_id, observe=observe)
+    return ServeShard(worker_id, observe=observe, config=config)

@@ -1,0 +1,86 @@
+"""Declarative hardware spec + stable fingerprint for the tuning DB.
+
+A measured (chunk, tile, backend) winner is only meaningful on the
+hardware it was measured on, so every tuning-database entry is keyed by
+a :class:`HostSpec`: the cache hierarchy (:func:`repro.tune.planner
+.detect_caches`), the core count, and the ISA/platform identity.  The
+spec is *declarative* — a flat dict of small values, the knob-based
+hardware-description style of QMCkl's tuned-kernel registry — so a DB
+written on one host can be read (and its entries deliberately ignored)
+on another, and benchmark reports can print exactly which hardware a
+config was tuned for.
+
+The fingerprint is a short sha256 over the sorted spec items.  It
+excludes everything volatile (load average, frequency scaling, free
+memory) and everything process-local (env overrides are *included* via
+the cache sizes they produce, which is intentional: ``REPRO_L2_BYTES=x``
+describes a different effective machine and must not collide with the
+real one).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import platform
+from dataclasses import asdict, dataclass
+
+from repro.tune.planner import CacheInfo, detect_caches
+
+__all__ = ["HostSpec", "current_host"]
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """The declarative hardware identity a tuned config is keyed by.
+
+    Attributes
+    ----------
+    l2_bytes, llc_bytes, cache_source:
+        The cache hierarchy as :func:`detect_caches` resolved it
+        (``cache_source`` keeps provenance: env / sysfs / default).
+    cpu_count:
+        Logical CPUs visible to this process.
+    machine:
+        ``platform.machine()`` — the ISA family (x86_64, aarch64, ...).
+    system:
+        ``platform.system()`` — kernels differ in allocator/THP
+        behaviour enough to matter for measured winners.
+    """
+
+    l2_bytes: int
+    llc_bytes: int
+    cache_source: str
+    cpu_count: int
+    machine: str
+    system: str
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable 16-hex-digit digest of the declarative spec."""
+        payload = ";".join(
+            f"{k}={v}" for k, v in sorted(self.as_dict().items())
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    def as_dict(self) -> dict:
+        """The flat JSON-ready spec (what the DB stores verbatim)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HostSpec":
+        return cls(**{k: data[k] for k in cls.__dataclass_fields__})
+
+
+def current_host(caches: CacheInfo | None = None) -> HostSpec:
+    """The :class:`HostSpec` of this process's host."""
+    if caches is None:
+        caches = detect_caches()
+    return HostSpec(
+        l2_bytes=int(caches.l2_bytes),
+        llc_bytes=int(caches.llc_bytes),
+        cache_source=caches.source,
+        cpu_count=os.cpu_count() or 1,
+        machine=platform.machine(),
+        system=platform.system(),
+    )

@@ -14,6 +14,21 @@ import pytest
 from repro.core import Grid3D, solve_coefficients_3d
 
 
+@pytest.fixture(autouse=True)
+def _isolated_tune_db(tmp_path_factory, monkeypatch):
+    """Keep the suite hermetic: never read or write ``~/.cache`` winners.
+
+    Every test sees an empty per-test tuning DB, so default ``lookup``
+    resolution always falls through to the deterministic heuristic
+    regardless of what a developer's real DB contains.  Tests of the DB
+    itself point ``REPRO_TUNE_DB`` somewhere else explicitly.
+    """
+    monkeypatch.setenv(
+        "REPRO_TUNE_DB",
+        str(tmp_path_factory.mktemp("tunedb") / "tunedb.json"),
+    )
+
+
 @pytest.fixture
 def rng():
     """Deterministic generator; tests that need different streams spawn."""

@@ -20,6 +20,8 @@ PACKAGES = (
     "repro.fleet",
     "repro.backends",
     "repro.serve",
+    "repro.config",
+    "repro.tune",
 )
 
 

@@ -1,10 +1,10 @@
-"""Tests for the cache-aware (chunk, tile) planner (repro.core.tune)."""
+"""Tests for the cache-aware (chunk, tile) planner (repro.tune.planner)."""
 
 import numpy as np
 import pytest
 
 from repro.core import CacheInfo, TilePlan, detect_caches, plan_tiles
-from repro.core.tune import (
+from repro.tune.planner import (
     CHUNK_MAX,
     CHUNK_MIN,
     MiB,
@@ -24,7 +24,7 @@ class TestCacheDetection:
         assert info.source in ("env", "sysfs", "default")
 
     def test_env_override_wins(self, monkeypatch):
-        from repro.core import tune
+        from repro.tune import planner as tune
 
         monkeypatch.setenv("REPRO_L2_BYTES", str(512 * 1024))
         monkeypatch.setenv("REPRO_LLC_BYTES", str(8 * MiB))

@@ -1,0 +1,109 @@
+"""The server's RunConfig reaches the worker-side engines — bit-exactly.
+
+Serving is the one path that resolves *worker-side*: tables arrive per
+request, so the parent can only ship rungs 1-2 (explicit + env) and each
+worker finishes rungs 3-4 against the table it actually serves.  These
+tests pin both halves: explicit chunk/tile flow through to the engine,
+and whatever the worker resolves to, the served bytes stay equal to the
+in-process reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import RunConfig
+from repro.core.kinds import Kind
+from repro.serve import ServeClient
+from repro.tune.db import TuneDB, TunedConfig, TuneShape
+
+from .conftest import TINY_SYSTEM
+from .test_server import direct_eval
+
+
+def _positions(n=6, seed=5):
+    return np.random.default_rng(seed).random((n, 3))
+
+
+class TestWorkerSideResolution:
+    def test_explicit_config_served_bit_exact(self, make_server):
+        server = make_server(
+            workers=1, run_config=RunConfig.from_env(chunk_size=2, tile_size=1)
+        )
+        positions = _positions()
+        with ServeClient(server.address) as client:
+            streams, _ = client.evaluate(
+                positions, kind="vgh", system=TINY_SYSTEM
+            )
+        expected = direct_eval(TINY_SYSTEM, Kind.VGH, positions)
+        for name, got in streams.items():
+            np.testing.assert_array_equal(got, expected[name])
+
+    def test_stats_reports_run_config(self, make_server):
+        server = make_server(
+            run_config=RunConfig.from_env(chunk_size=2, tile_size=1)
+        )
+        with ServeClient(server.address) as client:
+            stats = client.stats()
+        cfg = stats.get("run_config")
+        if cfg is None:
+            pytest.skip("stats does not expose run_config")
+        assert (cfg["chunk_size"], cfg["tile_size"]) == (2, 1)
+
+    def test_env_rung_reaches_workers(self, monkeypatch, make_server):
+        """REPRO_* set before server start is rung 2 for worker engines;
+        the served bytes must still match the reference exactly."""
+        monkeypatch.setenv("REPRO_CHUNK_SIZE", "3")
+        monkeypatch.setenv("REPRO_TILE_SIZE", "2")
+        server = make_server(workers=1)
+        positions = _positions(seed=6)
+        with ServeClient(server.address) as client:
+            streams, _ = client.evaluate(
+                positions, kind="vgl", system=TINY_SYSTEM
+            )
+        expected = direct_eval(TINY_SYSTEM, Kind.VGL, positions)
+        for name, got in streams.items():
+            np.testing.assert_array_equal(got, expected[name])
+
+    def test_tuned_rung_resolves_in_worker(self, monkeypatch, tmp_path, make_server):
+        """A tuned winner for the served table's shape is picked up by
+        the worker (the DB env rides into the spawned process) without
+        changing a single served bit."""
+        db_path = tmp_path / "db.json"
+        monkeypatch.setenv("REPRO_TUNE_DB", str(db_path))
+        n_splines = TINY_SYSTEM["n_orbitals"]
+        TuneDB(path=db_path).put(
+            TuneShape(n_splines, n_splines, "float64", "vgh"),
+            TunedConfig(chunk=2, tile=1),
+        )
+        server = make_server(workers=1)
+        positions = _positions(seed=7)
+        with ServeClient(server.address) as client:
+            streams, _ = client.evaluate(
+                positions, kind="vgh", system=TINY_SYSTEM
+            )
+        expected = direct_eval(TINY_SYSTEM, Kind.VGH, positions)
+        for name, got in streams.items():
+            np.testing.assert_array_equal(got, expected[name])
+
+    def test_config_independent_of_batch_composition(self, make_server):
+        """Same positions, different serve configs: identical bytes.
+
+        Two servers with deliberately different blocking must serve the
+        same answers — config is an execution detail, not a result knob.
+        """
+        positions = _positions(seed=8)
+        results = []
+        for chunk, tile in ((2, 1), (64, 2)):
+            server = make_server(
+                workers=1,
+                run_config=RunConfig.from_env(chunk_size=chunk, tile_size=tile),
+            )
+            with ServeClient(server.address) as client:
+                streams, _ = client.evaluate(
+                    positions, kind="vgh", system=TINY_SYSTEM
+                )
+            results.append(streams)
+        for name in results[0]:
+            np.testing.assert_array_equal(results[0][name], results[1][name])

@@ -35,14 +35,15 @@ class TestReadme:
         from repro.reproduce import ALL_TARGETS
 
         for target in re.findall(r"python -m repro (\w+)", readme):
-            # "dmc" and "serve"/"serve-client" are live-run subcommands,
-            # not reproduction targets ("serve" also matches the \w+ prefix
-            # of "serve-client").
+            # "dmc", "serve"/"serve-client", and "tune" are live-run
+            # subcommands, not reproduction targets ("serve" also matches
+            # the \w+ prefix of "serve-client").
             assert target in ALL_TARGETS or target in (
                 "list",
                 "all",
                 "dmc",
                 "serve",
+                "tune",
             ), target
 
 

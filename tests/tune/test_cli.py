@@ -1,0 +1,110 @@
+"""``python -m repro tune`` — run / show / clear against an explicit DB.
+
+The CI tuner job leans on the ``--json`` report: its second-run
+``measured == 0`` assertion is exactly how the workflow proves the DB
+warm path works, so that contract is pinned here first.
+"""
+
+import json
+
+import pytest
+
+from repro.tune.cli import main
+from repro.tune.db import TuneDB, TunedConfig, TuneShape
+
+
+@pytest.fixture
+def db_path(tmp_path):
+    return tmp_path / "db.json"
+
+
+def run_cli(*argv):
+    return main([str(a) for a in argv])
+
+
+class TestRun:
+    def test_tiny_run_populates_db(self, db_path, capsys):
+        assert run_cli("run", "--tiny", "--db", db_path, "--repeats", "1") == 0
+        out = capsys.readouterr().out
+        assert "measured" in out
+        entries = TuneDB(path=db_path).entries()
+        assert len(entries) == 2  # the two --tiny shapes
+
+    def test_second_run_measures_zero(self, db_path, capsys):
+        run_cli("run", "--tiny", "--db", db_path, "--repeats", "1", "--json")
+        first = json.loads(capsys.readouterr().out)
+        assert first["measured"] > 0
+        run_cli("run", "--tiny", "--db", db_path, "--repeats", "1", "--json")
+        second = json.loads(capsys.readouterr().out)
+        assert second["measured"] == 0
+        assert all(r["from_db"] for r in second["shapes"])
+
+    def test_force_remeasures(self, db_path, capsys):
+        run_cli("run", "--tiny", "--db", db_path, "--repeats", "1")
+        capsys.readouterr()
+        run_cli("run", "--tiny", "--db", db_path, "--repeats", "1", "--force", "--json")
+        report = json.loads(capsys.readouterr().out)
+        assert report["measured"] > 0
+
+    def test_explicit_shape(self, db_path, capsys):
+        assert (
+            run_cli(
+                "run", "--shape", "16x8", "--dtype", "float64", "--db", db_path,
+                "--repeats", "1", "--json",
+            )
+            == 0
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert len(report["shapes"]) == 1
+        row = report["shapes"][0]
+        assert row["shape"] == "16x8:float64:vgh"
+        assert row["chunk"] >= 1 and row["tile"] >= 1
+        assert TuneDB(path=db_path).get(TuneShape(16, 8, "float64")) is not None
+
+    def test_bad_shape_is_a_clean_error(self, db_path, capsys):
+        with pytest.raises(SystemExit):
+            run_cli("run", "--shape", "16by8", "--db", db_path)
+
+
+class TestShow:
+    def test_show_empty(self, db_path, capsys):
+        assert run_cli("show", "--db", db_path) == 0
+        assert "no entries" in capsys.readouterr().out.lower()
+
+    def test_show_lists_entries(self, db_path, capsys):
+        TuneDB(path=db_path).put(
+            TuneShape(64, 32, "float64"), TunedConfig(chunk=16, tile=8, speedup=1.3)
+        )
+        assert run_cli("show", "--db", db_path) == 0
+        out = capsys.readouterr().out
+        assert "64" in out and "16" in out
+
+    def test_show_json(self, db_path, capsys):
+        TuneDB(path=db_path).put(
+            TuneShape(64, 32, "float64"), TunedConfig(chunk=16, tile=8)
+        )
+        assert run_cli("show", "--db", db_path, "--json") == 0
+        report = json.loads(capsys.readouterr().out)
+        assert len(report["entries"]) == 1
+        assert report["entries"][0]["chunk"] == 16
+
+
+class TestClear:
+    def test_clear(self, db_path, capsys):
+        TuneDB(path=db_path).put(
+            TuneShape(64, 32, "float64"), TunedConfig(chunk=16, tile=8)
+        )
+        assert run_cli("clear", "--db", db_path) == 0
+        assert "1" in capsys.readouterr().out
+        assert not TuneDB(path=db_path).entries()
+
+    def test_clear_empty_is_fine(self, db_path):
+        assert run_cli("clear", "--db", db_path) == 0
+
+
+class TestModuleEntry:
+    def test_dispatch_from_python_m_repro(self, db_path, capsys):
+        from repro.__main__ import main as repro_main
+
+        assert repro_main(["tune", "show", "--db", str(db_path)]) == 0
+        assert "no entries" in capsys.readouterr().out.lower()
