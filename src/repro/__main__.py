@@ -76,6 +76,25 @@ def _dmc_main(argv: list[str]) -> int:
         "bit-identical for any K, and checkpoints resume under any K",
     )
     parser.add_argument(
+        "--split",
+        default="walkers",
+        choices=("walkers", "orbitals", "auto"),
+        help="axis sharded across --processes workers: 'walkers' "
+        "(default), 'orbitals' (Opt C: the population stays in the "
+        "parent and every kernel call is split along the spline axis), "
+        "or 'auto' (config/perf-model policy); traces are bit-identical "
+        "either way",
+    )
+    parser.add_argument(
+        "--orbital-shards",
+        type=int,
+        default=None,
+        metavar="K",
+        help="orbital blocks per kernel call under --split "
+        "orbitals/auto (default: REPRO_ORBITAL_SHARDS / tuned DB / one "
+        "block per process, clamped by the planner)",
+    )
+    parser.add_argument(
         "--step-mode",
         default=None,
         choices=("batched", "walker"),
@@ -173,6 +192,12 @@ def _dmc_main(argv: list[str]) -> int:
         )
     if args.resume == "auto" and args.checkpoint_path is None:
         parser.error("--resume auto requires --checkpoint-path")
+    if (
+        args.split != "walkers" or args.orbital_shards is not None
+    ) and args.processes is None:
+        parser.error("--split orbitals/auto and --orbital-shards require --processes")
+    if args.orbital_shards is not None and args.orbital_shards < 1:
+        parser.error("--orbital-shards must be a positive block count")
     backend = args.backend
     if backend is not None:
         # Strict parent-side validation: resolve (and conformance-gate)
@@ -248,6 +273,8 @@ def _dmc_main(argv: list[str]) -> int:
                 guard=GuardConfig(on_nonfinite_energy=args.on_bad_energy),
                 step_mode=args.step_mode,
                 fleet=fleet,
+                split=args.split,
+                orbital_shards=args.orbital_shards,
             )
         else:
             # The ensemble is rebuilt deterministically from the seed; on
@@ -290,16 +317,22 @@ def _dmc_main(argv: list[str]) -> int:
             f"{result.dropped_walkers} dropped walkers"
         )
     if result.fleet is not None:
-        mttr = result.fleet["mttr_seconds"]
-        mttr_txt = (
-            f", mean MTTR {sum(mttr) / len(mttr):.3f} s" if mttr else ""
-        )
-        print(
-            f"fleet: {result.fleet['restarts']} restarts, "
-            f"{result.fleet['rebalances']} rebalances, "
-            f"{result.fleet['scale_events']} scale events, "
-            f"{result.fleet['final_workers']} final workers{mttr_txt}"
-        )
+        if result.fleet.get("split") == "orbitals":
+            print(
+                f"split: orbitals ({result.fleet['orbital_shards']} blocks "
+                f"x {result.fleet['n_workers']} workers)"
+            )
+        if "restarts" in result.fleet:
+            mttr = result.fleet["mttr_seconds"]
+            mttr_txt = (
+                f", mean MTTR {sum(mttr) / len(mttr):.3f} s" if mttr else ""
+            )
+            print(
+                f"fleet: {result.fleet['restarts']} restarts, "
+                f"{result.fleet.get('rebalances', 0)} rebalances, "
+                f"{result.fleet.get('scale_events', 0)} scale events, "
+                f"{result.fleet.get('final_workers', 0)} final workers{mttr_txt}"
+            )
     if observe:
         OBS.write(metrics_out=args.metrics_out, trace_out=args.trace_out)
         print()

@@ -10,7 +10,7 @@ field:
 1. **explicit kwarg** — a value passed by the caller;
 2. **environment** — ``REPRO_CHUNK_SIZE``, ``REPRO_TILE_SIZE``,
    ``REPRO_BACKEND``, ``REPRO_STEP_MODE``, ``REPRO_PROCESSES``,
-   ``REPRO_DELAY``, ``REPRO_TUNE``;
+   ``REPRO_ORBITAL_SHARDS``, ``REPRO_DELAY``, ``REPRO_TUNE``;
 3. **tuned database entry** — a measured winner from the per-host
    :class:`repro.tune.db.TuneDB`, tier-filtered so a bit-gated path is
    never served an ``allclose``-tier config;
@@ -68,11 +68,12 @@ _ENV_VARS = {
     "backend": "REPRO_BACKEND",
     "step_mode": "REPRO_STEP_MODE",
     "processes": "REPRO_PROCESSES",
+    "orbital_shards": "REPRO_ORBITAL_SHARDS",
     "delay": "REPRO_DELAY",
     "tune": "REPRO_TUNE",
 }
 
-_INT_FIELDS = ("chunk_size", "tile_size", "processes", "delay")
+_INT_FIELDS = ("chunk_size", "tile_size", "processes", "orbital_shards", "delay")
 
 #: Provenance labels, in resolution order.
 SOURCE_KWARG = "kwarg"
@@ -138,6 +139,12 @@ class RunConfig:
     processes:
         Worker-process count for the parallel drivers (None = the
         driver's own default, usually sequential).
+    orbital_shards:
+        Orbital blocks per walker for the Opt C fan-out
+        (:mod:`repro.parallel.orbital`): 1 means walker-only sharding,
+        K > 1 splits the spline axis into K contiguous blocks evaluated
+        by K cooperating workers (None = not decided; resolved to a
+        tuned winner or 1).
     delay:
         Delayed-update rank for :class:`repro.qmc.slater.SlaterDet`.
     tune:
@@ -154,6 +161,7 @@ class RunConfig:
     backend: str | None = None
     step_mode: str | None = None
     processes: int | None = None
+    orbital_shards: int | None = None
     delay: int | None = None
     tune: bool | str = TUNE_LOOKUP
     provenance: tuple = ()
@@ -164,7 +172,7 @@ class RunConfig:
             raise ValueError(
                 f"step_mode must be one of {_STEP_MODES}, got {self.step_mode!r}"
             )
-        for field in ("chunk_size", "tile_size", "processes", "delay"):
+        for field in _INT_FIELDS:
             value = getattr(self, field)
             if value is not None and int(value) <= 0:
                 raise ValueError(f"{field} must be positive, got {value}")
@@ -275,9 +283,13 @@ class RunConfig:
         dtype = np.dtype(dtype)
         chunk, tile = self.chunk_size, self.tile_size
         backend = self.backend
+        shards = self.orbital_shards
+        processes = self.processes
         prov = dict(self.provenance)
         tune_mode = _normalize_tune(self.tune)
-        if (chunk is None or tile is None) and tune_mode != TUNE_OFF:
+        if (
+            chunk is None or tile is None or shards is None
+        ) and tune_mode != TUNE_OFF:
             from repro.tune.db import TuneDB, TuneShape
 
             if db is None:
@@ -308,6 +320,15 @@ class RunConfig:
                 # parent's decision rather than re-resolving "auto".
                 if backend == "auto" and cfg.backend:
                     backend, prov["backend"] = cfg.backend, SOURCE_TUNED
+                # The v2 schema also measures the parallel axes; adopt
+                # them when the caller left them open (processes keeps
+                # its None = driver-default meaning unless tuned).
+                if shards is None and getattr(cfg, "orbital_shards", 0) > 0:
+                    shards = cfg.orbital_shards
+                    prov["orbital_shards"] = SOURCE_TUNED
+                if processes is None and getattr(cfg, "processes", 0) > 0:
+                    processes = cfg.processes
+                    prov["processes"] = SOURCE_TUNED
         if chunk is None or tile is None:
             from repro.tune.planner import plan_tiles
 
@@ -316,6 +337,11 @@ class RunConfig:
                 chunk, prov["chunk_size"] = plan.chunk, SOURCE_HEURISTIC
             if tile is None:
                 tile, prov["tile_size"] = plan.tile, SOURCE_HEURISTIC
+        if shards is None:
+            # Walker-only sharding is the safe heuristic floor: Opt C
+            # only pays when walkers < processes, which resolved_for
+            # cannot see — the split="auto" planner upgrades this.
+            shards, prov["orbital_shards"] = 1, SOURCE_HEURISTIC
         step_mode = self.step_mode if self.step_mode is not None else "batched"
         return dataclasses.replace(
             self,
@@ -323,6 +349,8 @@ class RunConfig:
             tile_size=int(tile),
             backend=backend,
             step_mode=step_mode,
+            processes=None if processes is None else int(processes),
+            orbital_shards=int(shards),
             provenance=tuple(sorted(prov.items())),
         )
 

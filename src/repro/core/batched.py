@@ -109,6 +109,38 @@ class BatchedOutput:
         self.h = np.zeros((n_positions, 6, n_splines), dtype=dtype)
         self.valid: frozenset[str] = frozenset()
 
+    @classmethod
+    def from_views(
+        cls,
+        v: np.ndarray,
+        g: np.ndarray,
+        l: np.ndarray,
+        h: np.ndarray,
+    ) -> "BatchedOutput":
+        """An output whose streams alias caller-owned arrays.
+
+        The shared-memory fan-out (:mod:`repro.parallel.orbital`) hands
+        each worker views into a :class:`~repro.parallel.orbital.
+        SharedOutputRing` slot; the kernels then write their orbital
+        block straight into shared memory — no result pickling.  Shapes
+        must agree on ``(ns, N)`` / ``(ns, 3, N)`` / ``(ns, N)`` /
+        ``(ns, 6, N)``.  ``valid`` starts empty, exactly like a fresh
+        buffer, so the stale-stream poisoning contract keeps holding
+        per slot reuse.
+        """
+        ns, n = v.shape
+        if g.shape != (ns, 3, n) or l.shape != (ns, n) or h.shape != (ns, 6, n):
+            raise ValueError(
+                f"stream shapes disagree: v {v.shape}, g {g.shape}, "
+                f"l {l.shape}, h {h.shape}"
+            )
+        out = cls.__new__(cls)
+        out.n_positions = int(ns)
+        out.n_splines = int(n)
+        out.v, out.g, out.l, out.h = v, g, l, h
+        out.valid = frozenset()
+        return out
+
     def as_canonical(self, i: int | None = None) -> dict[str, np.ndarray]:
         """Float64 views in the canonical layout the walker buffers use.
 
@@ -179,6 +211,18 @@ class BsplineBatched:
         still wins.  Pass a config resolved via
         :meth:`~repro.config.RunConfig.resolved_for` to get tuned-DB
         blocking; an unresolved config behaves like its raw fields.
+    spline_range:
+        ``(lo, hi)`` half-open spline-axis window: the engine evaluates
+        only orbitals ``lo..hi-1`` and its outputs are ``hi - lo``
+        wide.  The window is a **zero-copy column view** of the (full)
+        padded table — the whole contiguous table is flat-reshaped
+        first and the 2D view column-sliced, so a shared-memory table
+        stays shared; the per-chunk fancy-index gather then touches
+        only the window's columns.  The Opt C orbital shards
+        (:mod:`repro.parallel.orbital`) are built this way, one engine
+        per block.  Width-1 windows are refused (the einsum width-1
+        dispatch breaks bit-identity; see
+        :func:`repro.core.partition.plan_orbital_blocks`).
 
     Notes
     -----
@@ -201,6 +245,7 @@ class BsplineBatched:
         tile_size: int | None = None,
         backend=None,
         config=None,
+        spline_range: tuple[int, int] | None = None,
     ):
         # ``config`` (a repro.config.RunConfig) supplies defaults for the
         # low-level knobs; an explicit kwarg still wins (rung 1 of the
@@ -231,18 +276,39 @@ class BsplineBatched:
                 f"match table {coefficients.shape[:3]}"
             )
         self.grid = grid
+        n_total = coefficients.shape[3]
+        if spline_range is None:
+            lo, hi = 0, n_total
+        else:
+            lo, hi = (int(spline_range[0]), int(spline_range[1]))
+            if not (0 <= lo < hi <= n_total):
+                raise ValueError(
+                    f"spline_range {spline_range} outside [0, {n_total})"
+                )
+            if hi - lo < 2 and n_total > 1:
+                raise ValueError(
+                    f"spline_range {spline_range} is 1 wide; width-1 "
+                    "blocks break the einsum bitwise contract "
+                    "(plan via repro.core.partition.plan_orbital_blocks)"
+                )
+        #: Half-open spline-axis window this engine evaluates.
+        self.spline_range = (lo, hi)
         #: The unpadded table view — the engine-protocol ``P`` attribute.
-        self.P = unpadded
+        self.P = unpadded[..., lo:hi] if spline_range is not None else unpadded
         self._padded = padded
-        self.n_splines = coefficients.shape[3]
+        self.n_splines = hi - lo
         self.dtype = coefficients.dtype
         # Flat (nxp*nyp*nzp, N) alias of the padded table plus the 64
         # stencil offsets: lower-bound index i0 maps to padded rows
         # i0..i0+3 (halo of 1 before), so base + cube covers the stencil
-        # with plain addition — no modulo.
+        # with plain addition — no modulo.  Reshape the full contiguous
+        # table FIRST, then column-slice: a sliced-then-reshaped table
+        # would silently copy (the slice is non-contiguous), losing the
+        # zero-copy shared-memory property.
         nxp, nyp, nzp = padded.shape[:3]
         self._row_strides = (nyp * nzp, nzp)
-        self._flat = padded.reshape(nxp * nyp * nzp, self.n_splines)
+        flat = padded.reshape(nxp * nyp * nzp, n_total)
+        self._flat = flat[:, lo:hi] if spline_range is not None else flat
         off = np.arange(4, dtype=np.int64)
         self._cube = (
             (off[:, None] * nyp + off[None, :])[:, :, None] * nzp

@@ -19,44 +19,41 @@ hardware-model results for paper Fig. 9 come from
 
 from __future__ import annotations
 
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
 from repro.core.kinds import Kind
 from repro.core.layout_aosoa import BsplineAoSoA
+from repro.core.partition import partition
 from repro.core.walker import WalkerTiled
 from repro.obs import OBS
 
 __all__ = ["partition_tiles", "NestedEvaluator"]
 
+_PARTITION_TILES_WARNED = False
+
 
 def partition_tiles(n_tiles: int, n_threads: int) -> list[range]:
-    """Static contiguous partition of M tiles among nth threads.
+    """Deprecated alias of :func:`repro.core.partition.partition`.
 
-    Extra tiles (when ``n_tiles % n_threads != 0``) go to the first
-    ``n_tiles % n_threads`` threads, keeping the imbalance at one tile.
-
-    Parameters
-    ----------
-    n_tiles:
-        M, the number of AoSoA tiles.
-    n_threads:
-        nth; threads beyond M receive empty ranges (they would idle, as
-        the paper notes scaling is limited to ``nth <= N/Nb``).
+    The thread-side (Opt C nested) and process-side (orbital shard)
+    partitions now share one implementation in
+    :mod:`repro.core.partition`; this spelling is kept one release for
+    external callers and warns once per process.
     """
-    if n_tiles <= 0:
-        raise ValueError(f"n_tiles must be positive, got {n_tiles}")
-    if n_threads <= 0:
-        raise ValueError(f"n_threads must be positive, got {n_threads}")
-    base, extra = divmod(n_tiles, n_threads)
-    ranges = []
-    start = 0
-    for t in range(n_threads):
-        count = base + (1 if t < extra else 0)
-        ranges.append(range(start, start + count))
-        start += count
-    return ranges
+    global _PARTITION_TILES_WARNED
+    if not _PARTITION_TILES_WARNED:
+        _PARTITION_TILES_WARNED = True
+        warnings.warn(
+            "repro.core.nested.partition_tiles is deprecated since PR10, "
+            "use repro.core.partition.partition instead "
+            "(removed next release)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    return partition(n_tiles, n_threads)
 
 
 class NestedEvaluator:
@@ -85,7 +82,7 @@ class NestedEvaluator:
             raise ValueError(f"n_threads must be positive, got {n_threads}")
         self.engine = engine
         self.n_threads = int(n_threads)
-        self.partition = partition_tiles(engine.n_tiles, n_threads)
+        self.partition = partition(engine.n_tiles, n_threads)
         self._pool = ThreadPoolExecutor(
             max_workers=n_threads, thread_name_prefix="walker-nested"
         )

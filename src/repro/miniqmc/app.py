@@ -441,6 +441,24 @@ def main(argv: list[str] | None = None) -> int:
         "coefficient table (implies --walkers; default K=1)",
     )
     parser.add_argument(
+        "--split",
+        default="walkers",
+        choices=("walkers", "orbitals", "auto"),
+        help="population-mode sharding axis: 'walkers' (one walker range "
+        "per process), 'orbitals' (every process cooperates on each "
+        "walker's spline blocks — Opt C), or 'auto' (perf-model choice); "
+        "trajectories are bit-identical either way",
+    )
+    parser.add_argument(
+        "--orbital-shards",
+        type=int,
+        default=None,
+        metavar="K",
+        help="split the spline axis into K contiguous blocks when the "
+        "orbital axis is sharded (default: planner choice; clamped so "
+        "no block is narrower than 2 splines)",
+    )
+    parser.add_argument(
         "--elastic",
         action="store_true",
         help="supervise the population workers (crash/hang recovery); "
@@ -525,6 +543,14 @@ def main(argv: list[str] | None = None) -> int:
             "--elastic/--max-workers/--worker-timeout require population "
             "mode (--walkers/--processes)"
         )
+    if args.split != "walkers" or args.orbital_shards is not None:
+        if args.walkers is None and args.processes is None:
+            parser.error(
+                "--split/--orbital-shards require population mode "
+                "(--walkers/--processes)"
+            )
+        if args.orbital_shards is not None and args.orbital_shards < 1:
+            parser.error("--orbital-shards must be a positive block count")
     observe = args.metrics_out is not None or args.trace_out is not None
     try:
         cfg = _cli_run_config(args)
@@ -640,6 +666,8 @@ def _population_main(args, observe: bool, cfg) -> int:
             tau=args.tau,
             step_mode=args.step_mode,
             fleet=fleet,
+            split=args.split,
+            orbital_shards=args.orbital_shards,
         )
     finally:
         if observe:

@@ -10,6 +10,9 @@ re-creates that architecture with *processes*:
   processes holding shard state across calls;
 * :mod:`~repro.parallel.sharding` — deterministic contiguous sharding
   and per-walker streams, the bit-for-bit contract;
+* :mod:`~repro.parallel.orbital` — Opt C at process scope: orbital-axis
+  sharding over :class:`~repro.parallel.orbital.SharedOutputRing`
+  zero-copy output buffers (``split="orbitals"``);
 * :func:`~repro.parallel.crowd.run_crowd_parallel`,
   :func:`~repro.parallel.vmc.run_vmc_population`,
   :func:`~repro.parallel.dmc.run_dmc_sharded` — drivers whose results
@@ -25,6 +28,14 @@ from repro.parallel.crowd import (
     solve_spec_table,
 )
 from repro.parallel.dmc import run_dmc_sharded
+from repro.parallel.orbital import (
+    OrbitalEvaluator,
+    OrbitalWorker,
+    SharedOutputRing,
+    choose_split,
+    plan_orbital_blocks,
+    resolve_split,
+)
 from repro.parallel.pool import ProcessCrowdPool, WorkerError, WorkerTimeout
 from repro.parallel.sharding import shard_slices, walker_rng, walker_seed_sequence
 from repro.parallel.shared_table import SharedTable
@@ -32,6 +43,12 @@ from repro.parallel.vmc import VmcPopulationResult, run_vmc_population
 
 __all__ = [
     "SharedTable",
+    "SharedOutputRing",
+    "OrbitalEvaluator",
+    "OrbitalWorker",
+    "choose_split",
+    "resolve_split",
+    "plan_orbital_blocks",
     "ProcessCrowdPool",
     "WorkerError",
     "WorkerTimeout",

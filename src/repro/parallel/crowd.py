@@ -394,6 +394,73 @@ def run_crowd_sequential(
     )
 
 
+def _run_crowd_orbital(
+    spec: CrowdSpec,
+    n_workers: int,
+    n_sweeps: int,
+    tau: float,
+    table: np.ndarray,
+    orbital_shards: int,
+    start_method: str | None,
+    step_mode: str,
+    fleet=None,
+) -> CrowdRunResult:
+    """Opt C for the crowd: one parent-side population, fanned kernels.
+
+    The whole population lives in the parent (one crowd, exactly the
+    sequential trajectory); every batched orbital call is split along
+    the *spline* axis across ``n_workers`` pool processes via
+    :class:`~repro.parallel.orbital.OrbitalEvaluator`, writing into the
+    shared output ring zero-copy.  Because the fan-out is bit-gated
+    (concatenated blocks ``==`` the single-engine result), the returned
+    trajectory is bit-identical to :func:`run_crowd_sequential` — the
+    same contract walker sharding gives, reached from the other axis.
+    """
+    from repro.parallel.orbital import OrbitalEvaluator
+
+    spec = spec.resolved(table.dtype)
+    wfs, rngs = build_walker_range(spec, table, 0, spec.n_walkers)
+    spos = wfs[0].slater.spos
+    fanned = OrbitalEvaluator(
+        spos.grid,
+        spos._padded_table if spos._padded_table is not None else spos.engine.P,
+        config=spec.config,
+        processes=n_workers,
+        orbital_shards=orbital_shards,
+        supervise=fleet is not None,
+        fleet_config=fleet,
+        start_method=start_method,
+    )
+    # All walkers share this orbital set, so one injection fans every
+    # kernel call of the run across the orbital blocks.
+    spos._batched = fanned
+    crowd = Crowd(wfs, rngs)
+    t0 = time.perf_counter()
+    accepted = attempted = 0
+    try:
+        for _ in range(n_sweeps):
+            if step_mode == "walker":
+                for wf, rng in zip(wfs, rngs):
+                    a, t = sweep(wf, tau, rng)
+                    accepted += a
+                    attempted += t
+            else:
+                acc, att = crowd.sweep(tau)
+                accepted += acc
+                attempted += att
+    finally:
+        fanned.close()
+    seconds = time.perf_counter() - t0
+    return CrowdRunResult(
+        positions=np.stack([wf.electrons.positions for wf in wfs]),
+        log_values=np.asarray([wf.log_value for wf in wfs], dtype=np.float64),
+        accepted=accepted,
+        attempted=attempted,
+        seconds=seconds,
+        n_workers=n_workers,
+    )
+
+
 def run_crowd_parallel(
     spec: CrowdSpec,
     n_workers: int,
@@ -404,6 +471,8 @@ def run_crowd_parallel(
     step_mode: str | None = None,
     fleet=None,
     injector=None,
+    split: str = "walkers",
+    orbital_shards: int | None = None,
 ) -> CrowdRunResult:
     """Shard the population over ``n_workers`` processes and advance it.
 
@@ -415,11 +484,23 @@ def run_crowd_parallel(
     ``step_mode``.  All segments and workers are torn down before
     returning (no ``/dev/shm`` leaks).
 
+    ``split`` selects the sharded axis: ``"walkers"`` (default — the
+    behaviour above), ``"orbitals"`` (Opt C: the population stays in
+    the parent and every kernel call is split along the spline axis
+    across the pool; see :mod:`repro.parallel.orbital`), or ``"auto"``
+    (policy via :func:`~repro.parallel.orbital.resolve_split`:
+    explicit ``orbital_shards`` kwarg, then ``REPRO_ORBITAL_SHARDS`` /
+    tuned DB through the spec's config, then the perf-model heuristic
+    — orbital sharding wins when walkers alone cannot fill the pool).
+    Both splits return bit-identical trajectories.
+
     Passing a :class:`repro.fleet.FleetConfig` as ``fleet`` supervises
     the shards: a crashed or hung worker is restarted and its
     (deterministic) shard re-run, preserving bit-identity.  Crowd
     shards are stateful, so supervision covers recovery only — elastic
-    resizing is a DMC feature.  ``injector`` requires ``fleet``.
+    resizing is a DMC feature; orbital shards are *stateless* replicas,
+    so under ``split="orbitals"`` supervision is plain restart +
+    re-issue.  ``injector`` requires ``fleet`` (walker split only).
     """
     if injector is not None and fleet is None:
         raise ValueError(
@@ -427,6 +508,42 @@ def run_crowd_parallel(
         )
     if table is None:
         table = solve_spec_table(spec)
+    if split != "walkers" or orbital_shards is not None:
+        from repro.parallel.orbital import resolve_split
+
+        mode, shards = resolve_split(
+            spec.n_walkers,
+            n_workers,
+            spec.n_orbitals,
+            split=split,
+            orbital_shards=orbital_shards,
+            config=spec.run_config(),
+        )
+        if mode == "orbitals":
+            if injector is not None:
+                raise ValueError(
+                    "fault injectors target walker shards; orbital replicas "
+                    "take faults via OrbitalEvaluator.arm_fault instead"
+                )
+            if step_mode is None:
+                from repro.config import effective_step_mode
+
+                step_mode = effective_step_mode(step_mode, spec.config)
+            if step_mode not in ("batched", "walker"):
+                raise ValueError(
+                    f"step_mode must be 'batched' or 'walker', got {step_mode!r}"
+                )
+            return _run_crowd_orbital(
+                spec,
+                n_workers,
+                n_sweeps,
+                tau,
+                table,
+                orbital_shards=shards,
+                start_method=start_method,
+                step_mode=step_mode,
+                fleet=fleet,
+            )
     # Resolve once, parent-side: workers unpickle a spec whose config
     # already carries concrete chunk/tile ints and never consult their
     # own env or tuning DB for the blocking decision.

@@ -208,6 +208,81 @@ def _init_dmc_shard(worker_id: int, spec: CrowdSpec, table_spec: dict):
     return _DmcShard(worker_id, spec, table_spec)
 
 
+class _LocalDmcShard(_DmcShard):
+    """A :class:`_DmcShard` living in the parent over a plain table.
+
+    The orbital-split executor holds the whole population here; the
+    heavy kernels underneath are fanned across processes by the
+    injected :class:`~repro.parallel.orbital.OrbitalEvaluator`, so this
+    shard never needs a shared-memory attachment of its own.
+    """
+
+    def __init__(self, spec: CrowdSpec, table: np.ndarray):
+        self._spec = spec
+        self._array = table
+        self._wfs, _ = build_walker_range(spec, table, 0, 1)
+        self._spos = self._wfs[0].slater.spos
+
+    def _template(self, i: int):
+        while len(self._wfs) <= i:
+            wfs, _ = build_walker_range(
+                self._spec, self._array, 0, 1, spos=self._spos
+            )
+            self._wfs.append(wfs[0])
+        return self._wfs[i]
+
+    def close(self) -> None:
+        self._wfs = None
+
+
+class _OrbitalExecutor:
+    """Opt C executor: population in the parent, kernels fanned.
+
+    Trace-affecting work is identical to the pool executors — the same
+    ``measure``/``propagate`` physics over the same task triples, just
+    computed through orbital-block fan-out (bit-gated, so bit-identical
+    to any walker sharding).  ``summary()`` surfaces the split and, when
+    supervised, the fleet recovery counters.
+    """
+
+    def __init__(
+        self, shard: _LocalDmcShard, fanned, step_mode: str, n_workers: int
+    ):
+        self._shard = shard
+        self._fanned = fanned
+        self._step_mode = step_mode
+        self._n_workers = n_workers
+
+    def measure(self, states: list[_WalkerState], ion_charge: float) -> list[float]:
+        return self._shard.measure([s.task() for s in states], ion_charge)
+
+    def propagate(
+        self, states: list[_WalkerState], gen: int, tau: float, ion_charge: float
+    ) -> list[dict]:
+        return self._shard.propagate(
+            [s.task() for s in states], tau, ion_charge, self._step_mode
+        )
+
+    def generation_end(
+        self, gen: int, states: list[_WalkerState], seconds: float
+    ) -> None:
+        pass
+
+    def finish(self) -> None:
+        self._shard.close()
+
+    def summary(self) -> dict | None:
+        out = {
+            "split": "orbitals",
+            "orbital_shards": self._fanned.n_blocks,
+            "n_workers": self._n_workers,
+        }
+        fleet = self._fanned.fleet
+        if fleet is not None:
+            out.update(fleet)
+        return out
+
+
 def _initial_population(spec: CrowdSpec) -> list[_WalkerState]:
     """Deterministic starting population from per-walker streams.
 
@@ -509,8 +584,19 @@ def run_dmc_sharded(
     step_mode: str | None = None,
     fleet=None,
     injector=None,
+    split: str = "walkers",
+    orbital_shards: int | None = None,
 ) -> DmcResult:
     """Run DMC with propagation sharded over ``n_workers`` processes.
+
+    ``split`` selects the sharded axis (see
+    :func:`~repro.parallel.crowd.run_crowd_parallel`): under
+    ``"orbitals"`` the authoritative population *and* the propagation
+    loop stay in the parent, and each generation's batched kernel calls
+    are fanned across the pool along the spline axis — bit-identical to
+    the walker split (``DmcResult.fleet`` then reports the split and,
+    when supervised, the recovery counters; orbital shards are
+    stateless replicas, so there is no walker rebalancing to report).
 
     Parameters mirror :func:`repro.qmc.dmc.run_dmc` where they overlap;
     the ensemble itself is described by ``spec`` (the parent builds the
@@ -544,6 +630,54 @@ def run_dmc_sharded(
         raise ValueError(
             f"step_mode must be 'batched' or 'walker', got {step_mode!r}"
         )
+    if split != "walkers" or orbital_shards is not None:
+        from repro.parallel.orbital import OrbitalEvaluator, resolve_split
+
+        mode, shards = resolve_split(
+            spec.n_walkers,
+            n_workers,
+            spec.n_orbitals,
+            split=split,
+            orbital_shards=orbital_shards,
+            config=spec.run_config(),
+        )
+        if mode == "orbitals":
+            if injector is not None:
+                raise ValueError(
+                    "fault injectors target walker shards; orbital replicas "
+                    "take faults via OrbitalEvaluator.arm_fault instead"
+                )
+            table = solve_spec_table(spec)
+            spec = spec.resolved(table.dtype)
+            shard = _LocalDmcShard(spec, table)
+            fanned = OrbitalEvaluator(
+                shard._spos.grid,
+                shard._spos.engine.P,
+                config=spec.config,
+                processes=n_workers,
+                orbital_shards=shards,
+                supervise=fleet is not None,
+                fleet_config=fleet,
+                start_method=start_method,
+            )
+            shard._spos._batched = fanned
+            try:
+                return _run_dmc_loop(
+                    _OrbitalExecutor(shard, fanned, step_mode, n_workers),
+                    spec,
+                    n_generations=n_generations,
+                    tau=tau,
+                    target_population=target_population,
+                    feedback=feedback,
+                    max_population_factor=max_population_factor,
+                    ion_charge=ion_charge,
+                    checkpoint_every=checkpoint_every,
+                    checkpoint_path=checkpoint_path,
+                    resume=resume,
+                    guard=guard,
+                )
+            finally:
+                fanned.close()
     if fleet is not None:
         from repro.fleet.dmc import run_dmc_supervised
 

@@ -159,6 +159,8 @@ def run_vmc_population(
     step_mode: str | None = None,
     fleet=None,
     injector=None,
+    split: str = "walkers",
+    orbital_shards: int | None = None,
 ) -> VmcPopulationResult:
     """Run VMC over ``spec.n_walkers`` walkers, sharded over processes.
 
@@ -168,14 +170,22 @@ def run_vmc_population(
     lock-step shard kernels (default) or the sequential per-walker sweep;
     both are bit-identical for any worker count.
 
+    ``split`` selects the sharded axis (see
+    :func:`~repro.parallel.crowd.run_crowd_parallel`): ``"orbitals"``
+    keeps the population in the parent and fans every orbital kernel
+    call across the pool along the spline axis — bit-identical to both
+    the sequential reference and the walker split.
+
     Passing a :class:`repro.fleet.FleetConfig` as ``fleet`` runs the
     shards under a :class:`~repro.fleet.supervisor.FleetSupervisor`: a
     worker that crashes or hangs is restarted and its (deterministic)
     shard re-run, so the merged energies still match the sequential
     reference bit for bit.  VMC shards are stateful, so supervision here
-    means crash recovery — elastic resizing is a DMC-only feature.
-    ``injector`` (process faults, fired at the run's single broadcast)
-    requires ``fleet``.  ``step_mode=None`` resolves through the spec's
+    means crash recovery — elastic resizing is a DMC-only feature;
+    orbital shards are stateless replicas, supervised by restart +
+    re-issue.  ``injector`` (process faults, fired at the run's single
+    broadcast) requires ``fleet`` and the walker split.
+    ``step_mode=None`` resolves through the spec's
     :class:`~repro.config.RunConfig`, then ``REPRO_STEP_MODE``.
     """
     from repro.config import effective_step_mode
@@ -191,6 +201,52 @@ def run_vmc_population(
         )
     if table is None:
         table = solve_spec_table(spec)
+    if (split != "walkers" or orbital_shards is not None) and processes and n_workers:
+        from repro.parallel.orbital import OrbitalEvaluator, resolve_split
+
+        mode, shards = resolve_split(
+            spec.n_walkers,
+            n_workers,
+            spec.n_orbitals,
+            split=split,
+            orbital_shards=orbital_shards,
+            config=spec.run_config(),
+        )
+        if mode == "orbitals":
+            if injector is not None:
+                raise ValueError(
+                    "fault injectors target walker shards; orbital replicas "
+                    "take faults via OrbitalEvaluator.arm_fault instead"
+                )
+            spec = spec.resolved(table.dtype)
+            t0 = time.perf_counter()
+            wfs, rngs = build_walker_range(spec, table, 0, spec.n_walkers)
+            spos = wfs[0].slater.spos
+            fanned = OrbitalEvaluator(
+                spos.grid,
+                spos._padded_table
+                if spos._padded_table is not None
+                else spos.engine.P,
+                config=spec.config,
+                processes=n_workers,
+                orbital_shards=shards,
+                supervise=fleet is not None,
+                fleet_config=fleet,
+                start_method=start_method,
+            )
+            spos._batched = fanned
+            try:
+                shard = _run_walker_range(
+                    wfs, rngs, n_steps, n_warmup, tau, ion_charge, step_mode
+                )
+            finally:
+                fanned.close()
+            return VmcPopulationResult(
+                energies=shard["energies"],
+                acceptance=shard["accepted"] / max(shard["attempted"], 1),
+                seconds=time.perf_counter() - t0,
+                n_workers=n_workers,
+            )
     t0 = time.perf_counter()
     if not processes or n_workers == 0:
         wfs, rngs = build_walker_range(spec, table, 0, spec.n_walkers)

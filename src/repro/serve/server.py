@@ -85,6 +85,13 @@ class ServeConfig:
     #: ``None`` defers to the env var, then NumPy).  Validated strictly
     #: at startup.
     backend: str | None = None
+    #: Opt C for serving: when > 1, every coalesced eval batch is split
+    #: into that many contiguous orbital blocks (clamped by the planner
+    #: and the worker count) and fanned across concurrently leased
+    #: workers, each evaluating its block of the shared table zero-copy.
+    #: Responses are byte-identical to the single-worker path (the
+    #: spline-axis blocking invariance).  1 = one fused call per batch.
+    orbital_shards: int = 1
     worker_timeout: float = 120.0
     drain_timeout: float = 30.0
     observe: bool = True
@@ -129,6 +136,11 @@ class QmcServer:
         self._server: asyncio.AbstractServer | None = None
         self._executor: concurrent.futures.ThreadPoolExecutor | None = None
         self._worker_gate: asyncio.Queue | None = None
+        # Serializes multi-worker lease acquisition: two concurrent
+        # orbital fan-outs grabbing leases piecemeal could each hold a
+        # partial set and deadlock; under the lock a fan-out acquires
+        # all-or-nothing while single-lease ops drain normally.
+        self._fanout_lock = asyncio.Lock()
         self._pending_release: dict[int, list[str]] = {}
         self._batcher = MicroBatcher(
             self._flush_batch, config.max_batch, config.max_wait_us / 1e6
@@ -622,8 +634,71 @@ class QmcServer:
         }
         return result, meta
 
+    def _plan_fanout(self, name: str) -> list | None:
+        """Orbital blocks for one eval batch, or None for the fused path.
+
+        Fan-out engages when ``orbital_shards > 1`` and the planner can
+        cut the table's spline axis into at least two blocks no wider
+        than the worker pool — small-batch requests then borrow idle
+        workers along the orbital axis instead of leaving them parked.
+        """
+        shards = self.config.orbital_shards
+        if shards <= 1:
+            return None
+        from repro.core.partition import plan_orbital_blocks
+
+        n_splines = int(self._table_specs[name]["shape"][-1])
+        blocks = plan_orbital_blocks(
+            n_splines, min(shards, self.config.workers)
+        )
+        return blocks if len(blocks) > 1 else None
+
+    async def _fanout_eval(
+        self, name, kind_value, backend, grid_shape, positions, blocks
+    ) -> dict:
+        """One batch fanned across ``len(blocks)`` concurrently leased
+        workers, one orbital block each; streams reassembled column-wise."""
+        async with self._fanout_lock:
+            leases = [await self._lease_worker() for _ in blocks]
+        parts: list = []
+        try:
+            calls = [
+                self._dispatch(
+                    worker,
+                    "eval_block",
+                    {
+                        "table_spec": self._table_specs[name],
+                        "grid_shape": grid_shape,
+                        "kind_value": kind_value,
+                        "positions": positions,
+                        "spline_range": (block.start, block.stop),
+                        "backend": backend,
+                        "release": release,
+                    },
+                )
+                for (worker, release), block in zip(leases, blocks)
+            ]
+            # return_exceptions: every dispatch must settle before the
+            # leases go back — a cancelled sibling would otherwise leave
+            # a pool call in flight on a worker someone else then leases.
+            parts = await asyncio.gather(*calls, return_exceptions=True)
+        finally:
+            for worker, _ in leases:
+                self._worker_gate.put_nowait(worker)
+        for part in parts:
+            if isinstance(part, BaseException):
+                raise part
+        if OBS.enabled:
+            OBS.count("serve_fanout_batches_total")
+            OBS.observe("serve_fanout_blocks", len(blocks))
+        return {
+            stream: np.concatenate([p[stream] for p in parts], axis=-1)
+            for stream in Kind(kind_value).streams
+        }
+
     async def _flush_batch(self, batch_key, items: list[BatchItem]) -> None:
-        """Serve one closed batching window with one fused kernel call."""
+        """Serve one closed batching window with one fused kernel call
+        (or, with ``orbital_shards > 1``, one fanned call per block)."""
         name, kind_value, backend, grid_shape = batch_key
         positions = np.concatenate([item.positions for item in items])
         if OBS.enabled:
@@ -632,20 +707,27 @@ class QmcServer:
             OBS.observe("serve_batch_positions", len(positions))
             if len(items) > 1:
                 OBS.count("serve_coalesced_requests_total", len(items))
-        worker, release = await self._lease_worker()
+        blocks = self._plan_fanout(name)
+        worker = None
         try:
-            streams = await self._dispatch(
-                worker,
-                "eval_batch",
-                {
-                    "table_spec": self._table_specs[name],
-                    "grid_shape": grid_shape,
-                    "kind_value": kind_value,
-                    "positions": positions,
-                    "backend": backend,
-                    "release": release,
-                },
-            )
+            if blocks is not None:
+                streams = await self._fanout_eval(
+                    name, kind_value, backend, grid_shape, positions, blocks
+                )
+            else:
+                worker, release = await self._lease_worker()
+                streams = await self._dispatch(
+                    worker,
+                    "eval_batch",
+                    {
+                        "table_spec": self._table_specs[name],
+                        "grid_shape": grid_shape,
+                        "kind_value": kind_value,
+                        "positions": positions,
+                        "backend": backend,
+                        "release": release,
+                    },
+                )
         except Exception as exc:  # noqa: BLE001 — batch failure boundary
             if not isinstance(exc, ProtocolError):
                 exc = ProtocolError(
@@ -656,8 +738,11 @@ class QmcServer:
                     item.future.set_exception(exc)
             return
         finally:
-            self._worker_gate.put_nowait(worker)
+            if worker is not None:
+                self._worker_gate.put_nowait(worker)
         meta = {"coalesced": len(items), "batch_positions": len(positions)}
+        if blocks is not None:
+            meta["orbital_blocks"] = len(blocks)
         offset = 0
         for item in items:
             sl = slice(offset, offset + item.n_positions)
@@ -866,6 +951,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="default kernel backend (beats REPRO_BACKEND; strict)",
     )
     parser.add_argument(
+        "--orbital-shards",
+        type=int,
+        default=None,
+        metavar="K",
+        help="fan each eval batch across K orbital blocks on "
+        "concurrently leased workers (Opt C; byte-identical responses); "
+        "default: REPRO_ORBITAL_SHARDS / the RunConfig, else 1",
+    )
+    parser.add_argument(
         "--config",
         default=None,
         metavar="FILE",
@@ -918,6 +1012,11 @@ def main(argv: list[str] | None = None) -> int:
         tenant_inflight=args.tenant_inflight,
         table_cache=args.table_cache,
         backend=args.backend,
+        orbital_shards=(
+            args.orbital_shards
+            if args.orbital_shards is not None
+            else (run_config.orbital_shards or 1)
+        ),
         worker_timeout=args.worker_timeout,
         drain_timeout=args.drain_timeout,
         observe=not args.no_observe,

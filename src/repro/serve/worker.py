@@ -48,7 +48,12 @@ class ServeShard:
         # engines built here finish rungs 3-4 against each table's shape.
         self._config = config
         self._tables: dict[str, SharedTable] = {}
-        self._engines: dict[tuple[str, str | None], BsplineBatched] = {}
+        # Engines are keyed by (segment, backend, spline_range): full-width
+        # engines use spline_range=None, orbital-block engines the (lo, hi)
+        # column window they evaluate (see eval_block).
+        self._engines: dict[
+            tuple[str, str | None, tuple[int, int] | None], BsplineBatched
+        ] = {}
 
     # -- table / engine caches ----------------------------------------------
 
@@ -60,9 +65,13 @@ class ServeShard:
         return table
 
     def _engine(
-        self, table_spec: dict, grid_shape, backend: str | None
+        self,
+        table_spec: dict,
+        grid_shape,
+        backend: str | None,
+        spline_range: tuple[int, int] | None = None,
     ) -> BsplineBatched:
-        key = (table_spec["name"], backend)
+        key = (table_spec["name"], backend, spline_range)
         engine = self._engines.get(key)
         if engine is None:
             from repro.config import RunConfig
@@ -80,7 +89,9 @@ class ServeShard:
                 cfg = cfg.resolved_for(
                     n_splines, batch=max(n_splines, 1), dtype=table.array.dtype
                 )
-            engine = BsplineBatched(grid, table.array, config=cfg)
+            engine = BsplineBatched(
+                grid, table.array, config=cfg, spline_range=spline_range
+            )
             self._engines[key] = engine
         return engine
 
@@ -127,6 +138,43 @@ class ServeShard:
         engine.evaluate_batch(kind, positions, out)
         if OBS.enabled:
             OBS.count("serve_worker_evals_total")
+            OBS.observe("serve_worker_batch_positions", len(positions))
+        return {
+            stream: np.array(getattr(out, stream)) for stream in kind.streams
+        }
+
+    def eval_block(
+        self,
+        table_spec: dict,
+        grid_shape,
+        kind_value: str,
+        positions: np.ndarray,
+        spline_range,
+        backend: str | None = None,
+        release: list[str] | None = None,
+    ) -> dict:
+        """One kernel call over an *orbital block* of the cached table.
+
+        The Opt C serving path: the server splits a small batch's spline
+        axis into contiguous blocks, dispatches one ``eval_block`` per
+        leased worker, and concatenates the returned block-width streams
+        column-wise — byte-identical to a full-width :meth:`eval_batch`
+        (the spline-axis blocking invariance of
+        :class:`~repro.core.batched.BsplineBatched`).  Block engines view
+        their column window of the shared table zero-copy and are cached
+        alongside the full-width ones.
+        """
+        if release:
+            self.release(release)
+        lo, hi = (int(b) for b in spline_range)
+        engine = self._engine(table_spec, grid_shape, backend, spline_range=(lo, hi))
+        kind = Kind(kind_value)
+        positions = np.ascontiguousarray(positions, dtype=np.float64)
+        out = engine.new_output(kind, n=len(positions))
+        engine.evaluate_batch(kind, positions, out)
+        if OBS.enabled:
+            OBS.count("serve_worker_evals_total")
+            OBS.count("serve_worker_block_evals_total")
             OBS.observe("serve_worker_batch_positions", len(positions))
         return {
             stream: np.array(getattr(out, stream)) for stream in kind.streams

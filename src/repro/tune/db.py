@@ -49,7 +49,15 @@ TIER_ALLCLOSE = "allclose"
 _TIERS = (TIER_EXACT, TIER_ALLCLOSE)
 
 #: Schema version of the on-disk file; bump on incompatible change.
-SCHEMA_VERSION = 1
+#: v2 (PR10) added the measured parallel axes (``processes``,
+#: ``orbital_shards``) to :class:`TunedConfig`.
+SCHEMA_VERSION = 2
+
+#: Versions :meth:`TuneDB._load` accepts.  v1 entries simply lack the
+#: parallel axes; :meth:`TunedConfig.from_dict` fills their defaults
+#: (1/1 — sequential), so a v1 file reads forward-compatibly and is
+#: upgraded to v2 on the next write.
+_READ_VERSIONS = (1, SCHEMA_VERSION)
 
 
 def default_db_path() -> Path:
@@ -109,6 +117,13 @@ class TunedConfig:
     backend:
         The kernel-backend name the measurement ran under (``"numpy"``
         unless the search was asked to sweep backends).
+    processes:
+        Worker-process count the winner was measured at (1 =
+        sequential; v1 entries read as 1).
+    orbital_shards:
+        Orbital blocks per walker the winner was measured at (1 =
+        walker-only sharding; v1 entries read as 1).  See
+        :mod:`repro.parallel.orbital`.
     tier:
         ``"exact"`` (bitwise vs the frozen oracle) or ``"allclose"``.
     rtol, atol:
@@ -130,6 +145,8 @@ class TunedConfig:
     chunk: int
     tile: int
     backend: str = "numpy"
+    processes: int = 1
+    orbital_shards: int = 1
     tier: str = TIER_EXACT
     rtol: float = 0.0
     atol: float = 0.0
@@ -145,6 +162,11 @@ class TunedConfig:
         if self.chunk <= 0 or self.tile <= 0:
             raise ValueError(
                 f"chunk/tile must be positive, got ({self.chunk}, {self.tile})"
+            )
+        if self.processes <= 0 or self.orbital_shards <= 0:
+            raise ValueError(
+                f"processes/orbital_shards must be positive, got "
+                f"({self.processes}, {self.orbital_shards})"
             )
 
     def serves_tier(self, min_tier: str) -> bool:
@@ -199,8 +221,9 @@ class TuneDB:
         try:
             with open(self.path) as f:
                 data = json.load(f)
-            if not isinstance(data, dict) or data.get("version") != SCHEMA_VERSION:
+            if not isinstance(data, dict) or data.get("version") not in _READ_VERSIONS:
                 raise ValueError("unknown schema")
+            data["version"] = SCHEMA_VERSION
             data.setdefault("hosts", {})
         except (OSError, ValueError):
             # A torn write cannot happen (os.replace), but a foreign or

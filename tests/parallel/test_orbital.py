@@ -1,0 +1,325 @@
+"""Opt C orbital-axis sharding: the bitwise fan-out contract.
+
+The tentpole promise of the orbital shard layer is absolute: for every
+shard count the planner realizes, every kernel, both start methods and
+both dtypes, the concatenated block results are
+``assert_array_equal``-identical to the single full-width engine — and
+the drivers that mount the fan-out (`run_crowd_parallel`,
+`run_vmc_population`, `run_dmc_sharded` with ``split="orbitals"``)
+propagate trajectories bit-identical to their sequential references.
+"""
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.config import SOURCE_TUNED, RunConfig
+from repro.core.batched import BsplineBatched
+from repro.core.grid import Grid3D
+from repro.core.kinds import Kind
+from repro.obs import kernel_bytes_moved
+from repro.parallel import (
+    CrowdSpec,
+    plan_orbital_blocks,
+    resolve_split,
+    run_crowd_parallel,
+    run_crowd_sequential,
+    run_dmc_sharded,
+    run_vmc_population,
+)
+from repro.parallel.orbital import OrbitalEvaluator, choose_split
+
+START_METHODS = [m for m in ("fork", "spawn") if m in mp.get_all_start_methods()]
+
+N_SPLINES = 7  # prime: N % shards != 0 for every tested shard count
+GRID = (8, 8, 8)
+
+
+def _problem(dtype, n_splines=N_SPLINES, batch=5):
+    rng = np.random.default_rng(314)
+    table = rng.standard_normal((*GRID, n_splines)).astype(dtype)
+    grid = Grid3D(*GRID, (1.0, 1.0, 1.0))
+    positions = np.random.default_rng(27).random((batch, 3))
+    return grid, table, positions
+
+
+class TestFanoutBitIdentity:
+    @pytest.mark.parametrize("start_method", START_METHODS)
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    @pytest.mark.parametrize("shards", [1, 2, 3])
+    def test_all_kernels_match_single_engine(
+        self, shards, dtype, start_method, shm_sentinel
+    ):
+        grid, table, positions = _problem(dtype)
+        reference = BsplineBatched(grid, table)
+        with OrbitalEvaluator(
+            grid, table, orbital_shards=shards, start_method=start_method
+        ) as fanned:
+            assert fanned.n_blocks == len(
+                plan_orbital_blocks(N_SPLINES, shards)
+            )
+            for kind in (Kind.V, Kind.VGL, Kind.VGH):
+                want = reference.new_output(kind, n=len(positions))
+                reference.evaluate_batch(kind, positions, want)
+                got = fanned.new_output(kind, n=len(positions))
+                fanned.evaluate_batch(kind, positions, got)
+                for stream in kind.streams:
+                    np.testing.assert_array_equal(
+                        getattr(got, stream), getattr(want, stream)
+                    )
+
+    def test_row_groups_and_streaming_through_small_ring(self, shm_sentinel):
+        # processes > shards adds row groups; a batch larger than the
+        # ring slot streams through in pieces — both bitwise-free.
+        grid, table, positions = _problem("float64", n_splines=8, batch=11)
+        reference = BsplineBatched(grid, table)
+        want = reference.new_output(Kind.VGH, n=11)
+        reference.evaluate_batch(Kind.VGH, positions, want)
+        with OrbitalEvaluator(
+            grid, table, processes=4, orbital_shards=2, max_positions=3
+        ) as fanned:
+            assert (fanned.n_row_groups, fanned.n_blocks) == (2, 2)
+            got = fanned.new_output(Kind.VGH, n=11)
+            fanned.evaluate_batch(Kind.VGH, positions, got)
+        for stream in Kind.VGH.streams:
+            np.testing.assert_array_equal(
+                getattr(got, stream), getattr(want, stream)
+            )
+
+    def test_pipe_gather_baseline_matches_ring(self, shm_sentinel):
+        grid, table, positions = _problem("float64")
+        with OrbitalEvaluator(grid, table, orbital_shards=2) as fanned:
+            ring_out = fanned.new_output(Kind.VGH, n=len(positions))
+            fanned.evaluate_batch(Kind.VGH, positions, ring_out)
+            pipe_out = fanned.new_output(Kind.VGH, n=len(positions))
+            fanned.evaluate_batch_pipe(Kind.VGH, positions, pipe_out)
+        for stream in Kind.VGH.streams:
+            np.testing.assert_array_equal(
+                getattr(pipe_out, stream), getattr(ring_out, stream)
+            )
+
+    def test_engine_protocol_delegation(self, shm_sentinel):
+        grid, table, _ = _problem("float64")
+        with OrbitalEvaluator(grid, table, orbital_shards=2) as fanned:
+            assert fanned.n_splines == N_SPLINES
+            assert fanned.dtype == np.dtype("float64")
+            out = fanned.new_output(Kind.V, n=2)
+            assert out.v.shape == (2, N_SPLINES)
+            with pytest.raises(AttributeError):
+                fanned._no_such_private_attr
+
+    def test_rejects_undersized_pool_and_closed_use(self, shm_sentinel):
+        grid, table, positions = _problem("float64", n_splines=8)
+        with pytest.raises(ValueError, match="cannot serve"):
+            OrbitalEvaluator(grid, table, processes=1, orbital_shards=2)
+        fanned = OrbitalEvaluator(grid, table, orbital_shards=2)
+        fanned.close()
+        fanned.close()  # idempotent
+        out = BsplineBatched(grid, table).new_output(Kind.V, n=len(positions))
+        with pytest.raises(RuntimeError, match="closed"):
+            fanned.evaluate_batch(Kind.V, positions, out)
+
+
+class TestSupervisedChaos:
+    def test_sigkill_mid_block_recovers_bit_identical(self, shm_sentinel):
+        grid, table, positions = _problem("float64")
+        reference = BsplineBatched(grid, table)
+        want = reference.new_output(Kind.VGH, n=len(positions))
+        reference.evaluate_batch(Kind.VGH, positions, want)
+        with OrbitalEvaluator(
+            grid, table, orbital_shards=2, supervise=True
+        ) as fanned:
+            fanned.arm_fault(1, "sigkill")
+            got = fanned.new_output(Kind.VGH, n=len(positions))
+            fanned.evaluate_batch(Kind.VGH, positions, got)
+            fleet = fanned.fleet
+            assert fleet["restarts"] == 1
+        for stream in Kind.VGH.streams:
+            np.testing.assert_array_equal(
+                getattr(got, stream), getattr(want, stream)
+            )
+
+
+class TestSplitPolicy:
+    def test_walkers_policy_is_literal(self):
+        assert resolve_split(4, 8, 48, split="walkers") == ("walkers", 1)
+        with pytest.raises(ValueError, match="cannot honour"):
+            resolve_split(4, 8, 48, split="walkers", orbital_shards=2)
+
+    def test_explicit_kwarg_count_wins(self):
+        mode, shards = resolve_split(2, 8, 48, split="auto", orbital_shards=3)
+        assert (mode, shards) == ("orbitals", 3)
+        # Clamped through the planner, never wider than N // 2.
+        mode, shards = resolve_split(2, 8, 5, split="orbitals", orbital_shards=8)
+        assert (mode, shards) == ("orbitals", 2)
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ValueError, match="split must be"):
+            resolve_split(2, 4, 48, split="diagonal")
+        with pytest.raises(ValueError, match="must be positive"):
+            resolve_split(2, 4, 48, split="auto", orbital_shards=0)
+
+    def test_auto_prefers_walkers_when_pool_is_full(self):
+        assert choose_split(8, 8, 48, split="auto") == ("walkers", 1)
+        assert choose_split(2, 1, 48, split="auto") == ("walkers", 1)
+        assert choose_split(1, 4, 2, split="auto") == ("walkers", 1)
+
+    def test_auto_upgrades_underfilled_pool(self):
+        class GoModel:
+            def nested_efficiency(self, kernel, n_splines, shards):
+                return 0.9
+
+        mode, shards = choose_split(2, 8, 48, split="auto", model=GoModel())
+        assert mode == "orbitals" and shards == 4
+
+    def test_auto_honours_perfmodel_veto(self):
+        class VetoModel:
+            def nested_efficiency(self, kernel, n_splines, shards):
+                return 0.1
+
+        assert choose_split(2, 8, 48, split="auto", model=VetoModel()) == (
+            "walkers",
+            1,
+        )
+
+    def test_auto_adopts_kwarg_provenance_config(self):
+        cfg = RunConfig.from_env(orbital_shards=3)
+        assert cfg.source_of("orbital_shards") == "kwarg"
+        assert choose_split(8, 8, 48, split="auto", config=cfg) == (
+            "orbitals",
+            3,
+        )
+
+    def test_auto_adopts_env_provenance_config(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ORBITAL_SHARDS", "2")
+        cfg = RunConfig.from_env()
+        assert cfg.source_of("orbital_shards") == "env"
+        assert choose_split(8, 8, 48, split="auto", config=cfg) == (
+            "orbitals",
+            2,
+        )
+
+    def test_auto_adopts_tuned_provenance_config(self):
+        cfg = RunConfig(
+            orbital_shards=4,
+            provenance=(("orbital_shards", SOURCE_TUNED),),
+        )
+        assert choose_split(8, 8, 48, split="auto", config=cfg) == (
+            "orbitals",
+            4,
+        )
+
+    def test_heuristic_fill_does_not_force_orbitals(self):
+        # resolved_for's rung-4 fill (shards=1, heuristic) must leave the
+        # auto planner free — and never trigger Opt C by itself.
+        cfg = RunConfig().resolved_for(48, batch=8, dtype="float64")
+        assert cfg.orbital_shards == 1
+        assert cfg.source_of("orbital_shards") == "heuristic"
+        assert choose_split(8, 8, 48, split="auto", config=cfg) == (
+            "walkers",
+            1,
+        )
+
+
+class TestDriverSplits:
+    """Every driver's orbital path against its sequential reference."""
+
+    SPEC = dict(n_walkers=2, n_orbitals=4, grid_shape=(8, 8, 8), seed=11)
+    TAU = 0.3
+
+    def test_crowd_orbitals_bit_identical(self, shm_sentinel):
+        spec = CrowdSpec(**self.SPEC)
+        want = run_crowd_sequential(spec, n_sweeps=2, tau=self.TAU)
+        got = run_crowd_parallel(
+            spec, n_workers=2, n_sweeps=2, tau=self.TAU, split="orbitals"
+        )
+        np.testing.assert_array_equal(got.positions, want.positions)
+        np.testing.assert_array_equal(got.log_values, want.log_values)
+        assert got.accepted == want.accepted
+
+    def test_crowd_auto_with_explicit_shards(self, shm_sentinel):
+        spec = CrowdSpec(**self.SPEC)
+        want = run_crowd_sequential(spec, n_sweeps=2, tau=self.TAU)
+        got = run_crowd_parallel(
+            spec,
+            n_workers=2,
+            n_sweeps=2,
+            tau=self.TAU,
+            split="auto",
+            orbital_shards=2,
+        )
+        np.testing.assert_array_equal(got.positions, want.positions)
+
+    def test_vmc_orbitals_bit_identical(self, shm_sentinel):
+        spec = CrowdSpec(**self.SPEC)
+        want = run_vmc_population(
+            spec, n_workers=0, n_steps=3, n_warmup=1, processes=False
+        )
+        got = run_vmc_population(
+            spec, n_workers=2, n_steps=3, n_warmup=1, split="orbitals"
+        )
+        np.testing.assert_array_equal(got.energies, want.energies)
+        assert got.acceptance == want.acceptance
+
+    def test_dmc_orbitals_bit_identical(self, shm_sentinel):
+        spec = CrowdSpec(**self.SPEC)
+        want = run_dmc_sharded(spec, n_workers=1, n_generations=3, tau=0.05)
+        got = run_dmc_sharded(
+            spec, n_workers=2, n_generations=3, tau=0.05, split="orbitals"
+        )
+        np.testing.assert_array_equal(got.energy_trace, want.energy_trace)
+        np.testing.assert_array_equal(
+            got.population_trace, want.population_trace
+        )
+        assert got.acceptance == want.acceptance
+        assert got.fleet["split"] == "orbitals"
+        assert got.fleet["orbital_shards"] == 2
+
+    def test_orbital_split_rejects_fault_injector(self, shm_sentinel):
+        from repro.fleet import FleetConfig
+        from repro.resilience.faults import FaultInjector
+
+        spec = CrowdSpec(**self.SPEC)
+        injector = FaultInjector(seed=1)
+        injector.sigkill_worker(worker=0, generation=0)
+        with pytest.raises(ValueError, match="arm_fault"):
+            run_crowd_parallel(
+                spec,
+                n_workers=2,
+                n_sweeps=1,
+                tau=self.TAU,
+                split="orbitals",
+                injector=injector,
+                fleet=FleetConfig(),
+            )
+
+
+class TestBlockSizedAccounting:
+    """The PR10 OBS fix: modeled bytes scale with the block width."""
+
+    @pytest.mark.parametrize("kind", ["v", "vgl", "vgh"])
+    @pytest.mark.parametrize("n_splines,shards", [(48, 4), (7, 3), (33, 8)])
+    def test_sharded_bytes_sum_to_unsharded_total(
+        self, kind, n_splines, shards
+    ):
+        itemsize = 8
+        blocks = plan_orbital_blocks(n_splines, shards)
+        sharded = sum(
+            kernel_bytes_moved(kind, "soa", b.stop - b.start, itemsize)
+            for b in blocks
+        )
+        assert sharded == kernel_bytes_moved(kind, "soa", n_splines, itemsize)
+
+    def test_worker_records_block_width_not_full_width(self, obs, shm_sentinel):
+        grid, table, positions = _problem("float64", n_splines=8, batch=4)
+        with OrbitalEvaluator(grid, table, orbital_shards=2) as fanned:
+            out = fanned.new_output(Kind.VGH, n=len(positions))
+            # The pipe spelling runs _observe in-worker too, but fork
+            # isolates worker-side counters; account parent-side via the
+            # model instead and assert the fan-out counters we do see.
+            fanned.evaluate_batch(Kind.VGH, positions, out)
+            calls = obs.registry.counter(
+                "orbital_fanout_calls_total", kernel="vgh", shards="2"
+            )
+            assert calls.value == 1

@@ -1,0 +1,116 @@
+"""The :class:`SharedOutputRing`: zero-copy V/VGL/VGH output buffers.
+
+Lifetime rules mirror the PR3 :class:`SharedTable` contract (owner
+unlinks, attachers only close); on top of that, the ring's layout must
+round-trip values exactly through an attach in another "process" (here
+the same process, which exercises the identical mapping path) and its
+spec must fail loudly when it does not match the segment.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.parallel.orbital import SharedOutputRing
+
+pytestmark = pytest.mark.usefixtures("shm_sentinel")
+
+
+@pytest.mark.parametrize("dtype", [np.float64, np.float32])
+def test_round_trip_through_attach(dtype):
+    with SharedOutputRing.create(2, 8, 6, dtype) as ring:
+        rng = np.random.default_rng(5)
+        ring.positions(1)[:] = rng.random((8, 3))
+        views = ring.views(1)
+        for name in ("v", "g", "l", "h"):
+            views[name][:] = rng.random(views[name].shape).astype(dtype)
+        attached = SharedOutputRing.attach(ring.spec)
+        try:
+            np.testing.assert_array_equal(
+                attached.positions(1), ring.positions(1)
+            )
+            got = attached.views(1)
+            for name in ("v", "g", "l", "h"):
+                assert got[name].dtype == np.dtype(dtype)
+                np.testing.assert_array_equal(got[name], views[name])
+        finally:
+            attached.close()
+
+
+def test_stream_shapes_and_alignment():
+    with SharedOutputRing.create(1, 5, 7, np.float64) as ring:
+        views = ring.views(0)
+        assert views["v"].shape == (5, 7)
+        assert views["g"].shape == (5, 3, 7)
+        assert views["l"].shape == (5, 7)
+        assert views["h"].shape == (5, 6, 7)
+        for offset, _, _ in ring._layout.values():
+            assert offset % 16 == 0
+
+
+def test_windowed_views_alias_the_rectangle():
+    with SharedOutputRing.create(1, 6, 10, np.float64) as ring:
+        rect = ring.views(0, rows=(2, 5), spline_range=(4, 8))
+        assert rect["v"].shape == (3, 4)
+        rect["v"][:] = 7.0
+        full = ring.views(0)
+        assert np.all(full["v"][2:5, 4:8] == 7.0)
+        assert np.count_nonzero(full["v"]) == 12
+
+
+def test_output_writes_land_in_shared_views():
+    with SharedOutputRing.create(1, 4, 8, np.float64) as ring:
+        out = ring.output(0, rows=(1, 3), spline_range=(2, 6))
+        assert out.v.shape == (2, 4)
+        out.v[:] = 3.0
+        out.h[:] = 9.0
+        full = ring.views(0)
+        assert np.all(full["v"][1:3, 2:6] == 3.0)
+        assert np.all(full["h"][1:3, :, 2:6] == 9.0)
+
+
+def test_spec_is_picklable_and_positions_stay_float64():
+    with SharedOutputRing.create(1, 3, 4, np.float32) as ring:
+        spec = pickle.loads(pickle.dumps(ring.spec))
+        assert spec == ring.spec
+        assert ring.positions(0).dtype == np.float64
+        assert ring.views(0)["v"].dtype == np.float32
+
+
+def test_attach_rejects_mismatched_spec():
+    with SharedOutputRing.create(1, 4, 4, np.float64) as ring:
+        bad = dict(ring.spec, max_positions=4096)
+        with pytest.raises(ValueError, match="stale or mismatched"):
+            SharedOutputRing.attach(bad)
+
+
+def test_attacher_cannot_unlink():
+    with SharedOutputRing.create(1, 2, 4, np.float64) as ring:
+        attached = SharedOutputRing.attach(ring.spec)
+        try:
+            with pytest.raises(ValueError, match="creating process"):
+                attached.unlink()
+        finally:
+            attached.close()
+
+
+def test_closed_ring_refuses_access():
+    ring = SharedOutputRing.create(1, 2, 4, np.float64)
+    ring.close()
+    with pytest.raises(ValueError, match="closed"):
+        ring.positions(0)
+    ring.close()  # idempotent
+    ring.unlink()
+
+
+def test_invalid_slot_and_sizes():
+    with pytest.raises(ValueError):
+        SharedOutputRing.create(0, 2, 4, np.float64)
+    with pytest.raises(ValueError):
+        SharedOutputRing.create(1, 0, 4, np.float64)
+    with pytest.raises(ValueError):
+        SharedOutputRing.create(1, 2, 0, np.float64)
+    with SharedOutputRing.create(2, 2, 4, np.float64) as ring:
+        with pytest.raises(ValueError, match="no slot"):
+            ring.views(2)

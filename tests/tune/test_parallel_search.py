@@ -1,0 +1,121 @@
+"""The v2 parallel tune axes: measured (processes, orbital_shards).
+
+Three contracts: the v2 schema round-trips and reads v1 files forward
+(missing parallel axes default to sequential), `parallel_candidates`
+only proposes shard counts the planner can realize, and
+`autotune_parallel` bit-gates every fan-out candidate against the
+sequential engine before timing it — plus its warm-hit rule, which
+re-searches (and upgrades) entries whose parallel axes were never
+measured.
+"""
+
+import json
+
+import pytest
+
+from repro.core.partition import plan_orbital_blocks
+from repro.tune.db import (
+    SCHEMA_VERSION,
+    TuneDB,
+    TunedConfig,
+    TuneShape,
+)
+from repro.tune.search import autotune_parallel, parallel_candidates
+
+SHAPE = TuneShape(16, 4, "float64", "vgh")
+
+
+class TestSchemaV2:
+    def test_round_trip_parallel_axes(self, tmp_path):
+        db = TuneDB(path=tmp_path / "db.json")
+        cfg = TunedConfig(chunk=8, tile=4, processes=4, orbital_shards=2)
+        db.put(SHAPE, cfg)
+        stored = TuneDB(path=tmp_path / "db.json").get(SHAPE)
+        assert (stored.processes, stored.orbital_shards) == (4, 2)
+        doc = json.loads((tmp_path / "db.json").read_text())
+        assert doc["version"] == SCHEMA_VERSION == 2
+
+    def test_v1_file_reads_forward_as_sequential(self, tmp_path):
+        db = TuneDB(path=tmp_path / "db.json")
+        db.put(SHAPE, TunedConfig(chunk=8, tile=4))
+        doc = json.loads((tmp_path / "db.json").read_text())
+        doc["version"] = 1
+        for entry in next(iter(doc["hosts"].values()))["entries"].values():
+            entry.pop("processes", None)
+            entry.pop("orbital_shards", None)
+        (tmp_path / "db.json").write_text(json.dumps(doc))
+        stored = TuneDB(path=tmp_path / "db.json").get(SHAPE)
+        assert (stored.processes, stored.orbital_shards) == (1, 1)
+
+    @pytest.mark.parametrize("field", ["processes", "orbital_shards"])
+    def test_rejects_nonpositive_axes(self, field):
+        with pytest.raises(ValueError):
+            TunedConfig(chunk=8, tile=4, **{field: 0})
+
+
+class TestParallelCandidates:
+    def test_sequential_baseline_always_first(self):
+        assert parallel_candidates(1, 48) == [(1, 1)]
+        assert parallel_candidates(4, 48)[0] == (1, 1)
+
+    def test_walker_only_row_then_realizable_shards(self):
+        cands = parallel_candidates(8, 48)
+        assert cands[1] == (8, 1)
+        for procs, shards in cands[2:]:
+            assert procs == 8
+            assert shards == len(plan_orbital_blocks(48, shards))
+            assert shards >= 2
+
+    def test_narrow_axis_clamps_and_dedupes(self):
+        cands = parallel_candidates(8, 5)
+        # 5 splines support at most 2 blocks; one orbital row survives.
+        assert cands == [(1, 1), (8, 1), (8, 2)]
+
+    def test_rejects_nonpositive_processes(self):
+        with pytest.raises(ValueError):
+            parallel_candidates(0, 48)
+
+
+class TestAutotuneParallel:
+    def test_cold_search_measures_gates_and_persists(self, tmp_path):
+        db = TuneDB(path=tmp_path / "db.json")
+        out = autotune_parallel(SHAPE, db=db, processes=2, repeats=1)
+        assert not out.from_db
+        assert out.measured >= 2  # sequential baseline + >=1 parallel row
+        cfg = out.config
+        assert cfg.processes >= 1 and cfg.orbital_shards >= 1
+        assert cfg.baseline_seconds is not None
+        stored = TuneDB(path=tmp_path / "db.json").get(SHAPE)
+        assert (stored.processes, stored.orbital_shards) == (
+            cfg.processes,
+            cfg.orbital_shards,
+        )
+
+    def test_sequential_entry_is_researched_then_warm(self, tmp_path):
+        db = TuneDB(path=tmp_path / "db.json")
+        # A v1-style entry: (chunk, tile) tuned, parallel axes never
+        # measured — must NOT short-circuit the parallel search.
+        db.put(SHAPE, TunedConfig(chunk=8, tile=4))
+        out = autotune_parallel(SHAPE, db=db, processes=2, repeats=1)
+        assert not out.from_db
+        assert out.measured >= 2
+        # The upgraded entry short-circuits only if it measured a
+        # parallel winner; a (1, 1) verdict is re-checked next time.
+        again = autotune_parallel(SHAPE, db=db, processes=2, repeats=1)
+        if out.config.processes > 1 or out.config.orbital_shards > 1:
+            assert again.from_db and again.measured == 0
+        else:
+            assert not again.from_db
+
+    def test_force_remeasures_a_parallel_entry(self, tmp_path):
+        db = TuneDB(path=tmp_path / "db.json")
+        db.put(
+            SHAPE,
+            TunedConfig(chunk=8, tile=4, processes=2, orbital_shards=2),
+        )
+        warm = autotune_parallel(SHAPE, db=db, processes=2)
+        assert warm.from_db and warm.measured == 0
+        forced = autotune_parallel(
+            SHAPE, db=db, processes=2, repeats=1, force=True
+        )
+        assert not forced.from_db and forced.measured >= 2
